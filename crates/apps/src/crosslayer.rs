@@ -1,0 +1,100 @@
+//! Cross-layer switching-threshold policy for Proteus-H (§4.4).
+//!
+//! The threshold is "the maximum value which satisfies":
+//!
+//! 1. **Sufficient rate rule** — `threshold ≤ G·bitrate_max`, `G = 1.5`,
+//!    a safety margin over the highest rung.
+//! 2. **Buffer limit rule** — `threshold ≤ bitrate_current/(2 − f)` where
+//!    `f < 2` is the (possibly fractional) number of chunks of free buffer
+//!    space, checked on each chunk request: as the buffer approaches full,
+//!    the flow needs less and less throughput.
+//! 3. **Emergency rule** — on rebuffering, `threshold = ∞` until playback
+//!    resumes.
+
+/// The §4.4 threshold policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdPolicy {
+    /// Safety margin `G` of the sufficient-rate rule (paper: 1.5).
+    pub safety_margin: f64,
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        Self { safety_margin: 1.5 }
+    }
+}
+
+impl ThresholdPolicy {
+    /// Computes the Proteus-H switching threshold in Mbps.
+    ///
+    /// * `bitrate_max` — the video's highest rung, Mbps,
+    /// * `bitrate_current` — the rung currently being requested, Mbps,
+    /// * `free_chunks` — free playback-buffer space in chunk units,
+    /// * `rebuffering` — whether playback is stalled.
+    pub fn threshold(
+        &self,
+        bitrate_max: f64,
+        bitrate_current: f64,
+        free_chunks: f64,
+        rebuffering: bool,
+    ) -> f64 {
+        if rebuffering {
+            return f64::INFINITY; // emergency rule
+        }
+        let mut th = self.safety_margin * bitrate_max; // sufficient rate rule
+        if free_chunks < 2.0 {
+            // buffer limit rule
+            th = th.min(bitrate_current / (2.0 - free_chunks));
+        }
+        th
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POLICY: ThresholdPolicy = ThresholdPolicy { safety_margin: 1.5 };
+
+    #[test]
+    fn sufficient_rate_rule_caps_at_1_5x_max() {
+        let th = POLICY.threshold(40.0, 40.0, 3.0, false);
+        assert!((th - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_limit_rule_tightens_as_buffer_fills() {
+        // f = 1 chunk free: threshold ≤ bitrate_current.
+        let th = POLICY.threshold(40.0, 10.0, 1.0, false);
+        assert!((th - 10.0).abs() < 1e-9);
+        // f = 0 (full): threshold ≤ bitrate/2.
+        let th = POLICY.threshold(40.0, 10.0, 0.0, false);
+        assert!((th - 5.0).abs() < 1e-9);
+        // f = 1.5: threshold ≤ 2·bitrate.
+        let th = POLICY.threshold(40.0, 10.0, 1.5, false);
+        assert!((th - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_rule_inactive_above_two_free_chunks() {
+        let th = POLICY.threshold(40.0, 1.0, 2.5, false);
+        assert!((th - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emergency_rule_overrides_everything() {
+        let th = POLICY.threshold(40.0, 1.0, 0.0, true);
+        assert!(th.is_infinite());
+    }
+
+    #[test]
+    fn threshold_monotone_in_free_space() {
+        let mut last = 0.0;
+        for i in 0..20 {
+            let f = i as f64 * 0.1;
+            let th = POLICY.threshold(40.0, 10.0, f, false);
+            assert!(th >= last, "threshold decreased at f={f}");
+            last = th;
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Application substrates for the PCC Proteus reproduction.
+//!
+//! The paper's application-level experiments (§6.2.2, §6.3) need two
+//! workloads:
+//!
+//! * [`video`] — emulated DASH streaming: a synthetic 4K/1080P corpus, the
+//!   BOLA bitrate-adaptation algorithm, a playback buffer with rebuffer
+//!   accounting, and a [`video::VideoSession`] application
+//!   that drives a simulated flow and (for Proteus-H) retunes the §4.4
+//!   cross-layer switching threshold on every chunk request,
+//! * [`web`] — Poisson page-load workload with log-normal page weights
+//!   (the "Alexa top-30" substitute).
+//!
+//! [`crosslayer::ThresholdPolicy`] implements the §4.4 threshold rules on
+//! their own, so they can be unit-tested and reused outside video.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crosslayer;
+pub mod video;
+pub mod web;
+
+pub use crosslayer::ThresholdPolicy;
+pub use video::{VideoSession, VideoSpec, VideoStats, VideoStatsHandle};
+pub use web::{PageLoad, WebWorkload};

@@ -1,0 +1,118 @@
+//! BOLA bitrate adaptation (Spiteri, Urgaonkar, Sitaraman — INFOCOM 2016).
+//!
+//! The paper's video experiments run "a BOLA agent that takes a DASH video
+//! definition as input". BOLA-BASIC selects, for buffer level `Q` (in
+//! chunks), the rung `m` maximizing
+//!
+//! ```text
+//! (V·(υ_m + γp) − Q) / S_m
+//! ```
+//!
+//! where `υ_m = ln(S_m / S_1)` is the rung's utility, `S_m` its chunk size,
+//! and `V`, `γp` are derived from the buffer capacity so that the top rung
+//! is picked when the buffer is nearly full and the bottom rung near empty.
+
+use crate::video::corpus::VideoSpec;
+
+/// BOLA-BASIC bitrate selector.
+#[derive(Debug, Clone)]
+pub struct Bola {
+    /// Per-rung utilities `ln(S_m/S_1)`.
+    utilities: Vec<f64>,
+    /// Control parameter V (chunks).
+    v: f64,
+    /// γp parameter.
+    gamma_p: f64,
+    /// When set, always pick the top rung (the Fig. 13 forced-max mode).
+    forced_max: bool,
+}
+
+impl Bola {
+    /// Builds a selector for a video and a buffer capacity expressed in
+    /// chunks.
+    pub fn new(video: &VideoSpec, buffer_capacity_chunks: f64) -> Self {
+        let s1 = video.min_bitrate().max(1e-9);
+        let utilities: Vec<f64> = video
+            .ladder
+            .iter()
+            .map(|r| (r.bitrate_mbps / s1).ln())
+            .collect();
+        // BOLA-BASIC parameterization (§IV of the BOLA paper): choose γp
+        // and V so the decision thresholds span the buffer.
+        let gamma_p = 5.0 / buffer_capacity_chunks.max(1.0);
+        let u_max = utilities.last().copied().unwrap_or(0.0);
+        let v = (buffer_capacity_chunks - 1.0).max(1.0) / (u_max + gamma_p * buffer_capacity_chunks);
+        Self {
+            utilities,
+            v,
+            gamma_p: gamma_p * buffer_capacity_chunks,
+            forced_max: false,
+        }
+    }
+
+    /// Forces the selector to always pick the highest rung (Fig. 13).
+    pub fn force_max(mut self) -> Self {
+        self.forced_max = true;
+        self
+    }
+
+    /// Picks a ladder index given the current buffer level in chunks.
+    pub fn select(&self, video: &VideoSpec, buffer_chunks: f64) -> usize {
+        if self.forced_max {
+            return video.ladder.len() - 1;
+        }
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (m, rep) in video.ladder.iter().enumerate() {
+            let score =
+                (self.v * (self.utilities[m] + self.gamma_p) - buffer_chunks) / rep.bitrate_mbps;
+            if score > best_score {
+                best_score = score;
+                best = m;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::corpus::corpus_4k;
+
+    #[test]
+    fn low_buffer_picks_low_bitrate() {
+        let v = &corpus_4k(1, 1)[0];
+        let bola = Bola::new(v, 4.0);
+        let rung = bola.select(v, 0.0);
+        assert_eq!(rung, 0, "empty buffer must pick the safest rung");
+    }
+
+    #[test]
+    fn full_buffer_picks_top_bitrate() {
+        let v = &corpus_4k(1, 1)[0];
+        let bola = Bola::new(v, 4.0);
+        let rung = bola.select(v, 3.9);
+        assert_eq!(rung, v.ladder.len() - 1);
+    }
+
+    #[test]
+    fn selection_is_monotone_in_buffer() {
+        let v = &corpus_4k(1, 1)[0];
+        let bola = Bola::new(v, 4.0);
+        let mut last = 0;
+        for i in 0..=40 {
+            let q = i as f64 * 0.1;
+            let rung = bola.select(v, q);
+            assert!(rung >= last, "rung decreased at Q={q}: {last} -> {rung}");
+            last = rung;
+        }
+    }
+
+    #[test]
+    fn forced_max_ignores_buffer() {
+        let v = &corpus_4k(1, 1)[0];
+        let bola = Bola::new(v, 4.0).force_max();
+        assert_eq!(bola.select(v, 0.0), v.ladder.len() - 1);
+    }
+}

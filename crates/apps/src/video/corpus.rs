@@ -1,0 +1,161 @@
+//! Synthetic DASH video corpus.
+//!
+//! §6.3 of the paper: "we generate a corpus of 10 4K and 10 1080P videos,
+//! all composed of 3-second chunks and at least 3 minutes long, with highest
+//! bitrates of above 40 Mbps and 10 Mbps, respectively." This module builds
+//! equivalent video definitions deterministically from a seed: a bitrate
+//! ladder per video plus per-chunk size variability (real encoders produce
+//! ±10–20 % chunk-size jitter around the nominal bitrate).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt as _, SeedableRng};
+
+use proteus_transport::Dur;
+
+/// One encoded representation (rung of the bitrate ladder).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Representation {
+    /// Nominal bitrate, Mbit/sec.
+    pub bitrate_mbps: f64,
+}
+
+/// A DASH video: a bitrate ladder over fixed-duration chunks.
+#[derive(Debug, Clone)]
+pub struct VideoSpec {
+    /// Display name (e.g. `"4k-3"`).
+    pub name: String,
+    /// Chunk duration (paper: 3 s).
+    pub chunk_duration: Dur,
+    /// Ladder, ascending bitrate.
+    pub ladder: Vec<Representation>,
+    /// Number of chunks (≥ 3 minutes at 3 s/chunk → ≥ 60).
+    pub chunks: usize,
+    /// Per-chunk size multipliers (encoder variability), one per chunk.
+    size_jitter: Vec<f64>,
+}
+
+impl VideoSpec {
+    /// Highest bitrate in the ladder, Mbps.
+    pub fn max_bitrate(&self) -> f64 {
+        self.ladder.last().map(|r| r.bitrate_mbps).unwrap_or(0.0)
+    }
+
+    /// Lowest bitrate in the ladder, Mbps.
+    pub fn min_bitrate(&self) -> f64 {
+        self.ladder.first().map(|r| r.bitrate_mbps).unwrap_or(0.0)
+    }
+
+    /// Size in bytes of chunk `idx` at ladder index `rung`.
+    pub fn chunk_bytes(&self, idx: usize, rung: usize) -> u64 {
+        let bitrate = self.ladder[rung].bitrate_mbps;
+        let jitter = self.size_jitter[idx % self.size_jitter.len().max(1)];
+        let secs = self.chunk_duration.as_secs_f64();
+        (bitrate * 1e6 / 8.0 * secs * jitter).round() as u64
+    }
+
+    /// Total play time.
+    pub fn duration(&self) -> Dur {
+        Dur::from_nanos(self.chunk_duration.as_nanos() * self.chunks as u64)
+    }
+}
+
+fn build(name: String, top_mbps: f64, chunks: usize, rng: &mut SmallRng) -> VideoSpec {
+    // A ladder descending by ~×0.55 from the top rung, six rungs deep —
+    // the shape of typical ABR ladders.
+    let mut rates = Vec::new();
+    let mut r = top_mbps;
+    for _ in 0..6 {
+        rates.push(r);
+        r *= 0.55;
+    }
+    rates.reverse();
+    let ladder = rates
+        .into_iter()
+        .map(|bitrate_mbps| Representation { bitrate_mbps })
+        .collect();
+    let size_jitter = (0..chunks)
+        .map(|_| 1.0 + (rng.random::<f64>() - 0.5) * 0.2)
+        .collect();
+    VideoSpec {
+        name,
+        chunk_duration: Dur::from_secs(3),
+        ladder,
+        chunks,
+        size_jitter,
+    }
+}
+
+/// Generates `n` 4K videos (top bitrate 40–50 Mbps, ≥ 3 minutes).
+pub fn corpus_4k(n: usize, seed: u64) -> Vec<VideoSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4B00);
+    (0..n)
+        .map(|i| {
+            let top = 40.0 + rng.random::<f64>() * 10.0;
+            let chunks = 60 + (rng.random::<f64>() * 20.0) as usize;
+            build(format!("4k-{i}"), top, chunks, &mut rng)
+        })
+        .collect()
+}
+
+/// Generates `n` 1080P videos (top bitrate 10–12 Mbps, ≥ 3 minutes).
+pub fn corpus_1080p(n: usize, seed: u64) -> Vec<VideoSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1080);
+    (0..n)
+        .map(|i| {
+            let top = 10.0 + rng.random::<f64>() * 2.0;
+            let chunks = 60 + (rng.random::<f64>() * 20.0) as usize;
+            build(format!("1080p-{i}"), top, chunks, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_paper_envelope() {
+        let v4k = corpus_4k(10, 1);
+        assert_eq!(v4k.len(), 10);
+        for v in &v4k {
+            assert!(v.max_bitrate() > 40.0, "{}: {}", v.name, v.max_bitrate());
+            assert!(v.duration() >= Dur::from_secs(180));
+            assert_eq!(v.chunk_duration, Dur::from_secs(3));
+        }
+        let v1080 = corpus_1080p(10, 1);
+        for v in &v1080 {
+            assert!(v.max_bitrate() >= 10.0);
+            assert!(v.max_bitrate() < 13.0);
+        }
+    }
+
+    #[test]
+    fn ladder_is_ascending() {
+        for v in corpus_4k(3, 7) {
+            for w in v.ladder.windows(2) {
+                assert!(w[0].bitrate_mbps < w[1].bitrate_mbps);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bytes_scale_with_bitrate() {
+        let v = &corpus_4k(1, 3)[0];
+        let low = v.chunk_bytes(0, 0);
+        let high = v.chunk_bytes(0, v.ladder.len() - 1);
+        assert!(high > 5 * low);
+        // Nominal size: bitrate × 3 s within jitter bounds.
+        let nominal = v.max_bitrate() * 1e6 / 8.0 * 3.0;
+        assert!((high as f64) > nominal * 0.85 && (high as f64) < nominal * 1.15);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = corpus_4k(5, 42);
+        let b = corpus_4k(5, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.chunks, y.chunks);
+            assert_eq!(x.chunk_bytes(7, 2), y.chunk_bytes(7, 2));
+        }
+    }
+}

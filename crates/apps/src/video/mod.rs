@@ -1,0 +1,11 @@
+//! DASH adaptive video streaming substrate (BOLA + playback + corpus).
+
+pub mod bola;
+pub mod corpus;
+pub mod playback;
+pub mod session;
+
+pub use bola::Bola;
+pub use corpus::{corpus_1080p, corpus_4k, Representation, VideoSpec};
+pub use playback::Playback;
+pub use session::{VideoSession, VideoStats, VideoStatsHandle};

@@ -1,0 +1,248 @@
+//! Client-side playback buffer emulation.
+//!
+//! The paper's §6 evaluation runs "emulated video streaming on top of our
+//! UDP implementation": the receiver consumes received bytes to maintain an
+//! emulated playback buffer. This module is that buffer — it holds seconds
+//! of decoded video, drains in real time while playing, stalls at zero
+//! (rebuffering) and resumes once enough content is buffered again.
+
+use proteus_transport::{Dur, Time};
+
+/// Emulated playback buffer and stall accounting.
+#[derive(Debug, Clone)]
+pub struct Playback {
+    /// Media currently buffered.
+    level: Dur,
+    /// Buffer capacity (the client stops requesting above this).
+    capacity: Dur,
+    /// Media needed before (re)starting playback.
+    startup_threshold: Dur,
+    /// Whether the video is currently playing (false = startup or stall).
+    playing: bool,
+    /// Last time `sync` advanced the model.
+    last_sync: Option<Time>,
+    /// Accumulated playing time.
+    played: Dur,
+    /// Accumulated stall (startup excluded) time.
+    stalled: Dur,
+    /// Number of distinct rebuffering events (after startup).
+    stall_events: u64,
+    /// Whether playback has started at least once.
+    started: bool,
+    /// Total media pushed.
+    pushed: Dur,
+    /// Whether the source has no more chunks (drain to the end).
+    finished_feeding: bool,
+}
+
+impl Playback {
+    /// Creates a buffer with the given capacity and startup threshold.
+    pub fn new(capacity: Dur, startup_threshold: Dur) -> Self {
+        assert!(startup_threshold <= capacity);
+        Self {
+            level: Dur::ZERO,
+            capacity,
+            startup_threshold,
+            playing: false,
+            last_sync: None,
+            played: Dur::ZERO,
+            stalled: Dur::ZERO,
+            stall_events: 0,
+            started: false,
+            pushed: Dur::ZERO,
+            finished_feeding: false,
+        }
+    }
+
+    /// Advances the playback model to `now`.
+    pub fn sync(&mut self, now: Time) {
+        let last = match self.last_sync {
+            None => {
+                self.last_sync = Some(now);
+                return;
+            }
+            Some(t) => t,
+        };
+        if now <= last {
+            return;
+        }
+        let mut dt = now.since(last);
+        self.last_sync = Some(now);
+        if self.playing {
+            if dt < self.level {
+                self.level -= dt;
+                self.played += dt;
+            } else {
+                // Drained mid-interval: play what's left, then stall.
+                self.played += self.level;
+                dt -= self.level;
+                self.level = Dur::ZERO;
+                if self.pushed_everything_played() {
+                    self.playing = false; // normal end of stream
+                } else {
+                    self.playing = false;
+                    self.stall_events += 1;
+                    self.stalled += dt;
+                }
+            }
+        } else if self.started && !self.pushed_everything_played() {
+            self.stalled += dt;
+        }
+    }
+
+    fn pushed_everything_played(&self) -> bool {
+        self.finished_feeding && self.level.is_zero()
+    }
+
+    /// Adds one downloaded chunk of media.
+    pub fn push_chunk(&mut self, now: Time, duration: Dur) {
+        self.sync(now);
+        self.level += duration;
+        self.pushed += duration;
+        if !self.playing && self.level >= self.startup_threshold {
+            self.playing = true;
+            self.started = true;
+        }
+    }
+
+    /// Marks the source exhausted (no more chunks will arrive).
+    pub fn finish_feeding(&mut self) {
+        self.finished_feeding = true;
+    }
+
+    /// Seconds of media currently buffered.
+    pub fn level(&self) -> Dur {
+        self.level
+    }
+
+    /// Free space, media seconds.
+    pub fn free(&self) -> Dur {
+        self.capacity - self.level
+    }
+
+    /// Free space in chunk units of the given chunk duration (the paper's
+    /// `f`, possibly fractional).
+    pub fn free_chunks(&self, chunk: Dur) -> f64 {
+        self.free().as_secs_f64() / chunk.as_secs_f64()
+    }
+
+    /// Whether a whole chunk currently fits.
+    pub fn has_space_for(&self, chunk: Dur) -> bool {
+        self.level + chunk <= self.capacity
+    }
+
+    /// Whether the client is stalled (started but not playing, content
+    /// pending).
+    pub fn is_rebuffering(&self) -> bool {
+        self.started && !self.playing && !self.pushed_everything_played()
+    }
+
+    /// Whether playback is running.
+    pub fn is_playing(&self) -> bool {
+        self.playing
+    }
+
+    /// Total played time.
+    pub fn played(&self) -> Dur {
+        self.played
+    }
+
+    /// Total stalled (rebuffering) time.
+    pub fn stalled(&self) -> Dur {
+        self.stalled
+    }
+
+    /// Number of rebuffering events.
+    pub fn stall_events(&self) -> u64 {
+        self.stall_events
+    }
+
+    /// Rebuffer ratio: `stalled / (played + stalled)`; 0 before playback.
+    pub fn rebuffer_ratio(&self) -> f64 {
+        let denom = self.played + self.stalled;
+        if denom.is_zero() {
+            0.0
+        } else {
+            self.stalled.as_secs_f64() / denom.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf() -> Playback {
+        Playback::new(Dur::from_secs(12), Dur::from_secs(3))
+    }
+
+    #[test]
+    fn startup_waits_for_threshold() {
+        let mut b = buf();
+        b.sync(Time::ZERO);
+        assert!(!b.is_playing());
+        b.push_chunk(Time::from_secs_f64(1.0), Dur::from_secs(3));
+        assert!(b.is_playing());
+        assert!(b.started);
+    }
+
+    #[test]
+    fn playback_drains_in_real_time() {
+        let mut b = buf();
+        b.push_chunk(Time::ZERO, Dur::from_secs(3));
+        b.sync(Time::from_secs_f64(2.0));
+        assert_eq!(b.level(), Dur::from_secs(1));
+        assert_eq!(b.played(), Dur::from_secs(2));
+    }
+
+    #[test]
+    fn stall_is_counted_after_drain() {
+        let mut b = buf();
+        b.push_chunk(Time::ZERO, Dur::from_secs(3));
+        // 5 s later the 3 s of media are gone: 2 s of stall.
+        b.sync(Time::from_secs_f64(5.0));
+        assert!(b.is_rebuffering());
+        assert_eq!(b.stalled(), Dur::from_secs(2));
+        assert_eq!(b.stall_events(), 1);
+        // Stall continues until a chunk arrives and threshold is met.
+        b.push_chunk(Time::from_secs_f64(6.0), Dur::from_secs(3));
+        assert!(b.is_playing());
+        assert_eq!(b.stalled(), Dur::from_secs(3));
+        let ratio = b.rebuffer_ratio();
+        assert!((ratio - 3.0 / 6.0).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn free_space_accounting() {
+        let mut b = buf();
+        b.push_chunk(Time::ZERO, Dur::from_secs(3));
+        b.push_chunk(Time::ZERO, Dur::from_secs(3));
+        assert_eq!(b.free(), Dur::from_secs(6));
+        assert!((b.free_chunks(Dur::from_secs(3)) - 2.0).abs() < 1e-9);
+        assert!(b.has_space_for(Dur::from_secs(3)));
+        b.push_chunk(Time::ZERO, Dur::from_secs(3));
+        b.push_chunk(Time::ZERO, Dur::from_secs(3));
+        assert!(!b.has_space_for(Dur::from_secs(3)));
+    }
+
+    #[test]
+    fn end_of_stream_is_not_a_stall() {
+        let mut b = buf();
+        b.push_chunk(Time::ZERO, Dur::from_secs(3));
+        b.finish_feeding();
+        b.sync(Time::from_secs_f64(10.0));
+        assert!(!b.is_rebuffering());
+        assert_eq!(b.stalled(), Dur::ZERO);
+        assert_eq!(b.played(), Dur::from_secs(3));
+        assert_eq!(b.rebuffer_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pre_start_wait_is_not_rebuffering() {
+        let mut b = buf();
+        b.sync(Time::ZERO);
+        b.sync(Time::from_secs_f64(5.0));
+        assert_eq!(b.stalled(), Dur::ZERO);
+        assert!(!b.is_rebuffering());
+    }
+}

@@ -1,0 +1,383 @@
+//! A DASH streaming session as a sender-side [`Application`].
+//!
+//! Mirrors the paper's emulated setup (§6): the receiver-side BOLA agent
+//! requests chunks whenever the playback buffer has room, consumes received
+//! bytes into the buffer, pauses the sender when the buffer is full, and —
+//! when the transport runs Proteus-H — recomputes the switching threshold on
+//! every chunk request per the §4.4 cross-layer rules (plus the emergency
+//! rule while rebuffering). The side channel of the paper is the shared
+//! threshold cell ([`SharedThreshold`]).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proteus_core::SharedThreshold;
+use proteus_transport::{Application, Dur, Time};
+
+use crate::crosslayer::ThresholdPolicy;
+use crate::video::bola::Bola;
+use crate::video::corpus::VideoSpec;
+use crate::video::playback::Playback;
+
+/// Per-session results, shared out of the simulation via
+/// [`VideoSession::stats_handle`].
+#[derive(Debug, Clone, Default)]
+pub struct VideoStats {
+    /// Requested bitrate (Mbps) of every completed chunk.
+    pub chunk_bitrates: Vec<f64>,
+    /// Rebuffer ratio so far.
+    pub rebuffer_ratio: f64,
+    /// Stall events so far.
+    pub stall_events: u64,
+    /// Seconds played.
+    pub played_s: f64,
+    /// Seconds stalled.
+    pub stalled_s: f64,
+    /// Whether every chunk was delivered.
+    pub finished: bool,
+}
+
+impl VideoStats {
+    /// Mean requested chunk bitrate, Mbps.
+    pub fn avg_bitrate(&self) -> f64 {
+        if self.chunk_bitrates.is_empty() {
+            0.0
+        } else {
+            self.chunk_bitrates.iter().sum::<f64>() / self.chunk_bitrates.len() as f64
+        }
+    }
+}
+
+/// Shared handle to a session's stats.
+pub type VideoStatsHandle = Rc<RefCell<VideoStats>>;
+
+#[derive(Debug)]
+struct CurrentChunk {
+    rung: usize,
+    /// Fresh bytes the transport may still read.
+    to_transmit: u64,
+    /// Bytes not yet delivered end-to-end.
+    to_deliver: u64,
+}
+
+/// A DASH client session driving one flow.
+pub struct VideoSession {
+    spec: VideoSpec,
+    bola: Bola,
+    playback: Playback,
+    policy: ThresholdPolicy,
+    /// The Proteus-H cross-layer cell, when the transport is hybrid.
+    threshold: Option<SharedThreshold>,
+    next_chunk: usize,
+    current: Option<CurrentChunk>,
+    stats: VideoStatsHandle,
+    /// Periodic wakeup cadence for playback/threshold upkeep.
+    tick: Dur,
+    last_wake: Time,
+}
+
+/// Playback-buffer capacity in chunks (30 s of 3-second chunks, in line
+/// with dash.js' default buffer target).
+const BUFFER_CHUNKS: f64 = 10.0;
+/// Chunks needed before (re)starting playback.
+const STARTUP_CHUNKS: u64 = 2;
+
+impl VideoSession {
+    /// Creates a session for `spec`. Pass a [`SharedThreshold`] (also given
+    /// to a Proteus-H sender) to enable the §4.4 cross-layer policy.
+    pub fn new(spec: VideoSpec, threshold: Option<SharedThreshold>) -> Self {
+        let chunk = spec.chunk_duration;
+        let capacity = Dur::from_nanos(chunk.as_nanos() * BUFFER_CHUNKS as u64);
+        let startup = Dur::from_nanos(chunk.as_nanos() * STARTUP_CHUNKS);
+        let bola = Bola::new(&spec, BUFFER_CHUNKS);
+        Self {
+            bola,
+            playback: Playback::new(capacity, startup),
+            policy: ThresholdPolicy::default(),
+            threshold,
+            next_chunk: 0,
+            current: None,
+            stats: Rc::new(RefCell::new(VideoStats::default())),
+            tick: Dur::from_millis(100),
+            last_wake: Time::ZERO,
+            spec,
+        }
+    }
+
+    /// Forces the ABR to the top rung (the Fig. 13 stress test).
+    pub fn with_forced_max_bitrate(mut self) -> Self {
+        self.bola = self.bola.force_max();
+        self
+    }
+
+    /// Handle for reading results after the simulation.
+    pub fn stats_handle(&self) -> VideoStatsHandle {
+        self.stats.clone()
+    }
+
+    fn buffer_level_chunks(&self) -> f64 {
+        self.playback.level().as_secs_f64() / self.spec.chunk_duration.as_secs_f64()
+    }
+
+    fn current_bitrate(&self) -> f64 {
+        match &self.current {
+            Some(c) => self.spec.ladder[c.rung].bitrate_mbps,
+            None => self
+                .stats
+                .borrow()
+                .chunk_bitrates
+                .last()
+                .copied()
+                .unwrap_or(self.spec.min_bitrate()),
+        }
+    }
+
+    fn update_threshold(&self) {
+        let Some(th) = &self.threshold else {
+            return;
+        };
+        let value = self.policy.threshold(
+            self.spec.max_bitrate(),
+            self.current_bitrate(),
+            self.playback.free_chunks(self.spec.chunk_duration),
+            self.playback.is_rebuffering(),
+        );
+        th.set(value);
+    }
+
+    fn maybe_request(&mut self, now: Time) {
+        if self.current.is_some() || self.next_chunk >= self.spec.chunks {
+            return;
+        }
+        if !self.playback.has_space_for(self.spec.chunk_duration) {
+            return;
+        }
+        let rung = self.bola.select(&self.spec, self.buffer_level_chunks());
+        let bytes = self.spec.chunk_bytes(self.next_chunk, rung);
+        self.current = Some(CurrentChunk {
+            rung,
+            to_transmit: bytes,
+            to_deliver: bytes,
+        });
+        self.next_chunk += 1;
+        let _ = now;
+        self.update_threshold();
+    }
+
+    fn refresh_stats(&self) {
+        let mut s = self.stats.borrow_mut();
+        s.rebuffer_ratio = self.playback.rebuffer_ratio();
+        s.stall_events = self.playback.stall_events();
+        s.played_s = self.playback.played().as_secs_f64();
+        s.stalled_s = self.playback.stalled().as_secs_f64();
+        s.finished = self.next_chunk >= self.spec.chunks && self.current.is_none();
+    }
+}
+
+impl Application for VideoSession {
+    fn bytes_to_send(&mut self, now: Time) -> u64 {
+        self.playback.sync(now);
+        self.maybe_request(now);
+        self.current.as_ref().map(|c| c.to_transmit).unwrap_or(0)
+    }
+
+    fn consume(&mut self, bytes: u64) {
+        if let Some(c) = &mut self.current {
+            c.to_transmit = c.to_transmit.saturating_sub(bytes);
+        }
+    }
+
+    fn on_delivered(&mut self, now: Time, bytes: u64) {
+        self.playback.sync(now);
+        let mut completed = false;
+        if let Some(c) = &mut self.current {
+            c.to_deliver = c.to_deliver.saturating_sub(bytes);
+            if c.to_deliver == 0 {
+                completed = true;
+            }
+        }
+        if completed {
+            let c = self.current.take().expect("current chunk exists");
+            self.playback.push_chunk(now, self.spec.chunk_duration);
+            self.stats
+                .borrow_mut()
+                .chunk_bitrates
+                .push(self.spec.ladder[c.rung].bitrate_mbps);
+            if self.next_chunk >= self.spec.chunks {
+                self.playback.finish_feeding();
+            }
+            self.maybe_request(now);
+        }
+        self.update_threshold();
+        self.refresh_stats();
+    }
+
+    fn next_event(&self, _now: Time) -> Option<Time> {
+        if self.next_chunk >= self.spec.chunks && self.current.is_none() {
+            return None;
+        }
+        // A stable target (rather than `now + tick`) so the driver's wakeup
+        // dedup can avoid re-scheduling on every ACK.
+        Some(self.last_wake + self.tick)
+    }
+
+    fn on_wakeup(&mut self, now: Time) {
+        self.last_wake = now;
+        self.playback.sync(now);
+        self.maybe_request(now);
+        self.update_threshold();
+        self.refresh_stats();
+    }
+
+    fn finished(&self, _now: Time) -> bool {
+        // Keep the flow alive until every chunk has been delivered; the
+        // caller usually bounds the simulation by wall-clock instead.
+        self.next_chunk >= self.spec.chunks && self.current.is_none()
+    }
+}
+
+impl std::fmt::Debug for VideoSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VideoSession")
+            .field("video", &self.spec.name)
+            .field("next_chunk", &self.next_chunk)
+            .field("buffer_s", &self.playback.level().as_secs_f64())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::corpus::corpus_1080p;
+
+    fn session() -> VideoSession {
+        let spec = corpus_1080p(1, 5)[0].clone();
+        VideoSession::new(spec, None)
+    }
+
+    #[test]
+    fn first_request_uses_lowest_rung() {
+        let mut s = session();
+        let bytes = s.bytes_to_send(Time::ZERO);
+        assert!(bytes > 0);
+        let c = s.current.as_ref().unwrap();
+        assert_eq!(c.rung, 0, "cold start must be conservative");
+    }
+
+    #[test]
+    fn chunk_completion_feeds_playback_and_stats() {
+        let mut s = session();
+        let bytes = s.bytes_to_send(Time::ZERO);
+        s.consume(bytes);
+        s.on_delivered(Time::from_secs_f64(0.5), bytes);
+        assert!(s.playback.level() > Dur::ZERO);
+        assert_eq!(s.stats.borrow().chunk_bitrates.len(), 1);
+        // A new chunk is requested right away (buffer far from full).
+        assert!(s.current.is_some());
+    }
+
+    #[test]
+    fn pauses_when_buffer_full() {
+        let mut s = session();
+        let mut now = Time::ZERO;
+        // Deliver chunks instantly: buffer fills to capacity.
+        for _ in 0..12 {
+            let bytes = s.bytes_to_send(now);
+            if bytes == 0 {
+                break;
+            }
+            s.consume(bytes);
+            now = now + Dur::from_millis(1);
+            s.on_delivered(now, bytes);
+        }
+        assert_eq!(
+            s.bytes_to_send(now),
+            0,
+            "full buffer must pause the sender"
+        );
+        // After 3+ seconds of playback a slot frees up.
+        let later = now + Dur::from_secs(4);
+        assert!(s.bytes_to_send(later) > 0);
+    }
+
+    #[test]
+    fn threshold_policy_drives_shared_cell() {
+        let th = SharedThreshold::new(f64::INFINITY);
+        let spec = corpus_1080p(1, 5)[0].clone();
+        let max = spec.max_bitrate();
+        let mut s = VideoSession::new(spec, Some(th.clone()));
+        let bytes = s.bytes_to_send(Time::ZERO);
+        // Plenty of buffer space: sufficient-rate rule only.
+        assert!((th.get() - 1.5 * max).abs() < 1e-9, "threshold = {}", th.get());
+        // Fill the buffer: the buffer-limit rule caps the threshold low.
+        s.consume(bytes);
+        let mut now = Time::from_millis(1);
+        s.on_delivered(now, bytes);
+        for _ in 0..12 {
+            let b = s.bytes_to_send(now);
+            if b == 0 {
+                break;
+            }
+            s.consume(b);
+            now = now + Dur::from_millis(1);
+            s.on_delivered(now, b);
+        }
+        assert!(
+            th.get() < max,
+            "near-full buffer should cap the threshold: {}",
+            th.get()
+        );
+    }
+
+    #[test]
+    fn emergency_rule_on_stall() {
+        let th = SharedThreshold::new(f64::INFINITY);
+        let spec = corpus_1080p(1, 5)[0].clone();
+        let mut s = VideoSession::new(spec, Some(th.clone()));
+        // Deliver two chunks (the startup threshold), let them play out
+        // and stall.
+        for ms in [100, 200] {
+            let bytes = s.bytes_to_send(Time::from_millis(ms - 1));
+            s.consume(bytes);
+            s.on_delivered(Time::from_millis(ms), bytes);
+        }
+        s.on_wakeup(Time::from_secs_f64(10.0)); // 6 s of media long gone
+        assert!(s.playback.is_rebuffering());
+        assert!(th.get().is_infinite(), "emergency rule should fire");
+    }
+
+    #[test]
+    fn session_finishes_after_all_chunks() {
+        let spec = corpus_1080p(1, 5)[0].clone();
+        let total = spec.chunks;
+        let mut s = VideoSession::new(spec, None);
+        let mut now = Time::ZERO;
+        let mut delivered_chunks = 0;
+        while delivered_chunks < total {
+            let b = s.bytes_to_send(now);
+            if b == 0 {
+                now = now + Dur::from_secs(1);
+                s.on_wakeup(now);
+                continue;
+            }
+            s.consume(b);
+            now = now + Dur::from_millis(50);
+            s.on_delivered(now, b);
+            delivered_chunks += 1;
+        }
+        assert!(s.finished(now));
+        let stats = s.stats_handle();
+        assert_eq!(stats.borrow().chunk_bitrates.len(), total);
+        assert!(stats.borrow().finished);
+    }
+
+    #[test]
+    fn forced_max_requests_top_rung() {
+        let spec = corpus_1080p(1, 5)[0].clone();
+        let rungs = spec.ladder.len();
+        let mut s = VideoSession::new(spec, None).with_forced_max_bitrate();
+        let _ = s.bytes_to_send(Time::ZERO);
+        assert_eq!(s.current.as_ref().unwrap().rung, rungs - 1);
+    }
+}

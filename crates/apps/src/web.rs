@@ -1,0 +1,128 @@
+//! Web page-load workload (Fig. 11b).
+//!
+//! The paper loads "the top 30 sites in United States from Alexa.com in a
+//! 10-minute run, with a Poisson rate of 1 request per 10 seconds" and
+//! measures page-load time with and without a background scavenger. We
+//! model each page as one reliable transfer whose size is drawn from a
+//! log-normal fit of popular-page weights (median ≈ 2 MB, heavy upper
+//! tail), arriving by a Poisson process.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt as _, SeedableRng};
+
+use proteus_transport::Dur;
+
+/// One page load: arrival time and transfer size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageLoad {
+    /// When the request starts, relative to the run.
+    pub start: Dur,
+    /// Page weight, bytes.
+    pub bytes: u64,
+}
+
+/// Parameters of the page-load generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WebWorkload {
+    /// Mean requests per second (paper: 0.1).
+    pub arrivals_per_sec: f64,
+    /// Run length.
+    pub duration: Dur,
+    /// Log-normal μ of page bytes (default ln(2 MB)).
+    pub log_mu: f64,
+    /// Log-normal σ (default 0.7).
+    pub log_sigma: f64,
+}
+
+impl Default for WebWorkload {
+    fn default() -> Self {
+        Self {
+            arrivals_per_sec: 0.1,
+            duration: Dur::from_secs(600),
+            log_mu: (2.0e6_f64).ln(),
+            log_sigma: 0.7,
+        }
+    }
+}
+
+impl WebWorkload {
+    /// Samples the page-load schedule deterministically from a seed.
+    pub fn generate(&self, seed: u64) -> Vec<PageLoad> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x3EB);
+        let mut t = 0.0_f64;
+        let mut loads = Vec::new();
+        let horizon = self.duration.as_secs_f64();
+        loop {
+            let u: f64 = rng.random();
+            t += -(1.0 - u).ln() / self.arrivals_per_sec;
+            if t >= horizon {
+                break;
+            }
+            // Log-normal page weight via Box–Muller.
+            let u1: f64 = 1.0 - rng.random::<f64>();
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let bytes = (self.log_mu + self.log_sigma * z).exp();
+            loads.push(PageLoad {
+                start: Dur::from_secs_f64(t),
+                bytes: bytes.clamp(50_000.0, 50_000_000.0) as u64,
+            });
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_rate_matches() {
+        let w = WebWorkload {
+            arrivals_per_sec: 1.0,
+            duration: Dur::from_secs(2_000),
+            ..WebWorkload::default()
+        };
+        let loads = w.generate(1);
+        let n = loads.len() as f64;
+        assert!((n - 2_000.0).abs() < 150.0, "n = {n}");
+        // Sorted in time.
+        assert!(loads.windows(2).all(|p| p[0].start <= p[1].start));
+    }
+
+    #[test]
+    fn sizes_have_sane_median_and_tail() {
+        let w = WebWorkload::default();
+        let mut sizes: Vec<u64> = (0..40)
+            .flat_map(|s| w.generate(s))
+            .map(|p| p.bytes)
+            .collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2] as f64;
+        assert!(
+            (1.2e6..3.2e6).contains(&median),
+            "median page = {median}"
+        );
+        let p95 = sizes[sizes.len() * 95 / 100] as f64;
+        assert!(p95 > 4.0e6, "p95 = {p95}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = WebWorkload::default();
+        assert_eq!(w.generate(9), w.generate(9));
+        assert_ne!(w.generate(9), w.generate(10));
+    }
+
+    #[test]
+    fn respects_duration() {
+        let w = WebWorkload {
+            duration: Dur::from_secs(60),
+            arrivals_per_sec: 0.5,
+            ..WebWorkload::default()
+        };
+        for p in w.generate(3) {
+            assert!(p.start < Dur::from_secs(60));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! End-to-end DASH streaming through the simulator: the §6.3 mechanics at
+//! test-sized horizons.
+
+use proteus_apps::video::{corpus_1080p, corpus_4k, VideoSession, VideoStatsHandle};
+use proteus_baselines::Cubic;
+use proteus_core::{ProteusSender, SharedThreshold};
+use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_transport::{Dur, Time};
+
+/// Builds a video flow; returns its stats handle.
+fn video_flow(
+    sc: &mut Scenario,
+    spec: proteus_apps::VideoSpec,
+    hybrid: bool,
+    seed: u64,
+    forced_max: bool,
+) -> VideoStatsHandle {
+    let threshold = hybrid.then(|| SharedThreshold::new(f64::INFINITY));
+    let mut session = VideoSession::new(spec.clone(), threshold.clone());
+    if forced_max {
+        session = session.with_forced_max_bitrate();
+    }
+    let stats = session.stats_handle();
+    let name = format!("video-{}", spec.name);
+    let th = threshold.clone();
+    let session_cell = std::cell::RefCell::new(Some(session));
+    let flow = FlowSpec {
+        name,
+        start: Dur::ZERO,
+        stop: None,
+        cc: Box::new(move || match th {
+            Some(t) => Box::new(ProteusSender::hybrid(seed, t)),
+            None => Box::new(ProteusSender::primary(seed)),
+        }),
+        app: Box::new(move || {
+            Box::new(session_cell.borrow_mut().take().expect("single use"))
+                as Box<dyn proteus_transport::Application>
+        }),
+        reliable: true,
+    };
+    sc.flows.push(flow);
+    stats
+}
+
+#[test]
+fn single_video_streams_smoothly_on_fat_link() {
+    // 50 Mbps for a ~11 Mbps 1080p top rung: BOLA should climb to the top
+    // rung and never stall.
+    let spec = corpus_1080p(1, 5)[0].clone();
+    let top = spec.max_bitrate();
+    let mut sc = Scenario::new(
+        LinkSpec::new(50.0, Dur::from_millis(30), 375_000),
+        Dur::from_secs(120),
+    )
+    .with_seed(11);
+    let stats = video_flow(&mut sc, spec, false, 1, false);
+    run(sc);
+    let s = stats.borrow();
+    assert!(s.chunk_bitrates.len() > 30, "chunks = {}", s.chunk_bitrates.len());
+    assert!(
+        s.rebuffer_ratio < 0.02,
+        "rebuffer ratio = {}",
+        s.rebuffer_ratio
+    );
+    // The tail of the session should sit at the top rung.
+    let tail: Vec<f64> = s.chunk_bitrates.iter().rev().take(10).copied().collect();
+    let tail_avg = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(tail_avg > 0.9 * top, "tail avg bitrate = {tail_avg} vs top {top}");
+}
+
+#[test]
+fn starved_video_downshifts_and_rebuffers() {
+    // 3 Mbps link cannot even sustain the second rung of a 1080p ladder:
+    // BOLA must sit near the bottom; forced-max must rebuffer heavily.
+    let spec = corpus_1080p(1, 5)[0].clone();
+    let bottom = spec.min_bitrate();
+    let mut sc = Scenario::new(
+        LinkSpec::new(3.0, Dur::from_millis(30), 100_000),
+        Dur::from_secs(120),
+    )
+    .with_seed(11);
+    let adaptive = video_flow(&mut sc, spec.clone(), false, 1, false);
+    run(sc);
+    let a = adaptive.borrow();
+    // BOLA must hold well below the top rung (it hovers around the rungs
+    // bracketing link capacity).
+    assert!(
+        a.avg_bitrate() < 3.2 && a.avg_bitrate() >= bottom,
+        "adaptive avg bitrate = {}",
+        a.avg_bitrate()
+    );
+    assert!(a.rebuffer_ratio < 0.25, "adaptive rebuffer = {}", a.rebuffer_ratio);
+
+    let mut sc = Scenario::new(
+        LinkSpec::new(3.0, Dur::from_millis(30), 100_000),
+        Dur::from_secs(120),
+    )
+    .with_seed(11);
+    let forced = video_flow(&mut sc, spec, false, 1, true);
+    run(sc);
+    let f = forced.borrow();
+    assert!(
+        f.rebuffer_ratio > 0.3,
+        "forced-max should stall on 3 Mbps: {}",
+        f.rebuffer_ratio
+    );
+    assert!(f.rebuffer_ratio > a.rebuffer_ratio);
+}
+
+#[test]
+fn background_scavenger_leaves_video_mostly_alone() {
+    // Fig. 11(a) mechanism: a background Proteus-S flow barely dents DASH.
+    let spec = corpus_1080p(1, 5)[0].clone();
+    let mk = |with_scav: bool| {
+        let mut sc = Scenario::new(
+            LinkSpec::new(20.0, Dur::from_millis(30), 150_000),
+            Dur::from_secs(120),
+        )
+        .with_seed(11);
+        let stats = video_flow(&mut sc, spec.clone(), false, 1, false);
+        if with_scav {
+            sc = sc.flow(FlowSpec::bulk("scav", Dur::ZERO, || {
+                Box::new(ProteusSender::scavenger(9))
+            }));
+        }
+        run(sc);
+        let avg = stats.borrow().avg_bitrate();
+        avg
+    };
+    let alone = mk(false);
+    let with_scav = mk(true);
+    assert!(
+        with_scav > 0.85 * alone,
+        "scavenger hurt video too much: {with_scav} vs {alone}"
+    );
+}
+
+#[test]
+fn background_cubic_hurts_video_more_than_scavenger() {
+    let spec = corpus_1080p(1, 5)[0].clone();
+    let mk = |bg: &'static str| {
+        let mut sc = Scenario::new(
+            LinkSpec::new(20.0, Dur::from_millis(30), 150_000),
+            Dur::from_secs(120),
+        )
+        .with_seed(11);
+        let stats = video_flow(&mut sc, spec.clone(), false, 1, false);
+        sc = sc.flow(FlowSpec::bulk("bg", Dur::ZERO, move || match bg {
+            "cubic" => Box::new(Cubic::new()),
+            _ => Box::new(ProteusSender::scavenger(9)),
+        }));
+        run(sc);
+        let avg = stats.borrow().avg_bitrate();
+        avg
+    };
+    let with_scav = mk("proteus-s");
+    let with_cubic = mk("cubic");
+    assert!(
+        with_scav > with_cubic,
+        "scavenger {with_scav} should beat CUBIC background {with_cubic}"
+    );
+}
+
+#[test]
+fn hybrid_mode_reduces_rebuffering_under_contention() {
+    // Fig. 12/13 mechanism: 1×4K + 3×1080P on a constrained link. With
+    // Proteus-P everyone fights for a fair share; with Proteus-H flows
+    // above their needs yield, cutting rebuffering.
+    let run_variant = |hybrid: bool| -> (f64, f64) {
+        let mut sc = Scenario::new(
+            LinkSpec::new(55.0, Dur::from_millis(30), 900_000),
+            Dur::from_secs(150),
+        )
+        .with_seed(11)
+        .with_rtt_stride(4);
+        let v4k = corpus_4k(1, 3)[0].clone();
+        let v1080 = corpus_1080p(3, 3);
+        let mut handles = Vec::new();
+        handles.push(video_flow(&mut sc, v4k, hybrid, 1, true));
+        for (i, v) in v1080.into_iter().enumerate() {
+            handles.push(video_flow(&mut sc, v, hybrid, 10 + i as u64, true));
+        }
+        run(sc);
+        let rebuffer_4k = handles[0].borrow().rebuffer_ratio;
+        let rebuffer_1080: f64 = handles[1..]
+            .iter()
+            .map(|h| h.borrow().rebuffer_ratio)
+            .sum::<f64>()
+            / 3.0;
+        (rebuffer_4k, rebuffer_1080)
+    };
+    let (p_4k, p_1080) = run_variant(false);
+    let (h_4k, h_1080) = run_variant(true);
+    // Hybrid should not be worse overall; the paper reports up to 68 %
+    // lower rebuffering in this band.
+    let p_total = p_4k + p_1080;
+    let h_total = h_4k + h_1080;
+    assert!(
+        h_total <= p_total + 0.02,
+        "hybrid rebuffering should not regress: P ({p_4k:.3}, {p_1080:.3}) vs H ({h_4k:.3}, {h_1080:.3})"
+    );
+}
+
+#[test]
+fn video_finishes_and_accounts_every_chunk() {
+    let spec = corpus_1080p(1, 9)[0].clone();
+    let total = spec.chunks;
+    let play_secs = spec.duration().as_secs_f64();
+    let mut sc = Scenario::new(
+        LinkSpec::new(50.0, Dur::from_millis(30), 375_000),
+        Dur::from_secs(play_secs as u64 + 60),
+    )
+    .with_seed(11);
+    let stats = video_flow(&mut sc, spec, false, 1, false);
+    let res = run(sc);
+    let s = stats.borrow();
+    assert!(s.finished, "video did not finish");
+    assert_eq!(s.chunk_bitrates.len(), total);
+    // The flow went quiet after the video ended.
+    assert!(res.flows[0].finished_at.is_some());
+    // Once the last chunk is delivered the flow goes idle, so the engine
+    // stops syncing the playback model: up to a buffer's worth (30 s) of
+    // media may still sit "unplayed" in the accounting.
+    let played = s.played_s;
+    assert!(
+        play_secs - played < 35.0 && played <= play_secs + 1.0,
+        "played {played} vs nominal {play_secs}"
+    );
+    let _ = Time::ZERO;
+}

@@ -1,0 +1,34 @@
+//! Baseline congestion controllers for the PCC Proteus reproduction.
+//!
+//! The paper evaluates Proteus against LEDBAT (the incumbent scavenger) and
+//! four primary protocols (CUBIC, BBR, COPA, PCC Vivace — the last lives in
+//! `proteus-core` since it shares the PCC rate-control machinery). This
+//! crate implements the baselines from their published specifications:
+//!
+//! * [`Cubic`] — RFC 8312 window growth, β = 0.7, fast convergence,
+//! * [`Reno`] — textbook AIMD (simulator sanity baseline),
+//! * [`Bbr`] — BBR v1 state machine, plus [`Bbr::scavenger`] for the
+//!   paper's §7.1 BBR-S variant,
+//! * [`Copa`] — default-mode COPA, δ = 0.5,
+//! * [`Ledbat`] — RFC 6817 with 100 ms target, plus [`Ledbat::draft25`]
+//!   for the Appendix-B 25 ms variant,
+//! * [`FixedRateProbe`] — the constant-rate UDP measurement flow of Fig. 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbr;
+pub mod copa;
+pub mod cubic;
+pub mod ledbat;
+pub mod probe;
+pub mod reno;
+pub mod vegas;
+
+pub use bbr::{Bbr, Mode as BbrMode, ScavengerMod};
+pub use copa::Copa;
+pub use cubic::Cubic;
+pub use ledbat::Ledbat;
+pub use probe::FixedRateProbe;
+pub use reno::Reno;
+pub use vegas::Vegas;

@@ -1,0 +1,66 @@
+//! Fixed-rate UDP probe.
+//!
+//! The Fig.-2 experiment measures RTT deviation and RTT gradient "observed
+//! by a fix-rate UDP flow at 20 Mbps" under Poisson CUBIC cross-traffic.
+//! This controller paces at a constant rate, never reacts to anything, and
+//! lets the harness read the RTT samples from the flow's metrics.
+
+use proteus_transport::{AckInfo, CongestionControl, LossInfo, Time};
+
+/// A constant-rate paced sender (UDP-like measurement probe).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedRateProbe {
+    rate_bytes_per_sec: f64,
+}
+
+impl FixedRateProbe {
+    /// Creates a probe pacing at the given rate in Mbit/sec.
+    pub fn mbps(rate_mbps: f64) -> Self {
+        assert!(rate_mbps > 0.0);
+        Self {
+            rate_bytes_per_sec: rate_mbps * 1e6 / 8.0,
+        }
+    }
+
+    /// Creates a probe pacing at the given rate in bytes/sec.
+    pub fn bytes_per_sec(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        Self {
+            rate_bytes_per_sec: rate,
+        }
+    }
+}
+
+impl CongestionControl for FixedRateProbe {
+    fn name(&self) -> &str {
+        "fixed-rate-probe"
+    }
+
+    fn on_ack(&mut self, _now: Time, _ack: &AckInfo) {}
+
+    fn on_loss(&mut self, _now: Time, _loss: &LossInfo) {}
+
+    fn pacing_rate(&self) -> Option<f64> {
+        Some(self.rate_bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_conversion() {
+        let p = FixedRateProbe::mbps(20.0);
+        assert_eq!(p.pacing_rate(), Some(2_500_000.0));
+        let q = FixedRateProbe::bytes_per_sec(1000.0);
+        assert_eq!(q.pacing_rate(), Some(1000.0));
+        assert_eq!(q.cwnd_bytes(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let _ = FixedRateProbe::mbps(0.0);
+    }
+}

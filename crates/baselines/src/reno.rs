@@ -1,0 +1,151 @@
+//! TCP Reno (AIMD) — a simple reference loss-based controller.
+//!
+//! Not evaluated in the paper directly, but useful as a sanity baseline for
+//! the simulator (its sawtooth and `cwnd ≈ BDP + buffer` behaviour are
+//! textbook) and for ablation comparisons against CUBIC.
+
+use proteus_transport::{
+    AckInfo, CongestionControl, LossInfo, RttEstimator, Time, DEFAULT_PACKET_BYTES,
+};
+
+const MIN_CWND_PKTS: f64 = 2.0;
+const INIT_CWND_PKTS: f64 = 10.0;
+
+/// TCP Reno congestion controller (slow start + AIMD, NewReno-style single
+/// reduction per congestion event).
+#[derive(Debug)]
+pub struct Reno {
+    mss: f64,
+    cwnd: f64,
+    ssthresh: f64,
+    rtt: RttEstimator,
+    recovery_until: Option<Time>,
+}
+
+impl Default for Reno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reno {
+    /// Creates a Reno controller.
+    pub fn new() -> Self {
+        Self {
+            mss: DEFAULT_PACKET_BYTES as f64,
+            cwnd: INIT_CWND_PKTS,
+            ssthresh: f64::INFINITY,
+            rtt: RttEstimator::new(),
+            recovery_until: None,
+        }
+    }
+
+    /// Current window, packets.
+    pub fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+}
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &str {
+        "Reno"
+    }
+
+    fn on_ack(&mut self, _now: Time, ack: &AckInfo) {
+        self.rtt.update(ack.rtt);
+        if let Some(until) = self.recovery_until {
+            if ack.sent_at < until {
+                return;
+            }
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, now: Time, loss: &LossInfo) {
+        if let Some(until) = self.recovery_until {
+            if loss.sent_at < until {
+                return;
+            }
+        }
+        self.recovery_until = Some(now);
+        self.cwnd = (self.cwnd / 2.0).max(MIN_CWND_PKTS);
+        self.ssthresh = self.cwnd;
+        if loss.by_timeout {
+            self.cwnd = MIN_CWND_PKTS;
+        }
+    }
+
+    fn pacing_rate(&self) -> Option<f64> {
+        None
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        (self.cwnd * self.mss) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_transport::Dur;
+
+    fn ack(seq: u64, now: Time) -> AckInfo {
+        AckInfo {
+            seq,
+            bytes: 1500,
+            sent_at: now - Dur::from_millis(30),
+            recv_at: now,
+            rtt: Dur::from_millis(30),
+            one_way_delay: Dur::from_millis(15),
+        }
+    }
+
+    #[test]
+    fn additive_increase_after_ssthresh() {
+        let mut r = Reno::new();
+        let now = Time::from_millis(100);
+        r.on_loss(
+            now,
+            &LossInfo {
+                seq: 0,
+                bytes: 1500,
+                sent_at: now - Dur::from_millis(30),
+                detected_at: now,
+                by_timeout: false,
+            },
+        );
+        let w = r.cwnd_pkts();
+        let later = now + Dur::from_secs(1);
+        let n = w.ceil() as u64;
+        for i in 0..n {
+            r.on_ack(later, &ack(i, later));
+        }
+        // One window of ACKs ≈ +1 packet.
+        assert!((r.cwnd_pkts() - (w + 1.0)).abs() < 0.2);
+    }
+
+    #[test]
+    fn halves_on_loss() {
+        let mut r = Reno::new();
+        let now = Time::from_millis(100);
+        for i in 0..30 {
+            r.on_ack(now, &ack(i, now));
+        }
+        let before = r.cwnd_pkts();
+        r.on_loss(
+            now,
+            &LossInfo {
+                seq: 31,
+                bytes: 1500,
+                sent_at: now - Dur::from_millis(1),
+                detected_at: now,
+                by_timeout: false,
+            },
+        );
+        assert!((r.cwnd_pkts() - before / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,234 @@
+//! TCP Vegas (Brakmo et al., 1994) — the classic delay-based AIMD.
+//!
+//! Cited in the paper's related work as an early delay-based design; useful
+//! here as an extra reference point between loss-based Reno and modern
+//! latency-aware protocols. Vegas compares expected (`cwnd/baseRTT`) and
+//! actual (`cwnd/RTT`) rates once per RTT: fewer than α packets of induced
+//! queueing → grow by one packet, more than β → shrink by one.
+
+use proteus_transport::{
+    AckInfo, CongestionControl, Dur, LossInfo, Time, DEFAULT_PACKET_BYTES,
+};
+
+/// Lower queueing bound, packets.
+const ALPHA: f64 = 2.0;
+/// Upper queueing bound, packets.
+const BETA: f64 = 4.0;
+/// Slow-start exit bound, packets.
+const GAMMA: f64 = 1.0;
+const MIN_CWND_PKTS: f64 = 2.0;
+const INIT_CWND_PKTS: f64 = 4.0;
+
+/// TCP Vegas congestion controller.
+#[derive(Debug)]
+pub struct Vegas {
+    mss: f64,
+    cwnd: f64,
+    base_rtt: Option<Dur>,
+    /// Smallest RTT seen in the current observation round.
+    round_min_rtt: Option<Dur>,
+    round_started: Option<Time>,
+    in_slow_start: bool,
+    recovery_until: Option<Time>,
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vegas {
+    /// Creates a Vegas controller.
+    pub fn new() -> Self {
+        Self {
+            mss: DEFAULT_PACKET_BYTES as f64,
+            cwnd: INIT_CWND_PKTS,
+            base_rtt: None,
+            round_min_rtt: None,
+            round_started: None,
+            in_slow_start: true,
+        recovery_until: None,
+        }
+    }
+
+    /// Window in packets (diagnostics).
+    pub fn cwnd_pkts(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Packets of self-induced queueing Vegas currently estimates.
+    fn diff_pkts(&self, rtt: Dur) -> Option<f64> {
+        let base = self.base_rtt?.as_secs_f64();
+        let cur = rtt.as_secs_f64();
+        if base <= 0.0 || cur <= 0.0 {
+            return None;
+        }
+        Some(self.cwnd * (cur - base) / cur)
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn name(&self) -> &str {
+        "Vegas"
+    }
+
+    fn on_ack(&mut self, now: Time, ack: &AckInfo) {
+        if self.base_rtt.map(|b| ack.rtt < b).unwrap_or(true) {
+            self.base_rtt = Some(ack.rtt);
+        }
+        if self.round_min_rtt.map(|m| ack.rtt < m).unwrap_or(true) {
+            self.round_min_rtt = Some(ack.rtt);
+        }
+        let started = *self.round_started.get_or_insert(now);
+        let round_len = self.round_min_rtt.unwrap_or(ack.rtt);
+        if now.since(started) < round_len {
+            return; // decisions once per RTT
+        }
+        let rtt = self.round_min_rtt.take().unwrap_or(ack.rtt);
+        self.round_started = Some(now);
+        let Some(diff) = self.diff_pkts(rtt) else {
+            return;
+        };
+        if self.in_slow_start {
+            if diff > GAMMA {
+                self.in_slow_start = false;
+                self.cwnd = (self.cwnd - 1.0).max(MIN_CWND_PKTS);
+            } else {
+                self.cwnd *= 2.0; // double once per RTT
+            }
+            return;
+        }
+        if diff < ALPHA {
+            self.cwnd += 1.0;
+        } else if diff > BETA {
+            self.cwnd = (self.cwnd - 1.0).max(MIN_CWND_PKTS);
+        }
+    }
+
+    fn on_loss(&mut self, now: Time, loss: &LossInfo) {
+        if let Some(until) = self.recovery_until {
+            if loss.sent_at < until {
+                return;
+            }
+        }
+        self.recovery_until = Some(now);
+        self.in_slow_start = false;
+        self.cwnd = (self.cwnd * 0.75).max(MIN_CWND_PKTS);
+        if loss.by_timeout {
+            self.cwnd = MIN_CWND_PKTS;
+        }
+    }
+
+    fn pacing_rate(&self) -> Option<f64> {
+        None
+    }
+
+    fn cwnd_bytes(&self) -> u64 {
+        (self.cwnd * self.mss) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(seq: u64, now: Time, rtt_ms: u64) -> AckInfo {
+        AckInfo {
+            seq,
+            bytes: 1500,
+            sent_at: now - Dur::from_millis(rtt_ms),
+            recv_at: now,
+            rtt: Dur::from_millis(rtt_ms),
+            one_way_delay: Dur::from_millis(rtt_ms / 2),
+        }
+    }
+
+    /// Feeds one ACK per `gap_ms` over `steps` decisions.
+    fn drive(v: &mut Vegas, start_ms: u64, steps: u64, rtt_ms: u64) {
+        let mut now = Time::from_millis(start_ms);
+        for i in 0..steps {
+            v.on_ack(now, &ack(i, now, rtt_ms));
+            now = now + Dur::from_millis(rtt_ms + 1);
+        }
+    }
+
+    #[test]
+    fn doubles_in_slow_start_without_queueing() {
+        let mut v = Vegas::new();
+        let w0 = v.cwnd_pkts();
+        // Constant base RTT: no queueing detected, keep doubling.
+        drive(&mut v, 100, 4, 30);
+        assert!(v.cwnd_pkts() >= w0 * 4.0, "{} -> {}", w0, v.cwnd_pkts());
+        assert!(v.in_slow_start);
+    }
+
+    #[test]
+    fn exits_slow_start_when_queue_builds() {
+        let mut v = Vegas::new();
+        // Establish base RTT = 30 ms, then persistent 50 ms (queueing).
+        drive(&mut v, 100, 2, 30);
+        drive(&mut v, 10_000, 3, 50);
+        assert!(!v.in_slow_start);
+    }
+
+    #[test]
+    fn holds_within_alpha_beta_band() {
+        let mut v = Vegas::new();
+        drive(&mut v, 100, 2, 30);
+        drive(&mut v, 10_000, 3, 60); // leave slow start
+        v.cwnd = 10.0;
+        // diff = cwnd·(rtt-base)/rtt; choose rtt so diff ∈ (α, β):
+        // 10·(40-30)/40 = 2.5.
+        let before = v.cwnd_pkts();
+        drive(&mut v, 20_000, 4, 40);
+        assert!((v.cwnd_pkts() - before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shrinks_above_beta_grows_below_alpha() {
+        let mut v = Vegas::new();
+        drive(&mut v, 100, 2, 30);
+        drive(&mut v, 10_000, 3, 60);
+        v.cwnd = 30.0;
+        // diff = 30·(60-30)/60 = 15 > β: shrink.
+        let before = v.cwnd_pkts();
+        drive(&mut v, 20_000, 3, 60);
+        assert!(v.cwnd_pkts() < before);
+        // diff = cwnd·(31-30)/31 ≈ 1 < α: grow.
+        v.cwnd = 20.0;
+        let before = v.cwnd_pkts();
+        drive(&mut v, 40_000, 3, 31);
+        assert!(v.cwnd_pkts() > before);
+    }
+
+    #[test]
+    fn loss_reduces_window() {
+        let mut v = Vegas::new();
+        v.cwnd = 20.0;
+        let now = Time::from_millis(500);
+        v.on_loss(
+            now,
+            &LossInfo {
+                seq: 1,
+                bytes: 1500,
+                sent_at: now - Dur::from_millis(30),
+                detected_at: now,
+                by_timeout: false,
+            },
+        );
+        assert!((v.cwnd_pkts() - 15.0).abs() < 1e-9);
+        // Same congestion event: no second cut.
+        v.on_loss(
+            now,
+            &LossInfo {
+                seq: 2,
+                bytes: 1500,
+                sent_at: now - Dur::from_millis(30),
+                detected_at: now,
+                by_timeout: false,
+            },
+        );
+        assert!((v.cwnd_pkts() - 15.0).abs() < 1e-9);
+    }
+}

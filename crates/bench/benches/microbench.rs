@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction: per-ACK
+//! controller costs, MI accounting, utility evaluation and raw simulator
+//! event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use proteus_core::{evaluate, MiObservation, Mode, UtilityParams};
+use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_transport::{
+    AckInfo, Dur, MiTracker, SentPacket, Time,
+};
+
+fn ack(seq: u64, sent_ms: u64, rtt_ms: u64) -> AckInfo {
+    AckInfo {
+        seq,
+        bytes: 1500,
+        sent_at: Time::from_millis(sent_ms),
+        recv_at: Time::from_millis(sent_ms + rtt_ms),
+        rtt: Dur::from_millis(rtt_ms),
+        one_way_delay: Dur::from_millis(rtt_ms / 2),
+    }
+}
+
+fn bench_utility(c: &mut Criterion) {
+    let params = UtilityParams::default();
+    let obs = MiObservation {
+        rate_mbps: 47.3,
+        loss_rate: 0.01,
+        rtt_gradient: 0.004,
+        rtt_deviation: 0.0006,
+    };
+    c.bench_function("utility/proteus_s", |b| {
+        b.iter(|| evaluate(&Mode::Scavenger, black_box(&params), black_box(&obs)))
+    });
+    c.bench_function("utility/proteus_p", |b| {
+        b.iter(|| evaluate(&Mode::Primary, black_box(&params), black_box(&obs)))
+    });
+}
+
+fn bench_mi_tracker(c: &mut Criterion) {
+    c.bench_function("mi_tracker/100pkt_interval", |b| {
+        b.iter(|| {
+            let mut t = MiTracker::new();
+            t.start_mi(Time::ZERO, 6e6);
+            for i in 0..100u64 {
+                t.on_sent(&SentPacket {
+                    seq: i,
+                    bytes: 1500,
+                    sent_at: Time::from_micros(i * 300),
+                });
+            }
+            t.start_mi(Time::from_millis(30), 6e6);
+            let mut done = 0;
+            for i in 0..100u64 {
+                done += t.on_ack(&ack(i, i * 3 / 10, 30)).len();
+            }
+            black_box(done)
+        })
+    });
+}
+
+fn bench_cc_per_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_ack");
+    for name in ["CUBIC", "BBR", "COPA", "LEDBAT", "Proteus-S"] {
+        group.bench_function(name, |b| {
+            let mut cc = proteus_bench::cc(name, 1);
+            cc.on_flow_start(Time::ZERO);
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                cc.on_packet_sent(
+                    Time::from_millis(seq),
+                    &SentPacket {
+                        seq,
+                        bytes: 1500,
+                        sent_at: Time::from_millis(seq),
+                    },
+                );
+                cc.on_ack(Time::from_millis(seq + 30), &ack(seq, seq, 30));
+                black_box(cc.cwnd_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("sim/cubic_2s_50mbps", |b| {
+        b.iter(|| {
+            let sc = Scenario::new(
+                LinkSpec::new(50.0, Dur::from_millis(30), 375_000),
+                Dur::from_secs(2),
+            )
+            .flow(FlowSpec::bulk("c", Dur::ZERO, || {
+                proteus_bench::cc("CUBIC", 1)
+            }))
+            .with_seed(7);
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_utility,
+    bench_mi_tracker,
+    bench_cc_per_ack,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,190 @@
+//! Ad-hoc scenario runner: compose arbitrary flow mixes on a dumbbell from
+//! the command line.
+//!
+//! ```text
+//! proteus-sim [options] --flow <PROTO[@START_S]> [--flow ...]
+//!
+//!   --bw <Mbps>        bottleneck bandwidth      (default 50)
+//!   --rtt <ms>         base RTT                  (default 30)
+//!   --buffer <KB|xBDP> bottleneck buffer         (default 2xBDP; "375" = KB)
+//!   --loss <rate>      random loss, e.g. 0.01    (default 0)
+//!   --wifi             WiFi-style latency noise
+//!   --secs <s>         duration                  (default 60)
+//!   --seed <n>         RNG seed                  (default 1)
+//!   --timeline         print 5-second per-flow throughput bins
+//! ```
+//!
+//! Protocols: CUBIC, Reno, Vegas, BBR, BBR-S, COPA, LEDBAT, LEDBAT-25,
+//! Proteus-P, Proteus-S, PCC-Vivace, PCC-Allegro, `probe:<mbps>`.
+//!
+//! Example — the paper's headline scenario:
+//!
+//! ```text
+//! proteus-sim --bw 50 --rtt 30 --flow BBR --flow Proteus-S@5 --timeline
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use proteus_bench::cc;
+use proteus_netsim::{run, FlowSpec, LinkSpec, NoiseConfig, Scenario};
+use proteus_transport::{Dur, Time};
+
+struct Args {
+    bw: f64,
+    rtt_ms: u64,
+    buffer: String,
+    loss: f64,
+    wifi: bool,
+    secs: f64,
+    seed: u64,
+    timeline: bool,
+    flows: Vec<(String, f64)>,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args {
+        bw: 50.0,
+        rtt_ms: 30,
+        buffer: "2xBDP".into(),
+        loss: 0.0,
+        wifi: false,
+        secs: 60.0,
+        seed: 1,
+        timeline: false,
+        flows: Vec::new(),
+    };
+    let mut it = env::args().skip(1);
+    let need = |it: &mut dyn Iterator<Item = String>, what: &str| {
+        it.next().ok_or(format!("{what} requires a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--bw" => a.bw = need(&mut it, "--bw")?.parse().map_err(|e| format!("{e}"))?,
+            "--rtt" => a.rtt_ms = need(&mut it, "--rtt")?.parse().map_err(|e| format!("{e}"))?,
+            "--buffer" => a.buffer = need(&mut it, "--buffer")?,
+            "--loss" => a.loss = need(&mut it, "--loss")?.parse().map_err(|e| format!("{e}"))?,
+            "--wifi" => a.wifi = true,
+            "--secs" => a.secs = need(&mut it, "--secs")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => a.seed = need(&mut it, "--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--timeline" => a.timeline = true,
+            "--flow" => {
+                let spec = need(&mut it, "--flow")?;
+                let (proto, start) = match spec.split_once('@') {
+                    Some((p, s)) => (
+                        p.to_string(),
+                        s.parse::<f64>().map_err(|e| format!("bad start time: {e}"))?,
+                    ),
+                    None => (spec, 0.0),
+                };
+                a.flows.push((proto, start));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if a.flows.is_empty() {
+        return Err("at least one --flow is required".into());
+    }
+    Ok(a)
+}
+
+fn buffer_bytes(spec: &str, link: LinkSpec) -> Result<u64, String> {
+    if let Some(x) = spec.strip_suffix("xBDP") {
+        let mult: f64 = x.parse().map_err(|e| format!("bad buffer: {e}"))?;
+        Ok(link.with_buffer_bdp(mult).buffer_bytes)
+    } else {
+        let kb: f64 = spec.parse().map_err(|e| format!("bad buffer: {e}"))?;
+        Ok((kb * 1000.0) as u64)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: proteus-sim [--bw Mbps] [--rtt ms] [--buffer KB|xBDP] [--loss p] \
+                 [--wifi] [--secs s] [--seed n] [--timeline] --flow PROTO[@START] ..."
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut link = LinkSpec::new(args.bw, Dur::from_millis(args.rtt_ms), 1);
+    link.buffer_bytes = match buffer_bytes(&args.buffer, link) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    link = link.with_random_loss(args.loss);
+    if args.wifi {
+        link = link.with_noise(NoiseConfig::wifi_default());
+    }
+
+    let mut sc = Scenario::new(link, Dur::from_secs_f64(args.secs)).with_seed(args.seed);
+    for (i, (proto, start)) in args.flows.iter().enumerate() {
+        let name = format!("{proto}#{i}");
+        let proto = proto.clone();
+        let seed = args.seed + i as u64;
+        sc = sc.flow(FlowSpec::bulk(
+            name,
+            Dur::from_secs_f64(*start),
+            move || cc(&proto, seed),
+        ));
+    }
+
+    eprintln!(
+        "link: {} Mbps, {} ms RTT, {} KB buffer, loss {}, noise {}",
+        args.bw,
+        args.rtt_ms,
+        link.buffer_bytes / 1000,
+        args.loss,
+        if args.wifi { "wifi" } else { "none" }
+    );
+    let res = run(sc);
+
+    let from = Time::from_secs_f64(args.secs / 3.0);
+    let to = Time::from_secs_f64(args.secs);
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>8}",
+        "flow", "mbps(tail)", "p50 RTT", "p95 RTT", "loss"
+    );
+    for f in &res.flows {
+        println!(
+            "{:<18} {:>10.2} {:>8.1}ms {:>8.1}ms {:>7.2}%",
+            f.name,
+            f.throughput_mbps(from, to),
+            f.rtt_percentile(50.0).unwrap_or(0.0) * 1e3,
+            f.rtt_percentile(95.0).unwrap_or(0.0) * 1e3,
+            f.loss_rate() * 100.0,
+        );
+    }
+    let util = res.utilization(from, to);
+    println!("joint utilization: {:.1}%", util * 100.0);
+
+    if args.timeline {
+        println!();
+        let bins = (args.secs / 5.0).ceil() as usize;
+        print!("{:>5}", "t");
+        for f in &res.flows {
+            print!(" {:>12}", &f.name[..f.name.len().min(12)]);
+        }
+        println!();
+        for b in 0..bins {
+            let from = Time::from_secs_f64(b as f64 * 5.0);
+            let to = Time::from_secs_f64((b as f64 + 1.0) * 5.0);
+            print!("{:>4}s", b * 5);
+            for f in &res.flows {
+                print!(" {:>12.2}", f.throughput_mbps(from, to));
+            }
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}

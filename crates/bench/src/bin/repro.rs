@@ -1,0 +1,67 @@
+//! Regenerates the paper's figures/tables from the simulation.
+//!
+//! ```text
+//! repro [--quick] [--seed N] <id>... | all | list
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use proteus_bench::experiments::registry;
+use proteus_bench::RunCfg;
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut seed = 1u64;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed requires a number");
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let experiments = registry();
+    if ids.is_empty() || ids.iter().any(|i| i == "list") {
+        eprintln!("usage: repro [--quick] [--seed N] <id>... | all");
+        eprintln!("experiments:");
+        for e in &experiments {
+            eprintln!("  {:8}  {}", e.id, e.description);
+        }
+        return ExitCode::from(if ids.is_empty() { 2 } else { 0 });
+    }
+
+    let run_all = ids.iter().any(|i| i == "all");
+    let mut cfg = if quick { RunCfg::quick() } else { RunCfg::full() };
+    cfg.seed = seed;
+
+    let mut unknown = Vec::new();
+    for id in &ids {
+        if id != "all" && !experiments.iter().any(|e| e.id == id) {
+            unknown.push(id.clone());
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!("unknown experiment(s): {}", unknown.join(", "));
+        return ExitCode::from(2);
+    }
+
+    for e in &experiments {
+        if run_all || ids.iter().any(|i| i == e.id) {
+            eprintln!("=== {} — {} ===", e.id, e.description);
+            let t0 = Instant::now();
+            let report = (e.run)(cfg);
+            println!("{report}");
+            eprintln!("=== {} done in {:.1}s ===\n", e.id, t0.elapsed().as_secs_f64());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,205 @@
+//! Ablations of Proteus' design choices.
+//!
+//! §5's closing note says each tolerance mechanism matters but the paper
+//! "does not have enough space to show how each... contributes". This
+//! module fills that gap:
+//!
+//! 1. **Noise mechanisms** — Proteus-S single-flow throughput on noisy
+//!    WiFi paths with each §5 mechanism disabled in turn (the per-ACK
+//!    filter, per-MI regression-error tolerance, trending tolerance), plus
+//!    Vivace's flat threshold as the no-adaptation baseline.
+//! 2. **Majority rule** — three-pair majority vs Vivace's two-pair
+//!    agreement probing, same noisy paths.
+//! 3. **Deviation coefficient** — the scavenger's equilibrium share against
+//!    a Proteus-P primary as `d` sweeps around the paper's 1500.
+//! 4. **Stable-link sanity** — per-MI tolerance is what lets a Proteus
+//!    sender saturate even a clean bottleneck (the paper's stated reason
+//!    for mechanism 2).
+
+use proteus_core::{
+    AdaptiveNoiseParams, Mode, NoiseTolerance, ProbeRule, ProteusConfig, ProteusSender,
+    UtilityParams,
+};
+use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_transport::{CongestionControl, Dur};
+
+use crate::experiments::wifi::wifi_paths;
+use crate::report::{f2, pct, write_report, Table};
+use crate::runner::{run_single, tail_mbps, tail_window};
+use crate::RunCfg;
+
+/// Named noise-tolerance variants for ablation runs.
+fn noise_variants() -> Vec<(&'static str, NoiseTolerance)> {
+    let full = AdaptiveNoiseParams::default();
+    vec![
+        ("full (paper)", NoiseTolerance::Adaptive(full)),
+        (
+            "no ACK filter",
+            NoiseTolerance::Adaptive(AdaptiveNoiseParams {
+                ack_interval_ratio: f64::INFINITY,
+                ..full
+            }),
+        ),
+        (
+            "no per-MI gate",
+            NoiseTolerance::Adaptive(AdaptiveNoiseParams {
+                per_mi_tolerance: false,
+                ..full
+            }),
+        ),
+        (
+            "no trending gate",
+            NoiseTolerance::Adaptive(AdaptiveNoiseParams {
+                trending_tolerance: false,
+                ..full
+            }),
+        ),
+        ("flat threshold (Vivace)", NoiseTolerance::FixedThreshold(0.01)),
+    ]
+}
+
+fn scavenger_with_noise(noise: NoiseTolerance, seed: u64) -> Box<dyn CongestionControl> {
+    let mut cfg = ProteusConfig::proteus().with_seed(seed);
+    cfg.noise = noise;
+    Box::new(ProteusSender::with_config(cfg, Mode::Scavenger))
+}
+
+fn noise_mechanism_table(cfg: RunCfg) -> Table {
+    let n_paths = if cfg.quick { 2 } else { 10 };
+    let secs = if cfg.quick { 20.0 } else { 40.0 };
+    let paths = wifi_paths(n_paths, cfg.seed ^ 0xAB1);
+    let mut t = Table::new(
+        "Ablation 1: Proteus-S mean utilization on noisy WiFi paths, one §5 mechanism removed at a time",
+        &["variant", "mean_utilization"],
+    );
+    for (label, noise) in noise_variants() {
+        let mut total = 0.0;
+        for (ci, link) in paths.iter().enumerate() {
+            // A fresh factory per run (the closure captures the config).
+            let noise_copy = noise;
+            let seed = cfg.seed + ci as u64;
+            let sc = Scenario::new(*link, Dur::from_secs_f64(secs))
+                .flow(FlowSpec::bulk("s", Dur::ZERO, move || {
+                    scavenger_with_noise(noise_copy, seed)
+                }))
+                .with_seed(seed)
+                .with_rtt_stride(2);
+            let res = run(sc);
+            total += tail_mbps(&res, 0, secs) / link.bandwidth_mbps;
+        }
+        t.row(vec![label.into(), pct(total / paths.len() as f64)]);
+    }
+    t
+}
+
+fn majority_rule_table(cfg: RunCfg) -> Table {
+    let n_paths = if cfg.quick { 2 } else { 10 };
+    let secs = if cfg.quick { 20.0 } else { 40.0 };
+    let paths = wifi_paths(n_paths, cfg.seed ^ 0xAB2);
+    let mut t = Table::new(
+        "Ablation 2: probing decision rule on noisy paths (Proteus-S utilization)",
+        &["rule", "mean_utilization"],
+    );
+    for (label, rule) in [
+        ("3-pair majority (Proteus)", ProbeRule::Majority),
+        ("2-pair agreement (Vivace)", ProbeRule::Agreement),
+    ] {
+        let mut total = 0.0;
+        for (ci, link) in paths.iter().enumerate() {
+            let seed = cfg.seed + ci as u64;
+            let sc = Scenario::new(*link, Dur::from_secs_f64(secs))
+                .flow(FlowSpec::bulk("s", Dur::ZERO, move || {
+                    let mut c = ProteusConfig::proteus().with_seed(seed);
+                    c.rate_control.probe_rule = rule;
+                    Box::new(ProteusSender::with_config(c, Mode::Scavenger))
+                }))
+                .with_seed(seed)
+                .with_rtt_stride(2);
+            let res = run(sc);
+            total += tail_mbps(&res, 0, secs) / link.bandwidth_mbps;
+        }
+        t.row(vec![label.into(), pct(total / paths.len() as f64)]);
+    }
+    t
+}
+
+fn deviation_coef_table(cfg: RunCfg) -> Table {
+    let secs = if cfg.quick { 30.0 } else { 60.0 };
+    let coefs: &[f64] = if cfg.quick {
+        &[1500.0]
+    } else {
+        &[375.0, 750.0, 1500.0, 3000.0, 6000.0]
+    };
+    let mut t = Table::new(
+        "Ablation 3: scavenger share vs deviation coefficient d (vs Proteus-P primary; paper default d = 1500)",
+        &["d", "primary_Mbps", "scavenger_Mbps", "scavenger_share"],
+    );
+    let link = LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+    for &d in coefs {
+        let sc = Scenario::new(link, Dur::from_secs_f64(secs))
+            .flow(FlowSpec::bulk("p", Dur::ZERO, move || {
+                Box::new(ProteusSender::primary(cfg.seed ^ 0xA5))
+            }))
+            .flow(FlowSpec::bulk("s", Dur::from_secs(5), move || {
+                let mut c = ProteusConfig::proteus().with_seed(cfg.seed ^ 0x5A);
+                c.utility = UtilityParams {
+                    deviation_coef: d,
+                    ..UtilityParams::default()
+                };
+                Box::new(ProteusSender::with_config(c, Mode::Scavenger))
+            }))
+            .with_seed(cfg.seed)
+            .with_rtt_stride(2);
+        let res = run(sc);
+        let (a, b) = tail_window(secs);
+        let p = res.flows[0].throughput_mbps(a, b);
+        let s = res.flows[1].throughput_mbps(a, b);
+        t.row(vec![
+            format!("{d:.0}"),
+            f2(p),
+            f2(s),
+            pct(s / (p + s).max(1e-9)),
+        ]);
+    }
+    t
+}
+
+fn stable_link_table(cfg: RunCfg) -> Table {
+    let secs = if cfg.quick { 20.0 } else { 60.0 };
+    let mut t = Table::new(
+        "Ablation 4: clean 50 Mbps bottleneck — per-MI tolerance and saturation",
+        &["variant", "throughput_Mbps"],
+    );
+    let link = LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+    for (label, noise) in noise_variants() {
+        let sc = Scenario::new(link, Dur::from_secs_f64(secs))
+            .flow(FlowSpec::bulk("s", Dur::ZERO, move || {
+                scavenger_with_noise(noise, cfg.seed ^ 0xA5)
+            }))
+            .with_seed(cfg.seed)
+            .with_rtt_stride(2);
+        let res = run(sc);
+        t.row(vec![label.into(), f2(tail_mbps(&res, 0, secs))]);
+    }
+    // Reference: Proteus-P on the same link.
+    let res = run_single("Proteus-P", link, secs, cfg.seed);
+    t.row(vec!["Proteus-P reference".into(), f2(tail_mbps(&res, 0, secs))]);
+    t
+}
+
+/// Runs the ablation suite.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let t1 = noise_mechanism_table(cfg);
+    let t2 = majority_rule_table(cfg);
+    let t3 = deviation_coef_table(cfg);
+    let t4 = stable_link_table(cfg);
+    let text = format!(
+        "{}\n{}\n{}\n{}\n",
+        t1.render(),
+        t2.render(),
+        t3.render(),
+        t4.render()
+    );
+    write_report("ablation", &text, &[&t1, &t2, &t3, &t4]);
+    text
+}

@@ -1,0 +1,170 @@
+//! Appendix B: "Tuning target extra delay cannot save LEDBAT" (Figs.
+//! 15–20).
+//!
+//! Re-runs the core single-flow and competition sweeps with LEDBAT-25 (the
+//! original IETF draft's 25 ms target) next to LEDBAT-100 and Proteus:
+//! saturation vs buffer (Fig. 15), random-loss tolerance (Fig. 16),
+//! multi-flow fairness (Fig. 17), the 4-flow latecomer timeline (Fig. 18),
+//! yielding to primaries (Fig. 19) and the RTT-impact bars (Fig. 20).
+//! The WiFi comparisons (Figs. 21/22) are produced by the `wifi` module,
+//! which includes an LEDBAT-25 column.
+
+use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_transport::{Dur, Time};
+
+use crate::experiments::fig5::fairness_run;
+use crate::experiments::fig6::measure_cell;
+use crate::protocols::{cc, PRIMARIES};
+use crate::report::{f2, f3, pct, write_report, Table};
+use crate::runner::{run_single, tail_mbps};
+use crate::RunCfg;
+
+const LEDBATS: &[&str] = &["LEDBAT-25", "LEDBAT", "Proteus-S", "Proteus-P"];
+
+fn fig15(cfg: RunCfg) -> Table {
+    let secs = if cfg.quick { 20.0 } else { 60.0 };
+    let buffers: &[u64] = if cfg.quick {
+        &[75_000, 625_000]
+    } else {
+        &[4_500, 37_500, 150_000, 375_000, 625_000, 1_000_000]
+    };
+    let mut t = Table::new(
+        "Fig 15: saturation with varying buffer (throughput Mbps / inflation ratio)",
+        &["buffer_KB", "LEDBAT-25", "LEDBAT-100", "Proteus-S", "Proteus-P"],
+    );
+    for &buf in buffers {
+        let mut row = vec![format!("{:.1}", buf as f64 / 1e3)];
+        for &proto in &["LEDBAT-25", "LEDBAT", "Proteus-S", "Proteus-P"] {
+            let link = LinkSpec::new(50.0, Dur::from_millis(30), buf);
+            let res = run_single(proto, link, secs, cfg.seed);
+            let thpt = tail_mbps(&res, 0, secs);
+            let p95 = res.flows[0].rtt_percentile(95.0).unwrap_or(0.030);
+            let infl = ((p95 - 0.030) / (buf as f64 * 8.0 / 50e6)).max(0.0);
+            row.push(format!("{:.1}/{:.2}", thpt, infl));
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn fig16(cfg: RunCfg) -> Table {
+    let secs = if cfg.quick { 20.0 } else { 60.0 };
+    let losses: &[f64] = if cfg.quick {
+        &[0.0, 0.01]
+    } else {
+        &[0.0, 1e-4, 1e-3, 0.01, 0.03, 0.05]
+    };
+    let mut t = Table::new("Fig 16: throughput (Mbps) under random loss", &{
+        let mut h = vec!["loss"];
+        h.extend(LEDBATS);
+        h
+    });
+    for &loss in losses {
+        let mut row = vec![format!("{loss}")];
+        for &proto in LEDBATS {
+            let link = LinkSpec::new(50.0, Dur::from_millis(30), 1_000_000).with_random_loss(loss);
+            let res = run_single(proto, link, secs, cfg.seed);
+            row.push(f2(tail_mbps(&res, 0, secs)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn fig17(cfg: RunCfg) -> Table {
+    let measure = if cfg.quick { 40.0 } else { 120.0 };
+    let counts: &[usize] = if cfg.quick { &[4] } else { &[2, 4, 6, 8, 10] };
+    let mut t = Table::new("Fig 17: Jain's index with competing flows", &{
+        let mut h = vec!["n"];
+        h.extend(LEDBATS);
+        h
+    });
+    for &n in counts {
+        let mut row = vec![n.to_string()];
+        for &proto in LEDBATS {
+            row.push(f3(fairness_run(proto, n, measure, cfg.seed)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn fig18(cfg: RunCfg) -> Vec<Table> {
+    // 4 staggered flows on a large buffer; print per-flow rates over time.
+    let stagger = 60.0;
+    let total = if cfg.quick { 200.0 } else { 400.0 };
+    let mut tables = Vec::new();
+    for &proto in &["LEDBAT-25", "LEDBAT", "Proteus-S", "Proteus-P"] {
+        let link = LinkSpec::new(80.0, Dur::from_millis(30), 4_000_000);
+        let mut sc = Scenario::new(link, Dur::from_secs_f64(total))
+            .with_seed(cfg.seed)
+            .with_rtt_stride(64);
+        for i in 0..4usize {
+            sc = sc.flow(FlowSpec::bulk(
+                format!("{proto}-{i}"),
+                Dur::from_secs_f64(stagger * i as f64),
+                move || cc(proto, cfg.seed + i as u64),
+            ));
+        }
+        let res = run(sc);
+        let mut t = Table::new(
+            format!("Fig 18: 4-flow competition over time — {proto} (Mbps per 40 s bin)"),
+            &["t_s", "flow1", "flow2", "flow3", "flow4"],
+        );
+        let bins = (total / 40.0) as usize;
+        for b in 0..bins {
+            let from = Time::from_secs_f64(b as f64 * 40.0);
+            let to = Time::from_secs_f64((b + 1) as f64 * 40.0);
+            let mut row = vec![format!("{}", b * 40)];
+            for f in 0..4 {
+                row.push(f2(res.flows[f].throughput_mbps(from, to)));
+            }
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+fn fig19(cfg: RunCfg) -> Table {
+    let secs = if cfg.quick { 25.0 } else { 60.0 };
+    let mut t = Table::new(
+        "Fig 19: LEDBAT-25 as scavenger — primary throughput ratio",
+        &["primary", "ratio@75KB", "ratio@375KB"],
+    );
+    for &primary in PRIMARIES {
+        let mut row = vec![primary.to_string()];
+        for &buf in &[75_000u64, 375_000] {
+            let cell = measure_cell(primary, "LEDBAT-25", buf, secs, cfg.seed);
+            row.push(pct(cell.ratio()));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Runs the whole Appendix-B suite.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let t15 = fig15(cfg);
+    let t16 = fig16(cfg);
+    let t17 = fig17(cfg);
+    let t18 = fig18(cfg);
+    let t19 = fig19(cfg);
+    let mut text = format!(
+        "{}\n{}\n{}\n",
+        t15.render(),
+        t16.render(),
+        t17.render()
+    );
+    for t in &t18 {
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    text.push_str(&t19.render());
+    text.push('\n');
+    let mut refs: Vec<&Table> = vec![&t15, &t16, &t17];
+    refs.extend(t18.iter());
+    refs.push(&t19);
+    write_report("appendixB", &text, &refs);
+    text
+}

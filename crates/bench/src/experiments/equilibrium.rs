@@ -1,0 +1,71 @@
+//! Theory tables: the Appendix-A equilibrium model and the §4.4 Proteus-H
+//! ideal-allocation formula, checked numerically.
+
+use proteus_core::{
+    hybrid_ideal_allocation, solve_equilibrium, GameParams, SenderKind,
+};
+
+use crate::report::{f2, write_report, Table};
+use crate::RunCfg;
+
+/// Runs the theory tables.
+pub fn run_experiment(_cfg: RunCfg) -> String {
+    // --- Symmetric and mixed equilibria of the Appendix-A game. ---
+    let mut eq = Table::new(
+        "Appendix A: numeric equilibria of the simplified game (C = 100 Mbps)",
+        &["senders", "rates_Mbps", "total", "utilization"],
+    );
+    let cases: Vec<(&str, Vec<SenderKind>)> = vec![
+        ("1 P", vec![SenderKind::Primary]),
+        ("1 S", vec![SenderKind::Scavenger]),
+        ("4 P", vec![SenderKind::Primary; 4]),
+        ("3 S", vec![SenderKind::Scavenger; 3]),
+        (
+            "P + S",
+            vec![SenderKind::Primary, SenderKind::Scavenger],
+        ),
+        (
+            "2P + 2S",
+            vec![
+                SenderKind::Primary,
+                SenderKind::Primary,
+                SenderKind::Scavenger,
+                SenderKind::Scavenger,
+            ],
+        ),
+    ];
+    let params = GameParams::paper_defaults(100.0);
+    for (label, kinds) in cases {
+        let sol = solve_equilibrium(&params, &kinds);
+        let rates: Vec<String> = sol.rates.iter().map(|r| f2(*r)).collect();
+        eq.row(vec![
+            label.into(),
+            rates.join(" "),
+            f2(sol.total()),
+            f2(sol.utilization(100.0)),
+        ]);
+    }
+
+    // --- §4.4 ideal allocation for two Proteus-H senders. ---
+    let mut hy = Table::new(
+        "S4.4: ideal allocation of two Proteus-H senders (r1 = 10, r2 = 20 Mbps)",
+        &["capacity", "x1", "x2", "regime"],
+    );
+    for &c in &[10.0, 15.0, 25.0, 28.0, 35.0, 45.0, 60.0] {
+        let (x1, x2) = hybrid_ideal_allocation(c, 10.0, 20.0);
+        let regime = if c < 20.0 {
+            "C<2r1: fair"
+        } else if c < 30.0 {
+            "sender1 pinned at r1"
+        } else if c < 40.0 {
+            "sender2 pinned at r2"
+        } else {
+            "C>2r2: fair"
+        };
+        hy.row(vec![f2(c), f2(x1), f2(x2), regime.into()]);
+    }
+
+    let text = format!("{}\n{}\n", eq.render(), hy.render());
+    write_report("tbl_equilibrium", &text, &[&eq, &hy]);
+    text
+}

@@ -1,0 +1,137 @@
+//! Fig. 11: application benchmarks with a background scavenger (§6.2.2).
+//!
+//! (a) 1/2/4/8 concurrent DASH videos on a ~100 Mbps downlink, with a
+//! single background bulk flow running nothing / Proteus-S / LEDBAT /
+//! CUBIC; reports the average chunk bitrate.
+//! (b) Poisson web page loads (top-30-style sizes, 1 request / 10 s over a
+//! 10-minute run) with the same backgrounds; reports page-load-time
+//! quantiles.
+
+use proteus_apps::video::corpus_1080p;
+use proteus_apps::WebWorkload;
+use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_stats::Ecdf;
+use proteus_transport::Dur;
+
+use crate::experiments::video_util::{add_video_flow, VideoTransport};
+use crate::protocols::cc;
+use crate::report::{f2, write_report, Table};
+use crate::RunCfg;
+
+const BACKGROUNDS: &[&str] = &["none", "Proteus-S", "LEDBAT", "CUBIC"];
+
+fn link() -> LinkSpec {
+    // Wired ~100 Mbps downlink (the paper's Xfinity line).
+    LinkSpec::new(100.0, Dur::from_millis(30), 750_000)
+}
+
+fn add_background(sc: &mut Scenario, bg: &'static str, start: Dur) {
+    if bg == "none" {
+        return;
+    }
+    sc.flows.push(FlowSpec::bulk("background", start, move || {
+        cc(bg, 0xBADA)
+    }));
+}
+
+fn dash_table(cfg: RunCfg) -> Table {
+    let secs = if cfg.quick { 60.0 } else { 150.0 };
+    let counts: &[usize] = if cfg.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let mut t = Table::new(
+        "Fig 11(a): average DASH chunk bitrate (Mbps) vs concurrent videos",
+        &{
+            let mut h = vec!["videos"];
+            h.extend(BACKGROUNDS);
+            h
+        },
+    );
+    for &n in counts {
+        let mut row = vec![n.to_string()];
+        for &bg in BACKGROUNDS {
+            let mut sc = Scenario::new(link(), Dur::from_secs_f64(secs))
+                .with_seed(cfg.seed)
+                .with_rtt_stride(16);
+            let corpus = corpus_1080p(n, cfg.seed);
+            let handles: Vec<_> = corpus
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    add_video_flow(
+                        &mut sc,
+                        v,
+                        VideoTransport::Primary,
+                        cfg.seed + i as u64,
+                        false,
+                        Dur::ZERO,
+                    )
+                })
+                .collect();
+            add_background(&mut sc, bg, Dur::ZERO);
+            run(sc);
+            let avg: f64 = handles
+                .iter()
+                .map(|h| h.borrow().avg_bitrate())
+                .sum::<f64>()
+                / n as f64;
+            row.push(f2(avg));
+        }
+        t.row(row);
+    }
+    t
+}
+
+fn web_table(cfg: RunCfg) -> Table {
+    let duration = if cfg.quick {
+        Dur::from_secs(120)
+    } else {
+        Dur::from_secs(600)
+    };
+    let mut t = Table::new(
+        "Fig 11(b): page load time (seconds) with background flows",
+        &["background", "median", "mean", "p90", "pages"],
+    );
+    for &bg in BACKGROUNDS {
+        let workload = WebWorkload {
+            duration,
+            ..WebWorkload::default()
+        };
+        let pages = workload.generate(cfg.seed);
+        let mut sc = Scenario::new(link(), duration + Dur::from_secs(60))
+            .with_seed(cfg.seed)
+            .with_rtt_stride(16);
+        for (i, p) in pages.iter().enumerate() {
+            sc = sc.flow(FlowSpec::sized(
+                format!("page-{i}"),
+                p.start,
+                p.bytes,
+                move |            | cc("CUBIC", i as u64),
+            ));
+        }
+        add_background(&mut sc, bg, Dur::ZERO);
+        let res = run(sc);
+        let plts: Vec<f64> = res
+            .flows
+            .iter()
+            .filter(|f| f.name.starts_with("page-"))
+            .filter_map(|f| f.completion_time().map(|d| d.as_secs_f64()))
+            .collect();
+        let e = Ecdf::new(plts.iter().copied());
+        t.row(vec![
+            bg.into(),
+            f2(e.median().unwrap_or(f64::NAN)),
+            f2(e.mean().unwrap_or(f64::NAN)),
+            f2(e.quantile(0.9).unwrap_or(f64::NAN)),
+            e.len().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Runs the Fig.-11 experiment.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let dash = dash_table(cfg);
+    let web = web_table(cfg);
+    let text = format!("{}\n{}\n", dash.render(), web.render());
+    write_report("fig11", &text, &[&dash, &web]);
+    text
+}

@@ -1,0 +1,169 @@
+//! Figs. 12 & 13: the Proteus-H hybrid mode in adaptive video streaming
+//! (§6.3).
+//!
+//! One 4K video + three 1080P videos stream simultaneously for ~3 minutes
+//! over a 30 ms / 900 KB bottleneck of varying bandwidth, all on Proteus-H
+//! (with the §4.4 threshold rules) or all on Proteus-P. Fig. 12 uses BOLA
+//! adaptation and reports average chunk bitrate and rebuffer ratio per
+//! class; Fig. 13 forces the highest rung to expose the rebuffering gap.
+
+use proteus_apps::video::{corpus_1080p, corpus_4k};
+use proteus_netsim::{run, LinkSpec, Scenario};
+use proteus_transport::Dur;
+
+use crate::experiments::video_util::{add_video_flow, VideoTransport};
+use crate::report::{f2, pct, write_report, Table};
+use crate::RunCfg;
+
+/// Outcome of one 1×4K + 3×1080P run.
+struct ClassStats {
+    bitrate_4k: f64,
+    bitrate_1080: f64,
+    rebuffer_4k: f64,
+    rebuffer_1080: f64,
+}
+
+fn streaming_run(
+    bw_mbps: f64,
+    transport: VideoTransport,
+    forced_max: bool,
+    secs: f64,
+    seed: u64,
+) -> ClassStats {
+    let link = LinkSpec::new(bw_mbps, Dur::from_millis(30), 900_000);
+    let mut sc = Scenario::new(link, Dur::from_secs_f64(secs))
+        .with_seed(seed)
+        .with_rtt_stride(16);
+    // The corpus is fixed across trials; only the dynamics seeds vary.
+    let v4k = corpus_4k(1, 1)[0].clone();
+    let v1080 = corpus_1080p(3, 1);
+    let h4k = add_video_flow(&mut sc, v4k, transport, seed + 1, forced_max, Dur::ZERO);
+    let h1080: Vec<_> = v1080
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            add_video_flow(
+                &mut sc,
+                v,
+                transport,
+                seed + 10 + i as u64,
+                forced_max,
+                Dur::ZERO,
+            )
+        })
+        .collect();
+    run(sc);
+    let b4k = h4k.borrow();
+    ClassStats {
+        bitrate_4k: b4k.avg_bitrate(),
+        rebuffer_4k: b4k.rebuffer_ratio,
+        bitrate_1080: h1080.iter().map(|h| h.borrow().avg_bitrate()).sum::<f64>() / 3.0,
+        rebuffer_1080: h1080
+            .iter()
+            .map(|h| h.borrow().rebuffer_ratio)
+            .sum::<f64>()
+            / 3.0,
+    }
+}
+
+/// Averages [`streaming_run`] over `trials` seeds (rebuffering outcomes are
+/// seed-sensitive; the paper averages ≥ 10 trials).
+fn averaged_run(
+    bw: f64,
+    transport: VideoTransport,
+    forced: bool,
+    secs: f64,
+    base_seed: u64,
+    trials: u64,
+) -> ClassStats {
+    let mut acc = ClassStats {
+        bitrate_4k: 0.0,
+        bitrate_1080: 0.0,
+        rebuffer_4k: 0.0,
+        rebuffer_1080: 0.0,
+    };
+    for t in 0..trials {
+        let s = streaming_run(bw, transport, forced, secs, base_seed + 101 * t);
+        acc.bitrate_4k += s.bitrate_4k;
+        acc.bitrate_1080 += s.bitrate_1080;
+        acc.rebuffer_4k += s.rebuffer_4k;
+        acc.rebuffer_1080 += s.rebuffer_1080;
+    }
+    let n = trials as f64;
+    ClassStats {
+        bitrate_4k: acc.bitrate_4k / n,
+        bitrate_1080: acc.bitrate_1080 / n,
+        rebuffer_4k: acc.rebuffer_4k / n,
+        rebuffer_1080: acc.rebuffer_1080 / n,
+    }
+}
+
+/// Runs Fig. 12 (BOLA-adaptive).
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let secs = if cfg.quick { 60.0 } else { 180.0 };
+    let bws: &[f64] = if cfg.quick {
+        &[90.0, 110.0]
+    } else {
+        &[70.0, 80.0, 90.0, 100.0, 110.0, 120.0]
+    };
+    let mut t = Table::new(
+        "Fig 12: Proteus-H vs Proteus-P, BOLA adaptive streaming (1x4K + 3x1080P)",
+        &[
+            "bw_Mbps",
+            "4K_bitrate_H",
+            "4K_bitrate_P",
+            "1080_bitrate_H",
+            "1080_bitrate_P",
+            "4K_rebuf_H",
+            "4K_rebuf_P",
+            "1080_rebuf_H",
+            "1080_rebuf_P",
+        ],
+    );
+    for &bw in bws {
+        let h = averaged_run(bw, VideoTransport::Hybrid, false, secs, cfg.seed, cfg.trials);
+        let p = averaged_run(bw, VideoTransport::Primary, false, secs, cfg.seed, cfg.trials);
+        t.row(vec![
+            format!("{bw:.0}"),
+            f2(h.bitrate_4k),
+            f2(p.bitrate_4k),
+            f2(h.bitrate_1080),
+            f2(p.bitrate_1080),
+            pct(h.rebuffer_4k),
+            pct(p.rebuffer_4k),
+            pct(h.rebuffer_1080),
+            pct(p.rebuffer_1080),
+        ]);
+    }
+    let text = format!("{}\n", t.render());
+    write_report("fig12", &text, &[&t]);
+    text
+}
+
+/// Runs Fig. 13 (forced highest bitrate).
+pub fn run_experiment_forced(cfg: RunCfg) -> String {
+    let secs = if cfg.quick { 60.0 } else { 180.0 };
+    let bws: &[f64] = if cfg.quick {
+        &[110.0]
+    } else {
+        &[90.0, 100.0, 110.0, 120.0, 130.0, 140.0]
+    };
+    let mut t = Table::new(
+        "Fig 13: forced-highest-bitrate rebuffer ratio, Proteus-H vs Proteus-P",
+        &["bw_Mbps", "4K_rebuf_H", "4K_rebuf_P", "1080_rebuf_H", "1080_rebuf_P"],
+    );
+    for &bw in bws {
+        let h = averaged_run(bw, VideoTransport::Hybrid, true, secs, cfg.seed, cfg.trials);
+        let p = averaged_run(bw, VideoTransport::Primary, true, secs, cfg.seed, cfg.trials);
+        t.row(vec![
+            format!("{bw:.0}"),
+            pct(h.rebuffer_4k),
+            pct(p.rebuffer_4k),
+            pct(h.rebuffer_1080),
+            pct(p.rebuffer_1080),
+        ]);
+    }
+    let text = format!("{}\n", t.render());
+    write_report("fig13", &text, &[&t]);
+    text
+}

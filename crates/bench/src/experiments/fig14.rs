@@ -1,0 +1,57 @@
+//! Fig. 14: extending RTT deviation to BBR (§7.1).
+//!
+//! BBR-S (stock BBR forced into ProbeRTT whenever its smoothed RTT
+//! deviation exceeds 20 ms) competes with BBR, CUBIC and BBR-S itself on
+//! 50 Mbps / 30 ms / 375 KB; the figure shows throughput over time. We
+//! print 10-second-binned throughput for both flows in each pairing.
+
+use proteus_netsim::LinkSpec;
+use proteus_transport::{Dur, Time};
+
+use crate::report::{f2, write_report, Table};
+use crate::runner::run_pair;
+use crate::RunCfg;
+
+/// Runs the Fig.-14 experiment.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let secs = if cfg.quick { 60.0 } else { 200.0 };
+    let link = LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+    let pairings: &[(&str, &str)] = &[("BBR", "BBR-S"), ("BBR-S", "BBR-S"), ("CUBIC", "BBR-S")];
+
+    let mut tables = Vec::new();
+    for &(a, b) in pairings {
+        let res = run_pair(a, b, link, secs, cfg.seed);
+        let mut t = Table::new(
+            format!("Fig 14: {a} vs {b} — throughput over time (Mbps)"),
+            &["t_s", a, b],
+        );
+        let bins = (secs / 10.0) as usize;
+        for i in 0..bins {
+            let from = Time::from_secs_f64(i as f64 * 10.0);
+            let to = Time::from_secs_f64((i + 1) as f64 * 10.0);
+            t.row(vec![
+                format!("{}", i * 10),
+                f2(res.flows[0].throughput_mbps(from, to)),
+                f2(res.flows[1].throughput_mbps(from, to)),
+            ]);
+        }
+        // Summary over the tail.
+        let from = Time::from_secs_f64(secs / 3.0);
+        let to = Time::from_secs_f64(secs);
+        t.row(vec![
+            "mean".into(),
+            f2(res.flows[0].throughput_mbps(from, to)),
+            f2(res.flows[1].throughput_mbps(from, to)),
+        ]);
+        tables.push(t);
+    }
+
+    let mut text = String::new();
+    for t in &tables {
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    let refs: Vec<&Table> = tables.iter().collect();
+    write_report("fig14", &text, &refs);
+    text
+}

@@ -1,0 +1,190 @@
+//! Fig. 2: PDF of RTT deviation / |RTT gradient| under Poisson CUBIC
+//! cross-traffic, plus the confusion-probability comparison (§4.2).
+//!
+//! Setup (paper): 100 Mbps, 60 ms RTT, 1500 KB (2 BDP) buffer; short CUBIC
+//! flows with uniform sizes in [20, 100] KB and Poisson arrivals at
+//! 0/3/6/9 flows/sec; a fixed-rate 20 Mbps UDP probe measures RTT in
+//! consecutive 1.5-RTT (90 ms) windows over a 2-minute run.
+
+use proteus_netsim::{run, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario};
+use proteus_stats::{Histogram, LinearRegression, Welford};
+use proteus_transport::{factory, Dur};
+
+use crate::protocols::cc;
+use crate::report::{f3, write_report, Table};
+use crate::RunCfg;
+
+/// Windowed (deviation, |gradient|) metrics from a probe's RTT samples.
+fn window_metrics(samples: &[(f64, f64)], window_s: f64) -> (Vec<f64>, Vec<f64>) {
+    let mut devs = Vec::new();
+    let mut grads = Vec::new();
+    let mut idx = 0;
+    if samples.is_empty() {
+        return (devs, grads);
+    }
+    let t_end = samples.last().expect("non-empty").0;
+    let mut w_start = samples[0].0;
+    while w_start < t_end {
+        let w_end = w_start + window_s;
+        let mut acc = Welford::new();
+        let mut pts = Vec::new();
+        while idx < samples.len() && samples[idx].0 < w_end {
+            let (t, rtt) = samples[idx];
+            acc.add(rtt);
+            pts.push((t, rtt));
+            idx += 1;
+        }
+        if acc.count() >= 5 {
+            devs.push(acc.std_dev());
+            if let Some(fit) = LinearRegression::fit(&pts) {
+                grads.push(fit.slope.abs());
+            }
+        }
+        w_start = w_end;
+    }
+    (devs, grads)
+}
+
+/// `P(metric(congested) < metric(idle))` over uniform random pairs — the
+/// paper's confusion probability, computed exactly from the two sample
+/// sets.
+fn confusion_probability(idle: &[f64], congested: &[f64]) -> f64 {
+    if idle.is_empty() || congested.is_empty() {
+        return f64::NAN;
+    }
+    let mut idle_sorted = idle.to_vec();
+    idle_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mut wins = 0u64;
+    for &c in congested {
+        // Number of idle samples strictly greater than the congested one.
+        let gt = idle_sorted.len() - idle_sorted.partition_point(|&x| x <= c);
+        wins += gt as u64;
+    }
+    wins as f64 / (idle.len() as f64 * congested.len() as f64)
+}
+
+/// Runs the probe under the given cross-traffic arrival rate; returns
+/// per-window (deviations, |gradients|) in seconds and s/s.
+fn probe_run(rate_per_sec: f64, secs: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let link = LinkSpec::new(100.0, Dur::from_millis(60), 1_500_000);
+    let mut sc = Scenario::new(link, Dur::from_secs_f64(secs))
+        .flow(FlowSpec::bulk("probe", Dur::ZERO, || cc("probe:20", 0)))
+        .with_seed(seed);
+    if rate_per_sec > 0.0 {
+        sc = sc.with_cross_traffic(CrossTrafficSpec {
+            arrivals_per_sec: rate_per_sec,
+            size_range: (20_000, 100_000),
+            cc: factory(|_| proteus_baselines::Cubic::new()),
+            start: Dur::ZERO,
+            stop: Dur::from_secs_f64(secs),
+        });
+    }
+    let res = run(sc);
+    window_metrics(&res.flows[0].rtt_samples, 0.090)
+}
+
+/// Runs the Fig.-2 experiment.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let secs = if cfg.quick { 30.0 } else { 120.0 };
+    let rates = [0.0, 3.0, 6.0, 9.0];
+
+    let mut dev_hist = Table::new(
+        "Fig 2(a): PDF of RTT deviation (probability per bin, bins of 0.1 ms)",
+        &["bin_ms", "0/s", "3/s", "6/s", "9/s"],
+    );
+    let mut grad_hist = Table::new(
+        "Fig 2(b): PDF of |RTT gradient| (probability per bin, bins of 0.001)",
+        &["bin", "0/s", "3/s", "6/s", "9/s"],
+    );
+
+    let mut dev_sets = Vec::new();
+    let mut grad_sets = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        let (devs, grads) = probe_run(rate, secs, cfg.seed + i as u64);
+        dev_sets.push(devs);
+        grad_sets.push(grads);
+    }
+
+    let mut dev_h: Vec<Histogram> = (0..4).map(|_| Histogram::new(0.0, 1.4e-3, 14)).collect();
+    let mut grad_h: Vec<Histogram> = (0..4).map(|_| Histogram::new(0.0, 0.020, 20)).collect();
+    for i in 0..4 {
+        dev_h[i].extend(dev_sets[i].iter().copied());
+        grad_h[i].extend(grad_sets[i].iter().copied());
+    }
+    for b in 0..14 {
+        let mut row = vec![format!("{:.2}", dev_h[0].bin_center(b) * 1e3)];
+        for h in &dev_h {
+            row.push(f3(h.pmf()[b]));
+        }
+        dev_hist.row(row);
+    }
+    for b in 0..20 {
+        let mut row = vec![format!("{:.4}", grad_h[0].bin_center(b))];
+        for h in &grad_h {
+            row.push(f3(h.pmf()[b]));
+        }
+        grad_hist.row(row);
+    }
+
+    let conf_dev = confusion_probability(&dev_sets[0], &dev_sets[3]);
+    let conf_grad = confusion_probability(&grad_sets[0], &grad_sets[3]);
+    let mut conf = Table::new(
+        "Confusion probability (0 vs 9 flows/s; paper: deviation 0.6%, gradient 8.0%)",
+        &["metric", "confusion"],
+    );
+    conf.row(vec!["RTT deviation".into(), format!("{:.1}%", conf_dev * 100.0)]);
+    conf.row(vec![
+        "|RTT gradient|".into(),
+        format!("{:.1}%", conf_grad * 100.0),
+    ]);
+
+    let text = format!(
+        "{}\n{}\n{}\n",
+        dev_hist.render(),
+        grad_hist.render(),
+        conf.render()
+    );
+    write_report("fig2", &text, &[&dev_hist, &grad_hist, &conf]);
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_probability_extremes() {
+        // Fully separated sets: no confusion.
+        let idle = [1.0, 2.0, 3.0];
+        let congested = [10.0, 20.0];
+        assert_eq!(confusion_probability(&idle, &congested), 0.0);
+        // Reversed: full confusion.
+        assert_eq!(confusion_probability(&congested, &idle), 1.0);
+        // Identical distributions: NaN-free, around 0 (ties don't count).
+        let p = confusion_probability(&idle, &idle);
+        assert!((0.0..=0.5).contains(&p));
+    }
+
+    #[test]
+    fn window_metrics_basic() {
+        // Flat RTT: zero deviation and gradient.
+        let flat: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 * 0.01, 0.060)).collect();
+        let (devs, grads) = window_metrics(&flat, 0.09);
+        assert!(!devs.is_empty());
+        assert!(devs.iter().all(|&d| d < 1e-12));
+        assert!(grads.iter().all(|&g| g < 1e-9));
+        // Oscillating RTT: positive deviation.
+        let wavy: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64 * 0.01, 0.060 + if i % 2 == 0 { 0.002 } else { 0.0 }))
+            .collect();
+        let (devs, _) = window_metrics(&wavy, 0.09);
+        assert!(devs.iter().all(|&d| d > 5e-4));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (d, g) = window_metrics(&[], 0.09);
+        assert!(d.is_empty() && g.is_empty());
+        assert!(confusion_probability(&[], &[1.0]).is_nan());
+    }
+}

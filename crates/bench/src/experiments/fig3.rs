@@ -1,0 +1,91 @@
+//! Fig. 3: bottleneck saturation with varying buffer size (§6.1.1).
+//!
+//! Single flow, 50 Mbps / 30 ms bottleneck, 100 s runs, buffer swept from
+//! ~1 KB to 1 MB. Reports (a) throughput and (b) the 95th-percentile
+//! inflation ratio `(p95 RTT − base RTT)/(buffer/bandwidth)`.
+
+use proteus_netsim::LinkSpec;
+use proteus_transport::Dur;
+
+use crate::protocols::ALL_FIG3;
+use crate::report::{f2, write_report, Table};
+use crate::runner::{run_single, tail_mbps};
+use crate::RunCfg;
+
+const BASE_RTT_S: f64 = 0.030;
+
+/// Buffer sizes swept, bytes.
+fn buffers(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![4_500, 75_000, 375_000]
+    } else {
+        vec![
+            1_500, 3_000, 4_500, 7_500, 15_000, 37_500, 75_000, 150_000, 375_000, 625_000,
+            1_000_000,
+        ]
+    }
+}
+
+/// Runs the Fig.-3 experiment.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let secs = if cfg.quick { 20.0 } else { 60.0 };
+    let mut thpt = Table::new(
+        "Fig 3(a): single-flow throughput (Mbps) vs buffer size",
+        &{
+            let mut h = vec!["buffer_KB"];
+            h.extend(ALL_FIG3);
+            h
+        },
+    );
+    let mut infl = Table::new(
+        "Fig 3(b): 95th-percentile inflation ratio vs buffer size",
+        &{
+            let mut h = vec!["buffer_KB"];
+            h.extend(ALL_FIG3);
+            h
+        },
+    );
+
+    for &buf in &buffers(cfg.quick) {
+        let mut trow = vec![format!("{:.1}", buf as f64 / 1e3)];
+        let mut irow = vec![format!("{:.1}", buf as f64 / 1e3)];
+        for &proto in ALL_FIG3 {
+            let link = LinkSpec::new(50.0, Dur::from_millis(30), buf);
+            let res = run_single(proto, link, secs, cfg.seed);
+            trow.push(f2(tail_mbps(&res, 0, secs)));
+            let p95 = res.flows[0].rtt_percentile(95.0).unwrap_or(BASE_RTT_S);
+            let max_queue_s = buf as f64 * 8.0 / 50e6;
+            let ratio = ((p95 - BASE_RTT_S) / max_queue_s).max(0.0);
+            irow.push(f2(ratio));
+        }
+        thpt.row(trow);
+        infl.row(irow);
+    }
+
+    // The headline claim: buffer needed for ≥ 90 % utilization.
+    let mut need = Table::new(
+        "Buffer needed for >=90% utilization (45 Mbps); paper: Proteus 4.5 KB, LEDBAT 150 KB (32x)",
+        &["protocol", "buffer_KB"],
+    );
+    for &proto in ALL_FIG3 {
+        let mut found = None;
+        for &buf in &buffers(cfg.quick) {
+            let link = LinkSpec::new(50.0, Dur::from_millis(30), buf);
+            let res = run_single(proto, link, secs, cfg.seed + 17);
+            if tail_mbps(&res, 0, secs) >= 45.0 {
+                found = Some(buf);
+                break;
+            }
+        }
+        need.row(vec![
+            proto.to_string(),
+            found
+                .map(|b| format!("{:.1}", b as f64 / 1e3))
+                .unwrap_or_else(|| ">max".into()),
+        ]);
+    }
+
+    let text = format!("{}\n{}\n{}\n", thpt.render(), infl.render(), need.render());
+    write_report("fig3", &text, &[&thpt, &infl, &need]);
+    text
+}

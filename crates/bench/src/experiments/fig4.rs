@@ -1,0 +1,49 @@
+//! Fig. 4: random-loss tolerance (§6.1.2).
+//!
+//! Single flow, 50 Mbps / 30 ms / 375 KB (2 BDP), random loss swept from 0
+//! to 6 %. The paper's claims: Proteus/Vivace tolerate the 5 % design
+//! point (Proteus-P somewhat better than Vivace thanks to its noise
+//! control), LEDBAT collapses at even 0.001 %, and BBR/COPA barely react.
+
+use proteus_netsim::LinkSpec;
+use proteus_transport::Dur;
+
+use crate::protocols::ALL_FIG3;
+use crate::report::{f2, write_report, Table};
+use crate::runner::{run_single, tail_mbps};
+use crate::RunCfg;
+
+fn loss_rates(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.0, 0.02]
+    } else {
+        vec![0.0, 1e-5, 1e-4, 1e-3, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06]
+    }
+}
+
+/// Runs the Fig.-4 experiment.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let secs = if cfg.quick { 20.0 } else { 60.0 };
+    let mut t = Table::new("Fig 4: throughput (Mbps) vs random loss rate", &{
+        let mut h = vec!["loss"];
+        h.extend(ALL_FIG3);
+        h
+    });
+    for &loss in &loss_rates(cfg.quick) {
+        let mut row = vec![format!("{loss}")];
+        for &proto in ALL_FIG3 {
+            let mut sum = 0.0;
+            for trial in 0..cfg.trials {
+                let link =
+                    LinkSpec::new(50.0, Dur::from_millis(30), 375_000).with_random_loss(loss);
+                let res = run_single(proto, link, secs, cfg.seed + 31 * trial);
+                sum += tail_mbps(&res, 0, secs);
+            }
+            row.push(f2(sum / cfg.trials as f64));
+        }
+        t.row(row);
+    }
+    let text = format!("{}\n", t.render());
+    write_report("fig4", &text, &[&t]);
+    text
+}

@@ -1,0 +1,101 @@
+//! Fig. 6: yielding to primary flows (§6.2).
+//!
+//! One primary flow, then one "scavenger" 5 s later, on 50 Mbps / 30 ms
+//! with shallow (75 KB, 0.4 BDP) and large (375 KB, 2 BDP) buffers. Four
+//! protocols play the scavenger role — LEDBAT, Proteus-S, Proteus-P, COPA
+//! — against five primaries. Reports the *primary throughput ratio*
+//! (throughput with scavenger / throughput alone) and the joint capacity
+//! utilization.
+
+use proteus_netsim::LinkSpec;
+use proteus_transport::Dur;
+
+use crate::protocols::PRIMARIES;
+use crate::report::{f2, pct, write_report, Table};
+use crate::runner::{run_pair, run_single, tail_mbps};
+use crate::RunCfg;
+
+/// The scavenger-role protocols of Fig. 6(a–d).
+pub const SCAV_ROLES: &[&str] = &["LEDBAT", "Proteus-S", "Proteus-P", "COPA"];
+
+/// One cell of the Fig.-6 matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct YieldCell {
+    /// Primary throughput with the scavenger present, Mbps.
+    pub primary_mbps: f64,
+    /// Primary throughput running alone, Mbps.
+    pub alone_mbps: f64,
+    /// Scavenger throughput, Mbps.
+    pub scav_mbps: f64,
+}
+
+impl YieldCell {
+    /// `primary with scavenger / primary alone`.
+    pub fn ratio(&self) -> f64 {
+        if self.alone_mbps <= 0.0 {
+            0.0
+        } else {
+            self.primary_mbps / self.alone_mbps
+        }
+    }
+
+    /// Joint utilization of a 50 Mbps link.
+    pub fn utilization(&self) -> f64 {
+        (self.primary_mbps + self.scav_mbps) / 50.0
+    }
+}
+
+/// Measures one (primary, scavenger, buffer) cell.
+pub fn measure_cell(
+    primary: &'static str,
+    scavenger: &'static str,
+    buffer: u64,
+    secs: f64,
+    seed: u64,
+) -> YieldCell {
+    let link = LinkSpec::new(50.0, Dur::from_millis(30), buffer);
+    let alone = run_single(primary, link, secs, seed);
+    let both = run_pair(primary, scavenger, link, secs, seed);
+    YieldCell {
+        primary_mbps: tail_mbps(&both, 0, secs),
+        alone_mbps: tail_mbps(&alone, 0, secs),
+        scav_mbps: tail_mbps(&both, 1, secs),
+    }
+}
+
+/// Runs the Fig.-6 experiment.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let secs = if cfg.quick { 25.0 } else { 60.0 };
+    let buffers: &[(u64, &str)] = &[(75_000, "75KB"), (375_000, "375KB")];
+
+    let mut tables = Vec::new();
+    for &scav in SCAV_ROLES {
+        let mut t = Table::new(
+            format!("Fig 6: {scav} as scavenger — primary throughput ratio / joint utilization"),
+            &["primary", "ratio@75KB", "util@75KB", "ratio@375KB", "util@375KB"],
+        );
+        for &primary in PRIMARIES {
+            if primary == scav {
+                continue; // the paper doesn't run a protocol against itself here
+            }
+            let mut row = vec![primary.to_string()];
+            for &(buf, _) in buffers {
+                let cell = measure_cell(primary, scav, buf, secs, cfg.seed);
+                row.push(pct(cell.ratio()));
+                row.push(f2(cell.utilization()));
+            }
+            // Reorder: ratio75, util75, ratio375, util375 (already in order).
+            t.row(row);
+        }
+        tables.push(t);
+    }
+
+    let mut text = String::new();
+    for t in &tables {
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    let refs: Vec<&Table> = tables.iter().collect();
+    write_report("fig6", &text, &refs);
+    text
+}

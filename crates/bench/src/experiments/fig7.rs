@@ -1,0 +1,49 @@
+//! Fig. 7: the scavenger's impact on the primary's RTT (§6.2).
+//!
+//! 95th-percentile RTT of the primary when sharing with a scavenger,
+//! divided by its 95th-percentile RTT when running alone (375 KB buffer).
+//! Proteus-S should leave the ratio near 1; LEDBAT inflates it heavily for
+//! latency-aware primaries.
+
+use proteus_netsim::LinkSpec;
+use proteus_transport::Dur;
+
+use crate::protocols::PRIMARIES;
+use crate::report::{f2, write_report, Table};
+use crate::runner::{run_pair, run_single};
+use crate::RunCfg;
+
+/// Scavenger-role protocols of the Fig.-7 bars.
+pub const SCAV_ROLES: &[&str] = &["Proteus-S", "LEDBAT", "Proteus-P", "COPA"];
+
+/// Runs the Fig.-7 experiment.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let secs = if cfg.quick { 25.0 } else { 60.0 };
+    let mut t = Table::new(
+        "Fig 7: 95th-pct RTT ratio (with scavenger / alone), 375 KB buffer",
+        &{
+            let mut h = vec!["primary"];
+            h.extend(SCAV_ROLES);
+            h
+        },
+    );
+    let link = LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+    for &primary in PRIMARIES {
+        let alone = run_single(primary, link, secs, cfg.seed);
+        let p95_alone = alone.flows[0].rtt_percentile(95.0).unwrap_or(0.030);
+        let mut row = vec![primary.to_string()];
+        for &scav in SCAV_ROLES {
+            if scav == primary {
+                row.push("-".into());
+                continue;
+            }
+            let both = run_pair(primary, scav, link, secs, cfg.seed);
+            let p95 = both.flows[0].rtt_percentile(95.0).unwrap_or(p95_alone);
+            row.push(f2(p95 / p95_alone));
+        }
+        t.row(row);
+    }
+    let text = format!("{}\n", t.render());
+    write_report("fig7", &text, &[&t]);
+    text
+}

@@ -1,0 +1,111 @@
+//! One module per figure/table of the paper; see each module's docs for the
+//! exact setup. [`registry`] lists every runnable experiment.
+
+pub mod ablation;
+pub mod appendix_b;
+pub mod equilibrium;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod video_util;
+pub mod wifi;
+
+use crate::RunCfg;
+
+/// A runnable experiment.
+pub struct Experiment {
+    /// CLI identifier (e.g. `"fig3"`).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub description: &'static str,
+    /// Entry point.
+    pub run: fn(RunCfg) -> String,
+}
+
+/// All experiments, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig2",
+            description: "PDF of RTT deviation/gradient under Poisson CUBIC flows + confusion probability",
+            run: fig2::run_experiment,
+        },
+        Experiment {
+            id: "fig3",
+            description: "Bottleneck saturation with varying buffer size (throughput + inflation)",
+            run: fig3::run_experiment,
+        },
+        Experiment {
+            id: "fig4",
+            description: "Random-loss tolerance",
+            run: fig4::run_experiment,
+        },
+        Experiment {
+            id: "fig5",
+            description: "Jain's fairness index vs number of flows",
+            run: fig5::run_experiment,
+        },
+        Experiment {
+            id: "fig6",
+            description: "Scavenger vs primary: throughput ratio and utilization",
+            run: fig6::run_experiment,
+        },
+        Experiment {
+            id: "fig7",
+            description: "95th-percentile RTT ratio under competition",
+            run: fig7::run_experiment,
+        },
+        Experiment {
+            id: "fig8",
+            description: "Primary throughput ratio CDF across bottleneck configurations",
+            run: fig8::run_experiment,
+        },
+        Experiment {
+            id: "fig9",
+            description: "WiFi single-flow throughput + yielding CDFs (also covers fig10/21/22)",
+            run: wifi::run_experiment,
+        },
+        Experiment {
+            id: "fig11",
+            description: "DASH bitrate and page-load time with background scavengers",
+            run: fig11::run_experiment,
+        },
+        Experiment {
+            id: "fig12",
+            description: "Proteus-H vs Proteus-P: adaptive video bitrate/rebuffering",
+            run: fig12::run_experiment,
+        },
+        Experiment {
+            id: "fig13",
+            description: "Proteus-H vs Proteus-P: forced-max-bitrate rebuffering",
+            run: fig12::run_experiment_forced,
+        },
+        Experiment {
+            id: "fig14",
+            description: "BBR-S: RTT-deviation yielding grafted onto BBR",
+            run: fig14::run_experiment,
+        },
+        Experiment {
+            id: "appB",
+            description: "Appendix B: LEDBAT-25 cannot be saved by tuning (figs 15-20)",
+            run: appendix_b::run_experiment,
+        },
+        Experiment {
+            id: "ablation",
+            description: "Design ablations: each S5 noise mechanism, majority rule, deviation coefficient",
+            run: ablation::run_experiment,
+        },
+        Experiment {
+            id: "theory",
+            description: "Appendix A equilibria + S4.4 hybrid ideal allocation",
+            run: equilibrium::run_experiment,
+        },
+    ]
+}

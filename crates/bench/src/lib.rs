@@ -1,0 +1,58 @@
+//! Experiment harness regenerating every table and figure of *PCC Proteus:
+//! Scavenger Transport And Beyond* (SIGCOMM 2020).
+//!
+//! Each `experiments::figN` module reproduces one figure of the paper's
+//! evaluation (§6 and Appendix B): it builds the same workload on the
+//! simulated dumbbell, sweeps the same parameters, and prints the same
+//! rows/series the paper plots. Run them with:
+//!
+//! ```text
+//! cargo run -p proteus-bench --release --bin repro -- all
+//! cargo run -p proteus-bench --release --bin repro -- fig3 fig6
+//! cargo run -p proteus-bench --release --bin repro -- --quick all
+//! ```
+//!
+//! Reports are printed and also written under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod protocols;
+pub mod report;
+pub mod runner;
+
+pub use protocols::{cc, PRIMARIES, SCAVENGERS};
+pub use report::Table;
+pub use runner::{run_pair, run_single, tail_mbps, tail_window};
+
+/// Global knobs for an experiment invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCfg {
+    /// Reduced sweeps/horizons for smoke testing.
+    pub quick: bool,
+    /// Base RNG seed; trials offset from it.
+    pub seed: u64,
+    /// Number of trials to average where the paper averages ≥ 10.
+    pub trials: u64,
+}
+
+impl RunCfg {
+    /// Default full-fidelity configuration.
+    pub fn full() -> Self {
+        Self {
+            quick: false,
+            seed: 1,
+            trials: 3,
+        }
+    }
+
+    /// Quick smoke-test configuration.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            seed: 1,
+            trials: 1,
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The protocol registry: every congestion controller the paper evaluates,
+//! constructible by name.
+
+use proteus_baselines::{Bbr, Copa, Cubic, FixedRateProbe, Ledbat, Reno, ScavengerMod};
+use proteus_core::{Mode, ProteusSender, SharedThreshold};
+use proteus_transport::CongestionControl;
+
+/// The primary protocols of §6 (plus Reno as an extra reference).
+pub const PRIMARIES: &[&str] = &["CUBIC", "BBR", "COPA", "Proteus-P", "PCC-Vivace"];
+
+/// The scavengers compared throughout §6 (plus the Appendix-B LEDBAT-25 and
+/// the §7.1 BBR-S).
+pub const SCAVENGERS: &[&str] = &["Proteus-S", "LEDBAT", "LEDBAT-25", "BBR-S"];
+
+/// All single-flow protocols of Fig. 3/4/5.
+pub const ALL_FIG3: &[&str] = &[
+    "Proteus-S",
+    "LEDBAT",
+    "CUBIC",
+    "BBR",
+    "Proteus-P",
+    "COPA",
+    "PCC-Vivace",
+];
+
+/// Builds a controller by display name. Probe rates are written as
+/// `"probe:<mbps>"`. Hybrid senders are built via [`hybrid`].
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn cc(name: &str, seed: u64) -> Box<dyn CongestionControl> {
+    match name {
+        "CUBIC" => Box::new(Cubic::new()),
+        "Reno" => Box::new(Reno::new()),
+        "BBR" => Box::new(Bbr::new()),
+        "BBR-S" => Box::new(Bbr::scavenger_with(ScavengerMod::calibrated_for_sim())),
+        "COPA" => Box::new(Copa::new()),
+        "LEDBAT" => Box::new(Ledbat::new()),
+        "LEDBAT-25" => Box::new(Ledbat::draft25()),
+        "Proteus-P" => Box::new(ProteusSender::primary(seed)),
+        "Proteus-S" => Box::new(ProteusSender::scavenger(seed)),
+        "PCC-Vivace" => Box::new(ProteusSender::vivace(seed)),
+        "PCC-Allegro" => Box::new(ProteusSender::allegro(seed)),
+        "Vegas" => Box::new(proteus_baselines::Vegas::new()),
+        other => {
+            if let Some(rate) = other.strip_prefix("probe:") {
+                let mbps: f64 = rate.parse().expect("probe:<mbps>");
+                return Box::new(FixedRateProbe::mbps(mbps));
+            }
+            panic!("unknown protocol {other}")
+        }
+    }
+}
+
+/// Builds a Proteus-H sender bound to a shared threshold cell.
+pub fn hybrid(seed: u64, threshold: SharedThreshold) -> Box<dyn CongestionControl> {
+    Box::new(ProteusSender::with_config(
+        proteus_core::ProteusConfig::proteus().with_seed(seed),
+        Mode::Hybrid(threshold),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_everything() {
+        for name in PRIMARIES.iter().chain(SCAVENGERS).chain(ALL_FIG3) {
+            let c = cc(name, 1);
+            assert!(!c.name().is_empty());
+        }
+        let p = cc("probe:20", 1);
+        assert_eq!(p.pacing_rate(), Some(2_500_000.0));
+        let h = hybrid(1, SharedThreshold::new(10.0));
+        assert_eq!(h.name(), "Proteus-H");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_name_panics() {
+        let _ = cc("TCP-Tahoe", 1);
+    }
+}

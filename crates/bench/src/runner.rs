@@ -1,0 +1,68 @@
+//! Shared scenario runners for the experiment modules.
+
+use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario, SimResult};
+use proteus_transport::{Dur, Time};
+
+use crate::protocols::cc;
+
+/// Measurement window: the last 2/3 of a run (skipping convergence).
+pub fn tail_window(secs: f64) -> (Time, Time) {
+    (Time::from_secs_f64(secs / 3.0), Time::from_secs_f64(secs))
+}
+
+/// Mean goodput of flow `idx` over the tail window, Mbps.
+pub fn tail_mbps(res: &SimResult, idx: usize, secs: f64) -> f64 {
+    let (a, b) = tail_window(secs);
+    res.flows[idx].throughput_mbps(a, b)
+}
+
+/// Runs one bulk flow of `name` over `link` for `secs` seconds.
+pub fn run_single(name: &'static str, link: LinkSpec, secs: f64, seed: u64) -> SimResult {
+    let sc = Scenario::new(link, Dur::from_secs_f64(secs))
+        .flow(FlowSpec::bulk(name, Dur::ZERO, move || cc(name, seed ^ 0xA5)))
+        .with_seed(seed)
+        .with_rtt_stride(2);
+    run(sc)
+}
+
+/// Runs `primary` (starting at 0) against `scavenger` (starting at 5 s).
+/// Flow 0 is the primary.
+pub fn run_pair(
+    primary: &'static str,
+    scavenger: &'static str,
+    link: LinkSpec,
+    secs: f64,
+    seed: u64,
+) -> SimResult {
+    let sc = Scenario::new(link, Dur::from_secs_f64(secs))
+        .flow(FlowSpec::bulk(primary, Dur::ZERO, move || {
+            cc(primary, seed ^ 0xA5)
+        }))
+        .flow(FlowSpec::bulk(scavenger, Dur::from_secs(5), move || {
+            cc(scavenger, seed ^ 0x5A)
+        }))
+        .with_seed(seed)
+        .with_rtt_stride(2);
+    run(sc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_runner_produces_throughput() {
+        let link = LinkSpec::new(20.0, Dur::from_millis(20), 100_000);
+        let res = run_single("CUBIC", link, 10.0, 3);
+        assert!(tail_mbps(&res, 0, 10.0) > 15.0);
+    }
+
+    #[test]
+    fn pair_runner_orders_flows() {
+        let link = LinkSpec::new(20.0, Dur::from_millis(20), 100_000);
+        let res = run_pair("CUBIC", "LEDBAT", link, 15.0, 3);
+        assert_eq!(res.flows[0].name, "CUBIC");
+        assert_eq!(res.flows[1].name, "LEDBAT");
+        assert!(res.flows[1].started_at.unwrap() > res.flows[0].started_at.unwrap());
+    }
+}

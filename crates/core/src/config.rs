@@ -1,0 +1,239 @@
+//! Parameters of the Proteus utility functions, rate controller and noise
+//! tolerance, with the paper's defaults.
+
+use proteus_transport::Dur;
+
+/// Utility-function parameters (§4.1–§4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityParams {
+    /// Throughput exponent `d` in `x^d` (paper default 0.9; must be in
+    /// `(0, 1)` for concavity).
+    pub exponent: f64,
+    /// RTT-gradient coefficient `b` (default 900, sized for up to 1000
+    /// competing senders on a ≤1000 Mbps bottleneck).
+    pub gradient_coef: f64,
+    /// Loss coefficient `c` (default 11.35, tolerating up to 5 % random
+    /// loss).
+    pub loss_coef: f64,
+    /// RTT-deviation coefficient `d` of the scavenger penalty (default 1500,
+    /// with deviation measured in seconds).
+    pub deviation_coef: f64,
+}
+
+impl Default for UtilityParams {
+    fn default() -> Self {
+        Self {
+            exponent: 0.9,
+            gradient_coef: 900.0,
+            loss_coef: 11.35,
+            deviation_coef: 1500.0,
+        }
+    }
+}
+
+/// How probing decisions are made from repeated rate-pair trials (§5
+/// "Majority Rule").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeRule {
+    /// PCC Vivace: two pairs; move only if both agree.
+    Agreement,
+    /// Proteus: three pairs; move by majority.
+    Majority,
+}
+
+impl ProbeRule {
+    /// Number of rate pairs tried per probing round.
+    pub fn pairs(self) -> usize {
+        match self {
+            ProbeRule::Agreement => 2,
+            ProbeRule::Majority => 3,
+        }
+    }
+}
+
+/// Noise-tolerance configuration (§5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseTolerance {
+    /// PCC Vivace's flat threshold: RTT gradients with magnitude below this
+    /// value are ignored.
+    FixedThreshold(f64),
+    /// Proteus' adaptive mechanisms.
+    Adaptive(AdaptiveNoiseParams),
+}
+
+/// Parameters of Proteus' adaptive noise tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveNoiseParams {
+    /// Per-ACK filter: consecutive ACK-interval ratio that marks a burst
+    /// (paper: 50).
+    pub ack_interval_ratio: f64,
+    /// Whether the per-MI regression-error gate is active (ablation knob;
+    /// the paper always enables it).
+    pub per_mi_tolerance: bool,
+    /// Number of recent MIs kept for the trending metrics (paper: k = 6).
+    pub trend_window: usize,
+    /// Whether the trending gates are active (ablation knob).
+    pub trending_tolerance: bool,
+    /// Gradient gate gain `G1` (paper: 2).
+    pub g1: f64,
+    /// Deviation gate gain `G2` (paper: 4).
+    pub g2: f64,
+}
+
+impl Default for AdaptiveNoiseParams {
+    fn default() -> Self {
+        Self {
+            ack_interval_ratio: 50.0,
+            per_mi_tolerance: true,
+            trend_window: 6,
+            trending_tolerance: true,
+            g1: 2.0,
+            g2: 4.0,
+        }
+    }
+}
+
+/// Rate-controller parameters (PCC Vivace gradient ascent, §3/§5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateControlParams {
+    /// Probing perturbation ε: pairs test `rate·(1±ε)` (Vivace default 5 %).
+    pub epsilon: f64,
+    /// Probing decision rule.
+    pub probe_rule: ProbeRule,
+    /// Gradient-to-rate conversion factor γ (Mbps² per utility unit).
+    pub gamma: f64,
+    /// Initial dynamic rate-change bound ω₀ (fraction of current rate).
+    pub omega_init: f64,
+    /// Per-consecutive-step increment of the bound.
+    pub omega_step: f64,
+    /// Maximum bound.
+    pub omega_max: f64,
+    /// Initial sending rate, Mbps.
+    pub initial_rate_mbps: f64,
+    /// Smallest rate the controller will use, Mbps.
+    pub min_rate_mbps: f64,
+}
+
+impl Default for RateControlParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.05,
+            probe_rule: ProbeRule::Majority,
+            gamma: 1.0,
+            omega_init: 0.05,
+            omega_step: 0.05,
+            omega_max: 0.25,
+            initial_rate_mbps: 2.0,
+            min_rate_mbps: 0.10,
+        }
+    }
+}
+
+/// Monitor-interval timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiParams {
+    /// Lower bound on MI duration.
+    pub min_duration: Dur,
+    /// Upper bound on MI duration.
+    pub max_duration: Dur,
+}
+
+impl Default for MiParams {
+    fn default() -> Self {
+        Self {
+            min_duration: Dur::from_millis(10),
+            max_duration: Dur::from_millis(500),
+        }
+    }
+}
+
+/// Complete configuration of a Proteus (or Vivace) sender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProteusConfig {
+    /// Utility-function coefficients.
+    pub utility: UtilityParams,
+    /// Rate-controller parameters.
+    pub rate_control: RateControlParams,
+    /// Noise-tolerance mechanism.
+    pub noise: NoiseTolerance,
+    /// MI timing.
+    pub mi: MiParams,
+    /// Seed for the controller's internal randomness (probing order).
+    pub seed: u64,
+}
+
+impl Default for ProteusConfig {
+    fn default() -> Self {
+        Self::proteus()
+    }
+}
+
+impl ProteusConfig {
+    /// The paper's Proteus configuration: majority-rule probing and adaptive
+    /// noise tolerance.
+    pub fn proteus() -> Self {
+        Self {
+            utility: UtilityParams::default(),
+            rate_control: RateControlParams::default(),
+            noise: NoiseTolerance::Adaptive(AdaptiveNoiseParams::default()),
+            mi: MiParams::default(),
+            seed: 7,
+        }
+    }
+
+    /// PCC Vivace as published: two-pair agreement probing and a flat
+    /// gradient threshold (no adaptive tolerance).
+    pub fn vivace() -> Self {
+        Self {
+            utility: UtilityParams::default(),
+            rate_control: RateControlParams {
+                probe_rule: ProbeRule::Agreement,
+                ..RateControlParams::default()
+            },
+            noise: NoiseTolerance::FixedThreshold(0.01),
+            mi: MiParams::default(),
+            seed: 7,
+        }
+    }
+
+    /// Returns a copy with the given RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let u = UtilityParams::default();
+        assert_eq!(u.exponent, 0.9);
+        assert_eq!(u.gradient_coef, 900.0);
+        assert_eq!(u.loss_coef, 11.35);
+        assert_eq!(u.deviation_coef, 1500.0);
+        let n = AdaptiveNoiseParams::default();
+        assert_eq!(n.ack_interval_ratio, 50.0);
+        assert_eq!(n.trend_window, 6);
+        assert_eq!(n.g1, 2.0);
+        assert_eq!(n.g2, 4.0);
+    }
+
+    #[test]
+    fn probe_rule_pair_counts() {
+        assert_eq!(ProbeRule::Agreement.pairs(), 2);
+        assert_eq!(ProbeRule::Majority.pairs(), 3);
+    }
+
+    #[test]
+    fn vivace_config_differs() {
+        let v = ProteusConfig::vivace();
+        assert_eq!(v.rate_control.probe_rule, ProbeRule::Agreement);
+        assert!(matches!(v.noise, NoiseTolerance::FixedThreshold(_)));
+        let p = ProteusConfig::proteus();
+        assert_eq!(p.rate_control.probe_rule, ProbeRule::Majority);
+        assert!(matches!(p.noise, NoiseTolerance::Adaptive(_)));
+    }
+}

@@ -1,0 +1,412 @@
+//! Latency-noise tolerance (§5).
+//!
+//! Proteus' scavenger utility is deliberately sensitive to RTT dynamics, so
+//! non-congestion noise (WiFi MAC scheduling, channel variation) would make
+//! it back off for no reason. Three mechanisms defend against that:
+//!
+//! 1. **Per-ACK RTT sample filtering** ([`AckIntervalFilter`]): when the
+//!    ratio between two consecutive ACK inter-arrival intervals exceeds a
+//!    threshold (50), the reception is a burst — all RTT samples are
+//!    dropped until one falls below the exponentially weighted moving RTT
+//!    average.
+//! 2. **Per-MI regression-error tolerance**: if the magnitude of the MI's
+//!    RTT gradient is smaller than the normalized RMS residual of its own
+//!    linear fit, the gradient is statistically meaningless — both it and
+//!    the RTT deviation are zeroed.
+//! 3. **MI-history trending tolerance**: the mean RTT and RTT deviation of
+//!    the last k = 6 MIs yield a *trending gradient* (least-squares slope
+//!    over the stored means) and *trending deviation* (std-dev of the
+//!    stored deviations). Each is tracked with a kernel-style EWMA +
+//!    mean-deviation estimator; a fresh sample several deviations away from
+//!    its average (G1 = 2 for the gradient, G2 = 4 for the deviation) is
+//!    statistically unlikely to be noise and **cannot be ignored**.
+//!
+//! Interpretation note: the paper's §5 pseudocode zeroes the per-MI metrics
+//! when the trending sample is *within* its noise band, and the prose says
+//! trending exists so that a slow-but-persistent RTT increase (hidden by
+//! mechanism 2) still triggers a reaction. We therefore implement the
+//! trending gate as an *override*: a signal suppressed by the per-MI gate is
+//! restored when its trending metric is significant, and a signal the
+//! per-MI gate kept is never suppressed by the trending gate. This
+//! satisfies both of the paper's stated goals (saturate a stable bottleneck;
+//! keep latency sensitivity against slow inflation).
+
+use std::collections::VecDeque;
+
+use proteus_stats::{LinearRegression, MeanDeviationTracker, Welford};
+use proteus_transport::{AckInfo, Dur, MiStats, Time};
+
+use crate::config::{AdaptiveNoiseParams, NoiseTolerance};
+
+/// Per-ACK burst filter (§5 "RTT Sample Filtering").
+#[derive(Debug, Clone)]
+pub struct AckIntervalFilter {
+    ratio_threshold: f64,
+    last_ack_at: Option<Time>,
+    last_interval: Option<Dur>,
+    /// When `true`, RTT samples are dropped until one dips below the moving
+    /// average.
+    filtering: bool,
+    /// EWMA of accepted RTT samples, seconds.
+    rtt_avg: Option<f64>,
+    /// Counters for diagnostics.
+    dropped: u64,
+    accepted: u64,
+}
+
+impl AckIntervalFilter {
+    /// Creates a filter with the given interval-ratio threshold (paper: 50).
+    pub fn new(ratio_threshold: f64) -> Self {
+        Self {
+            ratio_threshold,
+            last_ack_at: None,
+            last_interval: None,
+            filtering: false,
+            rtt_avg: None,
+            dropped: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Processes one ACK; returns `true` when its RTT sample should feed the
+    /// latency metrics.
+    pub fn on_ack(&mut self, ack: &AckInfo) -> bool {
+        let now = ack.recv_at;
+        let rtt_s = ack.rtt.as_secs_f64();
+
+        let interval = self.last_ack_at.map(|t| now.since(t));
+        self.last_ack_at = Some(now);
+
+        if let (Some(prev), Some(cur)) = (self.last_interval, interval) {
+            let a = prev.as_secs_f64().max(1e-9);
+            let b = cur.as_secs_f64().max(1e-9);
+            let ratio = if a > b { a / b } else { b / a };
+            if ratio > self.ratio_threshold {
+                self.filtering = true;
+            }
+        }
+        if let Some(cur) = interval {
+            self.last_interval = Some(cur);
+        }
+
+        if self.filtering {
+            // Resume once an RTT at or below the moving average appears.
+            match self.rtt_avg {
+                Some(avg) if rtt_s <= avg => self.filtering = false,
+                _ => {
+                    self.dropped += 1;
+                    return false;
+                }
+            }
+        }
+
+        // EWMA over accepted samples (1/8 gain, like srtt).
+        self.rtt_avg = Some(match self.rtt_avg {
+            None => rtt_s,
+            Some(avg) => avg + (rtt_s - avg) / 8.0,
+        });
+        self.accepted += 1;
+        true
+    }
+
+    /// Whether the filter is currently dropping samples.
+    pub fn is_filtering(&self) -> bool {
+        self.filtering
+    }
+
+    /// (accepted, dropped) sample counts.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.accepted, self.dropped)
+    }
+}
+
+/// Outcome of noise-processing one MI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatedMetrics {
+    /// RTT gradient after gating (zeroed when judged noise).
+    pub rtt_gradient: f64,
+    /// RTT deviation after gating.
+    pub rtt_deviation: f64,
+    /// Whether the per-MI regression-error gate fired.
+    pub per_mi_gated: bool,
+    /// Whether the trending gate restored the gradient.
+    pub trend_restored_gradient: bool,
+    /// Whether the trending gate restored the deviation.
+    pub trend_restored_deviation: bool,
+}
+
+/// Per-MI noise gate: either Vivace's flat threshold or Proteus' adaptive
+/// per-MI + trending mechanisms.
+#[derive(Debug)]
+pub enum MiNoiseGate {
+    /// Flat |gradient| threshold (PCC Vivace).
+    Fixed {
+        /// The threshold below which gradients are zeroed.
+        threshold: f64,
+    },
+    /// Proteus' adaptive gates.
+    Adaptive(AdaptiveGate),
+}
+
+/// State of the adaptive (Proteus) gate.
+#[derive(Debug)]
+pub struct AdaptiveGate {
+    params: AdaptiveNoiseParams,
+    /// `(mi_mean_rtt, mi_rtt_dev)` of the most recent k MIs.
+    history: VecDeque<(f64, f64)>,
+    trend_grad_tracker: MeanDeviationTracker,
+    trend_dev_tracker: MeanDeviationTracker,
+}
+
+impl MiNoiseGate {
+    /// Builds the gate from a configuration.
+    pub fn new(cfg: NoiseTolerance) -> Self {
+        match cfg {
+            NoiseTolerance::FixedThreshold(threshold) => MiNoiseGate::Fixed { threshold },
+            NoiseTolerance::Adaptive(params) => MiNoiseGate::Adaptive(AdaptiveGate {
+                params,
+                history: VecDeque::new(),
+                trend_grad_tracker: MeanDeviationTracker::kernel_style(),
+                trend_dev_tracker: MeanDeviationTracker::kernel_style(),
+            }),
+        }
+    }
+
+    /// Applies the gate to a completed MI's latency metrics.
+    pub fn process(&mut self, mi: &MiStats) -> GatedMetrics {
+        match self {
+            MiNoiseGate::Fixed { threshold } => {
+                let keep = mi.rtt_gradient.abs() >= *threshold;
+                GatedMetrics {
+                    rtt_gradient: if keep { mi.rtt_gradient } else { 0.0 },
+                    rtt_deviation: mi.rtt_dev,
+                    per_mi_gated: !keep,
+                    trend_restored_gradient: false,
+                    trend_restored_deviation: false,
+                }
+            }
+            MiNoiseGate::Adaptive(gate) => gate.process(mi),
+        }
+    }
+}
+
+impl AdaptiveGate {
+    fn process(&mut self, mi: &MiStats) -> GatedMetrics {
+        // Stage 1: per-MI regression-error tolerance.
+        let per_mi_gated =
+            self.params.per_mi_tolerance && mi.rtt_gradient.abs() < mi.gradient_error;
+
+        // Stage 2: trending metrics over the last k MIs.
+        self.history.push_back((mi.rtt_mean, mi.rtt_dev));
+        while self.history.len() > self.params.trend_window {
+            self.history.pop_front();
+        }
+
+        let mut grad_significant = false;
+        let mut dev_significant = false;
+        if self.params.trending_tolerance && self.history.len() == self.params.trend_window {
+            let points: Vec<(f64, f64)> = self
+                .history
+                .iter()
+                .enumerate()
+                .map(|(j, &(mean, _))| (j as f64 + 1.0, mean))
+                .collect();
+            let trending_gradient = LinearRegression::fit(&points)
+                .map(|f| f.slope)
+                .unwrap_or(0.0);
+            let mut dev_acc = Welford::new();
+            for &(_, d) in &self.history {
+                dev_acc.add(d);
+            }
+            let trending_deviation = dev_acc.std_dev();
+
+            // Compare against the running averages *before* absorbing the
+            // new samples, then update.
+            grad_significant = !self
+                .trend_grad_tracker
+                .within_band(trending_gradient, self.params.g1);
+            dev_significant = !self
+                .trend_dev_tracker
+                .below_band(trending_deviation, self.params.g2);
+            self.trend_grad_tracker.update(trending_gradient);
+            self.trend_dev_tracker.update(trending_deviation);
+        }
+
+        let keep_gradient = !per_mi_gated || grad_significant;
+        let keep_deviation = !per_mi_gated || dev_significant;
+        GatedMetrics {
+            rtt_gradient: if keep_gradient { mi.rtt_gradient } else { 0.0 },
+            rtt_deviation: if keep_deviation { mi.rtt_dev } else { 0.0 },
+            per_mi_gated,
+            trend_restored_gradient: per_mi_gated && grad_significant,
+            trend_restored_deviation: per_mi_gated && dev_significant,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NoiseTolerance;
+
+    fn ack_at(ms: u64, rtt_ms: u64) -> AckInfo {
+        AckInfo {
+            seq: 0,
+            bytes: 1500,
+            sent_at: Time::from_millis(ms.saturating_sub(rtt_ms)),
+            recv_at: Time::from_millis(ms),
+            rtt: Dur::from_millis(rtt_ms),
+            one_way_delay: Dur::from_millis(rtt_ms / 2),
+        }
+    }
+
+    fn mi(gradient: f64, error: f64, dev: f64, mean: f64) -> MiStats {
+        MiStats {
+            id: 0,
+            start: Time::ZERO,
+            end: Time::from_millis(30),
+            target_rate: 1e6,
+            bytes_sent: 30_000,
+            bytes_acked: 30_000,
+            bytes_lost: 0,
+            pkts_sent: 20,
+            pkts_acked: 20,
+            pkts_lost: 0,
+            throughput: 1e6,
+            send_rate: 1e6,
+            loss_rate: 0.0,
+            rtt_mean: mean,
+            rtt_dev: dev,
+            rtt_gradient: gradient,
+            gradient_error: error,
+            rtt_samples: 20,
+            rtt_min: mean - dev,
+            rtt_max: mean + dev,
+        }
+    }
+
+    #[test]
+    fn ack_filter_passes_smooth_stream() {
+        let mut f = AckIntervalFilter::new(50.0);
+        for i in 0..100 {
+            assert!(f.on_ack(&ack_at(100 + i, 30)), "sample {i} dropped");
+        }
+        assert_eq!(f.counts().1, 0);
+    }
+
+    #[test]
+    fn ack_filter_drops_after_burst_until_rtt_normalizes() {
+        let mut f = AckIntervalFilter::new(50.0);
+        // Smooth 1ms spacing establishes the EWMA at ~30ms.
+        for i in 0..50 {
+            f.on_ack(&ack_at(100 + i, 30));
+        }
+        // 200ms silence then a burst with 0.1ms spacing and inflated RTTs:
+        // interval ratio 200/0.1 = 2000 > 50.
+        let burst_start = 350;
+        // The gap ACK itself already trips the interval-ratio trigger, and
+        // its inflated RTT keeps it filtered.
+        assert!(!f.on_ack(&ack_at(burst_start, 90)));
+        let mut dropped = 0;
+        for i in 1..10 {
+            let a = AckInfo {
+                recv_at: Time::from_nanos(burst_start * 1_000_000 + i * 100_000),
+                ..ack_at(burst_start, 90)
+            };
+            if !f.on_ack(&a) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped >= 8, "dropped = {dropped}");
+        assert!(f.is_filtering());
+        // An RTT back at the average ends the episode.
+        assert!(f.on_ack(&ack_at(burst_start + 50, 29)));
+        assert!(!f.is_filtering());
+    }
+
+    #[test]
+    fn fixed_gate_zeroes_small_gradients_only() {
+        let mut g = MiNoiseGate::new(NoiseTolerance::FixedThreshold(0.01));
+        let out = g.process(&mi(0.005, 0.0, 0.002, 0.03));
+        assert_eq!(out.rtt_gradient, 0.0);
+        assert!(out.per_mi_gated);
+        let out = g.process(&mi(0.05, 0.0, 0.002, 0.03));
+        assert_eq!(out.rtt_gradient, 0.05);
+        // Fixed gate never touches deviation (Vivace doesn't use it).
+        assert_eq!(out.rtt_deviation, 0.002);
+    }
+
+    #[test]
+    fn per_mi_gate_zeroes_gradient_below_residual() {
+        let mut g = MiNoiseGate::new(NoiseTolerance::Adaptive(AdaptiveNoiseParams::default()));
+        // Gradient 0.002 but residual 0.01: statistically meaningless.
+        let out = g.process(&mi(0.002, 0.01, 0.003, 0.03));
+        assert_eq!(out.rtt_gradient, 0.0);
+        assert_eq!(out.rtt_deviation, 0.0);
+        assert!(out.per_mi_gated);
+    }
+
+    #[test]
+    fn clear_gradient_passes_adaptive_gate() {
+        let mut g = MiNoiseGate::new(NoiseTolerance::Adaptive(AdaptiveNoiseParams::default()));
+        let out = g.process(&mi(0.05, 0.001, 0.004, 0.03));
+        assert_eq!(out.rtt_gradient, 0.05);
+        assert_eq!(out.rtt_deviation, 0.004);
+        assert!(!out.per_mi_gated);
+    }
+
+    #[test]
+    fn trending_restores_slow_persistent_inflation() {
+        let mut g = MiNoiseGate::new(NoiseTolerance::Adaptive(AdaptiveNoiseParams::default()));
+        // Long quiet phase: builds trending history with flat means.
+        for _ in 0..30 {
+            g.process(&mi(0.0005, 0.002, 0.0003, 0.030));
+        }
+        // Slow persistent inflation: per-MI gradient stays under the
+        // residual each MI, but the MI means climb steadily — the trending
+        // gradient leaves its historical band and the signal is restored.
+        let mut restored = false;
+        for step in 0..12 {
+            let mean = 0.030 + 0.002 * step as f64;
+            let out = g.process(&mi(0.0015, 0.002, 0.0008, mean));
+            if out.rtt_gradient != 0.0 {
+                restored = true;
+            }
+        }
+        assert!(restored, "trending gate never restored the gradient");
+    }
+
+    #[test]
+    fn trending_restores_deviation_on_competition_onset() {
+        let mut g = MiNoiseGate::new(NoiseTolerance::Adaptive(AdaptiveNoiseParams::default()));
+        for _ in 0..30 {
+            g.process(&mi(0.0005, 0.002, 0.0002, 0.030));
+        }
+        // A competitor arrives: MI deviations jump an order of magnitude
+        // while the per-MI gate would have suppressed them (gradient within
+        // residual because the queue oscillates).
+        let mut restored = false;
+        for _ in 0..8 {
+            let out = g.process(&mi(0.0005, 0.002, 0.004, 0.034));
+            if out.rtt_deviation != 0.0 {
+                restored = true;
+            }
+        }
+        assert!(restored, "deviation never restored on onset");
+    }
+
+    #[test]
+    fn steady_noise_stays_suppressed() {
+        let mut g = MiNoiseGate::new(NoiseTolerance::Adaptive(AdaptiveNoiseParams::default()));
+        // Uniform noisy regime: deviations fluctuate but the trend is flat.
+        let mut kept = 0;
+        for i in 0..60 {
+            let dev = 0.001 + 0.0004 * ((i % 5) as f64);
+            let out = g.process(&mi(0.0005, 0.003, dev, 0.030));
+            if i >= 10 && out.rtt_deviation != 0.0 {
+                kept += 1;
+            }
+        }
+        assert!(kept <= 5, "noise leaked through {kept} times");
+    }
+}

@@ -1,0 +1,414 @@
+//! The Proteus sender: wires together monitor intervals, the utility
+//! library, noise tolerance and the Vivace rate controller behind the
+//! [`CongestionControl`] interface.
+//!
+//! This is the architecture of Fig. 1 in the paper: packet-level events feed
+//! a *utility module* (metric collection → utility function), whose values
+//! drive a *rate control module*; the two are decoupled, so an application
+//! can re-select the utility function — primary, scavenger, hybrid — at any
+//! time with [`ProteusSender::set_mode`], even mid-flow ("In our user-space
+//! implementation, this is a simple API call").
+
+use proteus_transport::{
+    AckInfo, CongestionControl, Dur, LossInfo, MiStats, MiTracker, RttEstimator, SentPacket,
+    Time,
+};
+
+use std::collections::VecDeque;
+
+use proteus_stats::Ewma;
+
+use crate::config::{NoiseTolerance, ProteusConfig};
+use crate::noise::{AckIntervalFilter, GatedMetrics, MiNoiseGate};
+use crate::rate_control::RateController;
+use crate::utility::{evaluate, MiObservation, Mode, SharedThreshold};
+
+/// One entry of the sender's diagnostic trace: what the utility module saw
+/// and decided for a completed monitor interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiTraceEntry {
+    /// MI end time.
+    pub at: Time,
+    /// Target rate of the MI, Mbps.
+    pub rate_mbps: f64,
+    /// Achieved goodput, Mbps.
+    pub goodput_mbps: f64,
+    /// Raw per-MI loss rate.
+    pub loss_rate: f64,
+    /// Latency metrics after the noise gates.
+    pub gated: GatedMetrics,
+    /// Resulting utility value.
+    pub utility: f64,
+    /// Active mode name at evaluation time.
+    pub mode: &'static str,
+}
+
+/// A Proteus (or PCC Vivace) sender.
+pub struct ProteusSender {
+    cfg: ProteusConfig,
+    mode: Mode,
+    tracker: MiTracker,
+    controller: RateController,
+    gate: MiNoiseGate,
+    /// Per-ACK burst filter; present only under adaptive noise tolerance.
+    ack_filter: Option<AckIntervalFilter>,
+    rtt: RttEstimator,
+    /// End of the currently open MI.
+    mi_end: Option<Time>,
+    /// Target rate of the open MI, Mbps.
+    current_rate_mbps: f64,
+    /// Smoothed per-MI loss rate: the raw per-MI sample is binomially noisy
+    /// (±1–2 % absolute at MI-sized packet counts), which would drown the
+    /// utility comparisons the controller relies on under sustained random
+    /// loss. The metric-collection stage smooths it with a short EWMA.
+    loss_ewma: Ewma,
+    /// History of (mode switch count) for diagnostics.
+    mode_switches: u64,
+    /// Most recent utility value (diagnostics).
+    last_utility: Option<f64>,
+    /// Ring buffer of recent per-MI decisions (empty unless enabled).
+    trace: VecDeque<MiTraceEntry>,
+    trace_capacity: usize,
+}
+
+impl ProteusSender {
+    /// Creates a sender with an explicit configuration and mode.
+    pub fn with_config(cfg: ProteusConfig, mode: Mode) -> Self {
+        let ack_filter = match cfg.noise {
+            NoiseTolerance::Adaptive(p) => Some(AckIntervalFilter::new(p.ack_interval_ratio)),
+            NoiseTolerance::FixedThreshold(_) => None,
+        };
+        Self {
+            mode,
+            tracker: MiTracker::new(),
+            controller: RateController::new(cfg.rate_control, cfg.seed),
+            gate: MiNoiseGate::new(cfg.noise),
+            ack_filter,
+            rtt: RttEstimator::new(),
+            mi_end: None,
+            current_rate_mbps: cfg.rate_control.initial_rate_mbps,
+            loss_ewma: Ewma::new(0.125),
+            mode_switches: 0,
+            last_utility: None,
+            trace: VecDeque::new(),
+            trace_capacity: 0,
+            cfg,
+        }
+    }
+
+    /// Enables the per-MI diagnostic trace, keeping the most recent
+    /// `capacity` entries (see [`MiTraceEntry`]). Useful for debugging why
+    /// a sender yielded or ramped.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// The recorded per-MI trace, oldest first.
+    pub fn trace(&self) -> impl Iterator<Item = &MiTraceEntry> {
+        self.trace.iter()
+    }
+
+    /// Proteus-P with the paper's defaults.
+    pub fn primary(seed: u64) -> Self {
+        Self::with_config(ProteusConfig::proteus().with_seed(seed), Mode::Primary)
+    }
+
+    /// Proteus-S with the paper's defaults.
+    pub fn scavenger(seed: u64) -> Self {
+        Self::with_config(ProteusConfig::proteus().with_seed(seed), Mode::Scavenger)
+    }
+
+    /// Proteus-H with the given shared threshold.
+    pub fn hybrid(seed: u64, threshold: SharedThreshold) -> Self {
+        Self::with_config(
+            ProteusConfig::proteus().with_seed(seed),
+            Mode::Hybrid(threshold),
+        )
+    }
+
+    /// PCC Vivace as published (agreement probing, flat noise threshold).
+    pub fn vivace(seed: u64) -> Self {
+        Self::with_config(ProteusConfig::vivace().with_seed(seed), Mode::Vivace)
+    }
+
+    /// PCC Allegro's loss-based utility on the shared rate controller
+    /// (NSDI'15 used a simpler controller; the objective is what matters
+    /// for comparisons here).
+    pub fn allegro(seed: u64) -> Self {
+        Self::with_config(ProteusConfig::vivace().with_seed(seed), Mode::Allegro)
+    }
+
+    /// Switches the utility function, even mid-flow (the paper's
+    /// *flexibility* goal). The rate controller keeps its state; only the
+    /// objective changes.
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode_switches += 1;
+        self.mode = mode;
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> &Mode {
+        &self.mode
+    }
+
+    /// Number of `set_mode` calls so far.
+    pub fn mode_switches(&self) -> u64 {
+        self.mode_switches
+    }
+
+    /// Current target rate, Mbps.
+    pub fn rate_mbps(&self) -> f64 {
+        self.current_rate_mbps
+    }
+
+    /// The most recent MI's utility value, if any.
+    pub fn last_utility(&self) -> Option<f64> {
+        self.last_utility
+    }
+
+    /// MI duration: one smoothed RTT, clamped to the configured bounds.
+    fn mi_duration(&self) -> Dur {
+        let srtt = self.rtt.srtt_or(Dur::from_millis(100));
+        srtt.clamp(self.cfg.mi.min_duration, self.cfg.mi.max_duration)
+    }
+
+    fn roll_mi(&mut self, now: Time) {
+        let rate = self.controller.next_mi_rate();
+        self.current_rate_mbps = rate;
+        self.tracker.start_mi(now, rate * 1e6 / 8.0);
+        self.mi_end = Some(now + self.mi_duration());
+    }
+
+    fn process_completed(&mut self, completed: Vec<MiStats>) {
+        for mi in completed {
+            // MIs with no packets (e.g. app-limited gaps) carry no signal.
+            if mi.pkts_sent == 0 {
+                self.controller.on_mi_complete(self.last_utility.unwrap_or(0.0));
+                continue;
+            }
+            let gated = self.gate.process(&mi);
+            let loss_rate = self.loss_ewma.update(mi.loss_rate);
+            let obs = MiObservation {
+                rate_mbps: mi.target_rate * 8.0 / 1e6,
+                loss_rate,
+                rtt_gradient: gated.rtt_gradient,
+                rtt_deviation: gated.rtt_deviation,
+            };
+            let u = evaluate(&self.mode, &self.cfg.utility, &obs);
+            self.last_utility = Some(u);
+            if self.trace_capacity > 0 {
+                if self.trace.len() == self.trace_capacity {
+                    self.trace.pop_front();
+                }
+                self.trace.push_back(MiTraceEntry {
+                    at: mi.end,
+                    rate_mbps: obs.rate_mbps,
+                    goodput_mbps: mi.throughput * 8.0 / 1e6,
+                    loss_rate: mi.loss_rate,
+                    gated,
+                    utility: u,
+                    mode: self.mode.name(),
+                });
+            }
+            self.controller.on_mi_complete(u);
+        }
+    }
+}
+
+impl std::fmt::Debug for ProteusSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProteusSender")
+            .field("mode", &self.mode.name())
+            .field("rate_mbps", &self.current_rate_mbps)
+            .field("mi_end", &self.mi_end)
+            .finish()
+    }
+}
+
+impl CongestionControl for ProteusSender {
+    fn name(&self) -> &str {
+        self.mode.name()
+    }
+
+    fn on_flow_start(&mut self, now: Time) {
+        self.roll_mi(now);
+    }
+
+    fn on_packet_sent(&mut self, _now: Time, pkt: &SentPacket) {
+        self.tracker.on_sent(pkt);
+    }
+
+    fn on_ack(&mut self, _now: Time, ack: &AckInfo) {
+        self.rtt.update(ack.rtt);
+        let keep_rtt = match &mut self.ack_filter {
+            Some(f) => f.on_ack(ack),
+            None => true,
+        };
+        let completed = self.tracker.on_ack_filtered(ack, keep_rtt);
+        self.process_completed(completed);
+    }
+
+    fn on_loss(&mut self, _now: Time, loss: &LossInfo) {
+        let completed = self.tracker.on_loss(loss);
+        self.process_completed(completed);
+    }
+
+    fn pacing_rate(&self) -> Option<f64> {
+        Some(self.current_rate_mbps * 1e6 / 8.0)
+    }
+
+    fn next_timer(&self) -> Option<Time> {
+        self.mi_end
+    }
+
+    fn on_timer(&mut self, now: Time) {
+        if let Some(end) = self.mi_end {
+            if now >= end {
+                self.roll_mi(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(seq: u64, sent: Time, now: Time) -> AckInfo {
+        AckInfo {
+            seq,
+            bytes: 1500,
+            sent_at: sent,
+            recv_at: now,
+            rtt: now.since(sent),
+            one_way_delay: Dur::from_nanos(now.since(sent).as_nanos() / 2),
+        }
+    }
+
+    #[test]
+    fn starts_first_mi_on_flow_start() {
+        let mut s = ProteusSender::primary(1);
+        assert_eq!(s.next_timer(), None);
+        s.on_flow_start(Time::from_millis(10));
+        assert!(s.next_timer().is_some());
+        assert!(s.pacing_rate().unwrap() > 0.0);
+        assert_eq!(s.name(), "Proteus-P");
+    }
+
+    #[test]
+    fn timer_rolls_monitor_intervals() {
+        let mut s = ProteusSender::primary(1);
+        s.on_flow_start(Time::ZERO);
+        let first_end = s.next_timer().unwrap();
+        s.on_timer(first_end);
+        let second_end = s.next_timer().unwrap();
+        assert!(second_end > first_end);
+    }
+
+    #[test]
+    fn slow_start_doubles_rate_through_sim_events() {
+        let mut s = ProteusSender::primary(1);
+        s.on_flow_start(Time::ZERO);
+        let r0 = s.rate_mbps();
+        s.on_timer(s.next_timer().unwrap());
+        let r1 = s.rate_mbps();
+        assert!((r1 / r0 - 2.0).abs() < 1e-9, "expected doubling: {r0} -> {r1}");
+    }
+
+    #[test]
+    fn mode_switch_mid_flow() {
+        let mut s = ProteusSender::primary(1);
+        s.on_flow_start(Time::ZERO);
+        assert_eq!(s.name(), "Proteus-P");
+        s.set_mode(Mode::Scavenger);
+        assert_eq!(s.name(), "Proteus-S");
+        assert_eq!(s.mode_switches(), 1);
+        let th = SharedThreshold::new(25.0);
+        s.set_mode(Mode::Hybrid(th));
+        assert_eq!(s.name(), "Proteus-H");
+    }
+
+    #[test]
+    fn utility_flows_from_acks_to_controller() {
+        let mut s = ProteusSender::primary(1);
+        s.on_flow_start(Time::ZERO);
+        // Send a packet in MI 0, roll the MI, ack it: MI 0 completes.
+        let pkt = SentPacket {
+            seq: 0,
+            bytes: 1500,
+            sent_at: Time::from_millis(1),
+        };
+        s.on_packet_sent(Time::from_millis(1), &pkt);
+        s.on_timer(s.next_timer().unwrap());
+        assert_eq!(s.last_utility(), None);
+        s.on_ack(
+            Time::from_millis(31),
+            &ack(0, Time::from_millis(1), Time::from_millis(31)),
+        );
+        assert!(s.last_utility().is_some());
+    }
+
+    #[test]
+    fn vivace_has_no_ack_filter() {
+        let v = ProteusSender::vivace(1);
+        assert!(v.ack_filter.is_none());
+        assert_eq!(v.name(), "PCC-Vivace");
+        let p = ProteusSender::primary(1);
+        assert!(p.ack_filter.is_some());
+    }
+
+    #[test]
+    fn trace_records_mi_decisions() {
+        let mut s = ProteusSender::scavenger(1).with_trace(4);
+        s.on_flow_start(Time::ZERO);
+        // Complete six MIs; the ring must keep only the last four.
+        let mut now = Time::ZERO;
+        for i in 0..6u64 {
+            let pkt = SentPacket {
+                seq: i,
+                bytes: 1500,
+                sent_at: now + Dur::from_millis(1),
+            };
+            s.on_packet_sent(now + Dur::from_millis(1), &pkt);
+            s.on_timer(s.next_timer().unwrap());
+            now = s.next_timer().unwrap();
+            s.on_ack(now, &ack(i, pkt.sent_at, now));
+        }
+        let entries: Vec<_> = s.trace().collect();
+        assert_eq!(entries.len(), 4);
+        assert!(entries.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(entries.iter().all(|e| e.mode == "Proteus-S"));
+        assert!(entries.iter().all(|e| e.utility.is_finite()));
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut s = ProteusSender::primary(1);
+        s.on_flow_start(Time::ZERO);
+        let pkt = SentPacket {
+            seq: 0,
+            bytes: 1500,
+            sent_at: Time::from_millis(1),
+        };
+        s.on_packet_sent(Time::from_millis(1), &pkt);
+        s.on_timer(s.next_timer().unwrap());
+        s.on_ack(
+            Time::from_millis(131),
+            &ack(0, Time::from_millis(1), Time::from_millis(131)),
+        );
+        assert_eq!(s.trace().count(), 0);
+    }
+
+    #[test]
+    fn mi_duration_tracks_srtt_within_bounds() {
+        let mut s = ProteusSender::primary(1);
+        // No RTT yet: fallback 100 ms.
+        assert_eq!(s.mi_duration(), Dur::from_millis(100));
+        s.rtt.update(Dur::from_millis(30));
+        assert_eq!(s.mi_duration(), Dur::from_millis(30));
+        s.rtt.update(Dur::from_millis(1));
+        // Clamped to the configured minimum.
+        assert!(s.mi_duration() >= s.cfg.mi.min_duration);
+    }
+}

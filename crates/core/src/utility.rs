@@ -1,0 +1,290 @@
+//! The Proteus utility-function library (§4).
+//!
+//! Four utility functions share one shape, `u(x) = x^d − penalties·x`:
+//!
+//! * **Vivace** (NSDI'18): penalizes the raw RTT gradient (negative
+//!   gradients *reward*) and loss,
+//! * **Proteus-P** (Eq. 1): like Vivace but negative RTT gradient is
+//!   ignored (the paper found rewarding it slows convergence),
+//! * **Proteus-S** (Eq. 2): Proteus-P minus `d·x·σ(RTT)` — the RTT
+//!   *deviation* penalty that makes the sender yield to competing flows,
+//! * **Proteus-H** (Eq. 3): piecewise — Proteus-P below an
+//!   application-controlled rate threshold, Proteus-S above it.
+//!
+//! The hybrid threshold is shared with the application through a
+//! [`SharedThreshold`] cell so cross-layer policies (e.g. the video rules of
+//! §4.4) can retune it mid-flow; "there is no explicit switch in the control
+//! algorithm; it happens implicitly, simply by comparing utility values of
+//! different sending rates."
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::config::UtilityParams;
+
+/// A rate threshold (Mbit/sec) shared between an application and a
+/// Proteus-H sender. `f64::INFINITY` makes Proteus-H behave as pure
+/// Proteus-P; `0.0` as pure Proteus-S.
+#[derive(Debug, Clone)]
+pub struct SharedThreshold(Rc<Cell<f64>>);
+
+impl SharedThreshold {
+    /// Creates a threshold cell with an initial value in Mbps.
+    pub fn new(mbps: f64) -> Self {
+        Self(Rc::new(Cell::new(mbps)))
+    }
+
+    /// Reads the current threshold, Mbps.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+
+    /// Updates the threshold, Mbps.
+    pub fn set(&self, mbps: f64) {
+        self.0.set(mbps);
+    }
+}
+
+/// Which utility function a sender is currently optimizing.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// PCC Allegro's loss-based sigmoid utility (NSDI'15) — latency-blind.
+    Allegro,
+    /// PCC Vivace's published utility (raw gradient).
+    Vivace,
+    /// Proteus-P: primary mode (Eq. 1).
+    Primary,
+    /// Proteus-S: scavenger mode (Eq. 2).
+    Scavenger,
+    /// Proteus-H: hybrid mode with an adaptive threshold (Eq. 3).
+    Hybrid(SharedThreshold),
+}
+
+impl Mode {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Allegro => "PCC-Allegro",
+            Mode::Vivace => "PCC-Vivace",
+            Mode::Primary => "Proteus-P",
+            Mode::Scavenger => "Proteus-S",
+            Mode::Hybrid(_) => "Proteus-H",
+        }
+    }
+}
+
+/// The per-MI measurements a utility function consumes, after noise
+/// processing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiObservation {
+    /// Sending rate of the MI, Mbit/sec.
+    pub rate_mbps: f64,
+    /// Packet loss rate in `[0, 1]`.
+    pub loss_rate: f64,
+    /// RTT gradient `d(RTT)/dt`, dimensionless (possibly zeroed by the
+    /// noise gates).
+    pub rtt_gradient: f64,
+    /// RTT standard deviation, seconds (possibly zeroed).
+    pub rtt_deviation: f64,
+}
+
+/// Evaluates Eq. 1's Proteus-P utility.
+pub fn utility_primary(p: &UtilityParams, o: &MiObservation) -> f64 {
+    let x = o.rate_mbps.max(0.0);
+    x.powf(p.exponent)
+        - p.gradient_coef * x * o.rtt_gradient.max(0.0)
+        - p.loss_coef * x * o.loss_rate
+}
+
+/// Evaluates PCC Vivace's published utility (raw gradient, both signs).
+pub fn utility_vivace(p: &UtilityParams, o: &MiObservation) -> f64 {
+    let x = o.rate_mbps.max(0.0);
+    x.powf(p.exponent) - p.gradient_coef * x * o.rtt_gradient - p.loss_coef * x * o.loss_rate
+}
+
+/// Evaluates Eq. 2's Proteus-S utility.
+pub fn utility_scavenger(p: &UtilityParams, o: &MiObservation) -> f64 {
+    utility_primary(p, o) - p.deviation_coef * o.rate_mbps.max(0.0) * o.rtt_deviation
+}
+
+/// Evaluates PCC Allegro's loss-based utility (NSDI'15):
+/// `u = x·(1−L)·sigmoid(α·(0.05−L)) − x·L`, α = 100 — throughput rewarded
+/// until loss approaches the 5 % cliff, no latency terms at all. Included
+/// as the PCC-family ancestor for ablations (the paper's §8 notes Allegro
+/// "uses a loss-based utility function, and also suffers from bufferbloat").
+pub fn utility_allegro(_p: &UtilityParams, o: &MiObservation) -> f64 {
+    let x = o.rate_mbps.max(0.0);
+    let l = o.loss_rate;
+    let sig = 1.0 / (1.0 + (-100.0 * (0.05 - l)).exp());
+    x * (1.0 - l) * sig - x * l
+}
+
+/// Evaluates Eq. 3's Proteus-H utility for a given threshold (Mbps).
+pub fn utility_hybrid(p: &UtilityParams, o: &MiObservation, threshold_mbps: f64) -> f64 {
+    if o.rate_mbps < threshold_mbps {
+        utility_primary(p, o)
+    } else {
+        utility_scavenger(p, o)
+    }
+}
+
+/// Evaluates the utility for the given mode.
+pub fn evaluate(mode: &Mode, p: &UtilityParams, o: &MiObservation) -> f64 {
+    match mode {
+        Mode::Allegro => utility_allegro(p, o),
+        Mode::Vivace => utility_vivace(p, o),
+        Mode::Primary => utility_primary(p, o),
+        Mode::Scavenger => utility_scavenger(p, o),
+        Mode::Hybrid(th) => utility_hybrid(p, o, th.get()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> UtilityParams {
+        UtilityParams::default()
+    }
+
+    fn obs(rate: f64) -> MiObservation {
+        MiObservation {
+            rate_mbps: rate,
+            loss_rate: 0.0,
+            rtt_gradient: 0.0,
+            rtt_deviation: 0.0,
+        }
+    }
+
+    #[test]
+    fn clean_network_utility_is_throughput_power() {
+        let p = params();
+        let o = obs(10.0);
+        let expect = 10f64.powf(0.9);
+        assert!((utility_primary(&p, &o) - expect).abs() < 1e-12);
+        assert!((utility_scavenger(&p, &o) - expect).abs() < 1e-12);
+        assert!((utility_vivace(&p, &o) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn positive_gradient_penalizes() {
+        let p = params();
+        let mut o = obs(10.0);
+        o.rtt_gradient = 0.01;
+        let u = utility_primary(&p, &o);
+        assert!(u < utility_primary(&p, &obs(10.0)));
+        // b·x·grad = 900·10·0.01 = 90.
+        assert!((utility_primary(&p, &obs(10.0)) - u - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_gradient_ignored_by_proteus_rewarded_by_vivace() {
+        let p = params();
+        let mut o = obs(10.0);
+        o.rtt_gradient = -0.01;
+        assert_eq!(utility_primary(&p, &o), utility_primary(&p, &obs(10.0)));
+        assert!(utility_vivace(&p, &o) > utility_vivace(&p, &obs(10.0)));
+    }
+
+    #[test]
+    fn loss_coefficient_tolerates_5_percent() {
+        // At the design point, marginal utility of rate should stay positive
+        // for L = 5% random loss: d/dx (x^0.9 - 11.35·x·0.05) > 0 for
+        // moderate x.
+        let p = params();
+        let mut lo = obs(10.0);
+        lo.loss_rate = 0.05;
+        let mut hi = obs(10.5);
+        hi.loss_rate = 0.05;
+        assert!(utility_primary(&p, &hi) > utility_primary(&p, &lo));
+        // ...but 10% loss makes more rate worse at x = 10.
+        let mut lo2 = obs(10.0);
+        lo2.loss_rate = 0.10;
+        let mut hi2 = obs(10.5);
+        hi2.loss_rate = 0.10;
+        assert!(utility_primary(&p, &hi2) < utility_primary(&p, &lo2));
+    }
+
+    #[test]
+    fn deviation_only_penalizes_scavenger() {
+        let p = params();
+        let mut o = obs(10.0);
+        o.rtt_deviation = 0.001; // 1 ms
+        assert_eq!(utility_primary(&p, &o), utility_primary(&p, &obs(10.0)));
+        let u_s = utility_scavenger(&p, &o);
+        // d·x·σ = 1500·10·0.001 = 15.
+        assert!((utility_scavenger(&p, &obs(10.0)) - u_s - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_switches_at_threshold() {
+        let p = params();
+        let mut o = obs(10.0);
+        o.rtt_deviation = 0.002;
+        // Below threshold: primary (deviation ignored).
+        assert_eq!(utility_hybrid(&p, &o, 20.0), utility_primary(&p, &o));
+        // Above threshold: scavenger (deviation penalized).
+        assert_eq!(utility_hybrid(&p, &o, 5.0), utility_scavenger(&p, &o));
+        // Exactly at threshold counts as scavenger (x < threshold is strict).
+        assert_eq!(utility_hybrid(&p, &o, 10.0), utility_scavenger(&p, &o));
+    }
+
+    #[test]
+    fn shared_threshold_propagates() {
+        let th = SharedThreshold::new(f64::INFINITY);
+        let mode = Mode::Hybrid(th.clone());
+        let p = params();
+        let mut o = obs(10.0);
+        o.rtt_deviation = 0.002;
+        // Infinite threshold: pure primary.
+        assert_eq!(evaluate(&mode, &p, &o), utility_primary(&p, &o));
+        th.set(0.0);
+        assert_eq!(evaluate(&mode, &p, &o), utility_scavenger(&p, &o));
+    }
+
+    #[test]
+    fn concavity_in_own_rate_numerically() {
+        // Second difference of u(x) must be negative across a rate sweep
+        // (the Appendix-A concavity requirement, exercised numerically).
+        let p = params();
+        for grad in [0.0, 0.005, 0.02] {
+            for base in [1.0f64, 10.0, 100.0] {
+                let u = |x: f64| {
+                    let mut o = obs(x);
+                    o.rtt_gradient = grad;
+                    utility_primary(&p, &o)
+                };
+                let h = base * 0.01;
+                let second = u(base + h) - 2.0 * u(base) + u(base - h);
+                assert!(second < 0.0, "not concave at x={base}, grad={grad}");
+            }
+        }
+    }
+
+    #[test]
+    fn allegro_is_latency_blind_with_a_loss_cliff() {
+        let p = params();
+        let mut o = obs(10.0);
+        o.rtt_gradient = 0.05;
+        o.rtt_deviation = 0.01;
+        // Latency terms ignored entirely.
+        assert_eq!(utility_allegro(&p, &o), utility_allegro(&p, &obs(10.0)));
+        // Below the 5% knee utility is ~x; beyond it, strongly negative
+        // marginal value.
+        let mut low = obs(10.0);
+        low.loss_rate = 0.01;
+        let mut high = obs(10.0);
+        high.loss_rate = 0.09;
+        assert!(utility_allegro(&p, &low) > 0.8 * 10.0);
+        assert!(utility_allegro(&p, &high) < 0.0);
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(Mode::Allegro.name(), "PCC-Allegro");
+        assert_eq!(Mode::Vivace.name(), "PCC-Vivace");
+        assert_eq!(Mode::Primary.name(), "Proteus-P");
+        assert_eq!(Mode::Scavenger.name(), "Proteus-S");
+        assert_eq!(Mode::Hybrid(SharedThreshold::new(1.0)).name(), "Proteus-H");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests on the rate controller and noise gates: invariants
+//! that must hold for *any* utility sequence or metric stream.
+
+use proptest::prelude::*;
+
+use proteus_core::{
+    AdaptiveNoiseParams, MiNoiseGate, NoiseTolerance, ProbeRule, RateControlParams,
+    RateController,
+};
+use proteus_transport::{MiStats, Time};
+
+fn controller(rule: ProbeRule, seed: u64) -> RateController {
+    RateController::new(
+        RateControlParams {
+            probe_rule: rule,
+            ..RateControlParams::default()
+        },
+        seed,
+    )
+}
+
+fn mi(gradient: f64, error: f64, dev: f64, mean: f64) -> MiStats {
+    MiStats {
+        id: 0,
+        start: Time::ZERO,
+        end: Time::from_millis(30),
+        target_rate: 1e6,
+        bytes_sent: 30_000,
+        bytes_acked: 30_000,
+        bytes_lost: 0,
+        pkts_sent: 20,
+        pkts_acked: 20,
+        pkts_lost: 0,
+        throughput: 1e6,
+        send_rate: 1e6,
+        loss_rate: 0.0,
+        rtt_mean: mean,
+        rtt_dev: dev,
+        rtt_gradient: gradient,
+        gradient_error: error,
+        rtt_samples: 20,
+        rtt_min: mean - dev,
+        rtt_max: mean + dev,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The controller's issued rate never drops below the configured
+    /// minimum and never becomes non-finite, for arbitrary utility streams.
+    #[test]
+    fn rate_stays_positive_and_finite(
+        utilities in prop::collection::vec(-1e6_f64..1e6, 1..300),
+        seed in 0_u64..1000,
+        majority in any::<bool>(),
+    ) {
+        let rule = if majority { ProbeRule::Majority } else { ProbeRule::Agreement };
+        let mut c = controller(rule, seed);
+        for &u in &utilities {
+            let r = c.next_mi_rate();
+            prop_assert!(r.is_finite() && r >= 0.09, "rate = {r}");
+            c.on_mi_complete(u);
+            prop_assert!(c.rate_mbps().is_finite());
+            prop_assert!(c.rate_mbps() >= 0.09);
+        }
+    }
+
+    /// Out-of-plan completions (more completions than issued MIs) never
+    /// panic or corrupt state.
+    #[test]
+    fn extra_completions_are_harmless(
+        extra in 1_usize..20,
+        seed in 0_u64..100,
+    ) {
+        let mut c = controller(ProbeRule::Majority, seed);
+        let _ = c.next_mi_rate();
+        c.on_mi_complete(1.0);
+        for i in 0..extra {
+            c.on_mi_complete(i as f64); // nothing outstanding
+        }
+        prop_assert!(c.rate_mbps().is_finite());
+    }
+
+    /// Monotone-increasing utility drives the rate up overall, regardless
+    /// of seed (the probing order is random but the drift must win).
+    #[test]
+    fn increasing_utility_raises_rate(seed in 0_u64..200) {
+        let mut c = controller(ProbeRule::Majority, seed);
+        let u = |r: f64| r; // strictly better at higher rate
+        let r0 = c.rate_mbps();
+        let mut last = r0;
+        for _ in 0..200 {
+            let r = c.next_mi_rate();
+            c.on_mi_complete(u(r));
+            last = c.rate_mbps();
+        }
+        prop_assert!(last > r0 * 4.0, "rate only reached {last} from {r0}");
+    }
+
+    /// The noise gate only ever zeroes metrics — it never fabricates or
+    /// amplifies a gradient/deviation.
+    #[test]
+    fn gate_never_amplifies(
+        gradient in -0.2_f64..0.2,
+        error in 0.0_f64..0.2,
+        dev in 0.0_f64..0.05,
+        mean in 0.01_f64..0.2,
+        n in 1_usize..40,
+    ) {
+        let mut g = MiNoiseGate::new(NoiseTolerance::Adaptive(AdaptiveNoiseParams::default()));
+        for _ in 0..n {
+            let out = g.process(&mi(gradient, error, dev, mean));
+            prop_assert!(out.rtt_gradient == gradient || out.rtt_gradient == 0.0);
+            prop_assert!(out.rtt_deviation == dev || out.rtt_deviation == 0.0);
+        }
+    }
+
+    /// Vivace's flat-threshold gate passes deviation untouched and is
+    /// deterministic in the gradient.
+    #[test]
+    fn fixed_gate_is_pure(
+        gradient in -0.2_f64..0.2,
+        dev in 0.0_f64..0.05,
+        threshold in 0.0_f64..0.1,
+    ) {
+        let mut g = MiNoiseGate::new(NoiseTolerance::FixedThreshold(threshold));
+        let out = g.process(&mi(gradient, 0.0, dev, 0.05));
+        prop_assert_eq!(out.rtt_deviation, dev);
+        if gradient.abs() >= threshold {
+            prop_assert_eq!(out.rtt_gradient, gradient);
+        } else {
+            prop_assert_eq!(out.rtt_gradient, 0.0);
+        }
+    }
+}

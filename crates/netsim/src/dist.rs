@@ -1,0 +1,131 @@
+//! Deterministic random-distribution helpers.
+//!
+//! The simulator needs exponential interarrivals (Poisson cross-traffic,
+//! Fig. 2), Gaussian latency jitter, and heavy-tailed RTT spikes (the WiFi
+//! noise model of §6.2.1). To keep the dependency footprint to `rand` alone,
+//! the samplers are implemented here from uniform variates.
+
+use rand::RngExt as Rng;
+
+/// Samples an exponential variate with the given mean (inverse rate).
+///
+/// # Panics
+/// Panics in debug builds if `mean` is not positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0 && mean.is_finite());
+    // Inverse-CDF sampling; 1 - U avoids ln(0).
+    let u: f64 = rng.random();
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 away from zero to keep ln() finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    debug_assert!(std_dev >= 0.0);
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples a Pareto variate with minimum `scale` and shape `alpha`.
+///
+/// Heavy-tailed (`alpha` close to 1 gives very long tails); used for the
+/// occasional tens-of-milliseconds RTT spikes the paper observed on real
+/// WiFi.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, scale: f64, alpha: f64) -> f64 {
+    debug_assert!(scale > 0.0 && alpha > 0.0);
+    let u: f64 = 1.0 - rng.random::<f64>();
+    scale / u.powf(1.0 / alpha)
+}
+
+/// Samples an integer uniformly from `[lo, hi]` (inclusive).
+pub fn uniform_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+    debug_assert!(lo <= hi);
+    rng.random_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(exponential(&mut r, 0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(pareto(&mut r, 2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_has_heavy_tail() {
+        let mut r = rng();
+        let n = 50_000;
+        let big = (0..n)
+            .filter(|_| pareto(&mut r, 1.0, 1.0) > 10.0)
+            .count() as f64
+            / n as f64;
+        // P(X > 10) = 1/10 for alpha = 1.
+        assert!((big - 0.1).abs() < 0.01, "tail fraction = {big}");
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_bounds() {
+        let mut r = rng();
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = uniform_inclusive(&mut r, 3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(exponential(&mut a, 1.0), exponential(&mut b, 1.0));
+        }
+    }
+}

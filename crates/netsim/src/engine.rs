@@ -1,0 +1,963 @@
+//! The discrete-event simulation engine.
+//!
+//! One [`Sim`] executes one [`Scenario`]: flows hand MTU-sized packets to a
+//! shared [`BottleneckLink`]; accepted packets depart after queueing +
+//! serialization, cross a fixed one-way propagation delay (plus optional
+//! noise), are acknowledged by the receiver, and the ACK returns over a
+//! clean reverse path. Senders are driven purely by events — ACK arrivals,
+//! pacing timers, controller timers, retransmission timeouts and application
+//! wakeups — so the whole run is a deterministic function of the scenario
+//! and its seed.
+//!
+//! Loss detection mirrors TCP practice: a packet is declared lost when a
+//! packet sent three or more sequence numbers later is ACKed (dup-ACK
+//! threshold; the simulated path never reorders), or when the RFC 6298
+//! retransmission timeout expires without progress.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, BTreeMap};
+
+use rand::rngs::SmallRng;
+use rand::{RngExt as Rng, SeedableRng};
+
+use proteus_transport::{
+    AckInfo, Application, CongestionControl, Dur, FlowId, LossInfo, RttEstimator, SentPacket,
+    SeqNr, Time, DEFAULT_PACKET_BYTES,
+};
+
+use crate::dist;
+use crate::link::{BottleneckLink, Offer};
+use crate::metrics::{FlowMetrics, SimResult};
+use crate::noise::NoiseState;
+use crate::scenario::Scenario;
+
+/// Dup-ACK threshold: a packet is lost once a packet sent this many
+/// sequence numbers later has been ACKed.
+const REORDER_THRESHOLD: u64 = 3;
+/// Minimum retransmission timeout (RFC 6298 uses 1 s; Linux uses 200 ms).
+const MIN_RTO: Dur = Dur::from_millis(200);
+/// Safety valve on packets transmitted within a single `try_send` call.
+const MAX_BURST: usize = 100_000;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    FlowStart(FlowId),
+    FlowStop(FlowId),
+    /// A packet finished serializing at the bottleneck: release its buffer
+    /// space.
+    QueueDrain { bytes: u64 },
+    /// A data packet reaches the receiver.
+    Delivery {
+        flow: FlowId,
+        seq: SeqNr,
+        bytes: u64,
+        sent_at: Time,
+        delivered_at: Time,
+    },
+    /// An ACK reaches the sender.
+    AckArrival {
+        flow: FlowId,
+        seq: SeqNr,
+        bytes: u64,
+        sent_at: Time,
+        delivered_at: Time,
+    },
+    Pace { flow: FlowId, epoch: u64 },
+    CcTimer { flow: FlowId, epoch: u64 },
+    Rto { flow: FlowId, epoch: u64 },
+    AppWake { flow: FlowId, epoch: u64 },
+    SpawnCross,
+    QueueSample,
+}
+
+struct HeapEntry {
+    at: Time,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the earliest event;
+    /// ties break by insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct FlowState {
+    cc: Box<dyn CongestionControl>,
+    app: Box<dyn Application>,
+    reliable: bool,
+    /// Started and neither stopped nor finished.
+    active: bool,
+    next_seq: SeqNr,
+    /// Outstanding packets: seq → (sent_at, bytes).
+    inflight: BTreeMap<SeqNr, (Time, u64)>,
+    inflight_bytes: u64,
+    /// Bytes awaiting retransmission (reliable flows only).
+    retx_bytes: u64,
+    rtt: RttEstimator,
+    next_pace_at: Time,
+    pace_epoch: u64,
+    cc_epoch: u64,
+    cc_timer_at: Option<Time>,
+    rto_epoch: u64,
+    rto_deadline: Option<Time>,
+    /// Time of the currently scheduled RTO heap event, if any (lazy re-arm:
+    /// the deadline may move later without re-pushing).
+    rto_event_at: Option<Time>,
+    app_epoch: u64,
+    app_wake_at: Option<Time>,
+    stop_at: Option<Time>,
+    /// Latest scheduled data-delivery instant: the wireless channel jitters
+    /// per-packet latency but still delivers FIFO, so later packets are
+    /// clamped to arrive no earlier than their predecessors.
+    last_delivery_at: Time,
+    /// Same monotonicity clamp for the ACK return path.
+    last_ack_arrival_at: Time,
+}
+
+impl FlowState {
+    fn new(cc: Box<dyn CongestionControl>, app: Box<dyn Application>, reliable: bool) -> Self {
+        Self {
+            cc,
+            app,
+            reliable,
+            active: false,
+            next_seq: 0,
+            inflight: BTreeMap::new(),
+            inflight_bytes: 0,
+            retx_bytes: 0,
+            rtt: RttEstimator::new(),
+            next_pace_at: Time::ZERO,
+            pace_epoch: 0,
+            cc_epoch: 0,
+            cc_timer_at: None,
+            rto_epoch: 0,
+            rto_deadline: None,
+            rto_event_at: None,
+            app_epoch: 0,
+            app_wake_at: None,
+            stop_at: None,
+            last_delivery_at: Time::ZERO,
+            last_ack_arrival_at: Time::ZERO,
+        }
+    }
+}
+
+struct CrossState {
+    arrivals_per_sec: f64,
+    size_range: (u64, u64),
+    cc: proteus_transport::CcFactory,
+    stop: Time,
+    spawned: usize,
+}
+
+/// The simulation engine. Construct with [`Sim::new`], execute with
+/// [`Sim::run`], or use the [`run`] convenience function.
+pub struct Sim {
+    now: Time,
+    heap: BinaryHeap<HeapEntry>,
+    event_seq: u64,
+    link: BottleneckLink,
+    fwd_prop: Dur,
+    rev_prop: Dur,
+    random_loss: f64,
+    noise: NoiseState,
+    flows: Vec<FlowState>,
+    metrics: Vec<FlowMetrics>,
+    rng: SmallRng,
+    duration: Dur,
+    throughput_bin: Dur,
+    rtt_stride: usize,
+    queue_sample_every: Option<Dur>,
+    queue_samples: Vec<(f64, u64)>,
+    cross: Option<CrossState>,
+    link_rate_bps: f64,
+}
+
+impl Sim {
+    /// Builds the engine from a scenario, consuming it.
+    pub fn new(scenario: Scenario) -> Self {
+        let Scenario {
+            link,
+            flows,
+            cross_traffic,
+            duration,
+            seed,
+            throughput_bin,
+            rtt_stride,
+            queue_sample_every,
+        } = scenario;
+
+        let half_rtt = Dur::from_nanos(link.rtt.as_nanos() / 2);
+        let mut sim = Sim {
+            now: Time::ZERO,
+            heap: BinaryHeap::new(),
+            event_seq: 0,
+            link: BottleneckLink::new(link.rate_bps(), link.buffer_bytes),
+            fwd_prop: half_rtt,
+            rev_prop: link.rtt - half_rtt,
+            random_loss: link.random_loss,
+            noise: link.noise.build(),
+            flows: Vec::new(),
+            metrics: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            duration,
+            throughput_bin,
+            rtt_stride,
+            queue_sample_every,
+            queue_samples: Vec::new(),
+            cross: None,
+            link_rate_bps: link.rate_bps(),
+        };
+
+        for spec in flows {
+            let id = sim.flows.len();
+            let mut state = FlowState::new((spec.cc)(), (spec.app)(), spec.reliable);
+            state.stop_at = spec.stop.map(|d| Time::ZERO + d);
+            sim.flows.push(state);
+            sim.metrics.push(FlowMetrics::new(
+                id,
+                spec.name,
+                throughput_bin,
+                rtt_stride,
+            ));
+            sim.push(Time::ZERO + spec.start, Event::FlowStart(id));
+            if let Some(stop) = spec.stop {
+                sim.push(Time::ZERO + stop, Event::FlowStop(id));
+            }
+        }
+
+        if let Some(ct) = cross_traffic {
+            sim.push(Time::ZERO + ct.start, Event::SpawnCross);
+            sim.cross = Some(CrossState {
+                arrivals_per_sec: ct.arrivals_per_sec,
+                size_range: ct.size_range,
+                cc: ct.cc,
+                stop: Time::ZERO + ct.stop,
+                spawned: 0,
+            });
+        }
+
+        if let Some(every) = queue_sample_every {
+            sim.push(Time::ZERO + every, Event::QueueSample);
+        }
+
+        sim
+    }
+
+    fn push(&mut self, at: Time, ev: Event) {
+        self.event_seq += 1;
+        self.heap.push(HeapEntry {
+            at,
+            seq: self.event_seq,
+            ev,
+        });
+    }
+
+    /// Runs the scenario to completion and returns the measurements.
+    pub fn run(mut self) -> SimResult {
+        let end = Time::ZERO + self.duration;
+        while let Some(entry) = self.heap.pop() {
+            if entry.at > end {
+                break;
+            }
+            self.now = entry.at;
+            self.dispatch(entry.ev);
+        }
+        SimResult {
+            flows: self.metrics,
+            duration: self.duration,
+            link_rate_bps: self.link_rate_bps,
+            link_delivered_bytes: self.link.delivered_bytes(),
+            link_dropped_pkts: self.link.dropped_pkts(),
+            queue_samples: self.queue_samples,
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::FlowStart(id) => self.on_flow_start(id),
+            Event::FlowStop(id) => self.on_flow_stop(id),
+            Event::QueueDrain { bytes } => self.link.on_departure(bytes),
+            Event::Delivery {
+                flow,
+                seq,
+                bytes,
+                sent_at,
+                delivered_at,
+            } => self.on_delivery(flow, seq, bytes, sent_at, delivered_at),
+            Event::AckArrival {
+                flow,
+                seq,
+                bytes,
+                sent_at,
+                delivered_at,
+            } => self.on_ack_arrival(flow, seq, bytes, sent_at, delivered_at),
+            Event::Pace { flow, epoch } => {
+                if self.flows[flow].pace_epoch == epoch {
+                    self.try_send(flow);
+                }
+            }
+            Event::CcTimer { flow, epoch } => self.on_cc_timer(flow, epoch),
+            Event::Rto { flow, epoch } => self.on_rto(flow, epoch),
+            Event::AppWake { flow, epoch } => self.on_app_wake(flow, epoch),
+            Event::SpawnCross => self.on_spawn_cross(),
+            Event::QueueSample => {
+                self.queue_samples
+                    .push((self.now.as_secs_f64(), self.link.queued_bytes()));
+                if let Some(every) = self.queue_sample_every {
+                    self.push(self.now + every, Event::QueueSample);
+                }
+            }
+        }
+    }
+
+    fn on_flow_start(&mut self, id: FlowId) {
+        {
+            let f = &mut self.flows[id];
+            if f.active {
+                return;
+            }
+            f.active = true;
+            f.cc.on_flow_start(self.now);
+        }
+        self.metrics[id].started_at = Some(self.now);
+        self.sync_cc_timer(id);
+        self.try_send(id);
+    }
+
+    fn on_flow_stop(&mut self, id: FlowId) {
+        let f = &mut self.flows[id];
+        if !f.active {
+            return;
+        }
+        f.active = false;
+        if self.metrics[id].finished_at.is_none() {
+            self.metrics[id].finished_at = Some(self.now);
+        }
+    }
+
+    fn on_delivery(&mut self, flow: FlowId, seq: SeqNr, bytes: u64, sent_at: Time, delivered_at: Time) {
+        // Receiver generates an ACK immediately; the noise model may hold it
+        // (WiFi MAC aggregation) before it crosses the reverse path. The
+        // return path is FIFO: ACK arrivals are clamped monotone per flow.
+        let release = self.noise.ack_release(self.now, &mut self.rng);
+        let mut arrival = release + self.rev_prop;
+        {
+            let f = &mut self.flows[flow];
+            if arrival < f.last_ack_arrival_at {
+                arrival = f.last_ack_arrival_at;
+            }
+            f.last_ack_arrival_at = arrival;
+        }
+        self.push(
+            arrival,
+            Event::AckArrival {
+                flow,
+                seq,
+                bytes,
+                sent_at,
+                delivered_at,
+            },
+        );
+    }
+
+    fn on_ack_arrival(
+        &mut self,
+        flow: FlowId,
+        seq: SeqNr,
+        bytes: u64,
+        sent_at: Time,
+        delivered_at: Time,
+    ) {
+        let now = self.now;
+        let rtt = now.since(sent_at);
+        let owd = delivered_at.since(sent_at);
+
+        let mut lost: Vec<(SeqNr, Time, u64)> = Vec::new();
+        let acked;
+        {
+            let f = &mut self.flows[flow];
+            acked = f.inflight.remove(&seq).is_some();
+            if acked {
+                f.inflight_bytes = f.inflight_bytes.saturating_sub(bytes);
+                f.rtt.update(rtt);
+                // Dup-ACK analog: earlier packets are lost once this ACK is
+                // REORDER_THRESHOLD ahead of them.
+                while let Some((&oldest, &(o_sent, o_bytes))) = f.inflight.first_key_value() {
+                    if oldest + REORDER_THRESHOLD <= seq {
+                        f.inflight.remove(&oldest);
+                        f.inflight_bytes = f.inflight_bytes.saturating_sub(o_bytes);
+                        lost.push((oldest, o_sent, o_bytes));
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !acked {
+            // Already declared lost (spurious "ack"); ignore.
+            return;
+        }
+
+        self.metrics[flow].on_ack(now, bytes, rtt);
+        let ack = AckInfo {
+            seq,
+            bytes,
+            sent_at,
+            recv_at: now,
+            rtt,
+            one_way_delay: owd,
+        };
+        self.flows[flow].cc.on_ack(now, &ack);
+
+        for (l_seq, l_sent, l_bytes) in lost {
+            self.declare_loss(flow, l_seq, l_sent, l_bytes, false);
+        }
+
+        // Deliver progress to the application and check for completion.
+        let finished = {
+            let f = &mut self.flows[flow];
+            f.app.on_delivered(now, bytes);
+            f.active && f.app.finished(now)
+        };
+        if finished {
+            self.flows[flow].active = false;
+            self.metrics[flow].finished_at = Some(now);
+        }
+
+        self.rearm_rto(flow);
+        self.sync_cc_timer(flow);
+        self.sync_app_wake(flow);
+        self.try_send(flow);
+    }
+
+    fn declare_loss(&mut self, flow: FlowId, seq: SeqNr, sent_at: Time, bytes: u64, by_timeout: bool) {
+        self.metrics[flow].on_loss();
+        let loss = LossInfo {
+            seq,
+            bytes,
+            sent_at,
+            detected_at: self.now,
+            by_timeout,
+        };
+        let f = &mut self.flows[flow];
+        f.cc.on_loss(self.now, &loss);
+        if f.reliable {
+            f.retx_bytes += bytes;
+        }
+    }
+
+    fn on_rto(&mut self, flow: FlowId, epoch: u64) {
+        if self.flows[flow].rto_epoch != epoch {
+            return;
+        }
+        let now = self.now;
+        self.flows[flow].rto_event_at = None;
+        let Some(deadline) = self.flows[flow].rto_deadline else {
+            return;
+        };
+        if now < deadline {
+            // The deadline moved later since this event was scheduled
+            // (progress was made); re-arm at the true deadline.
+            let f = &mut self.flows[flow];
+            f.rto_epoch += 1;
+            f.rto_event_at = Some(deadline);
+            let epoch = f.rto_epoch;
+            self.push(deadline, Event::Rto { flow, epoch });
+            return;
+        }
+        let rto = self.flows[flow].rtt.rto(MIN_RTO);
+        // Declare every packet older than one RTO lost.
+        let stale: Vec<(SeqNr, Time, u64)> = {
+            let f = &mut self.flows[flow];
+            let cutoff = now - rto;
+            let stale: Vec<_> = f
+                .inflight
+                .iter()
+                .filter(|(_, &(sent, _))| sent <= cutoff)
+                .map(|(&s, &(sent, b))| (s, sent, b))
+                .collect();
+            for &(s, _, b) in &stale {
+                f.inflight.remove(&s);
+                f.inflight_bytes = f.inflight_bytes.saturating_sub(b);
+            }
+            stale
+        };
+        for (s, sent, b) in stale {
+            self.declare_loss(flow, s, sent, b, true);
+        }
+        self.flows[flow].rto_deadline = None;
+        self.rearm_rto(flow);
+        self.sync_cc_timer(flow);
+        self.try_send(flow);
+    }
+
+    fn rearm_rto(&mut self, flow: FlowId) {
+        let f = &mut self.flows[flow];
+        if f.inflight.is_empty() {
+            f.rto_deadline = None;
+            return;
+        }
+        let rto = f.rtt.rto(MIN_RTO);
+        let deadline = self.now + rto;
+        f.rto_deadline = Some(deadline);
+        if f.rto_event_at.is_none() {
+            f.rto_epoch += 1;
+            f.rto_event_at = Some(deadline);
+            let epoch = f.rto_epoch;
+            self.push(deadline, Event::Rto { flow, epoch });
+        }
+    }
+
+    fn on_cc_timer(&mut self, flow: FlowId, epoch: u64) {
+        if self.flows[flow].cc_epoch != epoch {
+            return;
+        }
+        self.flows[flow].cc_timer_at = None;
+        let now = self.now;
+        self.flows[flow].cc.on_timer(now);
+        self.sync_cc_timer(flow);
+        self.try_send(flow);
+    }
+
+    fn sync_cc_timer(&mut self, flow: FlowId) {
+        let want = self.flows[flow].cc.next_timer();
+        let have = self.flows[flow].cc_timer_at;
+        if want == have {
+            return;
+        }
+        let f = &mut self.flows[flow];
+        f.cc_epoch += 1;
+        f.cc_timer_at = want;
+        if let Some(t) = want {
+            let at = if t < self.now { self.now } else { t };
+            let epoch = f.cc_epoch;
+            self.push(at, Event::CcTimer { flow, epoch });
+        }
+    }
+
+    fn on_app_wake(&mut self, flow: FlowId, epoch: u64) {
+        if self.flows[flow].app_epoch != epoch {
+            return;
+        }
+        let now = self.now;
+        self.flows[flow].app_wake_at = None;
+        self.flows[flow].app.on_wakeup(now);
+        self.sync_app_wake(flow);
+        self.try_send(flow);
+    }
+
+    fn sync_app_wake(&mut self, flow: FlowId) {
+        let now = self.now;
+        let f = &mut self.flows[flow];
+        if !f.active {
+            return;
+        }
+        let want = f.app.next_event(now).map(|t| if t < now { now } else { t });
+        if want == f.app_wake_at {
+            return;
+        }
+        f.app_epoch += 1;
+        f.app_wake_at = want;
+        if let Some(at) = want {
+            let epoch = f.app_epoch;
+            self.push(at, Event::AppWake { flow, epoch });
+        }
+    }
+
+    fn on_spawn_cross(&mut self) {
+        let now = self.now;
+        let Some(cross) = &mut self.cross else {
+            return;
+        };
+        if now >= cross.stop {
+            return;
+        }
+        // Sample this arrival's flow and the next arrival time.
+        let size = dist::uniform_inclusive(&mut self.rng, cross.size_range.0, cross.size_range.1);
+        let gap = dist::exponential(&mut self.rng, 1.0 / cross.arrivals_per_sec);
+        cross.spawned += 1;
+        let n = cross.spawned;
+
+        let id = self.flows.len();
+        let cc = (self.cross.as_ref().expect("cross exists").cc)(id);
+        let mut state = FlowState::new(
+            cc,
+            Box::new(proteus_transport::SizedApp::new(size)),
+            true,
+        );
+        state.active = false;
+        self.flows.push(state);
+        self.metrics.push(FlowMetrics::new(
+            id,
+            format!("cross-{n}"),
+            self.throughput_bin,
+            self.rtt_stride,
+        ));
+        self.push(now, Event::FlowStart(id));
+        self.push(now + Dur::from_secs_f64(gap), Event::SpawnCross);
+    }
+
+    /// Transmits as much as the window, pacing gate and application allow.
+    fn try_send(&mut self, flow: FlowId) {
+        let now = self.now;
+        for _ in 0..MAX_BURST {
+            let f = &mut self.flows[flow];
+            if !f.active {
+                return;
+            }
+            if let Some(stop) = f.stop_at {
+                if now >= stop {
+                    return;
+                }
+            }
+            let cwnd = f.cc.cwnd_bytes();
+            let pacing = f.cc.pacing_rate();
+            assert!(
+                pacing.is_some() || cwnd != u64::MAX,
+                "controller {} must be paced or windowed",
+                f.cc.name()
+            );
+            // Determine the next packet size from retransmission backlog or
+            // fresh application data.
+            let avail = if f.retx_bytes > 0 {
+                f.retx_bytes
+            } else {
+                f.app.bytes_to_send(now)
+            };
+            if avail == 0 {
+                // Application-limited; wake up when it has more to do.
+                self.sync_app_wake(flow);
+                return;
+            }
+            let bytes = avail.min(DEFAULT_PACKET_BYTES);
+            if f.inflight_bytes + bytes > cwnd {
+                return; // window-limited; ACKs will reopen.
+            }
+            if let Some(rate) = pacing {
+                debug_assert!(rate > 0.0);
+                if now < f.next_pace_at {
+                    // Pacing-limited: schedule the next opportunity.
+                    f.pace_epoch += 1;
+                    let at = f.next_pace_at;
+                    let epoch = f.pace_epoch;
+                    self.push(at, Event::Pace { flow, epoch });
+                    return;
+                }
+                let interval = Dur::from_secs_f64(bytes as f64 / rate);
+                f.next_pace_at = now + interval;
+            }
+
+            // Commit the transmission.
+            let seq = f.next_seq;
+            f.next_seq += 1;
+            if f.retx_bytes > 0 {
+                f.retx_bytes -= bytes;
+            } else {
+                f.app.consume(bytes);
+            }
+            f.inflight.insert(seq, (now, bytes));
+            f.inflight_bytes += bytes;
+            let pkt = SentPacket {
+                seq,
+                bytes,
+                sent_at: now,
+            };
+            f.cc.on_packet_sent(now, &pkt);
+            let arm_rto = f.rto_deadline.is_none();
+            self.metrics[flow].on_sent(bytes);
+
+            match self.link.offer(now, bytes) {
+                Offer::Dropped => {
+                    // Tail drop: the sender finds out via dup-ACKs or RTO.
+                }
+                Offer::Departs(at) => {
+                    self.push(at, Event::QueueDrain { bytes });
+                    if self.random_loss > 0.0 && self.rng.random::<f64>() < self.random_loss {
+                        // Non-congestion loss on the wire after the queue.
+                    } else {
+                        let noise = self.noise.data_delay(&mut self.rng);
+                        // FIFO clamp: jitter never reorders a flow's packets.
+                        let mut delivered_at = at + self.fwd_prop + noise;
+                        {
+                            let f = &mut self.flows[flow];
+                            if delivered_at < f.last_delivery_at {
+                                delivered_at = f.last_delivery_at;
+                            }
+                            f.last_delivery_at = delivered_at;
+                        }
+                        self.push(
+                            delivered_at,
+                            Event::Delivery {
+                                flow,
+                                seq,
+                                bytes,
+                                sent_at: now,
+                                delivered_at,
+                            },
+                        );
+                    }
+                }
+            }
+            if arm_rto {
+                self.rearm_rto(flow);
+            }
+            self.sync_cc_timer(flow);
+        }
+        debug_assert!(false, "try_send hit MAX_BURST — runaway controller?");
+    }
+}
+
+/// Runs a scenario to completion.
+pub fn run(scenario: Scenario) -> SimResult {
+    Sim::new(scenario).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{CrossTrafficSpec, FlowSpec, LinkSpec};
+
+    /// Fixed congestion window, ACK-clocked. Ignores losses.
+    struct TestWindow {
+        cwnd: u64,
+    }
+
+    impl CongestionControl for TestWindow {
+        fn name(&self) -> &str {
+            "test-window"
+        }
+        fn on_ack(&mut self, _now: Time, _ack: &AckInfo) {}
+        fn on_loss(&mut self, _now: Time, _loss: &LossInfo) {}
+        fn pacing_rate(&self) -> Option<f64> {
+            None
+        }
+        fn cwnd_bytes(&self) -> u64 {
+            self.cwnd
+        }
+    }
+
+    /// Fixed pacing rate, no window.
+    struct TestPaced {
+        rate: f64, // bytes/sec
+    }
+
+    impl CongestionControl for TestPaced {
+        fn name(&self) -> &str {
+            "test-paced"
+        }
+        fn on_ack(&mut self, _now: Time, _ack: &AckInfo) {}
+        fn on_loss(&mut self, _now: Time, _loss: &LossInfo) {}
+        fn pacing_rate(&self) -> Option<f64> {
+            Some(self.rate)
+        }
+    }
+
+    fn link_10mbps_20ms() -> LinkSpec {
+        // BDP = 10 Mbps * 20 ms = 25 KB
+        LinkSpec::new(10.0, Dur::from_millis(20), 50_000)
+    }
+
+    #[test]
+    fn window_flow_saturates_link() {
+        // cwnd of 2 BDP guarantees full utilization.
+        let sc = Scenario::new(link_10mbps_20ms(), Dur::from_secs(10)).flow(FlowSpec::bulk(
+            "win",
+            Dur::ZERO,
+            || Box::new(TestWindow { cwnd: 50_000 }),
+        ));
+        let res = run(sc);
+        let thpt = res.flows[0].throughput_mbps(Time::from_secs_f64(2.0), Time::from_secs_f64(10.0));
+        assert!(thpt > 9.3 && thpt <= 10.05, "throughput = {thpt}");
+        // Sender-side conservation: everything sent is acked, lost or inflight.
+        let m = &res.flows[0];
+        assert!(m.pkts_acked + m.pkts_lost <= m.pkts_sent);
+        assert!(m.pkts_sent - (m.pkts_acked + m.pkts_lost) < 100);
+    }
+
+    #[test]
+    fn paced_flow_hits_its_rate() {
+        // Pace at 4 Mbps on a 10 Mbps link: no queueing, RTT stays at base.
+        let sc = Scenario::new(link_10mbps_20ms(), Dur::from_secs(5)).flow(FlowSpec::bulk(
+            "paced",
+            Dur::ZERO,
+            || Box::new(TestPaced { rate: 500_000.0 }),
+        ));
+        let res = run(sc);
+        let thpt = res.flows[0].throughput_mbps(Time::from_secs_f64(1.0), Time::from_secs_f64(5.0));
+        assert!((thpt - 4.0).abs() < 0.2, "throughput = {thpt}");
+        // RTT should be base (20ms) + one packet serialization (1.2ms).
+        let p95 = res.flows[0].rtt_percentile(95.0).unwrap();
+        assert!(p95 < 0.023, "p95 rtt = {p95}");
+    }
+
+    #[test]
+    fn overdriven_window_fills_buffer_and_loses() {
+        // cwnd of 8 BDP against a 2 BDP buffer: persistent queue + loss.
+        let sc = Scenario::new(link_10mbps_20ms(), Dur::from_secs(10)).flow(FlowSpec::bulk(
+            "big",
+            Dur::ZERO,
+            || Box::new(TestWindow { cwnd: 200_000 }),
+        ));
+        let res = run(sc);
+        let m = &res.flows[0];
+        assert!(m.pkts_lost > 0, "expected tail drops");
+        // Queue inflates RTT towards base + buffer/rate = 20ms + 40ms.
+        let p95 = m.rtt_percentile(95.0).unwrap();
+        assert!(p95 > 0.050, "p95 rtt = {p95}");
+        // Link still saturated.
+        let thpt = m.throughput_mbps(Time::from_secs_f64(2.0), Time::from_secs_f64(10.0));
+        assert!(thpt > 9.0, "throughput = {thpt}");
+    }
+
+    #[test]
+    fn random_loss_is_detected() {
+        let link = link_10mbps_20ms().with_random_loss(0.02);
+        let sc = Scenario::new(link, Dur::from_secs(10))
+            .flow(FlowSpec::bulk("paced", Dur::ZERO, || {
+                Box::new(TestPaced { rate: 250_000.0 })
+            }))
+            .with_seed(42);
+        let res = run(sc);
+        let m = &res.flows[0];
+        let loss = m.loss_rate();
+        assert!(loss > 0.01 && loss < 0.035, "observed loss = {loss}");
+    }
+
+    #[test]
+    fn sized_flow_completes_reliably_under_loss() {
+        let link = link_10mbps_20ms().with_random_loss(0.05);
+        let sc = Scenario::new(link, Dur::from_secs(30))
+            .flow(FlowSpec::sized("xfer", Dur::ZERO, 200_000, || {
+                Box::new(TestWindow { cwnd: 20_000 })
+            }))
+            .with_seed(7);
+        let res = run(sc);
+        let m = &res.flows[0];
+        assert!(
+            m.completion_time().is_some(),
+            "sized flow should finish despite loss"
+        );
+        assert!(m.bytes_acked >= 200_000);
+    }
+
+    #[test]
+    fn two_flows_share_capacity() {
+        let sc = Scenario::new(link_10mbps_20ms(), Dur::from_secs(10))
+            .flow(FlowSpec::bulk("a", Dur::ZERO, || {
+                Box::new(TestPaced { rate: 400_000.0 })
+            }))
+            .flow(FlowSpec::bulk("b", Dur::ZERO, || {
+                Box::new(TestPaced { rate: 400_000.0 })
+            }));
+        let res = run(sc);
+        let a = res.flows[0].throughput_mbps(Time::from_secs_f64(1.0), Time::from_secs_f64(10.0));
+        let b = res.flows[1].throughput_mbps(Time::from_secs_f64(1.0), Time::from_secs_f64(10.0));
+        assert!((a - 3.2).abs() < 0.3, "a = {a}");
+        assert!((b - 3.2).abs() < 0.3, "b = {b}");
+    }
+
+    #[test]
+    fn flow_start_and_stop_honored() {
+        let sc = Scenario::new(link_10mbps_20ms(), Dur::from_secs(10)).flow(
+            FlowSpec::bulk("late", Dur::from_secs(3), || {
+                Box::new(TestPaced { rate: 250_000.0 })
+            })
+            .with_stop(Dur::from_secs(6)),
+        );
+        let res = run(sc);
+        let m = &res.flows[0];
+        assert_eq!(m.started_at, Some(Time::ZERO + Dur::from_secs(3)));
+        let before = m.throughput_bps(Time::ZERO, Time::from_secs_f64(3.0));
+        let during = m.throughput_bps(Time::from_secs_f64(3.5), Time::from_secs_f64(6.0));
+        let after = m.throughput_bps(Time::from_secs_f64(6.5), Time::from_secs_f64(10.0));
+        assert_eq!(before, 0.0);
+        assert!(during > 1.5e6);
+        assert!(after < 0.1e6);
+    }
+
+    #[test]
+    fn cross_traffic_spawns_flows() {
+        let ct = CrossTrafficSpec {
+            arrivals_per_sec: 5.0,
+            size_range: (20_000, 100_000),
+            cc: proteus_transport::factory(|_| TestWindow { cwnd: 30_000 }),
+            start: Dur::ZERO,
+            stop: Dur::from_secs(10),
+        };
+        let sc = Scenario::new(LinkSpec::new(100.0, Dur::from_millis(20), 500_000), Dur::from_secs(12))
+            .with_cross_traffic(ct)
+            .with_seed(3);
+        let res = run(sc);
+        let n = res.flows.len();
+        // ~50 expected arrivals.
+        assert!(n > 25 && n < 90, "spawned {n}");
+        let finished = res
+            .flows
+            .iter()
+            .filter(|f| f.completion_time().is_some())
+            .count();
+        assert!(finished as f64 > 0.9 * n as f64, "finished {finished}/{n}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            Scenario::new(link_10mbps_20ms().with_random_loss(0.01), Dur::from_secs(5))
+                .flow(FlowSpec::bulk("w", Dur::ZERO, || {
+                    Box::new(TestWindow { cwnd: 60_000 })
+                }))
+                .with_seed(99)
+        };
+        let r1 = run(mk());
+        let r2 = run(mk());
+        assert_eq!(r1.flows[0].bytes_acked, r2.flows[0].bytes_acked);
+        assert_eq!(r1.flows[0].pkts_lost, r2.flows[0].pkts_lost);
+        assert_eq!(r1.link_dropped_pkts, r2.link_dropped_pkts);
+    }
+
+    #[test]
+    fn queue_sampling_records() {
+        let sc = Scenario::new(link_10mbps_20ms(), Dur::from_secs(5))
+            .flow(FlowSpec::bulk("w", Dur::ZERO, || {
+                Box::new(TestWindow { cwnd: 100_000 })
+            }))
+            .with_queue_sampling(Dur::from_millis(100));
+        let res = run(sc);
+        assert!(res.queue_samples.len() >= 45);
+        assert!(res.queue_samples.iter().any(|&(_, q)| q > 0));
+    }
+
+    #[test]
+    fn base_rtt_respected_without_queueing() {
+        let sc = Scenario::new(LinkSpec::new(100.0, Dur::from_millis(40), 500_000), Dur::from_secs(3))
+            .flow(FlowSpec::bulk("p", Dur::ZERO, || {
+                Box::new(TestPaced { rate: 125_000.0 }) // 1 Mbps
+            }));
+        let res = run(sc);
+        let min = res.flows[0]
+            .rtt_values()
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        // base 40ms + 0.12ms serialization
+        assert!((min - 0.04012).abs() < 1e-4, "min rtt = {min}");
+    }
+}

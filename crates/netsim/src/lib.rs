@@ -1,0 +1,55 @@
+//! Deterministic discrete-event network simulator for the PCC Proteus
+//! reproduction.
+//!
+//! The paper evaluates congestion controllers on Emulab dumbbells and live
+//! WiFi paths; this crate substitutes a packet-level simulation of the same
+//! topology (see DESIGN.md §2):
+//!
+//! * [`BottleneckLink`] — fixed-rate FIFO tail-drop queue,
+//! * [`NoiseConfig`] — latency-noise models (clean, Gaussian, WiFi-like),
+//! * [`Scenario`]/[`FlowSpec`]/[`CrossTrafficSpec`] — declarative experiment
+//!   descriptions,
+//! * [`Sim`]/[`run`] — the event engine driving [`CongestionControl`]
+//!   implementations,
+//! * [`SimResult`]/[`FlowMetrics`] — per-run measurements.
+//!
+//! [`CongestionControl`]: proteus_transport::CongestionControl
+//!
+//! # Example: a fixed-window flow on the paper's default bottleneck
+//!
+//! ```
+//! use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+//! use proteus_transport::{AckInfo, CongestionControl, Dur, LossInfo, Time};
+//!
+//! struct FixedWindow;
+//! impl CongestionControl for FixedWindow {
+//!     fn name(&self) -> &str { "fixed" }
+//!     fn on_ack(&mut self, _: Time, _: &AckInfo) {}
+//!     fn on_loss(&mut self, _: Time, _: &LossInfo) {}
+//!     fn pacing_rate(&self) -> Option<f64> { None }
+//!     fn cwnd_bytes(&self) -> u64 { 375_000 } // 2 BDP
+//! }
+//!
+//! let link = LinkSpec::paper_default(); // 50 Mbps, 30 ms, 375 KB
+//! let result = run(Scenario::new(link, Dur::from_secs(5))
+//!     .flow(FlowSpec::bulk("demo", Dur::ZERO, || Box::new(FixedWindow))));
+//! let mbps = result.flows[0]
+//!     .throughput_mbps(Time::from_secs_f64(2.0), Time::from_secs_f64(5.0));
+//! assert!(mbps > 45.0, "a 2-BDP window saturates the link: {mbps}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod engine;
+pub mod link;
+pub mod metrics;
+pub mod noise;
+pub mod scenario;
+
+pub use engine::{run, Sim};
+pub use link::{BottleneckLink, Offer};
+pub use metrics::{FlowMetrics, SimResult};
+pub use noise::{NoiseConfig, WifiNoiseConfig};
+pub use scenario::{CcBuilder, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario};

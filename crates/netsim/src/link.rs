@@ -1,0 +1,206 @@
+//! The bottleneck link: a FIFO tail-drop queue drained at a fixed rate.
+//!
+//! Every emulated experiment in the paper runs over a single dumbbell
+//! bottleneck characterized by (bandwidth, RTT, buffer). This module models
+//! that bottleneck exactly: packets offered to the link either fit in the
+//! remaining buffer (and depart after queueing + serialization) or are
+//! tail-dropped.
+//!
+//! The implementation uses a *virtual queue*: because service is FIFO and
+//! work-conserving, a packet's departure time is fully determined at arrival
+//! (`max(now, link_free_at) + serialization`), so no per-packet dequeue
+//! events are needed. Buffer occupancy is decremented by the engine when the
+//! departure time passes.
+
+use proteus_transport::{serialization_delay, Dur, Time};
+
+/// Outcome of offering a packet to the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// The packet was accepted and will finish serializing at this time.
+    Departs(Time),
+    /// The buffer was full; the packet is tail-dropped.
+    Dropped,
+}
+
+/// A fixed-rate, tail-drop FIFO bottleneck.
+#[derive(Debug, Clone)]
+pub struct BottleneckLink {
+    rate_bps: f64,
+    buffer_bytes: u64,
+    /// Bytes currently queued or in service.
+    queued_bytes: u64,
+    /// Time the serializer becomes free.
+    free_at: Time,
+    /// Counters.
+    accepted_pkts: u64,
+    dropped_pkts: u64,
+    delivered_bytes: u64,
+}
+
+impl BottleneckLink {
+    /// Creates a link with the given rate (bits/sec) and buffer (bytes).
+    ///
+    /// # Panics
+    /// Panics if the rate is not positive or the buffer is zero.
+    pub fn new(rate_bps: f64, buffer_bytes: u64) -> Self {
+        assert!(rate_bps > 0.0 && rate_bps.is_finite());
+        assert!(buffer_bytes > 0, "a zero buffer cannot hold any packet");
+        Self {
+            rate_bps,
+            buffer_bytes,
+            queued_bytes: 0,
+            free_at: Time::ZERO,
+            accepted_pkts: 0,
+            dropped_pkts: 0,
+            delivered_bytes: 0,
+        }
+    }
+
+    /// Link rate, bits/sec.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Configured buffer size, bytes.
+    pub fn buffer_bytes(&self) -> u64 {
+        self.buffer_bytes
+    }
+
+    /// Bytes currently occupying the buffer (queued + in service).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Offers a packet of `bytes` at time `now`.
+    ///
+    /// The in-service packet counts against the buffer, matching a shared
+    /// NIC ring: a packet is accepted iff `queued + bytes <= buffer`.
+    pub fn offer(&mut self, now: Time, bytes: u64) -> Offer {
+        if self.queued_bytes + bytes > self.buffer_bytes {
+            self.dropped_pkts += 1;
+            return Offer::Dropped;
+        }
+        let start = if self.free_at > now { self.free_at } else { now };
+        let departs = start + serialization_delay(bytes, self.rate_bps);
+        self.free_at = departs;
+        self.queued_bytes += bytes;
+        self.accepted_pkts += 1;
+        Offer::Departs(departs)
+    }
+
+    /// Called by the engine when a previously accepted packet's departure
+    /// time passes: releases its buffer space.
+    pub fn on_departure(&mut self, bytes: u64) {
+        debug_assert!(self.queued_bytes >= bytes, "departure underflow");
+        self.queued_bytes = self.queued_bytes.saturating_sub(bytes);
+        self.delivered_bytes += bytes;
+    }
+
+    /// Queueing + serialization delay a hypothetical packet would see now.
+    pub fn current_delay(&self, now: Time, bytes: u64) -> Dur {
+        let wait = self.free_at.since(now);
+        wait + serialization_delay(bytes, self.rate_bps)
+    }
+
+    /// Packets accepted so far.
+    pub fn accepted_pkts(&self) -> u64 {
+        self.accepted_pkts
+    }
+
+    /// Packets tail-dropped so far.
+    pub fn dropped_pkts(&self) -> u64 {
+        self.dropped_pkts
+    }
+
+    /// Bytes that completed service.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 12 Mbps -> 1500 B serializes in 1 ms. Handy for exact arithmetic.
+    fn link() -> BottleneckLink {
+        BottleneckLink::new(12_000_000.0, 4500)
+    }
+
+    #[test]
+    fn idle_link_serializes_immediately() {
+        let mut l = link();
+        match l.offer(Time::from_millis(10), 1500) {
+            Offer::Departs(t) => assert_eq!(t, Time::from_millis(11)),
+            Offer::Dropped => panic!("should accept"),
+        }
+        assert_eq!(l.queued_bytes(), 1500);
+    }
+
+    #[test]
+    fn queueing_delays_accumulate() {
+        let mut l = link();
+        let Offer::Departs(t1) = l.offer(Time::ZERO, 1500) else {
+            panic!()
+        };
+        let Offer::Departs(t2) = l.offer(Time::ZERO, 1500) else {
+            panic!()
+        };
+        assert_eq!(t1, Time::from_millis(1));
+        assert_eq!(t2, Time::from_millis(2));
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut l = link(); // 4500 B buffer = 3 packets
+        for _ in 0..3 {
+            assert!(matches!(l.offer(Time::ZERO, 1500), Offer::Departs(_)));
+        }
+        assert_eq!(l.offer(Time::ZERO, 1500), Offer::Dropped);
+        assert_eq!(l.dropped_pkts(), 1);
+        assert_eq!(l.accepted_pkts(), 3);
+    }
+
+    #[test]
+    fn departure_frees_space() {
+        let mut l = link();
+        for _ in 0..3 {
+            l.offer(Time::ZERO, 1500);
+        }
+        l.on_departure(1500);
+        assert_eq!(l.queued_bytes(), 3000);
+        assert!(matches!(l.offer(Time::from_millis(1), 1500), Offer::Departs(_)));
+        assert_eq!(l.delivered_bytes(), 1500);
+    }
+
+    #[test]
+    fn work_conserving_after_idle() {
+        let mut l = link();
+        let Offer::Departs(t1) = l.offer(Time::ZERO, 1500) else {
+            panic!()
+        };
+        l.on_departure(1500);
+        // Link idle 10ms, next packet serializes from its own arrival.
+        let Offer::Departs(t2) = l.offer(Time::from_millis(10), 1500) else {
+            panic!()
+        };
+        assert_eq!(t1, Time::from_millis(1));
+        assert_eq!(t2, Time::from_millis(11));
+    }
+
+    #[test]
+    fn current_delay_reports_backlog() {
+        let mut l = link();
+        assert_eq!(l.current_delay(Time::ZERO, 1500), Dur::from_millis(1));
+        l.offer(Time::ZERO, 1500);
+        l.offer(Time::ZERO, 1500);
+        assert_eq!(l.current_delay(Time::ZERO, 1500), Dur::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_buffer_rejected() {
+        let _ = BottleneckLink::new(1e6, 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Per-flow and per-run measurement collection.
+//!
+//! Every experiment table in the paper reduces to a handful of per-flow
+//! quantities: mean throughput over a measurement window, RTT percentiles,
+//! loss counts, flow completion times, and link utilization. The engine
+//! feeds raw events into [`FlowMetrics`]; the harness reads the aggregate
+//! accessors.
+
+use proteus_transport::{Dur, FlowId, Time};
+use proteus_stats::percentile;
+
+/// Measurements recorded for one flow over a simulation run.
+#[derive(Debug, Clone)]
+pub struct FlowMetrics {
+    /// Flow id within the scenario.
+    pub id: FlowId,
+    /// Human-readable label, e.g. `"CUBIC"` or `"Proteus-S #2"`.
+    pub name: String,
+    /// When the flow actually started sending.
+    pub started_at: Option<Time>,
+    /// When the flow finished (sized flows) or was stopped.
+    pub finished_at: Option<Time>,
+    /// Total bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Total bytes acknowledged.
+    pub bytes_acked: u64,
+    /// Packets sent / acked / declared lost.
+    pub pkts_sent: u64,
+    /// Packets acknowledged.
+    pub pkts_acked: u64,
+    /// Packets declared lost at the sender.
+    pub pkts_lost: u64,
+    /// Width of each throughput bin.
+    pub bin: Dur,
+    /// Bytes acknowledged per time bin since `Time::ZERO`.
+    pub acked_bins: Vec<u64>,
+    /// `(ack_time_seconds, rtt_seconds)` samples (possibly strided).
+    pub rtt_samples: Vec<(f64, f64)>,
+    rtt_stride: usize,
+    rtt_counter: usize,
+}
+
+impl FlowMetrics {
+    /// Creates an empty metrics record.
+    pub fn new(id: FlowId, name: String, bin: Dur, rtt_stride: usize) -> Self {
+        Self {
+            id,
+            name,
+            started_at: None,
+            finished_at: None,
+            bytes_sent: 0,
+            bytes_acked: 0,
+            pkts_sent: 0,
+            pkts_acked: 0,
+            pkts_lost: 0,
+            bin,
+            acked_bins: Vec::new(),
+            rtt_samples: Vec::new(),
+            rtt_stride: rtt_stride.max(1),
+            rtt_counter: 0,
+        }
+    }
+
+    pub(crate) fn on_sent(&mut self, bytes: u64) {
+        self.bytes_sent += bytes;
+        self.pkts_sent += 1;
+    }
+
+    pub(crate) fn on_ack(&mut self, now: Time, bytes: u64, rtt: Dur) {
+        self.bytes_acked += bytes;
+        self.pkts_acked += 1;
+        let bin_idx = (now.as_nanos() / self.bin.as_nanos().max(1)) as usize;
+        if self.acked_bins.len() <= bin_idx {
+            self.acked_bins.resize(bin_idx + 1, 0);
+        }
+        self.acked_bins[bin_idx] += bytes;
+        self.rtt_counter += 1;
+        if self.rtt_counter.is_multiple_of(self.rtt_stride) {
+            self.rtt_samples.push((now.as_secs_f64(), rtt.as_secs_f64()));
+        }
+    }
+
+    pub(crate) fn on_loss(&mut self) {
+        self.pkts_lost += 1;
+    }
+
+    /// Mean goodput in bits/sec over `[from, to)`, snapped inward to whole
+    /// ACK bins (a partial bin would otherwise attribute bytes from outside
+    /// the window and overestimate the rate).
+    pub fn throughput_bps(&self, from: Time, to: Time) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let bin_ns = self.bin.as_nanos().max(1);
+        let first = (from.as_nanos().div_ceil(bin_ns)) as usize;
+        let last = (to.as_nanos() / bin_ns) as usize;
+        if last <= first {
+            return 0.0;
+        }
+        let mut bytes = 0u64;
+        for i in first..last.min(self.acked_bins.len()) {
+            bytes += self.acked_bins[i];
+        }
+        let duration_s = ((last - first) as u64 * bin_ns) as f64 / 1e9;
+        bytes as f64 * 8.0 / duration_s
+    }
+
+    /// Mean goodput in Mbit/sec over `[from, to)`.
+    pub fn throughput_mbps(&self, from: Time, to: Time) -> f64 {
+        self.throughput_bps(from, to) / 1e6
+    }
+
+    /// `(bin_start_seconds, Mbit/sec)` goodput timeline (Fig. 14 / Fig. 18).
+    pub fn throughput_timeline_mbps(&self) -> Vec<(f64, f64)> {
+        let bin_s = self.bin.as_secs_f64();
+        self.acked_bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as f64 * bin_s, b as f64 * 8.0 / bin_s / 1e6))
+            .collect()
+    }
+
+    /// RTT values (seconds), discarding timestamps.
+    pub fn rtt_values(&self) -> Vec<f64> {
+        self.rtt_samples.iter().map(|&(_, r)| r).collect()
+    }
+
+    /// RTT values within a time window `[from, to)`, seconds.
+    pub fn rtt_values_in(&self, from: Time, to: Time) -> Vec<f64> {
+        let (a, b) = (from.as_secs_f64(), to.as_secs_f64());
+        self.rtt_samples
+            .iter()
+            .filter(|&&(t, _)| t >= a && t < b)
+            .map(|&(_, r)| r)
+            .collect()
+    }
+
+    /// The `p`-th percentile RTT in seconds, if samples exist.
+    pub fn rtt_percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.rtt_values(), p)
+    }
+
+    /// Mean RTT in seconds.
+    pub fn rtt_mean(&self) -> Option<f64> {
+        if self.rtt_samples.is_empty() {
+            None
+        } else {
+            Some(self.rtt_samples.iter().map(|&(_, r)| r).sum::<f64>() / self.rtt_samples.len() as f64)
+        }
+    }
+
+    /// Loss rate observed by the sender: `lost / sent`.
+    pub fn loss_rate(&self) -> f64 {
+        if self.pkts_sent == 0 {
+            0.0
+        } else {
+            self.pkts_lost as f64 / self.pkts_sent as f64
+        }
+    }
+
+    /// Flow completion time for sized flows.
+    pub fn completion_time(&self) -> Option<Dur> {
+        match (self.started_at, self.finished_at) {
+            (Some(s), Some(f)) => Some(f.since(s)),
+            _ => None,
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-flow measurements, indexed by flow id.
+    pub flows: Vec<FlowMetrics>,
+    /// Total simulated duration.
+    pub duration: Dur,
+    /// Bottleneck rate, bits/sec.
+    pub link_rate_bps: f64,
+    /// Bytes that completed service at the bottleneck.
+    pub link_delivered_bytes: u64,
+    /// Packets tail-dropped at the bottleneck.
+    pub link_dropped_pkts: u64,
+    /// Periodic `(seconds, queued_bytes)` samples of buffer occupancy.
+    pub queue_samples: Vec<(f64, u64)>,
+}
+
+impl SimResult {
+    /// Aggregate goodput of a set of flows over `[from, to)`, as a fraction
+    /// of link capacity.
+    pub fn utilization(&self, from: Time, to: Time) -> f64 {
+        let total: f64 = self
+            .flows
+            .iter()
+            .map(|f| f.throughput_bps(from, to))
+            .sum();
+        total / self.link_rate_bps
+    }
+
+    /// Finds a flow's metrics by name (first match).
+    pub fn flow_named(&self, name: &str) -> Option<&FlowMetrics> {
+        self.flows.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_binning() {
+        let mut m = FlowMetrics::new(0, "test".into(), Dur::from_secs(1), 1);
+        // 1 MB acked in second 0, 2 MB in second 1.
+        m.on_ack(Time::from_millis(500), 1_000_000, Dur::from_millis(30));
+        m.on_ack(Time::from_millis(1500), 2_000_000, Dur::from_millis(30));
+        let t01 = m.throughput_bps(Time::ZERO, Time::from_secs_f64(1.0));
+        assert!((t01 - 8_000_000.0).abs() < 1.0);
+        let t02 = m.throughput_bps(Time::ZERO, Time::from_secs_f64(2.0));
+        assert!((t02 - 12_000_000.0).abs() < 1.0);
+        // Window starting at second 1 sees only the second bin.
+        let t12 = m.throughput_bps(Time::from_secs_f64(1.0), Time::from_secs_f64(2.0));
+        assert!((t12 - 16_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let m = FlowMetrics::new(0, "t".into(), Dur::from_secs(1), 1);
+        assert_eq!(m.throughput_bps(Time::from_secs_f64(1.0), Time::from_secs_f64(1.0)), 0.0);
+        assert_eq!(m.throughput_bps(Time::from_secs_f64(5.0), Time::from_secs_f64(9.0)), 0.0);
+    }
+
+    #[test]
+    fn rtt_stride_downsamples() {
+        let mut m = FlowMetrics::new(0, "t".into(), Dur::from_secs(1), 4);
+        for i in 0..100 {
+            m.on_ack(Time::from_millis(i), 1500, Dur::from_millis(30));
+        }
+        assert_eq!(m.rtt_samples.len(), 25);
+        assert_eq!(m.pkts_acked, 100);
+    }
+
+    #[test]
+    fn loss_rate_and_percentiles() {
+        let mut m = FlowMetrics::new(0, "t".into(), Dur::from_secs(1), 1);
+        for i in 0..10 {
+            m.on_sent(1500);
+            if i < 8 {
+                m.on_ack(Time::from_millis(i * 10), 1500, Dur::from_millis(30 + i));
+            } else {
+                m.on_loss();
+            }
+        }
+        assert!((m.loss_rate() - 0.2).abs() < 1e-12);
+        assert!(m.rtt_percentile(95.0).unwrap() >= 0.036);
+        assert!(m.rtt_mean().unwrap() > 0.030);
+    }
+
+    #[test]
+    fn timeline_units() {
+        let mut m = FlowMetrics::new(0, "t".into(), Dur::from_secs(1), 1);
+        m.on_ack(Time::from_millis(100), 125_000, Dur::from_millis(10)); // 1 Mbit
+        let tl = m.throughput_timeline_mbps();
+        assert_eq!(tl.len(), 1);
+        assert!((tl[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_result_utilization() {
+        let mut m = FlowMetrics::new(0, "a".into(), Dur::from_secs(1), 1);
+        m.on_ack(Time::from_millis(10), 625_000, Dur::from_millis(10)); // 5 Mbit
+        let r = SimResult {
+            flows: vec![m],
+            duration: Dur::from_secs(1),
+            link_rate_bps: 10e6,
+            link_delivered_bytes: 625_000,
+            link_dropped_pkts: 0,
+            queue_samples: vec![],
+        };
+        let u = r.utilization(Time::ZERO, Time::from_secs_f64(1.0));
+        assert!((u - 0.5).abs() < 1e-9);
+        assert!(r.flow_named("a").is_some());
+        assert!(r.flow_named("b").is_none());
+    }
+}

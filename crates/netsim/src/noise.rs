@@ -1,0 +1,241 @@
+//! Latency-noise models.
+//!
+//! The paper's live-Internet WiFi experiments (§6.2.1) motivate Proteus'
+//! noise-tolerance machinery: "the typical RTT deviation is up to 5 ms but
+//! RTT occasionally spikes tens of milliseconds higher", and ACK reception
+//! "can be bursty even on a non-congested link, possibly due to irregular MAC
+//! scheduling". Since we cannot use their physical WiFi paths, this module
+//! provides parameterized stochastic models that reproduce that envelope,
+//! exercising the same code paths (per-ACK filtering, regression-error and
+//! trending tolerance, majority rule).
+
+use rand::rngs::SmallRng;
+use rand::RngExt as Rng;
+
+use proteus_transport::{Dur, Time};
+
+use crate::dist;
+
+/// Configuration of the latency noise applied to a path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseConfig {
+    /// A clean wired path (the Emulab experiments).
+    None,
+    /// Independent Gaussian jitter on every data packet, truncated at zero.
+    Gaussian {
+        /// Standard deviation of the jitter.
+        std: Dur,
+    },
+    /// A WiFi-like path: small Gaussian jitter on every packet, occasional
+    /// heavy-tailed delay spikes, and bursty ACK release emulating MAC-layer
+    /// aggregation.
+    Wifi(WifiNoiseConfig),
+}
+
+/// Parameters of the WiFi noise model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WifiNoiseConfig {
+    /// Std-dev of the per-packet Gaussian jitter (paper: "up to 5 ms
+    /// typical deviation"; default 1.5 ms).
+    pub jitter_std: Dur,
+    /// Probability that a packet experiences a delay spike.
+    pub spike_prob: f64,
+    /// Minimum spike magnitude (Pareto scale).
+    pub spike_min: Dur,
+    /// Pareto shape of the spike magnitude (smaller = heavier tail).
+    pub spike_alpha: f64,
+    /// Mean interval between ACK release bursts. ACKs arriving between
+    /// bursts are held and released together, producing the consecutive
+    /// ACK-interval ratio spikes §5 filters on. `Dur::ZERO` disables
+    /// aggregation.
+    pub ack_burst_interval: Dur,
+    /// Fraction of time the ACK aggregation is active (WiFi MAC alternates
+    /// between smooth and bursty phases).
+    pub ack_burst_duty: f64,
+}
+
+impl Default for WifiNoiseConfig {
+    fn default() -> Self {
+        Self {
+            jitter_std: Dur::from_micros(1_500),
+            spike_prob: 0.004,
+            spike_min: Dur::from_millis(10),
+            spike_alpha: 1.8,
+            ack_burst_interval: Dur::from_millis(8),
+            ack_burst_duty: 0.3,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A WiFi model with default parameters.
+    pub fn wifi_default() -> Self {
+        NoiseConfig::Wifi(WifiNoiseConfig::default())
+    }
+
+    /// Builds the runtime state for this configuration.
+    pub(crate) fn build(self) -> NoiseState {
+        NoiseState {
+            config: self,
+            next_ack_release: Time::ZERO,
+            burst_phase_until: Time::ZERO,
+            burst_phase_active: false,
+        }
+    }
+}
+
+/// Runtime state of a path's noise processes.
+#[derive(Debug, Clone)]
+pub(crate) struct NoiseState {
+    config: NoiseConfig,
+    /// Earliest time the next ACK may be released (aggregation).
+    next_ack_release: Time,
+    /// End of the current smooth/bursty phase.
+    burst_phase_until: Time,
+    burst_phase_active: bool,
+}
+
+impl NoiseState {
+    /// Extra one-way delay applied to a data packet delivered at `now`.
+    pub(crate) fn data_delay(&mut self, rng: &mut SmallRng) -> Dur {
+        match self.config {
+            NoiseConfig::None => Dur::ZERO,
+            NoiseConfig::Gaussian { std } => {
+                let jitter = dist::normal(rng, 0.0, std.as_secs_f64());
+                Dur::from_secs_f64(jitter.max(0.0))
+            }
+            NoiseConfig::Wifi(cfg) => {
+                let mut delay =
+                    dist::normal(rng, 0.0, cfg.jitter_std.as_secs_f64()).max(0.0);
+                if rng.random::<f64>() < cfg.spike_prob {
+                    delay += dist::pareto(rng, cfg.spike_min.as_secs_f64(), cfg.spike_alpha);
+                }
+                Dur::from_secs_f64(delay)
+            }
+        }
+    }
+
+    /// Earliest release time for an ACK generated at `now` (ACK-side
+    /// aggregation); also applies small jitter.
+    pub(crate) fn ack_release(&mut self, now: Time, rng: &mut SmallRng) -> Time {
+        match self.config {
+            NoiseConfig::None => now,
+            NoiseConfig::Gaussian { std } => {
+                let jitter = dist::normal(rng, 0.0, std.as_secs_f64() * 0.5).max(0.0);
+                now + Dur::from_secs_f64(jitter)
+            }
+            NoiseConfig::Wifi(cfg) => {
+                if cfg.ack_burst_interval.is_zero() {
+                    return now;
+                }
+                // Alternate smooth / bursty phases.
+                if now >= self.burst_phase_until {
+                    self.burst_phase_active = rng.random::<f64>() < cfg.ack_burst_duty;
+                    let phase_len = dist::exponential(rng, 0.5); // mean 500 ms phases
+                    self.burst_phase_until = now + Dur::from_secs_f64(phase_len.max(0.05));
+                }
+                if !self.burst_phase_active {
+                    return now;
+                }
+                // Release ACKs only at burst instants.
+                if now < self.next_ack_release {
+                    self.next_ack_release
+                } else {
+                    let gap =
+                        dist::exponential(rng, cfg.ack_burst_interval.as_secs_f64());
+                    self.next_ack_release = now + Dur::from_secs_f64(gap);
+                    now
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn none_adds_nothing() {
+        let mut s = NoiseConfig::None.build();
+        let mut r = rng();
+        assert_eq!(s.data_delay(&mut r), Dur::ZERO);
+        assert_eq!(s.ack_release(Time::from_millis(5), &mut r), Time::from_millis(5));
+    }
+
+    #[test]
+    fn gaussian_is_nonnegative_and_bounded_in_probability() {
+        let std = Dur::from_millis(2);
+        let mut s = NoiseConfig::Gaussian { std }.build();
+        let mut r = rng();
+        let mut big = 0;
+        for _ in 0..10_000 {
+            let d = s.data_delay(&mut r);
+            if d > Dur::from_millis(8) {
+                big += 1;
+            }
+        }
+        // P(N(0,2ms) > 8ms) ≈ 3e-5; allow a little slack.
+        assert!(big < 10, "big = {big}");
+    }
+
+    #[test]
+    fn wifi_produces_occasional_spikes() {
+        let mut s = NoiseConfig::wifi_default().build();
+        let mut r = rng();
+        let mut spikes = 0;
+        for _ in 0..50_000 {
+            if s.data_delay(&mut r) > Dur::from_millis(10) {
+                spikes += 1;
+            }
+        }
+        let frac = spikes as f64 / 50_000.0;
+        assert!(frac > 0.001 && frac < 0.02, "spike fraction = {frac}");
+    }
+
+    #[test]
+    fn wifi_ack_aggregation_holds_acks() {
+        let cfg = WifiNoiseConfig {
+            ack_burst_duty: 1.0, // always bursty for the test
+            ..WifiNoiseConfig::default()
+        };
+        let mut s = NoiseConfig::Wifi(cfg).build();
+        let mut r = rng();
+        // Feed closely spaced ACKs; some must be deferred to a shared
+        // release instant.
+        let mut deferred = 0;
+        let mut t = Time::ZERO;
+        for _ in 0..1000 {
+            t = t + Dur::from_micros(200);
+            let rel = s.ack_release(t, &mut r);
+            assert!(rel >= t);
+            if rel > t {
+                deferred += 1;
+            }
+        }
+        assert!(deferred > 100, "deferred = {deferred}");
+    }
+
+    #[test]
+    fn ack_release_is_monotone_within_burst() {
+        let cfg = WifiNoiseConfig {
+            ack_burst_duty: 1.0,
+            ..WifiNoiseConfig::default()
+        };
+        let mut s = NoiseConfig::Wifi(cfg).build();
+        let mut r = rng();
+        let mut last = Time::ZERO;
+        let mut t = Time::ZERO;
+        for _ in 0..1000 {
+            t = t + Dur::from_micros(100);
+            let rel = s.ack_release(t, &mut r);
+            assert!(rel >= last || rel >= t, "release went backwards");
+            last = rel;
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Scenario description: one dumbbell link plus a set of flows.
+//!
+//! Experiments in the paper are all "N flows over one emulated bottleneck",
+//! optionally with Poisson cross-traffic (Fig. 2). [`Scenario`] captures
+//! that shape declaratively; `run()` (in [`crate::engine`]) executes it.
+
+use proteus_transport::{
+    Application, BulkApp, CcFactory, CongestionControl, Dur, SizedApp,
+};
+
+use crate::noise::NoiseConfig;
+
+/// Bottleneck link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Bottleneck bandwidth, Mbit/sec.
+    pub bandwidth_mbps: f64,
+    /// Base two-way propagation RTT (no queueing).
+    pub rtt: Dur,
+    /// Bottleneck buffer, bytes.
+    pub buffer_bytes: u64,
+    /// Probability of non-congestion ("random") loss per data packet.
+    pub random_loss: f64,
+    /// Latency-noise model on the path.
+    pub noise: NoiseConfig,
+}
+
+impl LinkSpec {
+    /// The paper's default emulated bottleneck: 50 Mbps, 30 ms RTT,
+    /// 2-BDP (375 KB) buffer, clean path.
+    pub fn paper_default() -> Self {
+        Self {
+            bandwidth_mbps: 50.0,
+            rtt: Dur::from_millis(30),
+            buffer_bytes: 375_000,
+            random_loss: 0.0,
+            noise: NoiseConfig::None,
+        }
+    }
+
+    /// Creates a clean link with the given bandwidth/RTT/buffer.
+    pub fn new(bandwidth_mbps: f64, rtt: Dur, buffer_bytes: u64) -> Self {
+        Self {
+            bandwidth_mbps,
+            rtt,
+            buffer_bytes,
+            random_loss: 0.0,
+            noise: NoiseConfig::None,
+        }
+    }
+
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        (self.bandwidth_mbps * 1e6 / 8.0 * self.rtt.as_secs_f64()).round() as u64
+    }
+
+    /// Returns a copy with the buffer set to `x` BDPs.
+    pub fn with_buffer_bdp(mut self, x: f64) -> Self {
+        self.buffer_bytes = ((self.bdp_bytes() as f64) * x).round().max(1.0) as u64;
+        self
+    }
+
+    /// Returns a copy with the buffer set in bytes.
+    pub fn with_buffer_bytes(mut self, b: u64) -> Self {
+        self.buffer_bytes = b;
+        self
+    }
+
+    /// Returns a copy with the given random loss probability.
+    pub fn with_random_loss(mut self, p: f64) -> Self {
+        debug_assert!((0.0..1.0).contains(&p));
+        self.random_loss = p;
+        self
+    }
+
+    /// Returns a copy with the given noise model.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Link rate in bits/sec.
+    pub fn rate_bps(&self) -> f64 {
+        self.bandwidth_mbps * 1e6
+    }
+}
+
+/// Factory for a flow's congestion controller.
+pub type CcBuilder = Box<dyn FnOnce() -> Box<dyn CongestionControl>>;
+/// Factory for a flow's application model.
+pub type AppBuilder = Box<dyn FnOnce() -> Box<dyn Application>>;
+
+/// One flow in a scenario.
+pub struct FlowSpec {
+    /// Label used in reports.
+    pub name: String,
+    /// When the flow starts, relative to simulation start.
+    pub start: Dur,
+    /// When the flow stops, if before the end of the run.
+    pub stop: Option<Dur>,
+    /// Congestion-controller factory.
+    pub cc: CcBuilder,
+    /// Application factory.
+    pub app: AppBuilder,
+    /// Whether lost bytes are retransmitted (needed by sized transfers).
+    pub reliable: bool,
+}
+
+impl FlowSpec {
+    /// A long-running bulk flow with the given controller.
+    pub fn bulk(
+        name: impl Into<String>,
+        start: Dur,
+        cc: impl FnOnce() -> Box<dyn CongestionControl> + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            stop: None,
+            cc: Box::new(cc),
+            app: Box::new(|| Box::new(BulkApp)),
+            reliable: false,
+        }
+    }
+
+    /// A fixed-size reliable transfer (web object, cross-traffic flow).
+    pub fn sized(
+        name: impl Into<String>,
+        start: Dur,
+        bytes: u64,
+        cc: impl FnOnce() -> Box<dyn CongestionControl> + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            start,
+            stop: None,
+            cc: Box::new(cc),
+            app: Box::new(move || Box::new(SizedApp::new(bytes))),
+            reliable: true,
+        }
+    }
+
+    /// Returns this spec with a stop time.
+    pub fn with_stop(mut self, stop: Dur) -> Self {
+        self.stop = Some(stop);
+        self
+    }
+
+    /// Returns this spec with a custom application.
+    pub fn with_app(
+        mut self,
+        app: impl FnOnce() -> Box<dyn Application> + 'static,
+    ) -> Self {
+        self.app = Box::new(app);
+        self
+    }
+
+    /// Returns this spec with reliability (retransmission of lost bytes)
+    /// enabled or disabled.
+    pub fn with_reliability(mut self, reliable: bool) -> Self {
+        self.reliable = reliable;
+        self
+    }
+}
+
+impl std::fmt::Debug for FlowSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowSpec")
+            .field("name", &self.name)
+            .field("start", &self.start)
+            .field("stop", &self.stop)
+            .field("reliable", &self.reliable)
+            .finish()
+    }
+}
+
+/// Poisson cross-traffic: short flows with uniformly distributed sizes, as
+/// used for the Fig.-2 "impending congestion" workload.
+pub struct CrossTrafficSpec {
+    /// Mean arrivals per second.
+    pub arrivals_per_sec: f64,
+    /// Uniform flow-size range in bytes (paper: 20–100 KB).
+    pub size_range: (u64, u64),
+    /// Controller factory for the short flows.
+    pub cc: CcFactory,
+    /// When arrivals begin.
+    pub start: Dur,
+    /// When arrivals end.
+    pub stop: Dur,
+}
+
+impl std::fmt::Debug for CrossTrafficSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrossTrafficSpec")
+            .field("arrivals_per_sec", &self.arrivals_per_sec)
+            .field("size_range", &self.size_range)
+            .field("start", &self.start)
+            .field("stop", &self.stop)
+            .finish()
+    }
+}
+
+/// A complete simulation scenario.
+pub struct Scenario {
+    /// The bottleneck link.
+    pub link: LinkSpec,
+    /// Static flows.
+    pub flows: Vec<FlowSpec>,
+    /// Optional Poisson cross-traffic generator.
+    pub cross_traffic: Option<CrossTrafficSpec>,
+    /// Total simulated time.
+    pub duration: Dur,
+    /// RNG seed (loss, noise, arrivals).
+    pub seed: u64,
+    /// Throughput-bin width for per-flow timelines (default 1 s).
+    pub throughput_bin: Dur,
+    /// Keep every `stride`-th RTT sample (1 = all).
+    pub rtt_stride: usize,
+    /// Sample bottleneck queue occupancy at this period, if set.
+    pub queue_sample_every: Option<Dur>,
+}
+
+impl Scenario {
+    /// Creates a scenario with sensible defaults (1 s throughput bins, all
+    /// RTT samples, no queue sampling).
+    pub fn new(link: LinkSpec, duration: Dur) -> Self {
+        Self {
+            link,
+            flows: Vec::new(),
+            cross_traffic: None,
+            duration,
+            seed: 1,
+            throughput_bin: Dur::from_secs(1),
+            rtt_stride: 1,
+            queue_sample_every: None,
+        }
+    }
+
+    /// Adds a flow.
+    pub fn flow(mut self, flow: FlowSpec) -> Self {
+        self.flows.push(flow);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets cross traffic.
+    pub fn with_cross_traffic(mut self, ct: CrossTrafficSpec) -> Self {
+        self.cross_traffic = Some(ct);
+        self
+    }
+
+    /// Sets the throughput bin width.
+    pub fn with_throughput_bin(mut self, bin: Dur) -> Self {
+        self.throughput_bin = bin;
+        self
+    }
+
+    /// Sets the RTT downsampling stride.
+    pub fn with_rtt_stride(mut self, stride: usize) -> Self {
+        self.rtt_stride = stride.max(1);
+        self
+    }
+
+    /// Enables periodic queue sampling.
+    pub fn with_queue_sampling(mut self, every: Dur) -> Self {
+        self.queue_sample_every = Some(every);
+        self
+    }
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("link", &self.link)
+            .field("flows", &self.flows)
+            .field("cross_traffic", &self.cross_traffic)
+            .field("duration", &self.duration)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bdp_math() {
+        let l = LinkSpec::paper_default();
+        // 50 Mbps * 30 ms = 187.5 KB
+        assert_eq!(l.bdp_bytes(), 187_500);
+        assert_eq!(l.with_buffer_bdp(2.0).buffer_bytes, 375_000);
+        assert_eq!(l.with_buffer_bdp(0.4).buffer_bytes, 75_000);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let l = LinkSpec::new(100.0, Dur::from_millis(60), 1_500_000)
+            .with_random_loss(0.01)
+            .with_noise(NoiseConfig::wifi_default());
+        assert_eq!(l.random_loss, 0.01);
+        assert!(matches!(l.noise, NoiseConfig::Wifi(_)));
+        assert_eq!(l.rate_bps(), 100e6);
+    }
+}

@@ -1,0 +1,157 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF built from a set of samples.
+///
+/// Figures 8–10 and 11(b) of the paper present CDFs of throughput ratios and
+/// page-load times; the experiment harness collects the raw samples and
+/// renders them through this type.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples. Non-finite samples are dropped.
+    pub fn new(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self { sorted }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0 for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF by nearest rank: the smallest sample `v` with
+    /// `P(X <= v) >= q`, `q` in `[0, 1]`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.sorted.first().copied();
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The full `(value, cumulative_fraction)` step series for plotting.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Fraction of samples at or above `x` (e.g. "fraction of cases where
+    /// the primary kept ≥ 90 % of its throughput", §6.2.1).
+    pub fn fraction_at_least(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.partition_point(|&s| s < x);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_counts_inclusive() {
+        let e = Ecdf::new([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new([10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.2), Some(10.0));
+        assert_eq!(e.quantile(0.21), Some(20.0));
+        assert_eq!(e.median(), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(50.0));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Ecdf::new(std::iter::empty());
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.fraction_at_least(0.0), 0.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let e = Ecdf::new([1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn series_is_monotone_step() {
+        let e = Ecdf::new([3.0, 1.0, 2.0]);
+        let s = e.series();
+        assert_eq!(s[0], (1.0, 1.0 / 3.0));
+        assert_eq!(s[2], (3.0, 1.0));
+        assert!(s.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn fraction_at_least_counts_inclusive() {
+        let e = Ecdf::new([0.5, 0.9, 0.92, 1.0]);
+        assert_eq!(e.fraction_at_least(0.9), 0.75);
+        assert_eq!(e.fraction_at_least(0.91), 0.5);
+        assert_eq!(e.fraction_at_least(2.0), 0.0);
+    }
+
+    #[test]
+    fn mean_matches() {
+        let e = Ecdf::new([1.0, 2.0, 3.0]);
+        assert!((e.mean().unwrap() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,234 @@
+//! Fixed-bin histograms and empirical PDFs.
+
+/// A fixed-width-bin histogram over a closed range `[lo, hi]`.
+///
+/// The Fig.-2 experiment of the paper plots the probability density of RTT
+/// deviation and |RTT gradient| observed by a fixed-rate probe; this type
+/// produces exactly those probability-per-bin series.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "hi must exceed lo");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of bins (excluding under/overflow).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Records a sample. Non-finite samples are ignored. Samples outside the
+    /// range are tallied as under/overflow but still count toward the total.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            // The exact upper bound lands in the last bin.
+            if x == self.hi {
+                *self.counts.last_mut().expect("non-empty") += 1;
+            } else {
+                self.overflow += 1;
+            }
+        } else {
+            let idx = ((x - self.lo) / self.bin_width()) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Records many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Total samples recorded (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Raw count of bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Probability mass of each bin (fraction of total samples).
+    ///
+    /// Sums to 1 minus the out-of-range fraction. Returns all zeros when
+    /// empty.
+    pub fn pmf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Probability density of each bin (pmf divided by bin width).
+    pub fn pdf(&self) -> Vec<f64> {
+        let w = self.bin_width();
+        self.pmf().into_iter().map(|p| p / w).collect()
+    }
+
+    /// `(bin_center, probability)` pairs, the paper's Fig.-2 series.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.pmf()
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (self.bin_center(i), p))
+            .collect()
+    }
+
+    /// Index of the most populated bin; `None` when empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 || self.counts.iter().all(|&c| c == 0) {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        for i in 0..10 {
+            assert_eq!(h.count(i), 1, "bin {i}");
+        }
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(0.0); // first bin
+        h.add(0.25); // second bin (left-closed bins)
+        h.add(1.0); // exact upper bound -> last bin
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn out_of_range_is_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-0.1);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+        let pmf = h.pmf();
+        assert!((pmf.iter().sum::<f64>() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        h.add(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let mut h = Histogram::new(0.0, 2.0, 20);
+        for i in 0..1000 {
+            h.add((i % 200) as f64 / 100.0);
+        }
+        let integral: f64 = h.pdf().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_bin_finds_the_peak() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([1.5, 1.6, 1.7, 5.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+        let empty = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(empty.mode_bin(), None);
+    }
+
+    #[test]
+    fn series_matches_pmf_and_centers() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.extend([0.5, 1.5, 1.6]);
+        let s = h.series();
+        assert_eq!(s.len(), 4);
+        assert!((s[0].0 - 0.5).abs() < 1e-12);
+        assert!((s[1].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+}

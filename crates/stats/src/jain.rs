@@ -1,0 +1,66 @@
+//! Jain's fairness index.
+
+/// Computes Jain's fairness index `(Σx)² / (n · Σx²)` over per-flow
+/// throughputs.
+///
+/// The index is 1.0 when all flows receive equal throughput and approaches
+/// `1/n` when one flow starves the rest — exactly the metric of Fig. 5 and
+/// Fig. 17 of the paper. Returns `None` for an empty slice or when every
+/// throughput is zero (the index is undefined there).
+pub fn jain_index(throughputs: &[f64]) -> Option<f64> {
+    if throughputs.is_empty() {
+        return None;
+    }
+    debug_assert!(
+        throughputs.iter().all(|&x| x >= 0.0),
+        "throughputs must be non-negative"
+    );
+    let sum: f64 = throughputs.iter().sum();
+    let sum_sq: f64 = throughputs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (throughputs.len() as f64 * sum_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fairness() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_unfairness_tends_to_one_over_n() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]).unwrap();
+        let b = jain_index(&[10.0, 20.0, 30.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(jain_index(&[]), None);
+        assert_eq!(jain_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn single_flow_is_fair() {
+        assert!((jain_index(&[7.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_between_one_over_n_and_one() {
+        let xs = [1.0, 4.0, 2.5, 9.0, 0.1];
+        let idx = jain_index(&xs).unwrap();
+        assert!(idx > 1.0 / xs.len() as f64);
+        assert!(idx <= 1.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Nearest-rank percentiles over unsorted slices.
+
+/// Returns the `p`-th percentile (0–100) of `xs` by the nearest-rank method,
+/// or `None` if `xs` is empty after dropping non-finite values.
+///
+/// The paper reports 95th-percentile RTT and inflation ratios throughout
+/// §6.1–6.2; this helper is what the harness uses for those columns.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let p = p.clamp(0.0, 100.0);
+    if p == 0.0 {
+        return v.first().copied();
+    }
+    let rank = (p / 100.0 * v.len() as f64).ceil() as usize;
+    Some(v[rank.saturating_sub(1).min(v.len() - 1)])
+}
+
+/// Median shorthand.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 95.0), Some(95.0));
+        assert_eq!(percentile(&xs, 50.0), Some(50.0));
+        assert_eq!(percentile(&xs, 100.0), Some(100.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn unsorted_input() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median(&xs), Some(3.0));
+    }
+
+    #[test]
+    fn empty_and_nan() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[f64::NAN], 50.0), None);
+        assert_eq!(percentile(&[f64::NAN, 7.0], 50.0), Some(7.0));
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[42.0], 95.0), Some(42.0));
+    }
+
+    #[test]
+    fn out_of_range_p_is_clamped() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 150.0), Some(3.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Ordinary least-squares linear regression with residual error.
+//!
+//! PCC Vivace and Proteus compute the **RTT gradient** of a monitor interval
+//! as the least-squares slope of RTT against packet send time, and Proteus'
+//! per-MI noise gate (§5, "Regression Error Tolerance") compares that slope
+//! against the normalized RMS residual of the same fit. Both come from this
+//! module.
+
+/// Result of a least-squares fit `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Root-mean-square residual `sqrt(Σ(y_i − ŷ_i)² / n)`.
+    pub rms_residual: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearRegression {
+    /// Fits `(x, y)` pairs. Returns `None` with fewer than two points or when
+    /// all `x` coincide (the slope is undefined).
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        let n = points.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for &(x, y) in points {
+            let dx = x - mean_x;
+            sxx += dx * dx;
+            sxy += dx * (y - mean_y);
+        }
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let mut ss_res = 0.0;
+        for &(x, y) in points {
+            let err = y - (intercept + slope * x);
+            ss_res += err * err;
+        }
+        Some(Self {
+            slope,
+            intercept,
+            rms_residual: (ss_res / nf).sqrt(),
+            n,
+        })
+    }
+
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_has_zero_residual() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 + 3.0 * i as f64)).collect();
+        let fit = LinearRegression::fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 2.0).abs() < 1e-12);
+        assert!(fit.rms_residual < 1e-9);
+        assert_eq!(fit.n, 10);
+    }
+
+    #[test]
+    fn flat_line() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 7.0)).collect();
+        let fit = LinearRegression::fit(&pts).unwrap();
+        assert!(fit.slope.abs() < 1e-12);
+        assert!((fit.intercept - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(LinearRegression::fit(&[]).is_none());
+        assert!(LinearRegression::fit(&[(1.0, 2.0)]).is_none());
+        // All x equal: vertical line, undefined slope.
+        assert!(LinearRegression::fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn residual_reflects_noise() {
+        // y = x with alternating ±1 noise.
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                (x, x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            })
+            .collect();
+        let fit = LinearRegression::fit(&pts).unwrap();
+        assert!((fit.slope - 1.0).abs() < 0.05);
+        assert!(fit.rms_residual > 0.9 && fit.rms_residual < 1.1);
+    }
+
+    #[test]
+    fn predict_interpolates() {
+        let fit = LinearRegression::fit(&[(0.0, 1.0), (2.0, 5.0)]).unwrap();
+        assert!((fit.predict(1.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_slope() {
+        let pts: Vec<(f64, f64)> = (0..8).map(|i| (i as f64, 10.0 - 0.5 * i as f64)).collect();
+        let fit = LinearRegression::fit(&pts).unwrap();
+        assert!((fit.slope + 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! One-shot descriptive summaries of sample sets.
+
+use crate::percentile::percentile;
+use crate::welford::Welford;
+
+/// A descriptive summary (mean, std-dev, extrema, selected percentiles) of a
+/// set of samples, used by the experiment harness to render result tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of finite samples.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarizes `xs`, ignoring non-finite values. Returns `None` when no
+    /// finite samples remain.
+    pub fn of(xs: &[f64]) -> Option<Self> {
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let mut w = Welford::new();
+        for &x in &finite {
+            w.add(x);
+        }
+        Some(Self {
+            n: finite.len(),
+            mean: w.mean(),
+            std_dev: w.std_dev(),
+            min: w.min().expect("non-empty"),
+            max: w.max().expect("non-empty"),
+            p50: percentile(&finite, 50.0).expect("non-empty"),
+            p95: percentile(&finite, 95.0).expect("non-empty"),
+            p99: percentile(&finite, 99.0).expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(Summary::of(&[]), None);
+        assert_eq!(Summary::of(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p95, 3.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Transport substrate for the PCC Proteus reproduction.
+//!
+//! This crate defines everything a congestion-control algorithm needs that is
+//! *not* specific to any one algorithm:
+//!
+//! * [`Time`]/[`Dur`] — integer-nanosecond simulated time,
+//! * [`SentPacket`]/[`AckInfo`]/[`LossInfo`] — per-packet events,
+//! * [`CongestionControl`] — the single trait all protocols (CUBIC, BBR,
+//!   COPA, LEDBAT, Vivace, Proteus-P/S/H, …) implement,
+//! * [`RttEstimator`] and windowed min/max filters,
+//! * [`MiTracker`]/[`MiStats`] — PCC monitor-interval accounting,
+//! * [`Application`] — sender-side application models (bulk, fixed-size).
+//!
+//! The simulator (`proteus-netsim`) drives implementations of these traits;
+//! the algorithms themselves live in `proteus-baselines` and `proteus-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod cc;
+pub mod mi;
+pub mod packet;
+pub mod rtt;
+pub mod time;
+
+pub use app::{Application, BulkApp, SizedApp};
+pub use cc::{factory, CcFactory, CongestionControl};
+pub use mi::{MiId, MiStats, MiTracker};
+pub use packet::{AckInfo, FlowId, LossInfo, SentPacket, SeqNr, DEFAULT_PACKET_BYTES};
+pub use rtt::{RttEstimator, WindowedMax, WindowedMin};
+pub use time::{serialization_delay, Dur, Time};

@@ -1,0 +1,455 @@
+//! Monitor-interval (MI) accounting for the PCC family.
+//!
+//! PCC senders slice time into consecutive monitor intervals, send at a fixed
+//! target rate within each, and compute a utility value for an MI once every
+//! packet sent in it has been acknowledged or declared lost (§3 of the
+//! paper). [`MiTracker`] implements that bookkeeping: it attributes sent
+//! packets to the open MI, matches ACKs/losses back to their MI, and emits a
+//! completed [`MiStats`] — carrying throughput, loss rate, mean RTT, RTT
+//! deviation, RTT gradient and the regression residual that Proteus' per-MI
+//! noise gate needs (§5).
+
+use std::collections::{HashMap, VecDeque};
+
+use proteus_stats::{LinearRegression, Welford};
+
+use crate::packet::{AckInfo, LossInfo, SentPacket, SeqNr};
+use crate::time::{Dur, Time};
+
+/// Identifier of a monitor interval within one flow.
+pub type MiId = u64;
+
+/// Performance metrics of one completed monitor interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiStats {
+    /// Sequential MI identifier.
+    pub id: MiId,
+    /// MI start time.
+    pub start: Time,
+    /// MI end (close) time.
+    pub end: Time,
+    /// Sending rate the controller targeted during this MI, bytes/sec.
+    pub target_rate: f64,
+    /// Bytes handed to the network during the MI.
+    pub bytes_sent: u64,
+    /// Bytes acknowledged (of those sent in this MI).
+    pub bytes_acked: u64,
+    /// Bytes declared lost (of those sent in this MI).
+    pub bytes_lost: u64,
+    /// Packets sent.
+    pub pkts_sent: u64,
+    /// Packets acknowledged.
+    pub pkts_acked: u64,
+    /// Packets lost.
+    pub pkts_lost: u64,
+    /// Achieved goodput: acked bytes / MI duration, bytes/sec.
+    pub throughput: f64,
+    /// Raw send rate: sent bytes / MI duration, bytes/sec.
+    pub send_rate: f64,
+    /// Packet loss rate within the MI, `lost / sent` in `[0, 1]`.
+    pub loss_rate: f64,
+    /// Mean RTT of ACKed packets, seconds. Zero when no samples.
+    pub rtt_mean: f64,
+    /// RTT standard deviation `σ(RTT)` of the MI, seconds — Proteus-S's
+    /// competition signal (Eq. 2).
+    pub rtt_dev: f64,
+    /// RTT gradient `d(RTT)/dt`: least-squares slope of RTT vs. send time,
+    /// dimensionless (seconds per second).
+    pub rtt_gradient: f64,
+    /// Normalized regression residual: RMS residual of the gradient fit
+    /// divided by the MI duration (§5 "Regression Error Tolerance"),
+    /// comparable in units to `rtt_gradient`.
+    pub gradient_error: f64,
+    /// Number of RTT samples that informed the latency metrics.
+    pub rtt_samples: u64,
+    /// Smallest RTT sample in the MI, seconds (0 when none).
+    pub rtt_min: f64,
+    /// Largest RTT sample in the MI, seconds (0 when none).
+    pub rtt_max: f64,
+}
+
+impl MiStats {
+    /// Duration of the MI.
+    pub fn duration(&self) -> Dur {
+        self.end.since(self.start)
+    }
+}
+
+/// One in-flight monitor interval.
+#[derive(Debug)]
+struct MiState {
+    id: MiId,
+    start: Time,
+    /// Set when the sender moves on to the next MI.
+    end: Option<Time>,
+    target_rate: f64,
+    bytes_sent: u64,
+    bytes_acked: u64,
+    bytes_lost: u64,
+    pkts_sent: u64,
+    pkts_acked: u64,
+    pkts_lost: u64,
+    outstanding: u64,
+    /// `(send time relative to MI start [s], RTT [s])` per ACKed packet,
+    /// feeding the gradient regression.
+    rtt_points: Vec<(f64, f64)>,
+    rtt_acc: Welford,
+}
+
+impl MiState {
+    fn new(id: MiId, start: Time, target_rate: f64) -> Self {
+        Self {
+            id,
+            start,
+            end: None,
+            target_rate,
+            bytes_sent: 0,
+            bytes_acked: 0,
+            bytes_lost: 0,
+            pkts_sent: 0,
+            pkts_acked: 0,
+            pkts_lost: 0,
+            outstanding: 0,
+            rtt_points: Vec::new(),
+            rtt_acc: Welford::new(),
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.end.is_some() && self.outstanding == 0
+    }
+
+    fn finish(&self) -> MiStats {
+        let end = self.end.expect("finish() requires a closed MI");
+        let dur_s = end.since(self.start).as_secs_f64().max(1e-9);
+        let (gradient, error) = match LinearRegression::fit(&self.rtt_points) {
+            Some(fit) => (fit.slope, fit.rms_residual / dur_s),
+            None => (0.0, 0.0),
+        };
+        MiStats {
+            id: self.id,
+            start: self.start,
+            end,
+            target_rate: self.target_rate,
+            bytes_sent: self.bytes_sent,
+            bytes_acked: self.bytes_acked,
+            bytes_lost: self.bytes_lost,
+            pkts_sent: self.pkts_sent,
+            pkts_acked: self.pkts_acked,
+            pkts_lost: self.pkts_lost,
+            throughput: self.bytes_acked as f64 / dur_s,
+            send_rate: self.bytes_sent as f64 / dur_s,
+            loss_rate: if self.pkts_sent == 0 {
+                0.0
+            } else {
+                self.pkts_lost as f64 / self.pkts_sent as f64
+            },
+            rtt_mean: self.rtt_acc.mean(),
+            rtt_dev: self.rtt_acc.std_dev(),
+            rtt_gradient: gradient,
+            gradient_error: error,
+            rtt_samples: self.rtt_acc.count(),
+            rtt_min: self.rtt_acc.min().unwrap_or(0.0),
+            rtt_max: self.rtt_acc.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// Attributes packets to monitor intervals and emits completed [`MiStats`].
+///
+/// The owner (a PCC-style controller) calls [`MiTracker::start_mi`] whenever
+/// it changes target rate, forwards every send/ACK/loss event, and drains
+/// [completed](MiTracker::on_ack) MIs in order.
+#[derive(Default)]
+pub struct MiTracker {
+    next_id: MiId,
+    /// Pending MIs, oldest first. The last element is the open MI if its
+    /// `end` is `None`.
+    pending: VecDeque<MiState>,
+    /// Which MI each outstanding packet belongs to.
+    seq_to_mi: HashMap<SeqNr, MiId>,
+}
+
+impl MiTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new MI at `now` targeting `rate` bytes/sec, closing the
+    /// previous one. Returns the new MI's id.
+    pub fn start_mi(&mut self, now: Time, rate: f64) -> MiId {
+        if let Some(open) = self.pending.back_mut() {
+            if open.end.is_none() {
+                open.end = Some(now);
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back(MiState::new(id, now, rate));
+        id
+    }
+
+    /// The id of the currently open MI, if any.
+    pub fn open_mi(&self) -> Option<MiId> {
+        self.pending
+            .back()
+            .filter(|mi| mi.end.is_none())
+            .map(|mi| mi.id)
+    }
+
+    /// Start time of the currently open MI.
+    pub fn open_mi_start(&self) -> Option<Time> {
+        self.pending
+            .back()
+            .filter(|mi| mi.end.is_none())
+            .map(|mi| mi.start)
+    }
+
+    /// Number of MIs not yet fully accounted.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records a transmitted packet against the open MI. Packets sent while
+    /// no MI is open (e.g. before the controller starts its first interval)
+    /// are ignored.
+    pub fn on_sent(&mut self, pkt: &SentPacket) {
+        let Some(open) = self.pending.back_mut() else {
+            return;
+        };
+        if open.end.is_some() {
+            return;
+        }
+        open.bytes_sent += pkt.bytes;
+        open.pkts_sent += 1;
+        open.outstanding += 1;
+        self.seq_to_mi.insert(pkt.seq, open.id);
+    }
+
+    fn mi_mut(&mut self, id: MiId) -> Option<&mut MiState> {
+        self.pending.iter_mut().find(|mi| mi.id == id)
+    }
+
+    /// Processes an ACK; returns MIs completed by it, in id order.
+    pub fn on_ack(&mut self, ack: &AckInfo) -> Vec<MiStats> {
+        self.on_ack_filtered(ack, true)
+    }
+
+    /// Like [`MiTracker::on_ack`], but when `keep_rtt` is `false` the ACK
+    /// counts for throughput/completion while its RTT sample is excluded
+    /// from the latency metrics (used by Proteus' per-ACK noise filter, §5).
+    pub fn on_ack_filtered(&mut self, ack: &AckInfo, keep_rtt: bool) -> Vec<MiStats> {
+        let Some(mi_id) = self.seq_to_mi.remove(&ack.seq) else {
+            return Vec::new();
+        };
+        if let Some(mi) = self.mi_mut(mi_id) {
+            mi.bytes_acked += ack.bytes;
+            mi.pkts_acked += 1;
+            mi.outstanding = mi.outstanding.saturating_sub(1);
+            if keep_rtt {
+                let rel_send = ack.sent_at.since(mi.start).as_secs_f64();
+                let rtt_s = ack.rtt.as_secs_f64();
+                mi.rtt_points.push((rel_send, rtt_s));
+                mi.rtt_acc.add(rtt_s);
+            }
+        }
+        self.drain_complete()
+    }
+
+    /// Processes a loss; returns MIs completed by it.
+    pub fn on_loss(&mut self, loss: &LossInfo) -> Vec<MiStats> {
+        let Some(mi_id) = self.seq_to_mi.remove(&loss.seq) else {
+            return Vec::new();
+        };
+        if let Some(mi) = self.mi_mut(mi_id) {
+            mi.bytes_lost += loss.bytes;
+            mi.pkts_lost += 1;
+            mi.outstanding = mi.outstanding.saturating_sub(1);
+        }
+        self.drain_complete()
+    }
+
+    fn drain_complete(&mut self) -> Vec<MiStats> {
+        let mut done = Vec::new();
+        while let Some(front) = self.pending.front() {
+            if front.is_complete() {
+                let mi = self.pending.pop_front().expect("front exists");
+                done.push(mi.finish());
+            } else {
+                break;
+            }
+        }
+        done
+    }
+}
+
+impl std::fmt::Debug for MiTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiTracker")
+            .field("next_id", &self.next_id)
+            .field("pending", &self.pending)
+            .field("outstanding_pkts", &self.seq_to_mi.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::DEFAULT_PACKET_BYTES;
+
+    fn pkt(seq: SeqNr, at_ms: u64) -> SentPacket {
+        SentPacket {
+            seq,
+            bytes: DEFAULT_PACKET_BYTES,
+            sent_at: Time::from_millis(at_ms),
+        }
+    }
+
+    fn ack(seq: SeqNr, sent_ms: u64, rtt_ms: u64) -> AckInfo {
+        AckInfo {
+            seq,
+            bytes: DEFAULT_PACKET_BYTES,
+            sent_at: Time::from_millis(sent_ms),
+            recv_at: Time::from_millis(sent_ms + rtt_ms),
+            rtt: Dur::from_millis(rtt_ms),
+            one_way_delay: Dur::from_millis(rtt_ms / 2),
+        }
+    }
+
+    fn loss(seq: SeqNr, sent_ms: u64) -> LossInfo {
+        LossInfo {
+            seq,
+            bytes: DEFAULT_PACKET_BYTES,
+            sent_at: Time::from_millis(sent_ms),
+            detected_at: Time::from_millis(sent_ms + 100),
+            by_timeout: false,
+        }
+    }
+
+    #[test]
+    fn mi_completes_when_all_packets_resolve() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        t.on_sent(&pkt(0, 0));
+        t.on_sent(&pkt(1, 10));
+        t.start_mi(Time::from_millis(30), 1e6); // close first MI
+        assert!(t.on_ack(&ack(0, 0, 30)).is_empty());
+        let done = t.on_ack(&ack(1, 10, 30));
+        assert_eq!(done.len(), 1);
+        let mi = &done[0];
+        assert_eq!(mi.pkts_sent, 2);
+        assert_eq!(mi.pkts_acked, 2);
+        assert_eq!(mi.pkts_lost, 0);
+        assert_eq!(mi.bytes_acked, 2 * DEFAULT_PACKET_BYTES);
+        assert_eq!(mi.rtt_samples, 2);
+        assert!((mi.rtt_mean - 0.030).abs() < 1e-9);
+        assert_eq!(mi.loss_rate, 0.0);
+        // 3000 bytes over 30 ms = 100 KB/s
+        assert!((mi.throughput - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn loss_counts_and_completes() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        t.on_sent(&pkt(0, 0));
+        t.on_sent(&pkt(1, 5));
+        t.start_mi(Time::from_millis(30), 1e6);
+        t.on_ack(&ack(0, 0, 30));
+        let done = t.on_loss(&loss(1, 5));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].pkts_lost, 1);
+        assert!((done[0].loss_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_emitted_in_order() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        t.on_sent(&pkt(0, 0));
+        t.start_mi(Time::from_millis(30), 2e6);
+        t.on_sent(&pkt(1, 30));
+        t.start_mi(Time::from_millis(60), 1e6);
+        // Second MI's packet resolves first: nothing emitted until MI 0 done.
+        assert!(t.on_ack(&ack(1, 30, 20)).is_empty());
+        let done = t.on_ack(&ack(0, 0, 90));
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].id, 0);
+        assert_eq!(done[1].id, 1);
+        assert_eq!(done[1].target_rate, 2e6);
+    }
+
+    #[test]
+    fn gradient_reflects_rising_rtt() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        // RTT rises 1 ms per 10 ms of send time => gradient 0.1 s/s.
+        for i in 0..10u64 {
+            t.on_sent(&pkt(i, i * 10));
+        }
+        t.start_mi(Time::from_millis(100), 1e6);
+        let mut done = Vec::new();
+        for i in 0..10u64 {
+            done.extend(t.on_ack(&ack(i, i * 10, 30 + i)));
+        }
+        assert_eq!(done.len(), 1);
+        let mi = &done[0];
+        assert!((mi.rtt_gradient - 0.1).abs() < 1e-6, "{}", mi.rtt_gradient);
+        assert!(mi.gradient_error < 1e-6);
+        assert!(mi.rtt_dev > 0.0);
+        assert!((mi.rtt_min - 0.030).abs() < 1e-9);
+        assert!((mi.rtt_max - 0.039).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_seq_is_ignored() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        assert!(t.on_ack(&ack(99, 0, 30)).is_empty());
+        assert!(t.on_loss(&loss(42, 0)).is_empty());
+    }
+
+    #[test]
+    fn packets_without_open_mi_are_ignored() {
+        let mut t = MiTracker::new();
+        t.on_sent(&pkt(0, 0)); // no MI yet
+        t.start_mi(Time::ZERO, 1e6);
+        t.on_sent(&pkt(1, 1));
+        t.start_mi(Time::from_millis(10), 1e6);
+        let done = t.on_ack(&ack(1, 1, 10));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].pkts_sent, 1);
+    }
+
+    #[test]
+    fn rtt_filter_excludes_samples_but_keeps_throughput() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        t.on_sent(&pkt(0, 0));
+        t.on_sent(&pkt(1, 5));
+        t.start_mi(Time::from_millis(30), 1e6);
+        t.on_ack_filtered(&ack(0, 0, 30), true);
+        let done = t.on_ack_filtered(&ack(1, 5, 500), false); // filtered out
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].pkts_acked, 2);
+        assert_eq!(done[0].rtt_samples, 1);
+    }
+
+    #[test]
+    fn empty_mi_finishes_with_zero_metrics() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        t.start_mi(Time::from_millis(10), 2e6);
+        // The empty MI completes as soon as any event drains the queue; use a
+        // packet in the second MI.
+        t.on_sent(&pkt(0, 10));
+        t.start_mi(Time::from_millis(20), 1e6);
+        let done = t.on_ack(&ack(0, 10, 10));
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].pkts_sent, 0);
+        assert_eq!(done[0].throughput, 0.0);
+        assert_eq!(done[0].rtt_dev, 0.0);
+    }
+}

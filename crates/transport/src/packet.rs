@@ -1,0 +1,86 @@
+//! Packet and acknowledgment metadata shared between the simulator and the
+//! congestion controllers.
+
+use crate::time::{Dur, Time};
+
+/// Sequence number of a data packet within a flow.
+pub type SeqNr = u64;
+
+/// Identifier of a flow within a simulation scenario.
+pub type FlowId = usize;
+
+/// Default MTU-sized data packet payload used throughout the reproduction
+/// (the paper's testbeds use standard 1500-byte Ethernet framing).
+pub const DEFAULT_PACKET_BYTES: u64 = 1500;
+
+/// Metadata of a packet handed to the network, as seen by the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SentPacket {
+    /// Flow-local sequence number.
+    pub seq: SeqNr,
+    /// Size on the wire, bytes.
+    pub bytes: u64,
+    /// When the sender transmitted it.
+    pub sent_at: Time,
+}
+
+/// Information delivered to a congestion controller when a packet is
+/// acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckInfo {
+    /// Sequence number being acknowledged.
+    pub seq: SeqNr,
+    /// Bytes acknowledged by this ACK.
+    pub bytes: u64,
+    /// When the acknowledged packet was sent.
+    pub sent_at: Time,
+    /// When the ACK reached the sender.
+    pub recv_at: Time,
+    /// Round-trip time measured by this ACK.
+    pub rtt: Dur,
+    /// One-way (sender→receiver) delay measured via the receiver timestamp.
+    ///
+    /// LEDBAT is a one-way-delay protocol (RFC 6817); the simulator stamps
+    /// packets at the receiver so the sender can compute this like a
+    /// timestamp-echo would.
+    pub one_way_delay: Dur,
+}
+
+/// Information delivered to a congestion controller when a packet is declared
+/// lost (via dup-ACK threshold or retransmission timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossInfo {
+    /// Sequence number declared lost.
+    pub seq: SeqNr,
+    /// Bytes lost.
+    pub bytes: u64,
+    /// When the lost packet was sent.
+    pub sent_at: Time,
+    /// When the loss was detected at the sender.
+    pub detected_at: Time,
+    /// Whether the loss was detected by timeout (as opposed to dup-ACKs).
+    pub by_timeout: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_rtt_consistency() {
+        let ack = AckInfo {
+            seq: 5,
+            bytes: DEFAULT_PACKET_BYTES,
+            sent_at: Time::from_millis(100),
+            recv_at: Time::from_millis(130),
+            rtt: Dur::from_millis(30),
+            one_way_delay: Dur::from_millis(15),
+        };
+        assert_eq!(ack.recv_at.since(ack.sent_at), ack.rtt);
+    }
+
+    #[test]
+    fn default_packet_is_mtu_sized() {
+        assert_eq!(DEFAULT_PACKET_BYTES, 1500);
+    }
+}

@@ -1,0 +1,242 @@
+//! RTT estimation: smoothed RTT/variation (RFC 6298 style) and windowed
+//! min/max filters (as used by BBR's bandwidth and min-RTT estimators).
+
+use crate::time::{Dur, Time};
+
+/// Kernel-style smoothed RTT estimator (`srtt`, `rttvar`) plus running
+/// minimum and latest sample.
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    srtt: Option<Dur>,
+    rttvar: Dur,
+    min_rtt: Option<Dur>,
+    latest: Option<Dur>,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    /// Creates an estimator with no samples.
+    pub fn new() -> Self {
+        Self {
+            srtt: None,
+            rttvar: Dur::ZERO,
+            min_rtt: None,
+            latest: None,
+        }
+    }
+
+    /// Feeds one RTT sample (RFC 6298 update with α=1/8, β=1/4).
+    pub fn update(&mut self, rtt: Dur) {
+        self.latest = Some(rtt);
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) if m <= rtt => m,
+            _ => rtt,
+        });
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = Dur::from_nanos(rtt.as_nanos() / 2);
+            }
+            Some(srtt) => {
+                let diff = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
+                // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
+                self.rttvar =
+                    Dur::from_nanos((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
+                // srtt = 7/8 srtt + 1/8 rtt
+                self.srtt = Some(Dur::from_nanos(
+                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
+                ));
+            }
+        }
+    }
+
+    /// Smoothed RTT, if any sample seen.
+    pub fn srtt(&self) -> Option<Dur> {
+        self.srtt
+    }
+
+    /// Smoothed RTT or a default.
+    pub fn srtt_or(&self, default: Dur) -> Dur {
+        self.srtt.unwrap_or(default)
+    }
+
+    /// RTT variation.
+    pub fn rttvar(&self) -> Dur {
+        self.rttvar
+    }
+
+    /// Minimum RTT observed over the flow's lifetime.
+    pub fn min_rtt(&self) -> Option<Dur> {
+        self.min_rtt
+    }
+
+    /// Most recent sample.
+    pub fn latest(&self) -> Option<Dur> {
+        self.latest
+    }
+
+    /// RFC 6298 retransmission timeout: `srtt + 4·rttvar`, floored at
+    /// `min_rto`.
+    pub fn rto(&self, min_rto: Dur) -> Dur {
+        match self.srtt {
+            None => min_rto,
+            Some(srtt) => {
+                let rto = srtt + Dur::from_nanos(4 * self.rttvar.as_nanos());
+                if rto < min_rto {
+                    min_rto
+                } else {
+                    rto
+                }
+            }
+        }
+    }
+}
+
+/// A windowed extremum filter: tracks the min (or max) of samples observed in
+/// the trailing `window` of time. BBR uses this for `min_rtt` (10 s window)
+/// and, via the three-slot variant below, bottleneck bandwidth (10 RTT).
+#[derive(Debug, Clone, Copy)]
+pub struct WindowedExtremum<const IS_MIN: bool> {
+    window: Dur,
+    estimate: Option<(Time, f64)>,
+}
+
+/// Windowed minimum of an `f64` signal.
+pub type WindowedMin = WindowedExtremum<true>;
+/// Windowed maximum of an `f64` signal.
+pub type WindowedMax = WindowedExtremum<false>;
+
+impl<const IS_MIN: bool> WindowedExtremum<IS_MIN> {
+    /// Creates a filter with the given trailing window.
+    pub fn new(window: Dur) -> Self {
+        Self {
+            window,
+            estimate: None,
+        }
+    }
+
+    fn better(a: f64, b: f64) -> bool {
+        if IS_MIN {
+            a <= b
+        } else {
+            a >= b
+        }
+    }
+
+    /// Feeds a sample at `now`, returning the current windowed extremum.
+    ///
+    /// A sample replaces the estimate when it is better *or* when the
+    /// existing estimate has aged out of the window.
+    pub fn update(&mut self, now: Time, sample: f64) -> f64 {
+        match self.estimate {
+            Some((at, best))
+                if Self::better(best, sample) && now.since(at) <= self.window =>
+            {
+                best
+            }
+            _ => {
+                self.estimate = Some((now, sample));
+                sample
+            }
+        }
+    }
+
+    /// Current estimate, if fresh enough relative to `now`.
+    pub fn get(&self, now: Time) -> Option<f64> {
+        match self.estimate {
+            Some((at, best)) if now.since(at) <= self.window => Some(best),
+            Some((_, best)) => Some(best), // stale but better than nothing
+            None => None,
+        }
+    }
+
+    /// Timestamp of the current estimate.
+    pub fn estimate_time(&self) -> Option<Time> {
+        self.estimate.map(|(at, _)| at)
+    }
+
+    /// Clears the filter.
+    pub fn reset(&mut self) {
+        self.estimate = None;
+    }
+
+    /// Changes the window length.
+    pub fn set_window(&mut self, window: Dur) {
+        self.window = window;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srtt_initializes_and_smooths() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.srtt(), None);
+        e.update(Dur::from_millis(100));
+        assert_eq!(e.srtt(), Some(Dur::from_millis(100)));
+        assert_eq!(e.rttvar(), Dur::from_millis(50));
+        e.update(Dur::from_millis(50));
+        // srtt = 7/8*100 + 1/8*50 = 93.75 ms
+        assert_eq!(e.srtt().unwrap().as_nanos(), 93_750_000);
+        assert_eq!(e.min_rtt(), Some(Dur::from_millis(50)));
+        assert_eq!(e.latest(), Some(Dur::from_millis(50)));
+    }
+
+    #[test]
+    fn min_rtt_is_monotone_decreasing() {
+        let mut e = RttEstimator::new();
+        for ms in [40, 30, 50, 35] {
+            e.update(Dur::from_millis(ms));
+        }
+        assert_eq!(e.min_rtt(), Some(Dur::from_millis(30)));
+    }
+
+    #[test]
+    fn rto_floor() {
+        let mut e = RttEstimator::new();
+        let floor = Dur::from_millis(200);
+        assert_eq!(e.rto(floor), floor);
+        e.update(Dur::from_millis(10));
+        assert_eq!(e.rto(floor), floor); // 10 + 4*5 = 30ms < floor
+        let mut big = RttEstimator::new();
+        big.update(Dur::from_millis(300));
+        // 300 + 4*150 = 900 ms
+        assert_eq!(big.rto(floor), Dur::from_millis(900));
+    }
+
+    #[test]
+    fn windowed_min_expires() {
+        let mut f = WindowedMin::new(Dur::from_secs(10));
+        assert_eq!(f.update(Time::from_secs_f64(0.0), 30.0), 30.0);
+        assert_eq!(f.update(Time::from_secs_f64(1.0), 40.0), 30.0);
+        assert_eq!(f.update(Time::from_secs_f64(2.0), 25.0), 25.0);
+        // 11s later the 25.0 estimate has aged out; the new sample wins even
+        // though it is larger.
+        assert_eq!(f.update(Time::from_secs_f64(13.5), 60.0), 60.0);
+    }
+
+    #[test]
+    fn windowed_max_tracks_peak() {
+        let mut f = WindowedMax::new(Dur::from_secs(1));
+        f.update(Time::from_secs_f64(0.0), 10.0);
+        assert_eq!(f.update(Time::from_secs_f64(0.5), 5.0), 10.0);
+        assert_eq!(f.update(Time::from_secs_f64(2.0), 5.0), 5.0);
+    }
+
+    #[test]
+    fn get_and_reset() {
+        let mut f = WindowedMax::new(Dur::from_secs(1));
+        assert_eq!(f.get(Time::ZERO), None);
+        f.update(Time::ZERO, 3.0);
+        assert_eq!(f.get(Time::from_millis(500)), Some(3.0));
+        f.reset();
+        assert_eq!(f.get(Time::ZERO), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Integer nanosecond time for deterministic simulation.
+//!
+//! All timestamps in the reproduction are integer nanoseconds since the start
+//! of a simulation. Using integers (rather than `f64` seconds) keeps event
+//! ordering exact and makes every experiment bit-reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+    /// The far future; useful as an "infinite" deadline.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Constructs from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// Constructs from (possibly fractional) seconds.
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        Time((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as `f64` (for utility computations and reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Elapsed duration since `earlier`; saturates to zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked subtraction producing a duration.
+    pub fn checked_since(self, earlier: Time) -> Option<Dur> {
+        self.0.checked_sub(earlier.0).map(Dur)
+    }
+}
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+    /// The longest representable duration.
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Constructs from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Dur(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Dur(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Dur(s * 1_000_000_000)
+    }
+
+    /// Constructs from fractional seconds (non-negative).
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0 && s.is_finite());
+        Dur((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Milliseconds as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Whether this duration is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Scales the duration by a non-negative factor.
+    pub fn mul_f64(self, k: f64) -> Dur {
+        debug_assert!(k >= 0.0 && k.is_finite());
+        Dur((self.0 as f64 * k).round() as u64)
+    }
+
+    /// Integer division of durations, as a float ratio.
+    pub fn ratio(self, other: Dur) -> f64 {
+        debug_assert!(other.0 > 0);
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, d: Dur) -> Time {
+        Time(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, d: Dur) -> Dur {
+        Dur(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, d: Dur) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, d: Dur) -> Dur {
+        Dur(self.0.saturating_sub(d.0))
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, d: Dur) {
+        self.0 = self.0.saturating_sub(d.0);
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Converts a transmission of `bytes` at `rate_bps` bits/sec into the
+/// serialization delay.
+pub fn serialization_delay(bytes: u64, rate_bps: f64) -> Dur {
+    debug_assert!(rate_bps > 0.0);
+    Dur::from_secs_f64(bytes as f64 * 8.0 / rate_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Time::from_millis(30).as_nanos(), 30_000_000);
+        assert_eq!(Dur::from_secs(2).as_millis_f64(), 2000.0);
+        assert!((Time::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(Dur::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(Time::from_micros(7).as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_millis(10) + Dur::from_millis(5);
+        assert_eq!(t, Time::from_millis(15));
+        assert_eq!(t.since(Time::from_millis(10)), Dur::from_millis(5));
+        // Saturating: asking for time "since the future" gives zero.
+        assert_eq!(Time::from_millis(1).since(Time::from_millis(2)), Dur::ZERO);
+        assert_eq!(
+            Time::from_millis(1).checked_since(Time::from_millis(2)),
+            None
+        );
+        assert_eq!(t - Dur::from_millis(20), Time::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(Dur::from_millis(30).mul_f64(1.5), Dur::from_millis(45));
+        assert!((Dur::from_millis(15).ratio(Dur::from_millis(30)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialization_delay_math() {
+        // 1500 bytes at 12 Mbps = 1 ms.
+        assert_eq!(serialization_delay(1500, 12_000_000.0), Dur::from_millis(1));
+        // 1500 bytes at 100 Mbps = 120 us.
+        assert_eq!(
+            serialization_delay(1500, 100_000_000.0),
+            Dur::from_micros(120)
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_millis(1) < Time::from_millis(2));
+        assert!(Dur::from_micros(999) < Dur::from_millis(1));
+        assert_eq!(Time::ZERO, Time::default());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Dur::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", Dur::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", Dur::from_nanos(42)), "42ns");
+    }
+}

@@ -1,0 +1,68 @@
+//! Scavenger comparison matrix: Proteus-S vs LEDBAT against every primary
+//! protocol of the paper.
+//!
+//! ```text
+//! cargo run --release --example scavenger_matrix
+//! ```
+//!
+//! For each primary (CUBIC, BBR, COPA, Proteus-P, PCC-Vivace) this runs
+//! three scenarios — primary alone, primary + Proteus-S, primary + LEDBAT —
+//! and prints the *primary throughput ratio* (with-scavenger / alone), the
+//! metric of the paper's Fig. 6. Expect Proteus-S ≥ ~90 % everywhere while
+//! LEDBAT takes most of the link from the latency-aware primaries.
+
+use pcc_proteus::baselines::{Bbr, Copa, Cubic, Ledbat};
+use pcc_proteus::core::ProteusSender;
+use pcc_proteus::netsim::{run, FlowSpec, LinkSpec, Scenario};
+use pcc_proteus::transport::{CongestionControl, Dur, Time};
+
+const PRIMARIES: &[&str] = &["CUBIC", "BBR", "COPA", "Proteus-P", "PCC-Vivace"];
+
+fn make(name: &str, seed: u64) -> Box<dyn CongestionControl> {
+    match name {
+        "CUBIC" => Box::new(Cubic::new()),
+        "BBR" => Box::new(Bbr::new()),
+        "COPA" => Box::new(Copa::new()),
+        "Proteus-P" => Box::new(ProteusSender::primary(seed)),
+        "PCC-Vivace" => Box::new(ProteusSender::vivace(seed)),
+        "Proteus-S" => Box::new(ProteusSender::scavenger(seed)),
+        "LEDBAT" => Box::new(Ledbat::new()),
+        _ => unreachable!(),
+    }
+}
+
+fn tail(res: &pcc_proteus::netsim::SimResult, idx: usize) -> f64 {
+    res.flows[idx].throughput_mbps(Time::from_secs_f64(20.0), Time::from_secs_f64(60.0))
+}
+
+fn main() {
+    let link = LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+    println!("primary      alone    vs Proteus-S       vs LEDBAT");
+    println!("----------  ------  --------------  --------------");
+    for &primary in PRIMARIES {
+        let alone = {
+            let sc = Scenario::new(link, Dur::from_secs(60))
+                .flow(FlowSpec::bulk(primary, Dur::ZERO, move || make(primary, 3)))
+                .with_seed(11);
+            tail(&run(sc), 0)
+        };
+        let mut ratios = Vec::new();
+        for scav in ["Proteus-S", "LEDBAT"] {
+            let sc = Scenario::new(link, Dur::from_secs(60))
+                .flow(FlowSpec::bulk(primary, Dur::ZERO, move || make(primary, 3)))
+                .flow(FlowSpec::bulk(scav, Dur::from_secs(5), move || make(scav, 9)))
+                .with_seed(11);
+            let res = run(sc);
+            ratios.push(tail(&res, 0) / alone);
+        }
+        println!(
+            "{:<10}  {:>5.1}M  {:>13.1}%  {:>13.1}%",
+            primary,
+            alone,
+            ratios[0] * 100.0,
+            ratios[1] * 100.0
+        );
+    }
+    println!();
+    println!("ratio = primary throughput with scavenger present / alone (Fig. 6)");
+}

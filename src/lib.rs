@@ -1,0 +1,28 @@
+//! PCC Proteus — Rust reproduction of *PCC Proteus: Scavenger Transport And
+//! Beyond* (SIGCOMM 2020).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`core`] — the paper's contribution: the Proteus utility framework
+//!   (Proteus-P / Proteus-S / Proteus-H), Vivace rate control and noise
+//!   tolerance,
+//! * [`baselines`] — CUBIC, BBR, BBR-S, COPA, LEDBAT, Reno and a fixed-rate
+//!   probe,
+//! * [`netsim`] — the deterministic dumbbell simulator used for every
+//!   experiment,
+//! * [`transport`] — the shared congestion-control interface and
+//!   monitor-interval machinery,
+//! * [`apps`] — DASH video (BOLA) and web workloads,
+//! * [`stats`] — numeric helpers (CDFs, histograms, Jain index, …).
+//!
+//! See `examples/` for runnable walkthroughs and `crates/bench` for the
+//! experiment harness regenerating each figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use proteus_apps as apps;
+pub use proteus_baselines as baselines;
+pub use proteus_core as core;
+pub use proteus_netsim as netsim;
+pub use proteus_stats as stats;
+pub use proteus_transport as transport;

@@ -1,0 +1,203 @@
+//! Property-based tests over the reproduction's core invariants.
+
+use proptest::prelude::*;
+
+use pcc_proteus::core::{
+    evaluate, hybrid_ideal_allocation, solve_equilibrium, utility_primary, utility_scavenger,
+    GameParams, MiObservation, Mode, SenderKind, UtilityParams,
+};
+use pcc_proteus::netsim::{run, FlowSpec, LinkSpec, Scenario};
+use pcc_proteus::stats::{jain_index, percentile, Ecdf, Histogram};
+use pcc_proteus::transport::{Dur, Time};
+
+fn obs(rate: f64, loss: f64, grad: f64, dev: f64) -> MiObservation {
+    MiObservation {
+        rate_mbps: rate,
+        loss_rate: loss,
+        rtt_gradient: grad,
+        rtt_deviation: dev,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 1/2: utilities are concave in the sender's own rate for any
+    /// admissible parameters — the Appendix-A existence requirement.
+    #[test]
+    fn utility_concave_in_rate(
+        rate in 1.0_f64..400.0,
+        loss in 0.0_f64..0.2,
+        grad in 0.0_f64..0.05,
+        dev in 0.0_f64..0.01,
+    ) {
+        let p = UtilityParams::default();
+        let h = rate * 0.01;
+        for f in [utility_primary, utility_scavenger] {
+            let a = f(&p, &obs(rate - h, loss, grad, dev));
+            let b = f(&p, &obs(rate, loss, grad, dev));
+            let c = f(&p, &obs(rate + h, loss, grad, dev));
+            prop_assert!(c - 2.0 * b + a < 1e-9, "not concave at {rate}");
+        }
+    }
+
+    /// The scavenger utility never exceeds the primary utility (the
+    /// deviation term is a pure penalty).
+    #[test]
+    fn scavenger_utility_below_primary(
+        rate in 0.1_f64..400.0,
+        dev in 0.0_f64..0.05,
+    ) {
+        let p = UtilityParams::default();
+        let o = obs(rate, 0.0, 0.0, dev);
+        prop_assert!(utility_scavenger(&p, &o) <= utility_primary(&p, &o) + 1e-12);
+    }
+
+    /// Proteus-H evaluates to exactly one of its two branches.
+    #[test]
+    fn hybrid_matches_branches(
+        rate in 0.1_f64..100.0,
+        threshold in 0.0_f64..100.0,
+        dev in 0.0_f64..0.01,
+    ) {
+        let p = UtilityParams::default();
+        let o = obs(rate, 0.0, 0.001, dev);
+        let th = pcc_proteus::core::SharedThreshold::new(threshold);
+        let h = evaluate(&Mode::Hybrid(th), &p, &o);
+        let expect = if rate < threshold {
+            utility_primary(&p, &o)
+        } else {
+            utility_scavenger(&p, &o)
+        };
+        prop_assert_eq!(h, expect);
+    }
+
+    /// §4.4 ideal allocation: always feasible, symmetric at the extremes,
+    /// and each sender gets at most its "fair or threshold" due.
+    #[test]
+    fn hybrid_allocation_invariants(
+        c in 0.1_f64..200.0,
+        r1 in 0.1_f64..50.0,
+        extra in 0.0_f64..50.0,
+    ) {
+        let r2 = r1 + extra;
+        let (x1, x2) = hybrid_ideal_allocation(c, r1, r2);
+        prop_assert!(x1 >= 0.0 && x2 >= 0.0);
+        prop_assert!((x1 + x2 - c).abs() < 1e-9, "must allocate exactly C");
+        prop_assert!(x1 <= x2 + 1e-9, "lower-threshold sender never gets more");
+        // An unequal split always means someone is pinned at a threshold.
+        if x1 < c / 2.0 - 1e-9 {
+            prop_assert!(
+                (x1 - r1).abs() < 1e-9 || (x2 - r2).abs() < 1e-9,
+                "unequal split without a pinned sender: ({x1}, {x2})"
+            );
+        }
+    }
+
+    /// The Appendix-A game: symmetric primary games are fair and saturate
+    /// for any moderate sender count and capacity.
+    #[test]
+    fn symmetric_primary_equilibrium_fair(
+        n in 1_usize..6,
+        capacity in 10.0_f64..500.0,
+    ) {
+        let params = GameParams::paper_defaults(capacity);
+        let eq = solve_equilibrium(&params, &vec![SenderKind::Primary; n]);
+        prop_assert!(eq.converged);
+        let lo = eq.rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = eq.rates.iter().cloned().fold(0.0_f64, f64::max);
+        prop_assert!(lo / hi > 0.99, "unfair: {:?}", eq.rates);
+        prop_assert!(eq.utilization(capacity) > 0.98);
+    }
+
+    /// Histogram: total probability mass is conserved.
+    #[test]
+    fn histogram_mass_conserved(xs in prop::collection::vec(-10.0_f64..10.0, 1..200)) {
+        let mut h = Histogram::new(-5.0, 5.0, 17);
+        h.extend(xs.iter().copied());
+        let in_range = h.pmf().iter().sum::<f64>();
+        let out = (h.underflow() + h.overflow()) as f64 / h.total() as f64;
+        prop_assert!((in_range + out - 1.0).abs() < 1e-9);
+    }
+
+    /// ECDF: monotone, bounded, consistent with percentile().
+    #[test]
+    fn ecdf_invariants(xs in prop::collection::vec(0.0_f64..100.0, 1..200)) {
+        let e = Ecdf::new(xs.iter().copied());
+        let mut last = 0.0;
+        for &(v, f) in e.series().iter() {
+            prop_assert!(f >= last && f <= 1.0 + 1e-12);
+            prop_assert!(e.eval(v) >= f - 1e-12);
+            last = f;
+        }
+        let p50_a = e.median().unwrap();
+        let p50_b = percentile(&xs, 50.0).unwrap();
+        prop_assert_eq!(p50_a, p50_b);
+    }
+
+    /// Jain's index is bounded in [1/n, 1].
+    #[test]
+    fn jain_bounds(xs in prop::collection::vec(0.01_f64..100.0, 1..20)) {
+        let j = jain_index(&xs).unwrap();
+        prop_assert!(j <= 1.0 + 1e-12);
+        prop_assert!(j >= 1.0 / xs.len() as f64 - 1e-12);
+    }
+}
+
+proptest! {
+    // Simulator invariants use few cases: each case runs a short simulation.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Conservation: what the sender sent is acked, declared lost, or still
+    /// unresolved — never duplicated — for arbitrary link parameters.
+    #[test]
+    fn simulator_conserves_packets(
+        bw in 5.0_f64..100.0,
+        rtt_ms in 5_u64..100,
+        buf_pkts in 4_u64..200,
+        loss in 0.0_f64..0.05,
+        seed in 0_u64..1000,
+    ) {
+        let link = LinkSpec::new(bw, Dur::from_millis(rtt_ms), buf_pkts * 1500)
+            .with_random_loss(loss);
+        let sc = Scenario::new(link, Dur::from_secs(8))
+            .flow(FlowSpec::bulk("cubic", Dur::ZERO, || {
+                Box::new(pcc_proteus::baselines::Cubic::new())
+            }))
+            .flow(FlowSpec::bulk("scav", Dur::from_secs(1), || {
+                Box::new(pcc_proteus::core::ProteusSender::scavenger(7))
+            }))
+            .with_seed(seed);
+        let res = run(sc);
+        for f in &res.flows {
+            prop_assert!(f.pkts_acked + f.pkts_lost <= f.pkts_sent);
+            prop_assert!(f.bytes_acked <= f.bytes_sent);
+        }
+        // Goodput can never exceed capacity.
+        let total: f64 = res
+            .flows
+            .iter()
+            .map(|f| f.throughput_bps(Time::ZERO, Time::from_secs_f64(8.0)))
+            .sum();
+        prop_assert!(total <= bw * 1e6 * 1.001, "total {total} > capacity");
+    }
+
+    /// Determinism: identical scenarios produce identical results.
+    #[test]
+    fn simulator_is_deterministic(seed in 0_u64..500) {
+        let mk = || {
+            let link = LinkSpec::new(20.0, Dur::from_millis(20), 100_000)
+                .with_random_loss(0.01);
+            let sc = Scenario::new(link, Dur::from_secs(5))
+                .flow(FlowSpec::bulk("b", Dur::ZERO, || {
+                    Box::new(pcc_proteus::baselines::Bbr::new())
+                }))
+                .with_seed(seed);
+            run(sc)
+        };
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(a.flows[0].bytes_acked, b.flows[0].bytes_acked);
+        prop_assert_eq!(a.flows[0].pkts_lost, b.flows[0].pkts_lost);
+    }
+}
