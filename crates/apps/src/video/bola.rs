@@ -41,7 +41,8 @@ impl Bola {
         // and V so the decision thresholds span the buffer.
         let gamma_p = 5.0 / buffer_capacity_chunks.max(1.0);
         let u_max = utilities.last().copied().unwrap_or(0.0);
-        let v = (buffer_capacity_chunks - 1.0).max(1.0) / (u_max + gamma_p * buffer_capacity_chunks);
+        let v =
+            (buffer_capacity_chunks - 1.0).max(1.0) / (u_max + gamma_p * buffer_capacity_chunks);
         Self {
             utilities,
             v,

@@ -288,14 +288,10 @@ mod tests {
                 break;
             }
             s.consume(bytes);
-            now = now + Dur::from_millis(1);
+            now += Dur::from_millis(1);
             s.on_delivered(now, bytes);
         }
-        assert_eq!(
-            s.bytes_to_send(now),
-            0,
-            "full buffer must pause the sender"
-        );
+        assert_eq!(s.bytes_to_send(now), 0, "full buffer must pause the sender");
         // After 3+ seconds of playback a slot frees up.
         let later = now + Dur::from_secs(4);
         assert!(s.bytes_to_send(later) > 0);
@@ -309,7 +305,11 @@ mod tests {
         let mut s = VideoSession::new(spec, Some(th.clone()));
         let bytes = s.bytes_to_send(Time::ZERO);
         // Plenty of buffer space: sufficient-rate rule only.
-        assert!((th.get() - 1.5 * max).abs() < 1e-9, "threshold = {}", th.get());
+        assert!(
+            (th.get() - 1.5 * max).abs() < 1e-9,
+            "threshold = {}",
+            th.get()
+        );
         // Fill the buffer: the buffer-limit rule caps the threshold low.
         s.consume(bytes);
         let mut now = Time::from_millis(1);
@@ -320,7 +320,7 @@ mod tests {
                 break;
             }
             s.consume(b);
-            now = now + Dur::from_millis(1);
+            now += Dur::from_millis(1);
             s.on_delivered(now, b);
         }
         assert!(
@@ -357,12 +357,12 @@ mod tests {
         while delivered_chunks < total {
             let b = s.bytes_to_send(now);
             if b == 0 {
-                now = now + Dur::from_secs(1);
+                now += Dur::from_secs(1);
                 s.on_wakeup(now);
                 continue;
             }
             s.consume(b);
-            now = now + Dur::from_millis(50);
+            now += Dur::from_millis(50);
             s.on_delivered(now, b);
             delivered_chunks += 1;
         }

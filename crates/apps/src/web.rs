@@ -99,10 +99,7 @@ mod tests {
             .collect();
         sizes.sort_unstable();
         let median = sizes[sizes.len() / 2] as f64;
-        assert!(
-            (1.2e6..3.2e6).contains(&median),
-            "median page = {median}"
-        );
+        assert!((1.2e6..3.2e6).contains(&median), "median page = {median}");
         let p95 = sizes[sizes.len() * 95 / 100] as f64;
         assert!(p95 > 4.0e6, "p95 = {p95}");
     }

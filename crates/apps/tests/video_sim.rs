@@ -56,7 +56,11 @@ fn single_video_streams_smoothly_on_fat_link() {
     let stats = video_flow(&mut sc, spec, false, 1, false);
     run(sc);
     let s = stats.borrow();
-    assert!(s.chunk_bitrates.len() > 30, "chunks = {}", s.chunk_bitrates.len());
+    assert!(
+        s.chunk_bitrates.len() > 30,
+        "chunks = {}",
+        s.chunk_bitrates.len()
+    );
     assert!(
         s.rebuffer_ratio < 0.02,
         "rebuffer ratio = {}",
@@ -65,7 +69,10 @@ fn single_video_streams_smoothly_on_fat_link() {
     // The tail of the session should sit at the top rung.
     let tail: Vec<f64> = s.chunk_bitrates.iter().rev().take(10).copied().collect();
     let tail_avg = tail.iter().sum::<f64>() / tail.len() as f64;
-    assert!(tail_avg > 0.9 * top, "tail avg bitrate = {tail_avg} vs top {top}");
+    assert!(
+        tail_avg > 0.9 * top,
+        "tail avg bitrate = {tail_avg} vs top {top}"
+    );
 }
 
 #[test]
@@ -89,7 +96,11 @@ fn starved_video_downshifts_and_rebuffers() {
         "adaptive avg bitrate = {}",
         a.avg_bitrate()
     );
-    assert!(a.rebuffer_ratio < 0.25, "adaptive rebuffer = {}", a.rebuffer_ratio);
+    assert!(
+        a.rebuffer_ratio < 0.25,
+        "adaptive rebuffer = {}",
+        a.rebuffer_ratio
+    );
 
     let mut sc = Scenario::new(
         LinkSpec::new(3.0, Dur::from_millis(30), 100_000),

@@ -351,7 +351,11 @@ impl CongestionControl for Bbr {
                 self.rttvar = Dur::from_nanos(ack.rtt.as_nanos() / 2);
             }
             Some(s) => {
-                let diff = if s >= ack.rtt { s - ack.rtt } else { ack.rtt - s };
+                let diff = if s >= ack.rtt {
+                    s - ack.rtt
+                } else {
+                    ack.rtt - s
+                };
                 self.rttvar = Dur::from_nanos((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
                 self.srtt = Some(Dur::from_nanos((7 * s.as_nanos() + ack.rtt.as_nanos()) / 8));
             }
@@ -568,7 +572,7 @@ mod tests {
                     one_way_delay: Dur::from_millis(rtt / 2),
                 },
             );
-            now = now + Dur::from_millis(2);
+            now += Dur::from_millis(2);
         }
         assert!(b.rtt_deviation() > Dur::from_millis(20));
         assert_eq!(b.mode(), Mode::ProbeRtt);
@@ -600,7 +604,7 @@ mod tests {
                     one_way_delay: Dur::from_millis(rtt / 2),
                 },
             );
-            now = now + Dur::from_millis(2);
+            now += Dur::from_millis(2);
         }
         assert_ne!(b.mode(), Mode::ProbeRtt);
     }

@@ -234,7 +234,7 @@ mod tests {
         let w0 = c.cwnd_pkts();
         // Constant RTT: no queueing detected, stays in slow start.
         for i in 0..10 {
-            c.on_ack(now + Dur::from_millis(i), &ack(i as u64, now, 30));
+            c.on_ack(now + Dur::from_millis(i), &ack(i, now, 30));
         }
         assert!(c.in_slow_start());
         assert!((c.cwnd_pkts() - (w0 + 10.0)).abs() < 1e-9);
@@ -249,7 +249,7 @@ mod tests {
         // Large sustained queueing: dq = 60 ms ⇒ target λ = 1500/(0.5·0.06)
         // = 50 KB/s, far below the current rate.
         for i in 1..200u64 {
-            now = now + Dur::from_millis(5);
+            now += Dur::from_millis(5);
             c.on_ack(now, &ack(i, now, 90));
         }
         assert!(!c.in_slow_start());
@@ -261,14 +261,14 @@ mod tests {
         let mut now = Time::from_millis(100);
         c.on_ack(now, &ack(0, now, 30));
         for i in 1..400u64 {
-            now = now + Dur::from_millis(5);
+            now += Dur::from_millis(5);
             c.on_ack(now, &ack(i, now, 90));
         }
         // Well above target with persistent dq: the window must have come
         // down substantially from its slow-start exit point.
         let w = c.cwnd_pkts();
         for i in 400..800u64 {
-            now = now + Dur::from_millis(5);
+            now += Dur::from_millis(5);
             c.on_ack(now, &ack(i, now, 90));
         }
         assert!(c.cwnd_pkts() <= w);
@@ -331,7 +331,7 @@ mod tests {
         for _ in 0..5 {
             c.window_started = Some(now);
             c.cwnd_at_window_start = c.cwnd - 1.0; // we grew
-            now = now + Dur::from_millis(31);
+            now += Dur::from_millis(31);
             c.update_velocity(now);
         }
         assert!(c.velocity >= 4.0, "velocity = {}", c.velocity);

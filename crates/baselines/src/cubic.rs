@@ -94,10 +94,7 @@ impl Cubic {
     }
 
     fn congestion_avoidance(&mut self, now: Time) {
-        let srtt = self
-            .rtt
-            .srtt_or(Dur::from_millis(100))
-            .as_secs_f64();
+        let srtt = self.rtt.srtt_or(Dur::from_millis(100)).as_secs_f64();
         let t = match self.epoch_start {
             Some(start) => now.since(start).as_secs_f64(),
             None => {
@@ -203,7 +200,7 @@ mod tests {
         let mut now = Time::from_millis(100);
         for i in 0..10 {
             c.on_ack(now, &ack(i, now));
-            now = now + Dur::from_millis(1);
+            now += Dur::from_millis(1);
         }
         assert!((c.cwnd_pkts() - (start + 10.0)).abs() < 1e-9);
     }
@@ -243,7 +240,7 @@ mod tests {
         }
         c.on_loss(now, &loss(40, now, false));
         let after_first = c.cwnd_pkts();
-        now = now + Dur::from_millis(100);
+        now += Dur::from_millis(100);
         // Packet sent after recovery start: a fresh event.
         let mut l = loss(60, now, false);
         l.sent_at = now - Dur::from_millis(10);
@@ -271,7 +268,7 @@ mod tests {
             c.on_ack(now, &ack(i, now));
         }
         c.on_loss(now, &loss(60, now, false));
-        now = now + Dur::from_millis(50);
+        now += Dur::from_millis(50);
         // Growth right after the cut (concave region, approaching w_max)...
         let w0 = c.cwnd_pkts();
         for i in 0..30 {
@@ -279,7 +276,7 @@ mod tests {
         }
         let near_growth = c.cwnd_pkts() - w0;
         // ...is slower than growth far past K (convex region).
-        now = now + Dur::from_secs(20);
+        now += Dur::from_secs(20);
         let w1 = c.cwnd_pkts();
         for i in 0..30 {
             c.on_ack(now, &ack(200 + i, now));
@@ -299,7 +296,7 @@ mod tests {
             let mut l = loss(i, now, false);
             l.sent_at = now - Dur::from_millis(1);
             c.on_loss(now, &l);
-            now = now + Dur::from_millis(100);
+            now += Dur::from_millis(100);
         }
         assert!(c.cwnd_pkts() >= MIN_CWND_PKTS);
         assert!(c.cwnd_bytes() >= (MIN_CWND_PKTS * 1500.0) as u64);

@@ -13,9 +13,7 @@
 
 use std::collections::VecDeque;
 
-use proteus_transport::{
-    AckInfo, CongestionControl, Dur, LossInfo, Time, DEFAULT_PACKET_BYTES,
-};
+use proteus_transport::{AckInfo, CongestionControl, Dur, LossInfo, Time, DEFAULT_PACKET_BYTES};
 
 /// Number of one-minute base-delay history buckets (RFC 6817
 /// `BASE_HISTORY`).
@@ -292,7 +290,7 @@ mod tests {
         let mut now = Time::from_millis(100);
         l.on_ack(now, &ack_with_owd(0, now, Dur::from_millis(40)));
         // Two minutes later a lower OWD shows up: becomes the new bucket min.
-        now = now + Dur::from_secs(61);
+        now += Dur::from_secs(61);
         l.on_ack(now, &ack_with_owd(1, now, Dur::from_millis(20)));
         assert!((l.base_delay().unwrap() - 0.020).abs() < 1e-9);
         assert!(l.base_history.len() >= 2);
@@ -317,7 +315,10 @@ mod tests {
         let after_one = l.cwnd_bytes();
         assert!(after_one <= w / 2 + 1);
         // Immediate second loss is ignored.
-        l.on_loss(now + Dur::from_millis(1), &mk_loss(51, now + Dur::from_millis(1)));
+        l.on_loss(
+            now + Dur::from_millis(1),
+            &mk_loss(51, now + Dur::from_millis(1)),
+        );
         assert_eq!(l.cwnd_bytes(), after_one);
         // After an RTT it reacts again.
         let later = now + Dur::from_millis(100);

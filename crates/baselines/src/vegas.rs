@@ -6,9 +6,7 @@
 //! actual (`cwnd/RTT`) rates once per RTT: fewer than α packets of induced
 //! queueing → grow by one packet, more than β → shrink by one.
 
-use proteus_transport::{
-    AckInfo, CongestionControl, Dur, LossInfo, Time, DEFAULT_PACKET_BYTES,
-};
+use proteus_transport::{AckInfo, CongestionControl, Dur, LossInfo, Time, DEFAULT_PACKET_BYTES};
 
 /// Lower queueing bound, packets.
 const ALPHA: f64 = 2.0;
@@ -48,7 +46,7 @@ impl Vegas {
             round_min_rtt: None,
             round_started: None,
             in_slow_start: true,
-        recovery_until: None,
+            recovery_until: None,
         }
     }
 
@@ -149,7 +147,7 @@ mod tests {
         let mut now = Time::from_millis(start_ms);
         for i in 0..steps {
             v.on_ack(now, &ack(i, now, rtt_ms));
-            now = now + Dur::from_millis(rtt_ms + 1);
+            now += Dur::from_millis(rtt_ms + 1);
         }
     }
 

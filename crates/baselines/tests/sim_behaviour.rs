@@ -24,7 +24,10 @@ where
 }
 
 fn steady_throughput_mbps(res: &proteus_netsim::SimResult, secs: u64) -> f64 {
-    res.flows[0].throughput_mbps(Time::from_secs_f64(secs as f64 * 0.3), Time::from_secs_f64(secs as f64))
+    res.flows[0].throughput_mbps(
+        Time::from_secs_f64(secs as f64 * 0.3),
+        Time::from_secs_f64(secs as f64),
+    )
 }
 
 #[test]
@@ -110,8 +113,14 @@ fn ledbat25_inflates_less() {
     let res25 = single_flow(paper_link(1_000_000), 60, Ledbat::draft25());
     let p50_100 = res100.flows[0].rtt_percentile(50.0).unwrap();
     let p50_25 = res25.flows[0].rtt_percentile(50.0).unwrap();
-    assert!(p50_25 < p50_100, "25ms target should queue less: {p50_25} vs {p50_100}");
-    assert!(p50_25 > 0.035 && p50_25 < 0.090, "LEDBAT-25 median RTT = {p50_25}");
+    assert!(
+        p50_25 < p50_100,
+        "25ms target should queue less: {p50_25} vs {p50_100}"
+    );
+    assert!(
+        p50_25 > 0.035 && p50_25 < 0.090,
+        "LEDBAT-25 median RTT = {p50_25}"
+    );
 }
 
 #[test]
@@ -137,7 +146,11 @@ fn cubic_beats_ledbat_on_shared_bottleneck() {
     // LEDBAT's defining property: it yields to CUBIC when the buffer can
     // hold more than its target delay (1 MB ≈ 160 ms > 100 ms target).
     let sc = Scenario::new(paper_link(1_000_000), Dur::from_secs(60))
-        .flow(FlowSpec::bulk("cubic", Dur::ZERO, || Box::new(Cubic::new())))
+        .flow(FlowSpec::bulk(
+            "cubic",
+            Dur::ZERO,
+            || Box::new(Cubic::new()),
+        ))
         .flow(FlowSpec::bulk("ledbat", Dur::from_secs(5), || {
             Box::new(Ledbat::new())
         }))
@@ -159,15 +172,19 @@ fn ledbat_latecomer_advantage() {
     // The second flow measures an inflated base delay and starves the first
     // (the paper's §6.1.3 latecomer issue).
     let sc = Scenario::new(paper_link(2_500_000), Dur::from_secs(400))
-        .flow(FlowSpec::bulk("first", Dur::ZERO, || Box::new(Ledbat::new())))
+        .flow(FlowSpec::bulk("first", Dur::ZERO, || {
+            Box::new(Ledbat::new())
+        }))
         .flow(FlowSpec::bulk("second", Dur::from_secs(120), || {
             Box::new(Ledbat::new())
         }))
         .with_seed(5)
         .with_rtt_stride(4);
     let res = run(sc);
-    let first = res.flows[0].throughput_mbps(Time::from_secs_f64(340.0), Time::from_secs_f64(400.0));
-    let second = res.flows[1].throughput_mbps(Time::from_secs_f64(340.0), Time::from_secs_f64(400.0));
+    let first =
+        res.flows[0].throughput_mbps(Time::from_secs_f64(340.0), Time::from_secs_f64(400.0));
+    let second =
+        res.flows[1].throughput_mbps(Time::from_secs_f64(340.0), Time::from_secs_f64(400.0));
     assert!(
         second > 1.5 * first,
         "latecomer should dominate: first {first}, second {second}"
@@ -178,7 +195,9 @@ fn ledbat_latecomer_advantage() {
 fn two_cubic_flows_share_fairly() {
     let sc = Scenario::new(paper_link(375_000), Dur::from_secs(60))
         .flow(FlowSpec::bulk("a", Dur::ZERO, || Box::new(Cubic::new())))
-        .flow(FlowSpec::bulk("b", Dur::from_secs(5), || Box::new(Cubic::new())))
+        .flow(FlowSpec::bulk("b", Dur::from_secs(5), || {
+            Box::new(Cubic::new())
+        }))
         .with_seed(5);
     let res = run(sc);
     let a = res.flows[0].throughput_mbps(Time::from_secs_f64(25.0), Time::from_secs_f64(60.0));
@@ -192,7 +211,11 @@ fn two_cubic_flows_share_fairly() {
 fn bbr_s_yields_to_cubic_in_sim() {
     // §7.1 / Fig. 14: BBR-S vs CUBIC — BBR-S should take a small share.
     let sc = Scenario::new(paper_link(375_000), Dur::from_secs(60))
-        .flow(FlowSpec::bulk("cubic", Dur::ZERO, || Box::new(Cubic::new())))
+        .flow(FlowSpec::bulk(
+            "cubic",
+            Dur::ZERO,
+            || Box::new(Cubic::new()),
+        ))
         .flow(FlowSpec::bulk("bbr-s", Dur::from_secs(5), || {
             Box::new(Bbr::scavenger())
         }))

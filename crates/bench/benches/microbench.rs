@@ -7,9 +7,7 @@ use std::hint::black_box;
 
 use proteus_core::{evaluate, MiObservation, Mode, UtilityParams};
 use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
-use proteus_transport::{
-    AckInfo, Dur, MiTracker, SentPacket, Time,
-};
+use proteus_transport::{AckInfo, Dur, MiTracker, SentPacket, Time};
 
 fn ack(seq: u64, sent_ms: u64, rtt_ms: u64) -> AckInfo {
     AckInfo {

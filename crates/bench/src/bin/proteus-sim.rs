@@ -12,6 +12,7 @@
 //!   --secs <s>         duration                  (default 60)
 //!   --seed <n>         RNG seed                  (default 1)
 //!   --timeline         print 5-second per-flow throughput bins
+//!   --trace <file>     write per-flow telemetry JSONL (100 ms samples)
 //! ```
 //!
 //! Protocols: CUBIC, Reno, Vegas, BBR, BBR-S, COPA, LEDBAT, LEDBAT-25,
@@ -24,9 +25,10 @@
 //! ```
 
 use std::env;
+use std::fs;
 use std::process::ExitCode;
 
-use proteus_bench::cc;
+use proteus_bench::{cc, trace_jsonl, TRACE_EVERY};
 use proteus_netsim::{run, FlowSpec, LinkSpec, NoiseConfig, Scenario};
 use proteus_transport::{Dur, Time};
 
@@ -39,6 +41,7 @@ struct Args {
     secs: f64,
     seed: u64,
     timeline: bool,
+    trace: Option<String>,
     flows: Vec<(String, f64)>,
 }
 
@@ -52,6 +55,7 @@ fn parse() -> Result<Args, String> {
         secs: 60.0,
         seed: 1,
         timeline: false,
+        trace: None,
         flows: Vec::new(),
     };
     let mut it = env::args().skip(1);
@@ -61,19 +65,37 @@ fn parse() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--bw" => a.bw = need(&mut it, "--bw")?.parse().map_err(|e| format!("{e}"))?,
-            "--rtt" => a.rtt_ms = need(&mut it, "--rtt")?.parse().map_err(|e| format!("{e}"))?,
+            "--rtt" => {
+                a.rtt_ms = need(&mut it, "--rtt")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--buffer" => a.buffer = need(&mut it, "--buffer")?,
-            "--loss" => a.loss = need(&mut it, "--loss")?.parse().map_err(|e| format!("{e}"))?,
+            "--loss" => {
+                a.loss = need(&mut it, "--loss")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--wifi" => a.wifi = true,
-            "--secs" => a.secs = need(&mut it, "--secs")?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => a.seed = need(&mut it, "--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--secs" => {
+                a.secs = need(&mut it, "--secs")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--seed" => {
+                a.seed = need(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--timeline" => a.timeline = true,
+            "--trace" => a.trace = Some(need(&mut it, "--trace")?),
             "--flow" => {
                 let spec = need(&mut it, "--flow")?;
                 let (proto, start) = match spec.split_once('@') {
                     Some((p, s)) => (
                         p.to_string(),
-                        s.parse::<f64>().map_err(|e| format!("bad start time: {e}"))?,
+                        s.parse::<f64>()
+                            .map_err(|e| format!("bad start time: {e}"))?,
                     ),
                     None => (spec, 0.0),
                 };
@@ -108,7 +130,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: proteus-sim [--bw Mbps] [--rtt ms] [--buffer KB|xBDP] [--loss p] \
-                 [--wifi] [--secs s] [--seed n] [--timeline] --flow PROTO[@START] ..."
+                 [--wifi] [--secs s] [--seed n] [--timeline] [--trace FILE] \
+                 --flow PROTO[@START] ..."
             );
             return ExitCode::from(2);
         }
@@ -128,6 +151,9 @@ fn main() -> ExitCode {
     }
 
     let mut sc = Scenario::new(link, Dur::from_secs_f64(args.secs)).with_seed(args.seed);
+    if args.trace.is_some() {
+        sc = sc.with_trace(TRACE_EVERY);
+    }
     for (i, (proto, start)) in args.flows.iter().enumerate() {
         let name = format!("{proto}#{i}");
         let proto = proto.clone();
@@ -148,6 +174,15 @@ fn main() -> ExitCode {
         if args.wifi { "wifi" } else { "none" }
     );
     let res = run(sc);
+    if let Some(path) = &args.trace {
+        match fs::write(path, trace_jsonl(&res)) {
+            Ok(()) => eprintln!("trace: {} samples -> {path}", res.trace.len()),
+            Err(e) => {
+                eprintln!("error: cannot write trace to {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     let from = Time::from_secs_f64(args.secs / 3.0);
     let to = Time::from_secs_f64(args.secs);

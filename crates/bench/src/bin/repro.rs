@@ -1,8 +1,13 @@
 //! Regenerates the paper's figures/tables from the simulation.
 //!
 //! ```text
-//! repro [--quick] [--seed N] <id>... | all | list
+//! repro [--quick] [--seed N] [--jobs N] [--no-cache] [--trace] <id>... | all | list
 //! ```
+//!
+//! `--jobs N` runs each experiment's simulation campaign on `N` worker
+//! threads (`0` = one per core); results are identical to `--jobs 1`.
+//! `--no-cache` bypasses the disk result cache under `results/.cache/`.
+//! `--trace` records per-flow telemetry JSONL under `results/trace/`.
 
 use std::env;
 use std::process::ExitCode;
@@ -11,40 +16,88 @@ use std::time::Instant;
 use proteus_bench::experiments::registry;
 use proteus_bench::RunCfg;
 
-fn main() -> ExitCode {
-    let mut quick = false;
-    let mut seed = 1u64;
-    let mut ids: Vec<String> = Vec::new();
-    let mut args = env::args().skip(1);
+const USAGE: &str =
+    "usage: repro [--quick] [--seed N] [--jobs N] [--no-cache] [--trace] <id>... | all | list";
+
+/// Parsed command line: the run configuration plus experiment ids.
+struct Cli {
+    cfg_quick: bool,
+    seed: u64,
+    jobs: usize,
+    no_cache: bool,
+    trace: bool,
+    ids: Vec<String>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cfg_quick: false,
+        seed: 1,
+        jobs: 1,
+        no_cache: false,
+        trace: false,
+        ids: Vec::new(),
+    };
+    let mut args = args;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--quick" => quick = true,
+            "--quick" => cli.cfg_quick = true,
+            "--no-cache" => cli.no_cache = true,
+            "--trace" => cli.trace = true,
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed requires a number");
+                let v = args.next().ok_or("--seed requires a value")?;
+                cli.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed requires a number, got {v:?}"))?;
             }
-            other => ids.push(other.to_string()),
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs requires a value")?;
+                cli.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs requires a number, got {v:?}"))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => cli.ids.push(other.to_string()),
         }
     }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
 
     let experiments = registry();
-    if ids.is_empty() || ids.iter().any(|i| i == "list") {
-        eprintln!("usage: repro [--quick] [--seed N] <id>... | all");
+    if cli.ids.is_empty() || cli.ids.iter().any(|i| i == "list") {
+        eprintln!("{USAGE}");
         eprintln!("experiments:");
         for e in &experiments {
             eprintln!("  {:8}  {}", e.id, e.description);
         }
-        return ExitCode::from(if ids.is_empty() { 2 } else { 0 });
+        return ExitCode::from(if cli.ids.is_empty() { 2 } else { 0 });
     }
 
-    let run_all = ids.iter().any(|i| i == "all");
-    let mut cfg = if quick { RunCfg::quick() } else { RunCfg::full() };
-    cfg.seed = seed;
+    let run_all = cli.ids.iter().any(|i| i == "all");
+    let mut cfg = if cli.cfg_quick {
+        RunCfg::quick()
+    } else {
+        RunCfg::full()
+    };
+    cfg.seed = cli.seed;
+    cfg.jobs = cli.jobs;
+    cfg.cache = !cli.no_cache;
+    cfg.trace = cli.trace;
 
     let mut unknown = Vec::new();
-    for id in &ids {
+    for id in &cli.ids {
         if id != "all" && !experiments.iter().any(|e| e.id == id) {
             unknown.push(id.clone());
         }
@@ -55,12 +108,16 @@ fn main() -> ExitCode {
     }
 
     for e in &experiments {
-        if run_all || ids.iter().any(|i| i == e.id) {
+        if run_all || cli.ids.iter().any(|i| i == e.id) {
             eprintln!("=== {} — {} ===", e.id, e.description);
             let t0 = Instant::now();
             let report = (e.run)(cfg);
             println!("{report}");
-            eprintln!("=== {} done in {:.1}s ===\n", e.id, t0.elapsed().as_secs_f64());
+            eprintln!(
+                "=== {} done in {:.1}s ===\n",
+                e.id,
+                t0.elapsed().as_secs_f64()
+            );
         }
     }
     ExitCode::SUCCESS

@@ -8,21 +8,54 @@
 //! yielding to primaries (Fig. 19) and the RTT-impact bars (Fig. 20).
 //! The WiFi comparisons (Figs. 21/22) are produced by the `wifi` module,
 //! which includes an LEDBAT-25 column.
+//!
+//! The whole suite is submitted as one campaign; its single-flow,
+//! fairness and yield cells share cache descriptors with Figs. 3/5/6, so
+//! a full `repro all` simulates each overlapping cell only once.
 
 use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_runner::{payload, Campaign, SimJob};
 use proteus_transport::{Dur, Time};
 
-use crate::experiments::fig5::fairness_run;
-use crate::experiments::fig6::measure_cell;
+use crate::experiments::fig5::fairness_job;
+use crate::experiments::fig6::{cell_from_outputs, push_cell};
 use crate::protocols::{cc, PRIMARIES};
 use crate::report::{f2, f3, pct, write_report, Table};
-use crate::runner::{run_single, tail_mbps};
+use crate::runner::{campaign, decode_single, link_tag, single_job};
 use crate::RunCfg;
 
 const LEDBATS: &[&str] = &["LEDBAT-25", "LEDBAT", "Proteus-S", "Proteus-P"];
 
-fn fig15(cfg: RunCfg) -> Table {
+fn fig15_submit(cfg: RunCfg, camp: &mut Campaign) -> Vec<Vec<usize>> {
     let secs = if cfg.quick { 20.0 } else { 60.0 };
+    let buffers: &[u64] = if cfg.quick {
+        &[75_000, 625_000]
+    } else {
+        &[4_500, 37_500, 150_000, 375_000, 625_000, 1_000_000]
+    };
+    buffers
+        .iter()
+        .map(|&buf| {
+            LEDBATS
+                .iter()
+                .map(|&proto| {
+                    let link = LinkSpec::new(50.0, Dur::from_millis(30), buf);
+                    camp.push_dedup(single_job(
+                        "fig15",
+                        &link_tag(&link),
+                        proto,
+                        link,
+                        secs,
+                        cfg.seed,
+                        cfg.trace,
+                    ))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fig15_table(cfg: RunCfg, outputs: &[String], slots: &[Vec<usize>]) -> Table {
     let buffers: &[u64] = if cfg.quick {
         &[75_000, 625_000]
     } else {
@@ -30,113 +63,217 @@ fn fig15(cfg: RunCfg) -> Table {
     };
     let mut t = Table::new(
         "Fig 15: saturation with varying buffer (throughput Mbps / inflation ratio)",
-        &["buffer_KB", "LEDBAT-25", "LEDBAT-100", "Proteus-S", "Proteus-P"],
+        &[
+            "buffer_KB",
+            "LEDBAT-25",
+            "LEDBAT-100",
+            "Proteus-S",
+            "Proteus-P",
+        ],
     );
-    for &buf in buffers {
+    for (bi, &buf) in buffers.iter().enumerate() {
         let mut row = vec![format!("{:.1}", buf as f64 / 1e3)];
-        for &proto in &["LEDBAT-25", "LEDBAT", "Proteus-S", "Proteus-P"] {
-            let link = LinkSpec::new(50.0, Dur::from_millis(30), buf);
-            let res = run_single(proto, link, secs, cfg.seed);
-            let thpt = tail_mbps(&res, 0, secs);
-            let p95 = res.flows[0].rtt_percentile(95.0).unwrap_or(0.030);
+        for &slot in &slots[bi] {
+            let out = decode_single(&outputs[slot]);
+            let p95 = if out.p95_rtt_s > 0.0 {
+                out.p95_rtt_s
+            } else {
+                0.030
+            };
             let infl = ((p95 - 0.030) / (buf as f64 * 8.0 / 50e6)).max(0.0);
-            row.push(format!("{:.1}/{:.2}", thpt, infl));
+            row.push(format!("{:.1}/{:.2}", out.tail_mbps, infl));
         }
         t.row(row);
     }
     t
 }
 
-fn fig16(cfg: RunCfg) -> Table {
-    let secs = if cfg.quick { 20.0 } else { 60.0 };
-    let losses: &[f64] = if cfg.quick {
+fn fig16_losses(quick: bool) -> &'static [f64] {
+    if quick {
         &[0.0, 0.01]
     } else {
         &[0.0, 1e-4, 1e-3, 0.01, 0.03, 0.05]
-    };
+    }
+}
+
+fn fig16_submit(cfg: RunCfg, camp: &mut Campaign) -> Vec<Vec<usize>> {
+    let secs = if cfg.quick { 20.0 } else { 60.0 };
+    fig16_losses(cfg.quick)
+        .iter()
+        .map(|&loss| {
+            LEDBATS
+                .iter()
+                .map(|&proto| {
+                    let link =
+                        LinkSpec::new(50.0, Dur::from_millis(30), 1_000_000).with_random_loss(loss);
+                    camp.push_dedup(single_job(
+                        "fig16",
+                        &link_tag(&link),
+                        proto,
+                        link,
+                        secs,
+                        cfg.seed,
+                        cfg.trace,
+                    ))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fig16_table(cfg: RunCfg, outputs: &[String], slots: &[Vec<usize>]) -> Table {
     let mut t = Table::new("Fig 16: throughput (Mbps) under random loss", &{
         let mut h = vec!["loss"];
         h.extend(LEDBATS);
         h
     });
-    for &loss in losses {
+    for (li, &loss) in fig16_losses(cfg.quick).iter().enumerate() {
         let mut row = vec![format!("{loss}")];
-        for &proto in LEDBATS {
-            let link = LinkSpec::new(50.0, Dur::from_millis(30), 1_000_000).with_random_loss(loss);
-            let res = run_single(proto, link, secs, cfg.seed);
-            row.push(f2(tail_mbps(&res, 0, secs)));
+        for &slot in &slots[li] {
+            row.push(f2(decode_single(&outputs[slot]).tail_mbps));
         }
         t.row(row);
     }
     t
 }
 
-fn fig17(cfg: RunCfg) -> Table {
+fn fig17_counts(quick: bool) -> &'static [usize] {
+    if quick {
+        &[4]
+    } else {
+        &[2, 4, 6, 8, 10]
+    }
+}
+
+fn fig17_submit(cfg: RunCfg, camp: &mut Campaign) -> Vec<Vec<usize>> {
     let measure = if cfg.quick { 40.0 } else { 120.0 };
-    let counts: &[usize] = if cfg.quick { &[4] } else { &[2, 4, 6, 8, 10] };
+    fig17_counts(cfg.quick)
+        .iter()
+        .map(|&n| {
+            LEDBATS
+                .iter()
+                .map(|&proto| camp.push_dedup(fairness_job(proto, n, measure, cfg.seed)))
+                .collect()
+        })
+        .collect()
+}
+
+fn fig17_table(cfg: RunCfg, outputs: &[String], slots: &[Vec<usize>]) -> Table {
     let mut t = Table::new("Fig 17: Jain's index with competing flows", &{
         let mut h = vec!["n"];
         h.extend(LEDBATS);
         h
     });
-    for &n in counts {
+    for (ni, &n) in fig17_counts(cfg.quick).iter().enumerate() {
         let mut row = vec![n.to_string()];
-        for &proto in LEDBATS {
-            row.push(f3(fairness_run(proto, n, measure, cfg.seed)));
+        for &slot in &slots[ni] {
+            row.push(f3(payload::decode_floats(&outputs[slot])[0]));
         }
         t.row(row);
     }
     t
 }
 
-fn fig18(cfg: RunCfg) -> Vec<Table> {
-    // 4 staggered flows on a large buffer; print per-flow rates over time.
+fn fig18_submit(cfg: RunCfg, camp: &mut Campaign) -> Vec<usize> {
+    // 4 staggered flows on a large buffer; payload = row-major
+    // [flow][40 s bin] throughput matrix.
     let stagger = 60.0;
     let total = if cfg.quick { 200.0 } else { 400.0 };
-    let mut tables = Vec::new();
-    for &proto in &["LEDBAT-25", "LEDBAT", "Proteus-S", "Proteus-P"] {
-        let link = LinkSpec::new(80.0, Dur::from_millis(30), 4_000_000);
-        let mut sc = Scenario::new(link, Dur::from_secs_f64(total))
-            .with_seed(cfg.seed)
-            .with_rtt_stride(64);
-        for i in 0..4usize {
-            sc = sc.flow(FlowSpec::bulk(
-                format!("{proto}-{i}"),
-                Dur::from_secs_f64(stagger * i as f64),
-                move || cc(proto, cfg.seed + i as u64),
-            ));
-        }
-        let res = run(sc);
-        let mut t = Table::new(
-            format!("Fig 18: 4-flow competition over time — {proto} (Mbps per 40 s bin)"),
-            &["t_s", "flow1", "flow2", "flow3", "flow4"],
-        );
-        let bins = (total / 40.0) as usize;
-        for b in 0..bins {
-            let from = Time::from_secs_f64(b as f64 * 40.0);
-            let to = Time::from_secs_f64((b + 1) as f64 * 40.0);
-            let mut row = vec![format!("{}", b * 40)];
-            for f in 0..4 {
-                row.push(f2(res.flows[f].throughput_mbps(from, to)));
-            }
-            t.row(row);
-        }
-        tables.push(t);
-    }
-    tables
+    let bins = (total / 40.0) as usize;
+    LEDBATS
+        .iter()
+        .map(|&proto| {
+            let seed = cfg.seed;
+            camp.push_dedup(SimJob::new(
+                format!("fig18/proto={proto}/total={total:?}/seed={seed}/v1"),
+                format!("fig18 {proto} x4"),
+                move || {
+                    let link = LinkSpec::new(80.0, Dur::from_millis(30), 4_000_000);
+                    let mut sc = Scenario::new(link, Dur::from_secs_f64(total))
+                        .with_seed(seed)
+                        .with_rtt_stride(64);
+                    for i in 0..4usize {
+                        sc = sc.flow(FlowSpec::bulk(
+                            format!("{proto}-{i}"),
+                            Dur::from_secs_f64(stagger * i as f64),
+                            move || cc(proto, seed + i as u64),
+                        ));
+                    }
+                    let res = run(sc);
+                    let mut vals = Vec::with_capacity(4 * bins);
+                    for f in 0..4 {
+                        for b in 0..bins {
+                            let from = Time::from_secs_f64(b as f64 * 40.0);
+                            let to = Time::from_secs_f64((b + 1) as f64 * 40.0);
+                            vals.push(res.flows[f].throughput_mbps(from, to));
+                        }
+                    }
+                    payload::encode_floats(&vals)
+                },
+            ))
+        })
+        .collect()
 }
 
-fn fig19(cfg: RunCfg) -> Table {
+fn fig18_tables(cfg: RunCfg, outputs: &[String], slots: &[usize]) -> Vec<Table> {
+    let total = if cfg.quick { 200.0 } else { 400.0 };
+    let bins = (total / 40.0) as usize;
+    LEDBATS
+        .iter()
+        .zip(slots)
+        .map(|(&proto, &slot)| {
+            let vals = payload::decode_floats(&outputs[slot]);
+            let mut t = Table::new(
+                format!("Fig 18: 4-flow competition over time — {proto} (Mbps per 40 s bin)"),
+                &["t_s", "flow1", "flow2", "flow3", "flow4"],
+            );
+            for b in 0..bins {
+                let mut row = vec![format!("{}", b * 40)];
+                for f in 0..4 {
+                    row.push(f2(vals[f * bins + b]));
+                }
+                t.row(row);
+            }
+            t
+        })
+        .collect()
+}
+
+type Fig19Slots = Vec<Vec<(usize, usize)>>;
+
+fn fig19_submit(cfg: RunCfg, camp: &mut Campaign) -> Fig19Slots {
     let secs = if cfg.quick { 25.0 } else { 60.0 };
+    PRIMARIES
+        .iter()
+        .map(|&primary| {
+            [75_000u64, 375_000]
+                .iter()
+                .map(|&buf| {
+                    push_cell(
+                        camp,
+                        "fig19",
+                        primary,
+                        "LEDBAT-25",
+                        buf,
+                        secs,
+                        cfg.seed,
+                        cfg.trace,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fig19_table(outputs: &[String], slots: &Fig19Slots) -> Table {
     let mut t = Table::new(
         "Fig 19: LEDBAT-25 as scavenger — primary throughput ratio",
         &["primary", "ratio@75KB", "ratio@375KB"],
     );
-    for &primary in PRIMARIES {
+    for (pi, &primary) in PRIMARIES.iter().enumerate() {
         let mut row = vec![primary.to_string()];
-        for &buf in &[75_000u64, 375_000] {
-            let cell = measure_cell(primary, "LEDBAT-25", buf, secs, cfg.seed);
-            row.push(pct(cell.ratio()));
+        for &cell_slots in &slots[pi] {
+            row.push(pct(cell_from_outputs(outputs, cell_slots).ratio()));
         }
         t.row(row);
     }
@@ -145,17 +282,21 @@ fn fig19(cfg: RunCfg) -> Table {
 
 /// Runs the whole Appendix-B suite.
 pub fn run_experiment(cfg: RunCfg) -> String {
-    let t15 = fig15(cfg);
-    let t16 = fig16(cfg);
-    let t17 = fig17(cfg);
-    let t18 = fig18(cfg);
-    let t19 = fig19(cfg);
-    let mut text = format!(
-        "{}\n{}\n{}\n",
-        t15.render(),
-        t16.render(),
-        t17.render()
-    );
+    let mut camp = campaign("appendixB", cfg);
+    let s15 = fig15_submit(cfg, &mut camp);
+    let s16 = fig16_submit(cfg, &mut camp);
+    let s17 = fig17_submit(cfg, &mut camp);
+    let s18 = fig18_submit(cfg, &mut camp);
+    let s19 = fig19_submit(cfg, &mut camp);
+    let result = camp.run();
+    let out = &result.outputs;
+
+    let t15 = fig15_table(cfg, out, &s15);
+    let t16 = fig16_table(cfg, out, &s16);
+    let t17 = fig17_table(cfg, out, &s17);
+    let t18 = fig18_tables(cfg, out, &s18);
+    let t19 = fig19_table(out, &s19);
+    let mut text = format!("{}\n{}\n{}\n", t15.render(), t16.render(), t17.render());
     for t in &t18 {
         text.push_str(&t.render());
         text.push('\n');

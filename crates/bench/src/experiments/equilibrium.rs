@@ -1,9 +1,7 @@
 //! Theory tables: the Appendix-A equilibrium model and the §4.4 Proteus-H
 //! ideal-allocation formula, checked numerically.
 
-use proteus_core::{
-    hybrid_ideal_allocation, solve_equilibrium, GameParams, SenderKind,
-};
+use proteus_core::{hybrid_ideal_allocation, solve_equilibrium, GameParams, SenderKind};
 
 use crate::report::{f2, write_report, Table};
 use crate::RunCfg;
@@ -20,10 +18,7 @@ pub fn run_experiment(_cfg: RunCfg) -> String {
         ("1 S", vec![SenderKind::Scavenger]),
         ("4 P", vec![SenderKind::Primary; 4]),
         ("3 S", vec![SenderKind::Scavenger; 3]),
-        (
-            "P + S",
-            vec![SenderKind::Primary, SenderKind::Scavenger],
-        ),
+        ("P + S", vec![SenderKind::Primary, SenderKind::Scavenger]),
         (
             "2P + 2S",
             vec![

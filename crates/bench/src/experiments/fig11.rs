@@ -29,9 +29,8 @@ fn add_background(sc: &mut Scenario, bg: &'static str, start: Dur) {
     if bg == "none" {
         return;
     }
-    sc.flows.push(FlowSpec::bulk("background", start, move || {
-        cc(bg, 0xBADA)
-    }));
+    sc.flows
+        .push(FlowSpec::bulk("background", start, move || cc(bg, 0xBADA)));
 }
 
 fn dash_table(cfg: RunCfg) -> Table {
@@ -104,7 +103,7 @@ fn web_table(cfg: RunCfg) -> Table {
                 format!("page-{i}"),
                 p.start,
                 p.bytes,
-                move |            | cc("CUBIC", i as u64),
+                move || cc("CUBIC", i as u64),
             ));
         }
         add_background(&mut sc, bg, Dur::ZERO);

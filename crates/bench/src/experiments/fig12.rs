@@ -58,11 +58,7 @@ fn streaming_run(
         bitrate_4k: b4k.avg_bitrate(),
         rebuffer_4k: b4k.rebuffer_ratio,
         bitrate_1080: h1080.iter().map(|h| h.borrow().avg_bitrate()).sum::<f64>() / 3.0,
-        rebuffer_1080: h1080
-            .iter()
-            .map(|h| h.borrow().rebuffer_ratio)
-            .sum::<f64>()
-            / 3.0,
+        rebuffer_1080: h1080.iter().map(|h| h.borrow().rebuffer_ratio).sum::<f64>() / 3.0,
     }
 }
 
@@ -121,8 +117,22 @@ pub fn run_experiment(cfg: RunCfg) -> String {
         ],
     );
     for &bw in bws {
-        let h = averaged_run(bw, VideoTransport::Hybrid, false, secs, cfg.seed, cfg.trials);
-        let p = averaged_run(bw, VideoTransport::Primary, false, secs, cfg.seed, cfg.trials);
+        let h = averaged_run(
+            bw,
+            VideoTransport::Hybrid,
+            false,
+            secs,
+            cfg.seed,
+            cfg.trials,
+        );
+        let p = averaged_run(
+            bw,
+            VideoTransport::Primary,
+            false,
+            secs,
+            cfg.seed,
+            cfg.trials,
+        );
         t.row(vec![
             format!("{bw:.0}"),
             f2(h.bitrate_4k),
@@ -150,11 +160,24 @@ pub fn run_experiment_forced(cfg: RunCfg) -> String {
     };
     let mut t = Table::new(
         "Fig 13: forced-highest-bitrate rebuffer ratio, Proteus-H vs Proteus-P",
-        &["bw_Mbps", "4K_rebuf_H", "4K_rebuf_P", "1080_rebuf_H", "1080_rebuf_P"],
+        &[
+            "bw_Mbps",
+            "4K_rebuf_H",
+            "4K_rebuf_P",
+            "1080_rebuf_H",
+            "1080_rebuf_P",
+        ],
     );
     for &bw in bws {
         let h = averaged_run(bw, VideoTransport::Hybrid, true, secs, cfg.seed, cfg.trials);
-        let p = averaged_run(bw, VideoTransport::Primary, true, secs, cfg.seed, cfg.trials);
+        let p = averaged_run(
+            bw,
+            VideoTransport::Primary,
+            true,
+            secs,
+            cfg.seed,
+            cfg.trials,
+        );
         t.row(vec![
             format!("{bw:.0}"),
             pct(h.rebuffer_4k),

@@ -132,7 +132,10 @@ pub fn run_experiment(cfg: RunCfg) -> String {
         "Confusion probability (0 vs 9 flows/s; paper: deviation 0.6%, gradient 8.0%)",
         &["metric", "confusion"],
     );
-    conf.row(vec!["RTT deviation".into(), format!("{:.1}%", conf_dev * 100.0)]);
+    conf.row(vec![
+        "RTT deviation".into(),
+        format!("{:.1}%", conf_dev * 100.0),
+    ]);
     conf.row(vec![
         "|RTT gradient|".into(),
         format!("{:.1}%", conf_grad * 100.0),
@@ -175,7 +178,12 @@ mod tests {
         assert!(grads.iter().all(|&g| g < 1e-9));
         // Oscillating RTT: positive deviation.
         let wavy: Vec<(f64, f64)> = (0..100)
-            .map(|i| (i as f64 * 0.01, 0.060 + if i % 2 == 0 { 0.002 } else { 0.0 }))
+            .map(|i| {
+                (
+                    i as f64 * 0.01,
+                    0.060 + if i % 2 == 0 { 0.002 } else { 0.0 },
+                )
+            })
             .collect();
         let (devs, _) = window_metrics(&wavy, 0.09);
         assert!(devs.iter().all(|&d| d > 5e-4));

@@ -29,14 +29,11 @@ fn buffers(quick: bool) -> Vec<u64> {
 /// Runs the Fig.-3 experiment.
 pub fn run_experiment(cfg: RunCfg) -> String {
     let secs = if cfg.quick { 20.0 } else { 60.0 };
-    let mut thpt = Table::new(
-        "Fig 3(a): single-flow throughput (Mbps) vs buffer size",
-        &{
-            let mut h = vec!["buffer_KB"];
-            h.extend(ALL_FIG3);
-            h
-        },
-    );
+    let mut thpt = Table::new("Fig 3(a): single-flow throughput (Mbps) vs buffer size", &{
+        let mut h = vec!["buffer_KB"];
+        h.extend(ALL_FIG3);
+        h
+    });
     let mut infl = Table::new(
         "Fig 3(b): 95th-percentile inflation ratio vs buffer size",
         &{

@@ -7,11 +7,13 @@
 //! the sum of delay targets exceeds the buffer.
 
 use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_runner::{payload, SimJob};
 use proteus_stats::jain_index;
 use proteus_transport::{Dur, Time};
 
 use crate::protocols::{cc, ALL_FIG3};
 use crate::report::{f3, write_report, Table};
+use crate::runner::campaign;
 use crate::RunCfg;
 
 fn flow_counts(quick: bool) -> Vec<usize> {
@@ -24,11 +26,7 @@ fn flow_counts(quick: bool) -> Vec<usize> {
 
 /// Jain index of `n` same-protocol flows (staggered starts).
 pub fn fairness_run(proto: &'static str, n: usize, measure_secs: f64, seed: u64) -> f64 {
-    let link = LinkSpec::new(
-        20.0 * n as f64,
-        Dur::from_millis(30),
-        300_000 * n as u64,
-    );
+    let link = LinkSpec::new(20.0 * n as f64, Dur::from_millis(30), 300_000 * n as u64);
     let last_start = 20.0 * (n - 1) as f64;
     let total = last_start + measure_secs;
     let mut sc = Scenario::new(link, Dur::from_secs_f64(total))
@@ -52,18 +50,41 @@ pub fn fairness_run(proto: &'static str, n: usize, measure_secs: f64, seed: u64)
     jain_index(&rates).unwrap_or(0.0)
 }
 
+/// Campaign job for one intra-protocol fairness cell; payload `[jain]`.
+/// The descriptor is shared with Appendix B's Fig. 17, so overlapping
+/// cells are simulated (and cached) once.
+pub fn fairness_job(proto: &'static str, n: usize, measure_secs: f64, seed: u64) -> SimJob {
+    SimJob::new(
+        format!("fairness/proto={proto}/n={n}/measure={measure_secs:?}/seed={seed}/v1"),
+        format!("fairness {proto} n={n}"),
+        move || payload::encode_floats(&[fairness_run(proto, n, measure_secs, seed)]),
+    )
+}
+
 /// Runs the Fig.-5 experiment.
 pub fn run_experiment(cfg: RunCfg) -> String {
     let measure = if cfg.quick { 40.0 } else { 120.0 };
+    let counts = flow_counts(cfg.quick);
+
+    let mut camp = campaign("fig5", cfg);
+    for &n in &counts {
+        for &proto in ALL_FIG3 {
+            camp.push(fairness_job(proto, n, measure, cfg.seed));
+        }
+    }
+    let result = camp.run();
+    let mut outputs = result.outputs.iter();
+
     let mut t = Table::new("Fig 5: Jain's fairness index vs number of flows", &{
         let mut h = vec!["n"];
         h.extend(ALL_FIG3);
         h
     });
-    for &n in &flow_counts(cfg.quick) {
+    for &n in &counts {
         let mut row = vec![n.to_string()];
-        for &proto in ALL_FIG3 {
-            row.push(f3(fairness_run(proto, n, measure, cfg.seed)));
+        for _ in ALL_FIG3 {
+            let jain = payload::decode_floats(outputs.next().expect("one output per job"))[0];
+            row.push(f3(jain));
         }
         t.row(row);
     }

@@ -12,7 +12,7 @@ use proteus_transport::Dur;
 
 use crate::protocols::PRIMARIES;
 use crate::report::{f2, pct, write_report, Table};
-use crate::runner::{run_pair, run_single, tail_mbps};
+use crate::runner::{campaign, decode_pair, decode_single, link_tag, pair_job, single_job};
 use crate::RunCfg;
 
 /// The scavenger-role protocols of Fig. 6(a–d).
@@ -45,21 +45,38 @@ impl YieldCell {
     }
 }
 
-/// Measures one (primary, scavenger, buffer) cell.
-pub fn measure_cell(
+/// Submits the alone + pair jobs for one (primary, scavenger, buffer)
+/// cell into `camp`, returning the two output slots. Alone baselines are
+/// deduplicated across scavengers and across experiments (Fig. 19 uses
+/// the same descriptors).
+#[allow(clippy::too_many_arguments)]
+pub fn push_cell(
+    camp: &mut proteus_runner::Campaign,
+    exp: &'static str,
     primary: &'static str,
     scavenger: &'static str,
     buffer: u64,
     secs: f64,
     seed: u64,
-) -> YieldCell {
+    trace: bool,
+) -> (usize, usize) {
     let link = LinkSpec::new(50.0, Dur::from_millis(30), buffer);
-    let alone = run_single(primary, link, secs, seed);
-    let both = run_pair(primary, scavenger, link, secs, seed);
+    let tag = link_tag(&link);
+    let alone = camp.push_dedup(single_job(exp, &tag, primary, link, secs, seed, trace));
+    let both = camp.push_dedup(pair_job(
+        exp, &tag, primary, scavenger, link, secs, seed, trace,
+    ));
+    (alone, both)
+}
+
+/// Reads one cell back out of campaign outputs.
+pub fn cell_from_outputs(outputs: &[String], slots: (usize, usize)) -> YieldCell {
+    let alone = decode_single(&outputs[slots.0]);
+    let both = decode_pair(&outputs[slots.1]);
     YieldCell {
-        primary_mbps: tail_mbps(&both, 0, secs),
-        alone_mbps: tail_mbps(&alone, 0, secs),
-        scav_mbps: tail_mbps(&both, 1, secs),
+        primary_mbps: both.primary_mbps,
+        alone_mbps: alone.tail_mbps,
+        scav_mbps: both.scav_mbps,
     }
 }
 
@@ -68,19 +85,42 @@ pub fn run_experiment(cfg: RunCfg) -> String {
     let secs = if cfg.quick { 25.0 } else { 60.0 };
     let buffers: &[(u64, &str)] = &[(75_000, "75KB"), (375_000, "375KB")];
 
-    let mut tables = Vec::new();
+    let mut camp = campaign("fig6", cfg);
+    let mut slots = Vec::new();
     for &scav in SCAV_ROLES {
-        let mut t = Table::new(
-            format!("Fig 6: {scav} as scavenger — primary throughput ratio / joint utilization"),
-            &["primary", "ratio@75KB", "util@75KB", "ratio@375KB", "util@375KB"],
-        );
         for &primary in PRIMARIES {
             if primary == scav {
                 continue; // the paper doesn't run a protocol against itself here
             }
-            let mut row = vec![primary.to_string()];
             for &(buf, _) in buffers {
-                let cell = measure_cell(primary, scav, buf, secs, cfg.seed);
+                slots.push(push_cell(
+                    &mut camp, "fig6", primary, scav, buf, secs, cfg.seed, cfg.trace,
+                ));
+            }
+        }
+    }
+    let result = camp.run();
+    let mut slot = slots.into_iter();
+
+    let mut tables = Vec::new();
+    for &scav in SCAV_ROLES {
+        let mut t = Table::new(
+            format!("Fig 6: {scav} as scavenger — primary throughput ratio / joint utilization"),
+            &[
+                "primary",
+                "ratio@75KB",
+                "util@75KB",
+                "ratio@375KB",
+                "util@375KB",
+            ],
+        );
+        for &primary in PRIMARIES {
+            if primary == scav {
+                continue;
+            }
+            let mut row = vec![primary.to_string()];
+            for _ in buffers {
+                let cell = cell_from_outputs(&result.outputs, slot.next().expect("slot per cell"));
                 row.push(pct(cell.ratio()));
                 row.push(f2(cell.utilization()));
             }

@@ -12,7 +12,7 @@ use proteus_stats::Ecdf;
 use proteus_transport::Dur;
 
 use crate::report::{pct, write_report, Table};
-use crate::runner::{run_pair, run_single, tail_mbps};
+use crate::runner::{campaign, decode_pair, decode_single, link_tag, pair_job, single_job};
 use crate::RunCfg;
 
 const PRIMARIES_FIG8: &[&str] = &["BBR", "CUBIC", "Proteus-P"];
@@ -41,23 +41,54 @@ pub fn run_experiment(cfg: RunCfg) -> String {
     let secs = if cfg.quick { 20.0 } else { 30.0 };
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); PRIMARIES_FIG8.len() * SCAVS_FIG8.len()];
 
+    // Submit the whole grid as one campaign: an "alone" baseline per
+    // (config, primary) plus a pair run per (config, primary, scavenger).
+    let mut camp = campaign("fig8", cfg);
+    let mut slots: Vec<(usize, usize, Vec<usize>)> = Vec::new();
     for (ci, &(bw, rtt_ms, bdp)) in grid(cfg.quick).iter().enumerate() {
         for (pi, &primary) in PRIMARIES_FIG8.iter().enumerate() {
             let link = LinkSpec::new(bw, Dur::from_millis(rtt_ms), 1).with_buffer_bdp(bdp);
+            let tag = link_tag(&link);
             let seed = cfg.seed + ci as u64 * 13;
-            let alone = run_single(primary, link, secs, seed);
-            let alone_mbps = tail_mbps(&alone, 0, secs).max(1e-6);
-            for (si, &scav) in SCAVS_FIG8.iter().enumerate() {
-                let both = run_pair(primary, scav, link, secs, seed);
-                let ratio = (tail_mbps(&both, 0, secs) / alone_mbps).min(1.2);
-                ratios[pi * SCAVS_FIG8.len() + si].push(ratio);
-            }
+            let alone = camp.push_dedup(single_job(
+                "fig8", &tag, primary, link, secs, seed, cfg.trace,
+            ));
+            let pairs = SCAVS_FIG8
+                .iter()
+                .map(|&scav| {
+                    camp.push_dedup(pair_job(
+                        "fig8", &tag, primary, scav, link, secs, seed, cfg.trace,
+                    ))
+                })
+                .collect();
+            slots.push((pi, alone, pairs));
+        }
+    }
+    let result = camp.run();
+
+    for (pi, alone_slot, pair_slots) in slots {
+        let alone_mbps = decode_single(&result.outputs[alone_slot])
+            .tail_mbps
+            .max(1e-6);
+        for (si, pair_slot) in pair_slots.into_iter().enumerate() {
+            let both = decode_pair(&result.outputs[pair_slot]);
+            let ratio = (both.primary_mbps / alone_mbps).min(1.2);
+            ratios[pi * SCAVS_FIG8.len() + si].push(ratio);
         }
     }
 
     let mut t = Table::new(
         "Fig 8: primary throughput ratio over the config sweep (CDF quantiles)",
-        &["primary", "scavenger", "p10", "p25", "median", "p75", "p90", ">=90% of cases"],
+        &[
+            "primary",
+            "scavenger",
+            "p10",
+            "p25",
+            "median",
+            "p75",
+            "p90",
+            ">=90% of cases",
+        ],
     );
     let mut medians = vec![0.0; ratios.len()];
     for (pi, &primary) in PRIMARIES_FIG8.iter().enumerate() {

@@ -34,7 +34,8 @@ pub fn registry() -> Vec<Experiment> {
     vec![
         Experiment {
             id: "fig2",
-            description: "PDF of RTT deviation/gradient under Poisson CUBIC flows + confusion probability",
+            description:
+                "PDF of RTT deviation/gradient under Poisson CUBIC flows + confusion probability",
             run: fig2::run_experiment,
         },
         Experiment {
@@ -99,7 +100,8 @@ pub fn registry() -> Vec<Experiment> {
         },
         Experiment {
             id: "ablation",
-            description: "Design ablations: each S5 noise mechanism, majority rule, deviation coefficient",
+            description:
+                "Design ablations: each S5 noise mechanism, majority rule, deviation coefficient",
             run: ablation::run_experiment,
         },
         Experiment {

@@ -45,8 +45,7 @@ pub fn add_video_flow(
             None => Box::new(ProteusSender::primary(seed)),
         }),
         app: Box::new(move || {
-            Box::new(session_cell.borrow_mut().take().expect("single use"))
-                as Box<dyn Application>
+            Box::new(session_cell.borrow_mut().take().expect("single use")) as Box<dyn Application>
         }),
         reliable: true,
     });

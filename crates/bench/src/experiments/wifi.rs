@@ -17,7 +17,7 @@ use rand::{RngExt as _, SeedableRng};
 
 use crate::protocols::{ALL_FIG3, PRIMARIES};
 use crate::report::{pct, write_report, Table};
-use crate::runner::{run_pair, run_single, tail_mbps};
+use crate::runner::{campaign, decode_pair, decode_single, pair_job, single_job};
 use crate::RunCfg;
 
 /// Builds `n` synthetic WiFi paths.
@@ -42,21 +42,75 @@ pub fn wifi_paths(n: usize, seed: u64) -> Vec<LinkSpec> {
         .collect()
 }
 
+/// Stable cache tag for synthetic path `ci` of [`wifi_paths`] seeded with
+/// `path_seed`. A path is a pure function of `(path_seed, ci)` — the RNG
+/// draws a fixed number of values per path — so this pins its identity
+/// without spelling out every noise parameter.
+pub fn path_tag(path_seed: u64, ci: usize) -> String {
+    format!("wifipath={ci},pathseed={path_seed}")
+}
+
 /// Runs the Fig.-9 + Fig.-10 experiments.
 pub fn run_experiment(cfg: RunCfg) -> String {
     let n_paths = if cfg.quick { 3 } else { 16 };
     let secs = if cfg.quick { 20.0 } else { 40.0 };
     let paths = wifi_paths(n_paths, cfg.seed);
+    let scavs: &[&str] = &["Proteus-S", "LEDBAT", "LEDBAT-25"];
+
+    // One campaign for both figures. Fig. 9's singles double as Fig. 10's
+    // "alone" baselines for the primary protocols (same descriptors, so
+    // push_dedup collapses them).
+    let mut camp = campaign("fig9_10", cfg);
+    let mut single_slots: Vec<Vec<usize>> = Vec::new(); // [path][proto]
+    let mut pair_slots: Vec<Vec<Vec<usize>>> = Vec::new(); // [path][primary][scav]
+    let mut alone_slots: Vec<Vec<usize>> = Vec::new(); // [path][primary]
+    for (ci, link) in paths.iter().enumerate() {
+        let tag = path_tag(cfg.seed, ci);
+        let seed = cfg.seed + 7 * ci as u64;
+        single_slots.push(
+            ALL_FIG3
+                .iter()
+                .map(|&proto| {
+                    camp.push_dedup(single_job(
+                        "fig9", &tag, proto, *link, secs, seed, cfg.trace,
+                    ))
+                })
+                .collect(),
+        );
+        alone_slots.push(
+            PRIMARIES
+                .iter()
+                .map(|&primary| {
+                    camp.push_dedup(single_job(
+                        "fig10", &tag, primary, *link, secs, seed, cfg.trace,
+                    ))
+                })
+                .collect(),
+        );
+        pair_slots.push(
+            PRIMARIES
+                .iter()
+                .map(|&primary| {
+                    scavs
+                        .iter()
+                        .map(|&scav| {
+                            camp.push_dedup(pair_job(
+                                "fig10", &tag, primary, scav, *link, secs, seed, cfg.trace,
+                            ))
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+    }
+    let result = camp.run();
 
     // ---- Fig. 9: normalized single-flow throughput. ----
     let mut normalized: Vec<Vec<f64>> = vec![Vec::new(); ALL_FIG3.len()];
-    for (ci, link) in paths.iter().enumerate() {
-        let per_path: Vec<f64> = ALL_FIG3
+    for slots in &single_slots {
+        let per_path: Vec<f64> = slots
             .iter()
-            .map(|&proto| {
-                let res = run_single(proto, *link, secs, cfg.seed + 7 * ci as u64);
-                tail_mbps(&res, 0, secs)
-            })
+            .map(|&s| decode_single(&result.outputs[s]).tail_mbps)
             .collect();
         let best = per_path.iter().cloned().fold(0.0_f64, f64::max).max(1e-9);
         for (pi, v) in per_path.iter().enumerate() {
@@ -79,23 +133,29 @@ pub fn run_experiment(cfg: RunCfg) -> String {
     }
 
     // ---- Fig. 10: yielding on the same paths. ----
-    let scavs: &[&str] = &["Proteus-S", "LEDBAT", "LEDBAT-25"];
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); PRIMARIES.len() * scavs.len()];
-    for (ci, link) in paths.iter().enumerate() {
-        for (pi, &primary) in PRIMARIES.iter().enumerate() {
-            let seed = cfg.seed + 7 * ci as u64;
-            let alone = run_single(primary, *link, secs, seed);
-            let alone_mbps = tail_mbps(&alone, 0, secs).max(1e-6);
-            for (si, &scav) in scavs.iter().enumerate() {
-                let both = run_pair(primary, scav, *link, secs, seed);
-                let ratio = (tail_mbps(&both, 0, secs) / alone_mbps).min(1.2);
+    for (ci, _) in paths.iter().enumerate() {
+        for (pi, _) in PRIMARIES.iter().enumerate() {
+            let alone_mbps = decode_single(&result.outputs[alone_slots[ci][pi]])
+                .tail_mbps
+                .max(1e-6);
+            for (si, _) in scavs.iter().enumerate() {
+                let both = decode_pair(&result.outputs[pair_slots[ci][pi][si]]);
+                let ratio = (both.primary_mbps / alone_mbps).min(1.2);
                 ratios[pi * scavs.len() + si].push(ratio);
             }
         }
     }
     let mut fig10 = Table::new(
         "Fig 10 (+Fig 22): primary throughput ratio on WiFi paths",
-        &["primary", "scavenger", "p25", "median", "p75", ">=90% of cases"],
+        &[
+            "primary",
+            "scavenger",
+            "p25",
+            "median",
+            "p75",
+            ">=90% of cases",
+        ],
     );
     for (pi, &primary) in PRIMARIES.iter().enumerate() {
         for (si, &scav) in scavs.iter().enumerate() {

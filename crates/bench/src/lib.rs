@@ -24,7 +24,9 @@ pub mod runner;
 
 pub use protocols::{cc, PRIMARIES, SCAVENGERS};
 pub use report::Table;
-pub use runner::{run_pair, run_single, tail_mbps, tail_window};
+pub use runner::{
+    campaign, run_pair, run_single, tail_mbps, tail_window, trace_jsonl, TRACE_EVERY,
+};
 
 /// Global knobs for an experiment invocation.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +37,12 @@ pub struct RunCfg {
     pub seed: u64,
     /// Number of trials to average where the paper averages ≥ 10.
     pub trials: u64,
+    /// Worker threads for campaign execution (0 = one per core).
+    pub jobs: usize,
+    /// Reuse/populate the disk result cache under `results/.cache/`.
+    pub cache: bool,
+    /// Record per-flow telemetry JSONL under `results/trace/`.
+    pub trace: bool,
 }
 
 impl RunCfg {
@@ -44,6 +52,9 @@ impl RunCfg {
             quick: false,
             seed: 1,
             trials: 3,
+            jobs: 1,
+            cache: true,
+            trace: false,
         }
     }
 
@@ -51,8 +62,8 @@ impl RunCfg {
     pub fn quick() -> Self {
         Self {
             quick: true,
-            seed: 1,
             trials: 1,
+            ..Self::full()
         }
     }
 }

@@ -1,9 +1,28 @@
-//! Shared scenario runners for the experiment modules.
+//! Shared scenario runners and campaign plumbing for the experiment
+//! modules.
+//!
+//! The grid experiments submit their cells as [`SimJob`]s through a
+//! [`Campaign`] (built by [`campaign`] from the CLI's `--jobs` /
+//! `--no-cache` knobs). The job builders here cover the two shapes nearly
+//! every sweep reduces to — one bulk flow on a link ([`single_job`]) and a
+//! primary/scavenger pair ([`pair_job`]) — with stable descriptors shared
+//! across experiments, so e.g. Fig. 6 and Fig. 19 reuse each other's
+//! cached "primary alone" baselines.
+
+use std::fs;
+use std::path::PathBuf;
 
 use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario, SimResult};
+use proteus_runner::json::Obj;
+use proteus_runner::{payload, Campaign, CampaignOpts, SimJob};
 use proteus_transport::{Dur, Time};
 
 use crate::protocols::cc;
+use crate::report::results_dir;
+use crate::RunCfg;
+
+/// Telemetry sampling period for traced runs.
+pub const TRACE_EVERY: Dur = Dur::from_millis(100);
 
 /// Measurement window: the last 2/3 of a run (skipping convergence).
 pub fn tail_window(secs: f64) -> (Time, Time) {
@@ -16,13 +35,162 @@ pub fn tail_mbps(res: &SimResult, idx: usize, secs: f64) -> f64 {
     res.flows[idx].throughput_mbps(a, b)
 }
 
+/// Builds a [`Campaign`] wired to the invocation's `--jobs`/`--no-cache`
+/// knobs. The result cache lives under `results/.cache/`; each run appends
+/// its accounting line to `results/campaigns.jsonl` (the machine-readable
+/// perf trajectory).
+pub fn campaign(name: &str, cfg: RunCfg) -> Campaign {
+    Campaign::new(
+        name,
+        CampaignOpts {
+            jobs: cfg.jobs,
+            cache: cfg.cache.then(|| results_dir().join(".cache")),
+            progress: cfg.jobs != 1,
+            summary: Some(results_dir().join("campaigns.jsonl")),
+        },
+    )
+}
+
+/// Stable cache tag for a clean dumbbell link. Links with noise models
+/// (WiFi paths) must use a caller-provided tag that pins the path identity
+/// instead.
+pub fn link_tag(link: &LinkSpec) -> String {
+    format!(
+        "bw={:?},rtt={:?}ms,buf={},loss={:?}",
+        link.bandwidth_mbps,
+        link.rtt.as_secs_f64() * 1e3,
+        link.buffer_bytes,
+        link.random_loss
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry sink
+// ---------------------------------------------------------------------------
+
+/// Destination for one run's per-flow telemetry:
+/// `results/trace/<exp>/<run>.jsonl`.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    exp: String,
+    run: String,
+}
+
+impl TraceSink {
+    /// Creates a sink; path components are sanitized for the filesystem.
+    pub fn new(exp: impl Into<String>, run: impl Into<String>) -> Self {
+        let clean = |s: String| s.replace(['/', '\\', ' '], "_");
+        Self {
+            exp: clean(exp.into()),
+            run: clean(run.into()),
+        }
+    }
+
+    /// Where this sink writes.
+    pub fn path(&self) -> PathBuf {
+        results_dir()
+            .join("trace")
+            .join(&self.exp)
+            .join(format!("{}.jsonl", self.run))
+    }
+
+    /// Writes the run's trace as JSONL, one object per sample. I/O errors
+    /// are ignored: telemetry must never fail an experiment.
+    pub fn write(&self, res: &SimResult) {
+        let path = self.path();
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let _ = fs::write(path, trace_jsonl(res));
+    }
+}
+
+/// Renders a run's telemetry trace as JSONL, one object per sample.
+pub fn trace_jsonl(res: &SimResult) -> String {
+    let mut out = String::new();
+    for e in &res.trace {
+        let mut o = Obj::new();
+        o.num("t", e.t)
+            .int("flow", e.flow as u64)
+            .str("name", &res.flows[e.flow].name);
+        match e.rate_mbps {
+            Some(r) => o.num("rate_mbps", r),
+            None => o.raw("rate_mbps", "null"),
+        };
+        match e.cwnd_bytes {
+            Some(w) => o.int("cwnd_bytes", w),
+            None => o.raw("cwnd_bytes", "null"),
+        };
+        o.int("inflight_bytes", e.inflight_bytes);
+        match e.srtt_ms {
+            Some(v) => o.num("srtt_ms", v),
+            None => o.raw("srtt_ms", "null"),
+        };
+        match e.rttvar_ms {
+            Some(v) => o.num("rttvar_ms", v),
+            None => o.raw("rttvar_ms", "null"),
+        };
+        match e.utility {
+            Some(u) => o.num("utility", u),
+            None => o.raw("utility", "null"),
+        };
+        match e.mode {
+            Some(m) => o.str("mode", m),
+            None => o.raw("mode", "null"),
+        };
+        o.int("mode_switches", e.mode_switches);
+        out.push_str(&o.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs a scenario, recording telemetry first if a sink is given.
+pub fn run_traced(sc: Scenario, trace: Option<&TraceSink>) -> SimResult {
+    match trace {
+        None => run(sc),
+        Some(sink) => {
+            let res = run(sc.with_trace(TRACE_EVERY));
+            sink.write(&res);
+            res
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario builders (shared by direct runners and jobs)
+// ---------------------------------------------------------------------------
+
+fn single_scenario(name: &'static str, link: LinkSpec, secs: f64, seed: u64) -> Scenario {
+    Scenario::new(link, Dur::from_secs_f64(secs))
+        .flow(FlowSpec::bulk(name, Dur::ZERO, move || {
+            cc(name, seed ^ 0xA5)
+        }))
+        .with_seed(seed)
+        .with_rtt_stride(2)
+}
+
+fn pair_scenario(
+    primary: &'static str,
+    scavenger: &'static str,
+    link: LinkSpec,
+    secs: f64,
+    seed: u64,
+) -> Scenario {
+    Scenario::new(link, Dur::from_secs_f64(secs))
+        .flow(FlowSpec::bulk(primary, Dur::ZERO, move || {
+            cc(primary, seed ^ 0xA5)
+        }))
+        .flow(FlowSpec::bulk(scavenger, Dur::from_secs(5), move || {
+            cc(scavenger, seed ^ 0x5A)
+        }))
+        .with_seed(seed)
+        .with_rtt_stride(2)
+}
+
 /// Runs one bulk flow of `name` over `link` for `secs` seconds.
 pub fn run_single(name: &'static str, link: LinkSpec, secs: f64, seed: u64) -> SimResult {
-    let sc = Scenario::new(link, Dur::from_secs_f64(secs))
-        .flow(FlowSpec::bulk(name, Dur::ZERO, move || cc(name, seed ^ 0xA5)))
-        .with_seed(seed)
-        .with_rtt_stride(2);
-    run(sc)
+    run(single_scenario(name, link, secs, seed))
 }
 
 /// Runs `primary` (starting at 0) against `scavenger` (starting at 5 s).
@@ -34,16 +202,125 @@ pub fn run_pair(
     secs: f64,
     seed: u64,
 ) -> SimResult {
-    let sc = Scenario::new(link, Dur::from_secs_f64(secs))
-        .flow(FlowSpec::bulk(primary, Dur::ZERO, move || {
-            cc(primary, seed ^ 0xA5)
-        }))
-        .flow(FlowSpec::bulk(scavenger, Dur::from_secs(5), move || {
-            cc(scavenger, seed ^ 0x5A)
-        }))
-        .with_seed(seed)
-        .with_rtt_stride(2);
-    run(sc)
+    run(pair_scenario(primary, scavenger, link, secs, seed))
+}
+
+// ---------------------------------------------------------------------------
+// Campaign jobs
+// ---------------------------------------------------------------------------
+
+fn trace_suffix(trace: bool) -> &'static str {
+    // Traced and untraced runs are simulated identically, but they get
+    // distinct cache identities so enabling --trace actually (re)writes
+    // the JSONL instead of short-circuiting on a cached payload.
+    if trace {
+        "/trace"
+    } else {
+        ""
+    }
+}
+
+/// Decoded [`single_job`] payload.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleOut {
+    /// Tail-window goodput, Mbps.
+    pub tail_mbps: f64,
+    /// 95th-percentile RTT, seconds (0 when unmeasured).
+    pub p95_rtt_s: f64,
+    /// Sender-observed loss rate.
+    pub loss_rate: f64,
+}
+
+/// Decodes a [`single_job`] payload.
+pub fn decode_single(payload_text: &str) -> SingleOut {
+    let v = payload::decode_floats(payload_text);
+    SingleOut {
+        tail_mbps: v[0],
+        p95_rtt_s: v[1],
+        loss_rate: v[2],
+    }
+}
+
+/// One bulk flow of `proto` on `link`: payload
+/// `[tail_mbps, p95_rtt_s, loss_rate]` (see [`decode_single`]).
+///
+/// `tag` must fully identify the link (use [`link_tag`] for clean links);
+/// it is part of the cache descriptor shared across experiments.
+pub fn single_job(
+    exp: &'static str,
+    tag: &str,
+    proto: &'static str,
+    link: LinkSpec,
+    secs: f64,
+    seed: u64,
+    trace: bool,
+) -> SimJob {
+    let descriptor = format!(
+        "single/{tag}/proto={proto}/secs={secs:?}/seed={seed}{}/v1",
+        trace_suffix(trace)
+    );
+    let sink = trace.then(|| TraceSink::new(exp, format!("single-{tag}-{proto}-s{seed}")));
+    SimJob::new(descriptor, format!("{proto} alone"), move || {
+        let res = run_traced(single_scenario(proto, link, secs, seed), sink.as_ref());
+        payload::encode_floats(&[
+            tail_mbps(&res, 0, secs),
+            res.flows[0].rtt_percentile(95.0).unwrap_or(0.0),
+            res.flows[0].loss_rate(),
+        ])
+    })
+}
+
+/// Decoded [`pair_job`] payload.
+#[derive(Debug, Clone, Copy)]
+pub struct PairOut {
+    /// Primary's tail-window goodput, Mbps.
+    pub primary_mbps: f64,
+    /// Scavenger's tail-window goodput, Mbps.
+    pub scav_mbps: f64,
+    /// Primary's 95th-percentile RTT over the whole run, seconds.
+    pub p95_rtt_s: f64,
+}
+
+/// Decodes a [`pair_job`] payload.
+pub fn decode_pair(payload_text: &str) -> PairOut {
+    let v = payload::decode_floats(payload_text);
+    PairOut {
+        primary_mbps: v[0],
+        scav_mbps: v[1],
+        p95_rtt_s: v[2],
+    }
+}
+
+/// `primary` vs `scavenger` (starting 5 s later) on `link`: payload
+/// `[primary_mbps, scav_mbps, primary_p95_rtt_s]` (see [`decode_pair`]).
+#[allow(clippy::too_many_arguments)]
+pub fn pair_job(
+    exp: &'static str,
+    tag: &str,
+    primary: &'static str,
+    scavenger: &'static str,
+    link: LinkSpec,
+    secs: f64,
+    seed: u64,
+    trace: bool,
+) -> SimJob {
+    let descriptor = format!(
+        "pair/{tag}/primary={primary}/scav={scavenger}/secs={secs:?}/seed={seed}{}/v1",
+        trace_suffix(trace)
+    );
+    let sink =
+        trace.then(|| TraceSink::new(exp, format!("pair-{tag}-{primary}-vs-{scavenger}-s{seed}")));
+    SimJob::new(descriptor, format!("{primary} vs {scavenger}"), move || {
+        let res = run_traced(
+            pair_scenario(primary, scavenger, link, secs, seed),
+            sink.as_ref(),
+        );
+        payload::encode_floats(&[
+            tail_mbps(&res, 0, secs),
+            tail_mbps(&res, 1, secs),
+            res.flows[0].rtt_percentile(95.0).unwrap_or(0.0),
+        ])
+    })
 }
 
 #[cfg(test)]
@@ -64,5 +341,38 @@ mod tests {
         assert_eq!(res.flows[0].name, "CUBIC");
         assert_eq!(res.flows[1].name, "LEDBAT");
         assert!(res.flows[1].started_at.unwrap() > res.flows[0].started_at.unwrap());
+    }
+
+    #[test]
+    fn single_job_matches_direct_run() {
+        let link = LinkSpec::new(20.0, Dur::from_millis(20), 100_000);
+        let job = single_job("test", &link_tag(&link), "CUBIC", link, 10.0, 3, false);
+        let out = decode_single(&job.execute());
+        let direct = run_single("CUBIC", link, 10.0, 3);
+        assert_eq!(out.tail_mbps, tail_mbps(&direct, 0, 10.0));
+        assert_eq!(out.p95_rtt_s, direct.flows[0].rtt_percentile(95.0).unwrap());
+    }
+
+    #[test]
+    fn job_descriptors_are_stable_identities() {
+        let link = LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+        let tag = link_tag(&link);
+        let a = single_job("x", &tag, "BBR", link, 30.0, 7, false);
+        let b = single_job("y", &tag, "BBR", link, 30.0, 7, false);
+        // Same cell from different experiments shares one cache identity.
+        assert_eq!(a.key(), b.key());
+        // The trace flag changes the identity.
+        let t = single_job("x", &tag, "BBR", link, 30.0, 7, true);
+        assert_ne!(a.key(), t.key());
+    }
+
+    #[test]
+    fn link_tag_distinguishes_links() {
+        let a = link_tag(&LinkSpec::new(50.0, Dur::from_millis(30), 375_000));
+        let b = link_tag(&LinkSpec::new(50.0, Dur::from_millis(30), 75_000));
+        let c =
+            link_tag(&LinkSpec::new(50.0, Dur::from_millis(30), 375_000).with_random_loss(0.01));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
     }
 }

@@ -84,8 +84,7 @@ impl GameParams {
     /// the `S = C` face, a sender with `x_i < x*` would still profit from
     /// pushing past capacity, so boundary equilibria require `x_i ≥ x*`.
     pub fn boundary_min_rate(&self) -> f64 {
-        (self.exponent * self.capacity / self.gradient_coef)
-            .powf(1.0 / (2.0 - self.exponent))
+        (self.exponent * self.capacity / self.gradient_coef).powf(1.0 / (2.0 - self.exponent))
     }
 
     /// RTT deviation of the configuration with total rate `s`, seconds:
@@ -240,7 +239,11 @@ mod tests {
             assert!(close(r, first, 0.01), "unfair: {:?}", eq.rates);
         }
         // Theorem 4.1: the link is fully utilized.
-        assert!(eq.utilization(100.0) > 0.99, "util = {}", eq.utilization(100.0));
+        assert!(
+            eq.utilization(100.0) > 0.99,
+            "util = {}",
+            eq.utilization(100.0)
+        );
         assert!(eq.total() <= 100.0 * 1.10, "total = {}", eq.total());
     }
 

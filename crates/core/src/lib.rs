@@ -68,6 +68,6 @@ pub use noise::{AckIntervalFilter, GatedMetrics, MiNoiseGate};
 pub use proteus::{MiTraceEntry, ProteusSender};
 pub use rate_control::RateController;
 pub use utility::{
-    evaluate, utility_allegro, utility_hybrid, utility_primary, utility_scavenger,
-    utility_vivace, MiObservation, Mode, SharedThreshold,
+    evaluate, utility_allegro, utility_hybrid, utility_primary, utility_scavenger, utility_vivace,
+    MiObservation, Mode, SharedThreshold,
 };

@@ -10,8 +10,8 @@
 //! implementation, this is a simple API call").
 
 use proteus_transport::{
-    AckInfo, CongestionControl, Dur, LossInfo, MiStats, MiTracker, RttEstimator, SentPacket,
-    Time,
+    AckInfo, CcSnapshot, CongestionControl, Dur, LossInfo, MiStats, MiTracker, RttEstimator,
+    SentPacket, Time,
 };
 
 use std::collections::VecDeque;
@@ -184,7 +184,8 @@ impl ProteusSender {
         for mi in completed {
             // MIs with no packets (e.g. app-limited gaps) carry no signal.
             if mi.pkts_sent == 0 {
-                self.controller.on_mi_complete(self.last_utility.unwrap_or(0.0));
+                self.controller
+                    .on_mi_complete(self.last_utility.unwrap_or(0.0));
                 continue;
             }
             let gated = self.gate.process(&mi);
@@ -269,6 +270,14 @@ impl CongestionControl for ProteusSender {
             }
         }
     }
+
+    fn snapshot(&self) -> Option<CcSnapshot> {
+        Some(CcSnapshot {
+            utility: self.last_utility,
+            mode: Some(self.mode.name()),
+            mode_switches: self.mode_switches,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -313,7 +322,10 @@ mod tests {
         let r0 = s.rate_mbps();
         s.on_timer(s.next_timer().unwrap());
         let r1 = s.rate_mbps();
-        assert!((r1 / r0 - 2.0).abs() < 1e-9, "expected doubling: {r0} -> {r1}");
+        assert!(
+            (r1 / r0 - 2.0).abs() < 1e-9,
+            "expected doubling: {r0} -> {r1}"
+        );
     }
 
     #[test]

@@ -127,7 +127,7 @@ impl RateController {
             State::Starting { .. } => {
                 let r = self.rate;
                 // Pipeline the doubling; completions will catch a drop.
-                self.rate = self.rate * 2.0;
+                self.rate *= 2.0;
                 (Tag::Starting { rate: r }, r)
             }
             State::Probing { plan, .. } => match plan.pop_front() {
@@ -286,8 +286,7 @@ impl RateController {
                 }
             }
         }
-        let base_utility = results.iter().map(|&(_, _, u)| u).sum::<f64>()
-            / results.len() as f64;
+        let base_utility = results.iter().map(|&(_, _, u)| u).sum::<f64>() / results.len() as f64;
         let decided = match self.params.probe_rule {
             ProbeRule::Agreement => agreed,
             ProbeRule::Majority => direction_sum != 0,
@@ -459,7 +458,11 @@ mod tests {
         while c.is_probing() && trial < 6 {
             let r = c.next_mi_rate();
             let vote_down_pair = trial / 2 == 1;
-            let u = if (r > base) ^ vote_down_pair { 1.0 } else { 0.0 };
+            let u = if (r > base) ^ vote_down_pair {
+                1.0
+            } else {
+                0.0
+            };
             rates_and_utils.push((r, u));
             c.on_mi_complete(u);
             trial += 1;
@@ -478,7 +481,11 @@ mod tests {
         while trial < 4 {
             let r = c.next_mi_rate();
             let vote_down_pair = trial / 2 == 1;
-            let u = if (r > base) ^ vote_down_pair { 1.0 } else { 0.0 };
+            let u = if (r > base) ^ vote_down_pair {
+                1.0
+            } else {
+                0.0
+            };
             c.on_mi_complete(u);
             trial += 1;
         }

@@ -4,8 +4,7 @@
 use proptest::prelude::*;
 
 use proteus_core::{
-    AdaptiveNoiseParams, MiNoiseGate, NoiseTolerance, ProbeRule, RateControlParams,
-    RateController,
+    AdaptiveNoiseParams, MiNoiseGate, NoiseTolerance, ProbeRule, RateControlParams, RateController,
 };
 use proteus_transport::{MiStats, Time};
 

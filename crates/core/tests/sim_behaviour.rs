@@ -88,7 +88,10 @@ fn proteus_saturates_shallow_buffer_where_ledbat_cannot() {
     let l = tail_mbps(&single("ledbat", shallow, 30), 0, 30);
     // LEDBAT degrades to a Reno-like sawtooth here; Proteus stays near
     // capacity. The paper reports a 32× buffer-size gap to reach 90 %.
-    assert!(l < p - 2.0, "LEDBAT {l} should trail Proteus {p} at 8-pkt buffer");
+    assert!(
+        l < p - 2.0,
+        "LEDBAT {l} should trail Proteus {p} at 8-pkt buffer"
+    );
     assert!(l < 45.0, "LEDBAT should miss 90% utilization: {l}");
 }
 
@@ -112,10 +115,25 @@ fn proteus_tolerates_design_point_random_loss() {
 fn proteus_s_yields_to_loss_based_primaries() {
     // Fig. 6(b): primary throughput ratio ≥ ~95 % for CUBIC and BBR.
     for primary in ["cubic", "bbr"] {
-        let alone = tail_mbps(&single(Box::leak(primary.to_string().into_boxed_str()), paper_link(375_000), 45), 0, 45);
-        let (p, s) = compete(Box::leak(primary.to_string().into_boxed_str()), "proteus-s", 45);
+        let alone = tail_mbps(
+            &single(
+                Box::leak(primary.to_string().into_boxed_str()),
+                paper_link(375_000),
+                45,
+            ),
+            0,
+            45,
+        );
+        let (p, s) = compete(
+            Box::leak(primary.to_string().into_boxed_str()),
+            "proteus-s",
+            45,
+        );
         let ratio = p / alone;
-        assert!(ratio > 0.90, "{primary}: ratio = {ratio} ({p} vs alone {alone})");
+        assert!(
+            ratio > 0.90,
+            "{primary}: ratio = {ratio} ({p} vs alone {alone})"
+        );
         // Secondary goal: total utilization stays high.
         assert!(p + s > 45.0, "{primary}: joint = {}", p + s);
     }
@@ -155,8 +173,14 @@ fn ledbat_roughly_fair_shares_with_cubic_at_2bdp() {
     // Fig. 6(a): with a 375 KB buffer (< its 100 ms target) LEDBAT fails
     // to yield to CUBIC and approximately fair-shares.
     let (p, s) = compete("cubic", "ledbat", 45);
-    assert!(s > 0.2 * p, "LEDBAT should not vanish: cubic {p}, ledbat {s}");
-    assert!(p > 0.5 * s, "CUBIC should not vanish: cubic {p}, ledbat {s}");
+    assert!(
+        s > 0.2 * p,
+        "LEDBAT should not vanish: cubic {p}, ledbat {s}"
+    );
+    assert!(
+        p > 0.5 * s,
+        "CUBIC should not vanish: cubic {p}, ledbat {s}"
+    );
 }
 
 #[test]

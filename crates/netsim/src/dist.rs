@@ -98,10 +98,7 @@ mod tests {
     fn pareto_has_heavy_tail() {
         let mut r = rng();
         let n = 50_000;
-        let big = (0..n)
-            .filter(|_| pareto(&mut r, 1.0, 1.0) > 10.0)
-            .count() as f64
-            / n as f64;
+        let big = (0..n).filter(|_| pareto(&mut r, 1.0, 1.0) > 10.0).count() as f64 / n as f64;
         // P(X > 10) = 1/10 for alpha = 1.
         assert!((big - 0.1).abs() < 0.01, "tail fraction = {big}");
     }

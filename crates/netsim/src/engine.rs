@@ -15,7 +15,7 @@
 //! retransmission timeout expires without progress.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use rand::rngs::SmallRng;
 use rand::{RngExt as Rng, SeedableRng};
@@ -27,7 +27,7 @@ use proteus_transport::{
 
 use crate::dist;
 use crate::link::{BottleneckLink, Offer};
-use crate::metrics::{FlowMetrics, SimResult};
+use crate::metrics::{FlowMetrics, SimResult, TraceEvent};
 use crate::noise::NoiseState;
 use crate::scenario::Scenario;
 
@@ -45,7 +45,9 @@ enum Event {
     FlowStop(FlowId),
     /// A packet finished serializing at the bottleneck: release its buffer
     /// space.
-    QueueDrain { bytes: u64 },
+    QueueDrain {
+        bytes: u64,
+    },
     /// A data packet reaches the receiver.
     Delivery {
         flow: FlowId,
@@ -62,12 +64,26 @@ enum Event {
         sent_at: Time,
         delivered_at: Time,
     },
-    Pace { flow: FlowId, epoch: u64 },
-    CcTimer { flow: FlowId, epoch: u64 },
-    Rto { flow: FlowId, epoch: u64 },
-    AppWake { flow: FlowId, epoch: u64 },
+    Pace {
+        flow: FlowId,
+        epoch: u64,
+    },
+    CcTimer {
+        flow: FlowId,
+        epoch: u64,
+    },
+    Rto {
+        flow: FlowId,
+        epoch: u64,
+    },
+    AppWake {
+        flow: FlowId,
+        epoch: u64,
+    },
     SpawnCross,
     QueueSample,
+    /// Periodic per-flow telemetry sampling (see `Scenario::with_trace`).
+    TraceSample,
 }
 
 struct HeapEntry {
@@ -186,6 +202,8 @@ pub struct Sim {
     rtt_stride: usize,
     queue_sample_every: Option<Dur>,
     queue_samples: Vec<(f64, u64)>,
+    trace_every: Option<Dur>,
+    trace: Vec<TraceEvent>,
     cross: Option<CrossState>,
     link_rate_bps: f64,
 }
@@ -202,6 +220,7 @@ impl Sim {
             throughput_bin,
             rtt_stride,
             queue_sample_every,
+            trace_every,
         } = scenario;
 
         let half_rtt = Dur::from_nanos(link.rtt.as_nanos() / 2);
@@ -222,6 +241,8 @@ impl Sim {
             rtt_stride,
             queue_sample_every,
             queue_samples: Vec::new(),
+            trace_every,
+            trace: Vec::new(),
             cross: None,
             link_rate_bps: link.rate_bps(),
         };
@@ -231,12 +252,8 @@ impl Sim {
             let mut state = FlowState::new((spec.cc)(), (spec.app)(), spec.reliable);
             state.stop_at = spec.stop.map(|d| Time::ZERO + d);
             sim.flows.push(state);
-            sim.metrics.push(FlowMetrics::new(
-                id,
-                spec.name,
-                throughput_bin,
-                rtt_stride,
-            ));
+            sim.metrics
+                .push(FlowMetrics::new(id, spec.name, throughput_bin, rtt_stride));
             sim.push(Time::ZERO + spec.start, Event::FlowStart(id));
             if let Some(stop) = spec.stop {
                 sim.push(Time::ZERO + stop, Event::FlowStop(id));
@@ -256,6 +273,10 @@ impl Sim {
 
         if let Some(every) = queue_sample_every {
             sim.push(Time::ZERO + every, Event::QueueSample);
+        }
+
+        if let Some(every) = trace_every {
+            sim.push(Time::ZERO + every, Event::TraceSample);
         }
 
         sim
@@ -287,6 +308,7 @@ impl Sim {
             link_delivered_bytes: self.link.delivered_bytes(),
             link_dropped_pkts: self.link.dropped_pkts(),
             queue_samples: self.queue_samples,
+            trace: self.trace,
         }
     }
 
@@ -325,6 +347,38 @@ impl Sim {
                     self.push(self.now + every, Event::QueueSample);
                 }
             }
+            Event::TraceSample => {
+                self.sample_trace();
+                if let Some(every) = self.trace_every {
+                    self.push(self.now + every, Event::TraceSample);
+                }
+            }
+        }
+    }
+
+    /// Records one telemetry sample per active flow.
+    fn sample_trace(&mut self) {
+        let t = self.now.as_secs_f64();
+        for (id, f) in self.flows.iter().enumerate() {
+            if !f.active {
+                continue;
+            }
+            let snap = f.cc.snapshot();
+            self.trace.push(TraceEvent {
+                t,
+                flow: id,
+                rate_mbps: f.cc.pacing_rate().map(|bps| bps * 8.0 / 1e6),
+                cwnd_bytes: match f.cc.cwnd_bytes() {
+                    u64::MAX => None,
+                    w => Some(w),
+                },
+                inflight_bytes: f.inflight_bytes,
+                srtt_ms: f.rtt.srtt().map(|d| d.as_secs_f64() * 1e3),
+                rttvar_ms: f.rtt.srtt().map(|_| f.rtt.rttvar().as_secs_f64() * 1e3),
+                utility: snap.as_ref().and_then(|s| s.utility),
+                mode: snap.as_ref().and_then(|s| s.mode),
+                mode_switches: snap.map_or(0, |s| s.mode_switches),
+            });
         }
     }
 
@@ -353,7 +407,14 @@ impl Sim {
         }
     }
 
-    fn on_delivery(&mut self, flow: FlowId, seq: SeqNr, bytes: u64, sent_at: Time, delivered_at: Time) {
+    fn on_delivery(
+        &mut self,
+        flow: FlowId,
+        seq: SeqNr,
+        bytes: u64,
+        sent_at: Time,
+        delivered_at: Time,
+    ) {
         // Receiver generates an ACK immediately; the noise model may hold it
         // (WiFi MAC aggregation) before it crosses the reverse path. The
         // return path is FIFO: ACK arrivals are clamped monotone per flow.
@@ -449,7 +510,14 @@ impl Sim {
         self.try_send(flow);
     }
 
-    fn declare_loss(&mut self, flow: FlowId, seq: SeqNr, sent_at: Time, bytes: u64, by_timeout: bool) {
+    fn declare_loss(
+        &mut self,
+        flow: FlowId,
+        seq: SeqNr,
+        sent_at: Time,
+        bytes: u64,
+        by_timeout: bool,
+    ) {
         self.metrics[flow].on_loss();
         let loss = LossInfo {
             seq,
@@ -599,11 +667,7 @@ impl Sim {
 
         let id = self.flows.len();
         let cc = (self.cross.as_ref().expect("cross exists").cc)(id);
-        let mut state = FlowState::new(
-            cc,
-            Box::new(proteus_transport::SizedApp::new(size)),
-            true,
-        );
+        let mut state = FlowState::new(cc, Box::new(proteus_transport::SizedApp::new(size)), true);
         state.active = false;
         self.flows.push(state);
         self.metrics.push(FlowMetrics::new(
@@ -785,7 +849,8 @@ mod tests {
             || Box::new(TestWindow { cwnd: 50_000 }),
         ));
         let res = run(sc);
-        let thpt = res.flows[0].throughput_mbps(Time::from_secs_f64(2.0), Time::from_secs_f64(10.0));
+        let thpt =
+            res.flows[0].throughput_mbps(Time::from_secs_f64(2.0), Time::from_secs_f64(10.0));
         assert!(thpt > 9.3 && thpt <= 10.05, "throughput = {thpt}");
         // Sender-side conservation: everything sent is acked, lost or inflight.
         let m = &res.flows[0];
@@ -903,9 +968,12 @@ mod tests {
             start: Dur::ZERO,
             stop: Dur::from_secs(10),
         };
-        let sc = Scenario::new(LinkSpec::new(100.0, Dur::from_millis(20), 500_000), Dur::from_secs(12))
-            .with_cross_traffic(ct)
-            .with_seed(3);
+        let sc = Scenario::new(
+            LinkSpec::new(100.0, Dur::from_millis(20), 500_000),
+            Dur::from_secs(12),
+        )
+        .with_cross_traffic(ct)
+        .with_seed(3);
         let res = run(sc);
         let n = res.flows.len();
         // ~50 expected arrivals.
@@ -947,11 +1015,44 @@ mod tests {
     }
 
     #[test]
-    fn base_rtt_respected_without_queueing() {
-        let sc = Scenario::new(LinkSpec::new(100.0, Dur::from_millis(40), 500_000), Dur::from_secs(3))
+    fn trace_sampling_records_flow_state() {
+        let sc = Scenario::new(link_10mbps_20ms(), Dur::from_secs(5))
             .flow(FlowSpec::bulk("p", Dur::ZERO, || {
-                Box::new(TestPaced { rate: 125_000.0 }) // 1 Mbps
-            }));
+                Box::new(TestPaced { rate: 250_000.0 }) // 2 Mbps
+            }))
+            .with_trace(Dur::from_millis(100));
+        let res = run(sc);
+        assert!(res.trace.len() >= 45, "got {} samples", res.trace.len());
+        let e = &res.trace[10];
+        assert_eq!(e.flow, 0);
+        assert_eq!(e.rate_mbps, Some(2.0));
+        assert_eq!(e.cwnd_bytes, None, "TestPaced is unwindowed");
+        assert!(e.srtt_ms.unwrap() > 19.0, "srtt = {:?}", e.srtt_ms);
+        assert!(e.rttvar_ms.is_some());
+        assert!(e.mode.is_none(), "test stub exposes no snapshot");
+        // Samples are on a strict 100 ms clock.
+        assert!((res.trace[1].t - res.trace[0].t - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_empty_when_disabled() {
+        let sc = Scenario::new(link_10mbps_20ms(), Dur::from_secs(2)).flow(FlowSpec::bulk(
+            "p",
+            Dur::ZERO,
+            || Box::new(TestPaced { rate: 250_000.0 }),
+        ));
+        assert!(run(sc).trace.is_empty());
+    }
+
+    #[test]
+    fn base_rtt_respected_without_queueing() {
+        let sc = Scenario::new(
+            LinkSpec::new(100.0, Dur::from_millis(40), 500_000),
+            Dur::from_secs(3),
+        )
+        .flow(FlowSpec::bulk("p", Dur::ZERO, || {
+            Box::new(TestPaced { rate: 125_000.0 }) // 1 Mbps
+        }));
         let res = run(sc);
         let min = res.flows[0]
             .rtt_values()

@@ -50,6 +50,6 @@ pub mod scenario;
 
 pub use engine::{run, Sim};
 pub use link::{BottleneckLink, Offer};
-pub use metrics::{FlowMetrics, SimResult};
+pub use metrics::{FlowMetrics, SimResult, TraceEvent};
 pub use noise::{NoiseConfig, WifiNoiseConfig};
 pub use scenario::{CcBuilder, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario};

@@ -81,7 +81,11 @@ impl BottleneckLink {
             self.dropped_pkts += 1;
             return Offer::Dropped;
         }
-        let start = if self.free_at > now { self.free_at } else { now };
+        let start = if self.free_at > now {
+            self.free_at
+        } else {
+            now
+        };
         let departs = start + serialization_delay(bytes, self.rate_bps);
         self.free_at = departs;
         self.queued_bytes += bytes;
@@ -170,7 +174,10 @@ mod tests {
         }
         l.on_departure(1500);
         assert_eq!(l.queued_bytes(), 3000);
-        assert!(matches!(l.offer(Time::from_millis(1), 1500), Offer::Departs(_)));
+        assert!(matches!(
+            l.offer(Time::from_millis(1), 1500),
+            Offer::Departs(_)
+        ));
         assert_eq!(l.delivered_bytes(), 1500);
     }
 

@@ -6,8 +6,8 @@
 //! feeds raw events into [`FlowMetrics`]; the harness reads the aggregate
 //! accessors.
 
-use proteus_transport::{Dur, FlowId, Time};
 use proteus_stats::percentile;
+use proteus_transport::{Dur, FlowId, Time};
 
 /// Measurements recorded for one flow over a simulation run.
 #[derive(Debug, Clone)]
@@ -76,7 +76,8 @@ impl FlowMetrics {
         self.acked_bins[bin_idx] += bytes;
         self.rtt_counter += 1;
         if self.rtt_counter.is_multiple_of(self.rtt_stride) {
-            self.rtt_samples.push((now.as_secs_f64(), rtt.as_secs_f64()));
+            self.rtt_samples
+                .push((now.as_secs_f64(), rtt.as_secs_f64()));
         }
     }
 
@@ -145,7 +146,10 @@ impl FlowMetrics {
         if self.rtt_samples.is_empty() {
             None
         } else {
-            Some(self.rtt_samples.iter().map(|&(_, r)| r).sum::<f64>() / self.rtt_samples.len() as f64)
+            Some(
+                self.rtt_samples.iter().map(|&(_, r)| r).sum::<f64>()
+                    / self.rtt_samples.len() as f64,
+            )
         }
     }
 
@@ -167,6 +171,38 @@ impl FlowMetrics {
     }
 }
 
+/// One per-flow telemetry sample, recorded when the scenario enables
+/// tracing ([`crate::scenario::Scenario::with_trace`]).
+///
+/// Samples are taken on a fixed clock for every flow that has started and
+/// not finished, so a run's trace is a regular per-flow time series of the
+/// controller's externally visible state (rate/window/in-flight/RTT) plus
+/// whatever internals the controller exposes via
+/// [`proteus_transport::CcSnapshot`] (utility value, mode, mode switches).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Sample time, seconds since simulation start.
+    pub t: f64,
+    /// Flow id within the scenario.
+    pub flow: FlowId,
+    /// Pacing rate in Mbit/sec (`None` for pure ACK-clocked protocols).
+    pub rate_mbps: Option<f64>,
+    /// Congestion window in bytes (`None` when the protocol is unwindowed).
+    pub cwnd_bytes: Option<u64>,
+    /// Bytes currently in flight.
+    pub inflight_bytes: u64,
+    /// Smoothed RTT in milliseconds, once measured.
+    pub srtt_ms: Option<f64>,
+    /// RTT deviation (RFC 6298 rttvar) in milliseconds, once measured.
+    pub rttvar_ms: Option<f64>,
+    /// Most recent utility value, for utility-driven controllers.
+    pub utility: Option<f64>,
+    /// Active mode name (e.g. `"Proteus-S"`), for mode-switching senders.
+    pub mode: Option<&'static str>,
+    /// Mode switches since flow start.
+    pub mode_switches: u64,
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -182,17 +218,16 @@ pub struct SimResult {
     pub link_dropped_pkts: u64,
     /// Periodic `(seconds, queued_bytes)` samples of buffer occupancy.
     pub queue_samples: Vec<(f64, u64)>,
+    /// Per-flow telemetry time series (empty unless the scenario enables
+    /// [`crate::scenario::Scenario::with_trace`]).
+    pub trace: Vec<TraceEvent>,
 }
 
 impl SimResult {
     /// Aggregate goodput of a set of flows over `[from, to)`, as a fraction
     /// of link capacity.
     pub fn utilization(&self, from: Time, to: Time) -> f64 {
-        let total: f64 = self
-            .flows
-            .iter()
-            .map(|f| f.throughput_bps(from, to))
-            .sum();
+        let total: f64 = self.flows.iter().map(|f| f.throughput_bps(from, to)).sum();
         total / self.link_rate_bps
     }
 
@@ -224,8 +259,14 @@ mod tests {
     #[test]
     fn empty_window_is_zero() {
         let m = FlowMetrics::new(0, "t".into(), Dur::from_secs(1), 1);
-        assert_eq!(m.throughput_bps(Time::from_secs_f64(1.0), Time::from_secs_f64(1.0)), 0.0);
-        assert_eq!(m.throughput_bps(Time::from_secs_f64(5.0), Time::from_secs_f64(9.0)), 0.0);
+        assert_eq!(
+            m.throughput_bps(Time::from_secs_f64(1.0), Time::from_secs_f64(1.0)),
+            0.0
+        );
+        assert_eq!(
+            m.throughput_bps(Time::from_secs_f64(5.0), Time::from_secs_f64(9.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -274,6 +315,7 @@ mod tests {
             link_delivered_bytes: 625_000,
             link_dropped_pkts: 0,
             queue_samples: vec![],
+            trace: vec![],
         };
         let u = r.utilization(Time::ZERO, Time::from_secs_f64(1.0));
         assert!((u - 0.5).abs() < 1e-9);

@@ -105,8 +105,7 @@ impl NoiseState {
                 Dur::from_secs_f64(jitter.max(0.0))
             }
             NoiseConfig::Wifi(cfg) => {
-                let mut delay =
-                    dist::normal(rng, 0.0, cfg.jitter_std.as_secs_f64()).max(0.0);
+                let mut delay = dist::normal(rng, 0.0, cfg.jitter_std.as_secs_f64()).max(0.0);
                 if rng.random::<f64>() < cfg.spike_prob {
                     delay += dist::pareto(rng, cfg.spike_min.as_secs_f64(), cfg.spike_alpha);
                 }
@@ -141,8 +140,7 @@ impl NoiseState {
                 if now < self.next_ack_release {
                     self.next_ack_release
                 } else {
-                    let gap =
-                        dist::exponential(rng, cfg.ack_burst_interval.as_secs_f64());
+                    let gap = dist::exponential(rng, cfg.ack_burst_interval.as_secs_f64());
                     self.next_ack_release = now + Dur::from_secs_f64(gap);
                     now
                 }
@@ -165,7 +163,10 @@ mod tests {
         let mut s = NoiseConfig::None.build();
         let mut r = rng();
         assert_eq!(s.data_delay(&mut r), Dur::ZERO);
-        assert_eq!(s.ack_release(Time::from_millis(5), &mut r), Time::from_millis(5));
+        assert_eq!(
+            s.ack_release(Time::from_millis(5), &mut r),
+            Time::from_millis(5)
+        );
     }
 
     #[test]
@@ -211,7 +212,7 @@ mod tests {
         let mut deferred = 0;
         let mut t = Time::ZERO;
         for _ in 0..1000 {
-            t = t + Dur::from_micros(200);
+            t += Dur::from_micros(200);
             let rel = s.ack_release(t, &mut r);
             assert!(rel >= t);
             if rel > t {
@@ -232,7 +233,7 @@ mod tests {
         let mut last = Time::ZERO;
         let mut t = Time::ZERO;
         for _ in 0..1000 {
-            t = t + Dur::from_micros(100);
+            t += Dur::from_micros(100);
             let rel = s.ack_release(t, &mut r);
             assert!(rel >= last || rel >= t, "release went backwards");
             last = rel;

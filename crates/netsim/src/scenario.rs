@@ -4,9 +4,7 @@
 //! optionally with Poisson cross-traffic (Fig. 2). [`Scenario`] captures
 //! that shape declaratively; `run()` (in [`crate::engine`]) executes it.
 
-use proteus_transport::{
-    Application, BulkApp, CcFactory, CongestionControl, Dur, SizedApp,
-};
+use proteus_transport::{Application, BulkApp, CcFactory, CongestionControl, Dur, SizedApp};
 
 use crate::noise::NoiseConfig;
 
@@ -147,10 +145,7 @@ impl FlowSpec {
     }
 
     /// Returns this spec with a custom application.
-    pub fn with_app(
-        mut self,
-        app: impl FnOnce() -> Box<dyn Application> + 'static,
-    ) -> Self {
+    pub fn with_app(mut self, app: impl FnOnce() -> Box<dyn Application> + 'static) -> Self {
         self.app = Box::new(app);
         self
     }
@@ -218,6 +213,9 @@ pub struct Scenario {
     pub rtt_stride: usize,
     /// Sample bottleneck queue occupancy at this period, if set.
     pub queue_sample_every: Option<Dur>,
+    /// Record per-flow telemetry ([`crate::metrics::TraceEvent`]) at this
+    /// period, if set.
+    pub trace_every: Option<Dur>,
 }
 
 impl Scenario {
@@ -233,6 +231,7 @@ impl Scenario {
             throughput_bin: Dur::from_secs(1),
             rtt_stride: 1,
             queue_sample_every: None,
+            trace_every: None,
         }
     }
 
@@ -269,6 +268,15 @@ impl Scenario {
     /// Enables periodic queue sampling.
     pub fn with_queue_sampling(mut self, every: Dur) -> Self {
         self.queue_sample_every = Some(every);
+        self
+    }
+
+    /// Enables periodic per-flow telemetry sampling: every `every`, each
+    /// active flow's rate, window, in-flight bytes, RTT estimator state and
+    /// controller internals are recorded into
+    /// [`crate::metrics::SimResult::trace`].
+    pub fn with_trace(mut self, every: Dur) -> Self {
+        self.trace_every = Some(every);
         self
     }
 }

@@ -3,9 +3,7 @@
 
 use proteus_netsim::{run, CrossTrafficSpec, FlowSpec, LinkSpec, NoiseConfig, Scenario};
 use proteus_stats::Welford;
-use proteus_transport::{
-    factory, AckInfo, CongestionControl, Dur, LossInfo, Time,
-};
+use proteus_transport::{factory, AckInfo, CongestionControl, Dur, LossInfo, Time};
 
 /// Fixed window (ACK-clocked) helper.
 struct Win(u64);
@@ -52,11 +50,7 @@ fn sized_flows_complete_under_wifi_noise() {
     }
     let res = run(sc);
     for f in &res.flows {
-        assert!(
-            f.completion_time().is_some(),
-            "{} did not complete",
-            f.name
-        );
+        assert!(f.completion_time().is_some(), "{} did not complete", f.name);
         assert!(f.bytes_acked >= 400_000);
     }
 }
@@ -98,8 +92,8 @@ fn probe_rtt_deviation_grows_with_cross_traffic() {
 
 #[test]
 fn gaussian_noise_spreads_rtt_without_breaking_transport() {
-    let link = LinkSpec::new(20.0, Dur::from_millis(40), 200_000)
-        .with_noise(NoiseConfig::Gaussian {
+    let link =
+        LinkSpec::new(20.0, Dur::from_millis(40), 200_000).with_noise(NoiseConfig::Gaussian {
             std: Dur::from_millis(2),
         });
     let sc = Scenario::new(link, Dur::from_secs(20))

@@ -1,0 +1,134 @@
+//! Content-addressed disk cache for job results.
+//!
+//! Each completed job's payload is stored at `<dir>/<key-hex>.job` together
+//! with the full descriptor, so a warm `repro` re-run loads finished cells
+//! from disk and only simulates cells whose parameters (descriptor — and
+//! therefore key) changed. The files are plain text for easy inspection.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::hash::JobKey;
+
+const MAGIC: &str = "proteus-runner-cache v1";
+
+/// A directory of cached job payloads, keyed by [`JobKey`].
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, key: JobKey) -> PathBuf {
+        self.dir.join(format!("{}.job", key.hex()))
+    }
+
+    /// Looks up a payload. The stored descriptor must match `descriptor`
+    /// exactly (guards against hash-scheme changes and collisions).
+    pub fn get(&self, key: JobKey, descriptor: &str) -> Option<String> {
+        let text = fs::read_to_string(self.path(key)).ok()?;
+        let mut lines = text.splitn(4, '\n');
+        if lines.next() != Some(MAGIC) {
+            return None;
+        }
+        if lines.next() != Some(descriptor) {
+            return None;
+        }
+        if lines.next() != Some("---") {
+            return None;
+        }
+        Some(lines.next().unwrap_or("").to_string())
+    }
+
+    /// Stores a payload. Write failures are silently ignored (a cache must
+    /// never fail the campaign); a torn write is rejected on read by the
+    /// header check.
+    pub fn put(&self, key: JobKey, descriptor: &str, payload: &str) {
+        debug_assert!(!descriptor.contains('\n'), "descriptor must be one line");
+        let body = format!("{MAGIC}\n{descriptor}\n---\n{payload}");
+        // Write-then-rename so readers never observe a partial entry.
+        let tmp = self.dir.join(format!("{}.tmp", key.hex()));
+        if fs::write(&tmp, body).is_ok() {
+            let _ = fs::rename(&tmp, self.path(key));
+        }
+    }
+
+    /// Removes every cache entry (used by tests and `--no-cache` refresh).
+    pub fn clear(&self) -> std::io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let p = entry?.path();
+            if p.extension().is_some_and(|e| e == "job" || e == "tmp") {
+                let _ = fs::remove_file(p);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!("proteus-runner-cache-test-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        ResultCache::at(dir).unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = tmp_cache("rt");
+        let key = JobKey::from_descriptor("exp/a=1");
+        assert_eq!(c.get(key, "exp/a=1"), None);
+        c.put(key, "exp/a=1", "1.5 2.5\nsecond line");
+        assert_eq!(
+            c.get(key, "exp/a=1").as_deref(),
+            Some("1.5 2.5\nsecond line")
+        );
+    }
+
+    #[test]
+    fn descriptor_mismatch_misses() {
+        let c = tmp_cache("mismatch");
+        let key = JobKey::from_descriptor("exp/a=1");
+        c.put(key, "exp/a=1", "x");
+        assert_eq!(c.get(key, "exp/a=2"), None);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let c = tmp_cache("empty");
+        let key = JobKey::from_descriptor("e");
+        c.put(key, "e", "");
+        assert_eq!(c.get(key, "e").as_deref(), Some(""));
+    }
+
+    #[test]
+    fn clear_removes_entries() {
+        let c = tmp_cache("clear");
+        let key = JobKey::from_descriptor("gone");
+        c.put(key, "gone", "x");
+        c.clear().unwrap();
+        assert_eq!(c.get(key, "gone"), None);
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let c = tmp_cache("corrupt");
+        let key = JobKey::from_descriptor("k");
+        fs::write(c.dir().join(format!("{}.job", key.hex())), "garbage").unwrap();
+        assert_eq!(c.get(key, "k"), None);
+    }
+}

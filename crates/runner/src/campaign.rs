@@ -1,0 +1,430 @@
+//! A campaign: a named batch of jobs run through cache + executor.
+//!
+//! `Campaign` is the high-level entry point the experiments use: push
+//! [`SimJob`]s, call [`Campaign::run`], get payloads back in submission
+//! order plus a [`CampaignStats`] record of how much work the cache saved.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::cache::ResultCache;
+use crate::job::SimJob;
+use crate::json::Obj;
+use crate::pool::Executor;
+
+/// Options controlling how a campaign executes.
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    /// Worker threads (0 → one per available core).
+    pub jobs: usize,
+    /// Result-cache directory; `None` disables caching.
+    pub cache: Option<PathBuf>,
+    /// Print per-job progress lines to stderr.
+    pub progress: bool,
+    /// File to append the run's [`CampaignStats`] JSON line to (JSONL
+    /// trajectory across invocations); `None` disables it.
+    pub summary: Option<PathBuf>,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            cache: None,
+            progress: false,
+            summary: None,
+        }
+    }
+}
+
+/// A named batch of [`SimJob`]s.
+pub struct Campaign {
+    name: String,
+    opts: CampaignOpts,
+    jobs: Vec<SimJob>,
+    /// Job key → submission index, for [`Campaign::push_dedup`].
+    seen: HashMap<u64, usize>,
+}
+
+/// What a finished campaign produced.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Job payloads, in submission order (index-aligned with `push` calls).
+    pub outputs: Vec<String>,
+    /// Execution accounting.
+    pub stats: CampaignStats,
+}
+
+/// Execution accounting for one campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStats {
+    /// Campaign name.
+    pub name: String,
+    /// Total jobs submitted.
+    pub total: usize,
+    /// Jobs answered from the result cache.
+    pub cached: usize,
+    /// Jobs actually executed.
+    pub executed: usize,
+    /// Wall-clock seconds for the whole run (lookup + execute + store).
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl CampaignStats {
+    /// Renders the stats as a one-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.str("campaign", &self.name)
+            .int("total", self.total as u64)
+            .int("cached", self.cached as u64)
+            .int("executed", self.executed as u64)
+            .num("wall_secs", self.wall_secs)
+            .int("workers", self.workers as u64);
+        o.render()
+    }
+}
+
+impl Campaign {
+    /// Creates an empty campaign.
+    pub fn new(name: impl Into<String>, opts: CampaignOpts) -> Self {
+        Self {
+            name: name.into(),
+            opts,
+            jobs: Vec::new(),
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Adds a job and returns its submission index (its slot in
+    /// [`CampaignResult::outputs`]). Results come back in push order.
+    pub fn push(&mut self, job: SimJob) -> usize {
+        let index = self.jobs.len();
+        self.seen.insert(job.key().0, index);
+        self.jobs.push(job);
+        index
+    }
+
+    /// Adds a job unless one with an identical descriptor is already
+    /// queued; returns the submission index whose output slot holds (or
+    /// will hold) this descriptor's payload. Experiments use this to share
+    /// baseline runs (e.g. "primary alone") across several tables without
+    /// simulating them twice.
+    pub fn push_dedup(&mut self, job: SimJob) -> usize {
+        match self.seen.get(&job.key().0) {
+            Some(&index) => index,
+            None => self.push(job),
+        }
+    }
+
+    /// Number of jobs queued so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the campaign has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs the campaign: answers what it can from the cache, executes the
+    /// rest on the pool, stores fresh results back, and returns payloads in
+    /// submission order.
+    pub fn run(self) -> CampaignResult {
+        let start = Instant::now();
+        let workers = if self.opts.jobs == 0 {
+            Executor::default_workers()
+        } else {
+            self.opts.jobs
+        };
+        let total = self.jobs.len();
+
+        let cache = self
+            .opts
+            .cache
+            .as_ref()
+            .and_then(|dir| ResultCache::at(dir).ok());
+
+        // Partition into cache hits and jobs that must run, remembering
+        // each job's submission slot so order survives the split.
+        let mut outputs: Vec<Option<String>> = (0..total).map(|_| None).collect();
+        let mut to_run: Vec<(usize, SimJob)> = Vec::new();
+        for (index, job) in self.jobs.into_iter().enumerate() {
+            let hit = cache
+                .as_ref()
+                .and_then(|c| c.get(job.key(), job.descriptor()));
+            match hit {
+                Some(payload) => outputs[index] = Some(payload),
+                None => to_run.push((index, job)),
+            }
+        }
+        let cached = total - to_run.len();
+        let executed = to_run.len();
+
+        if self.opts.progress && total > 0 {
+            eprintln!(
+                "[{}] {} job(s): {} cached, {} to run on {} worker(s)",
+                self.name, total, cached, executed, workers
+            );
+        }
+
+        if !to_run.is_empty() {
+            // Keep (slot, key, descriptor) aside: SimJob is consumed by the
+            // executor, but we still need its identity to store the result.
+            let identities: Vec<(usize, crate::hash::JobKey, String)> = to_run
+                .iter()
+                .map(|(slot, job)| (*slot, job.key(), job.descriptor().to_string()))
+                .collect();
+            let jobs: Vec<SimJob> = to_run.into_iter().map(|(_, job)| job).collect();
+
+            let name = self.name.clone();
+            let progress = self.opts.progress;
+            let cb = move |done: usize, run_total: usize, label: &str| {
+                if progress {
+                    eprintln!("[{name}] {done}/{run_total} {label}");
+                }
+            };
+            let payloads = Executor::new(workers).run(jobs, Some(&cb));
+
+            for ((slot, key, descriptor), payload) in identities.into_iter().zip(payloads) {
+                if let Some(c) = cache.as_ref() {
+                    c.put(key, &descriptor, &payload);
+                }
+                outputs[slot] = Some(payload);
+            }
+        }
+
+        let outputs: Vec<String> = outputs
+            .into_iter()
+            .map(|o| o.expect("every job slot filled by cache or executor"))
+            .collect();
+
+        let stats = CampaignStats {
+            name: self.name,
+            total,
+            cached,
+            executed,
+            wall_secs: start.elapsed().as_secs_f64(),
+            workers,
+        };
+        if let Some(path) = &self.opts.summary {
+            Self::append_summary(path, &stats);
+        }
+        CampaignResult { outputs, stats }
+    }
+
+    /// Appends one stats line to the JSONL trajectory file. I/O errors are
+    /// ignored: accounting must never fail a campaign.
+    fn append_summary(path: &std::path::Path, stats: &CampaignStats) {
+        use std::io::Write;
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(f, "{}", stats.to_json());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("proteus-runner-campaign-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn counted_jobs(n: usize, counter: &Arc<AtomicUsize>) -> Vec<SimJob> {
+        (0..n)
+            .map(|i| {
+                let counter = Arc::clone(counter);
+                SimJob::new(format!("test/campaign/{i}"), format!("j{i}"), move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    format!("{}", i * 10)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uncached_campaign_runs_everything() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut c = Campaign::new("t", CampaignOpts::default());
+        for j in counted_jobs(5, &counter) {
+            c.push(j);
+        }
+        let r = c.run();
+        assert_eq!(r.outputs, vec!["0", "10", "20", "30", "40"]);
+        assert_eq!(r.stats.total, 5);
+        assert_eq!(r.stats.cached, 0);
+        assert_eq!(r.stats.executed, 5);
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn warm_cache_executes_nothing() {
+        let dir = tmp_dir("warm");
+        let opts = CampaignOpts {
+            cache: Some(dir.clone()),
+            ..CampaignOpts::default()
+        };
+        let counter = Arc::new(AtomicUsize::new(0));
+
+        let mut first = Campaign::new("t", opts.clone());
+        for j in counted_jobs(4, &counter) {
+            first.push(j);
+        }
+        let r1 = first.run();
+        assert_eq!(r1.stats.executed, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+
+        let mut second = Campaign::new("t", opts);
+        for j in counted_jobs(4, &counter) {
+            second.push(j);
+        }
+        let r2 = second.run();
+        assert_eq!(r2.stats.cached, 4);
+        assert_eq!(r2.stats.executed, 0);
+        assert_eq!(counter.load(Ordering::Relaxed), 4, "no job re-ran");
+        assert_eq!(r1.outputs, r2.outputs);
+    }
+
+    #[test]
+    fn partial_cache_runs_only_new_jobs() {
+        let dir = tmp_dir("partial");
+        let opts = CampaignOpts {
+            cache: Some(dir.clone()),
+            ..CampaignOpts::default()
+        };
+        let counter = Arc::new(AtomicUsize::new(0));
+
+        let mut first = Campaign::new("t", opts.clone());
+        for j in counted_jobs(3, &counter) {
+            first.push(j);
+        }
+        first.run();
+
+        // Same three jobs plus one with a new descriptor.
+        let mut second = Campaign::new("t", opts);
+        for j in counted_jobs(3, &counter) {
+            second.push(j);
+        }
+        second.push(SimJob::new("test/campaign/extra", "extra", || {
+            "99".to_string()
+        }));
+        let r = second.run();
+        assert_eq!(r.stats.cached, 3);
+        assert_eq!(r.stats.executed, 1);
+        assert_eq!(r.outputs, vec!["0", "10", "20", "99"]);
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            3,
+            "cached jobs never re-ran"
+        );
+    }
+
+    #[test]
+    fn jobs_zero_means_all_cores() {
+        let c = Campaign::new(
+            "t",
+            CampaignOpts {
+                jobs: 0,
+                ..CampaignOpts::default()
+            },
+        );
+        let r = c.run();
+        assert_eq!(r.stats.workers, Executor::default_workers());
+        assert!(r.outputs.is_empty());
+    }
+
+    #[test]
+    fn parallel_equals_serial_with_cache() {
+        let mk = |jobs: usize, tag: &str| {
+            let mut c = Campaign::new(
+                "t",
+                CampaignOpts {
+                    jobs,
+                    cache: Some(tmp_dir(tag)),
+                    ..CampaignOpts::default()
+                },
+            );
+            for i in 0..17u64 {
+                c.push(SimJob::new(
+                    format!("test/par/{i}"),
+                    format!("p{i}"),
+                    move || crate::payload::encode_floats(&[(i * i) as f64, 1.0 / i.max(1) as f64]),
+                ));
+            }
+            c.run()
+        };
+        let serial = mk(1, "serial");
+        let parallel = mk(8, "parallel");
+        assert_eq!(serial.outputs, parallel.outputs);
+    }
+
+    #[test]
+    fn push_dedup_shares_slots() {
+        let mut c = Campaign::new("t", CampaignOpts::default());
+        let mk = |d: &str, out: &'static str| {
+            let out = out.to_string();
+            SimJob::new(d, "j", move || out)
+        };
+        assert_eq!(c.push_dedup(mk("a", "1")), 0);
+        assert_eq!(c.push_dedup(mk("b", "2")), 1);
+        assert_eq!(
+            c.push_dedup(mk("a", "1")),
+            0,
+            "duplicate descriptor reuses slot"
+        );
+        assert_eq!(c.len(), 2);
+        let r = c.run();
+        assert_eq!(r.outputs, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn summary_file_accumulates_one_line_per_run() {
+        let dir = tmp_dir("summary");
+        let path = dir.join("campaigns.jsonl");
+        for round in 0..2 {
+            let mut c = Campaign::new(
+                "s",
+                CampaignOpts {
+                    summary: Some(path.clone()),
+                    ..CampaignOpts::default()
+                },
+            );
+            c.push(SimJob::new("test/summary/0", "j", || "1".to_string()));
+            let r = c.run();
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(text.lines().count(), round + 1);
+            assert_eq!(text.lines().last().unwrap(), r.stats.to_json());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let s = CampaignStats {
+            name: "fig8".to_string(),
+            total: 10,
+            cached: 4,
+            executed: 6,
+            wall_secs: 1.25,
+            workers: 2,
+        };
+        assert_eq!(
+            s.to_json(),
+            "{\"campaign\":\"fig8\",\"total\":10,\"cached\":4,\"executed\":6,\"wall_secs\":1.25,\"workers\":2}"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Stable content hashing for job identity.
+//!
+//! Job keys must be stable across processes, platforms and compiler
+//! versions (they name files in the on-disk result cache), so we use a
+//! fixed FNV-1a 64-bit hash of the job's descriptor string rather than
+//! `std::hash` (whose output is explicitly unstable).
+
+use std::fmt;
+
+/// Version salt folded into every key: bump when the payload format of any
+/// experiment changes so stale cache entries can never be misread.
+pub const CACHE_FORMAT_VERSION: u64 = 1;
+
+/// A stable 64-bit content hash identifying one [`crate::SimJob`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobKey(pub u64);
+
+impl JobKey {
+    /// Hashes a job descriptor (FNV-1a 64, salted with
+    /// [`CACHE_FORMAT_VERSION`]).
+    pub fn from_descriptor(descriptor: &str) -> Self {
+        let mut h = 0xCBF2_9CE4_8422_2325u64 ^ CACHE_FORMAT_VERSION;
+        for b in descriptor.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        JobKey(h)
+    }
+
+    /// The key as a fixed-width lower-hex string (cache file stem).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for JobKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_across_calls() {
+        let a = JobKey::from_descriptor("fig8/bw=50/rtt=30/seed=1");
+        let b = JobKey::from_descriptor("fig8/bw=50/rtt=30/seed=1");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        let a = JobKey::from_descriptor("fig8/seed=1");
+        let b = JobKey::from_descriptor("fig8/seed=2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("", salt=1) must stay stable forever: cache files depend
+        // on it. This pins the implementation.
+        let k = JobKey::from_descriptor("");
+        assert_eq!(k.0, 0xCBF2_9CE4_8422_2325u64 ^ 1);
+    }
+
+    #[test]
+    fn hex_is_16_chars() {
+        assert_eq!(JobKey(0xAB).hex(), "00000000000000ab");
+        assert_eq!(JobKey(0xAB).to_string().len(), 16);
+    }
+}

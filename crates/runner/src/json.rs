@@ -1,0 +1,142 @@
+//! Minimal JSON writer for telemetry and campaign summaries.
+//!
+//! The tree has no serde (the build environment is offline), and the only
+//! JSON we need to *write* is flat objects of strings and numbers — JSONL
+//! trace records and campaign/bench summaries. This is a small correct
+//! emitter for exactly that.
+
+use std::fmt::Write as _;
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values become `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Builder for one flat JSON object, preserving insertion order.
+#[derive(Debug, Default)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, key: &str, raw: String) -> &mut Self {
+        self.fields.push((key.to_string(), raw));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(&mut self, key: &str, val: &str) -> &mut Self {
+        self.push(key, format!("\"{}\"", escape(val)))
+    }
+
+    /// Adds a float field (`null` if non-finite).
+    pub fn num(&mut self, key: &str, val: f64) -> &mut Self {
+        self.push(key, number(val))
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, val: u64) -> &mut Self {
+        self.push(key, format!("{val}"))
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, key: &str, val: bool) -> &mut Self {
+        self.push(key, format!("{val}"))
+    }
+
+    /// Adds an already-rendered JSON value verbatim (e.g. a nested object
+    /// or array built by the caller).
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.push(key, json.to_string())
+    }
+
+    /// Renders the object on one line (JSONL-friendly).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(k), v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a JSON array from already-rendered element strings.
+pub fn array(elems: &[String]) -> String {
+    format!("[{}]", elems.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_rendering() {
+        let mut o = Obj::new();
+        o.str("name", "fig8")
+            .num("rate", 2.5)
+            .int("n", 3)
+            .bool("ok", true);
+        assert_eq!(
+            o.render(),
+            "{\"name\":\"fig8\",\"rate\":2.5,\"n\":3,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn nested_raw_and_array() {
+        let inner = {
+            let mut o = Obj::new();
+            o.int("a", 1);
+            o.render()
+        };
+        let mut outer = Obj::new();
+        outer.raw("items", &array(&[inner, "2".to_string()]));
+        assert_eq!(outer.render(), "{\"items\":[{\"a\":1},2]}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Lossless text encoding for job payloads.
+//!
+//! Job results travel as strings (through the thread pool and the disk
+//! cache), and most experiments produce a flat list of `f64`s. `{:?}`
+//! formatting of an `f64` is guaranteed to round-trip through
+//! `str::parse`, so a space-joined debug rendering is a lossless,
+//! human-readable wire format — no serde required.
+
+/// Encodes floats as a single space-separated line that round-trips
+/// exactly through [`decode_floats`].
+pub fn encode_floats(values: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{v:?}"));
+    }
+    out
+}
+
+/// Decodes a payload produced by [`encode_floats`].
+///
+/// # Panics
+///
+/// Panics on malformed input: payloads are produced by this crate (or read
+/// back from a descriptor-verified cache entry), so a parse failure means
+/// a bug or a corrupted cache file, not a user error.
+pub fn decode_floats(payload: &str) -> Vec<f64> {
+    payload
+        .split_whitespace()
+        .map(|tok| {
+            tok.parse::<f64>()
+                .unwrap_or_else(|_| panic!("malformed float {tok:?} in job payload"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exactly() {
+        let vals = [
+            0.0,
+            -0.0,
+            1.5,
+            0.1 + 0.2, // famously not 0.3
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -std::f64::consts::PI,
+        ];
+        let decoded = decode_floats(&encode_floats(&vals));
+        assert_eq!(decoded.len(), vals.len());
+        for (a, b) in vals.iter().zip(&decoded) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_list() {
+        assert_eq!(encode_floats(&[]), "");
+        assert!(decode_floats("").is_empty());
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(decode_floats(&encode_floats(&[42.25])), vec![42.25]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Work-stealing thread-pool executor with deterministic result ordering.
+//!
+//! Jobs are dealt round-robin onto per-worker deques; a worker drains its
+//! own deque from the front and, when empty, steals from the *back* of the
+//! busiest sibling. Results are reassembled by submission index, so the
+//! output is a pure function of the job list — never of thread scheduling
+//! or worker count.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use crate::job::SimJob;
+
+/// A fixed-size pool executing [`SimJob`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    workers: usize,
+}
+
+/// One completed job, reported in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Index of the job in the submitted list.
+    pub index: usize,
+    /// The payload the job returned.
+    pub payload: String,
+}
+
+struct Task {
+    index: usize,
+    job: SimJob,
+}
+
+/// Progress callback: `(jobs done, total jobs, finished job's label)`.
+pub type ProgressFn<'a> = &'a (dyn Fn(usize, usize, &str) + Sync);
+
+impl Executor {
+    /// Creates an executor with `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads this executor uses.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Default worker count: one per available core.
+    pub fn default_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// Executes all jobs and returns their payloads in submission order.
+    ///
+    /// `on_complete(done, total, label)` is invoked after every job
+    /// finishes (from worker threads; keep it cheap).
+    pub fn run(&self, jobs: Vec<SimJob>, on_complete: Option<ProgressFn<'_>>) -> Vec<String> {
+        let total = jobs.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        // With one worker (or one job) skip the thread machinery entirely:
+        // this is also the reference order the parallel path must match.
+        if self.workers == 1 || total == 1 {
+            let done = AtomicUsize::new(0);
+            return jobs
+                .into_iter()
+                .map(|job| {
+                    let label = job.label().to_string();
+                    let payload = job.execute();
+                    if let Some(cb) = on_complete {
+                        cb(done.fetch_add(1, Ordering::Relaxed) + 1, total, &label);
+                    }
+                    payload
+                })
+                .collect();
+        }
+
+        let n_workers = self.workers.min(total);
+        // Deal jobs round-robin so initial load is balanced even when cost
+        // correlates with submission order (e.g. sweeps over bandwidth).
+        let queues: Vec<Arc<Mutex<VecDeque<Task>>>> = (0..n_workers)
+            .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+            .collect();
+        for (index, job) in jobs.into_iter().enumerate() {
+            queues[index % n_workers]
+                .lock()
+                .expect("queue poisoned")
+                .push_back(Task { index, job });
+        }
+
+        let done = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel::<JobOutput>();
+        std::thread::scope(|scope| {
+            for me in 0..n_workers {
+                let queues = &queues;
+                let tx = tx.clone();
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    loop {
+                        // Own work first (front), then steal (back).
+                        let task = {
+                            let mut own = queues[me].lock().expect("queue poisoned");
+                            own.pop_front()
+                        };
+                        let task = match task {
+                            Some(t) => Some(t),
+                            None => queues
+                                .iter()
+                                .enumerate()
+                                .filter(|(i, _)| *i != me)
+                                .filter_map(|(_, q)| q.lock().expect("queue poisoned").pop_back())
+                                .next(),
+                        };
+                        let Some(Task { index, job }) = task else {
+                            return; // every queue drained
+                        };
+                        let label = job.label().to_string();
+                        let payload = job.execute();
+                        if let Some(cb) = on_complete {
+                            cb(done.fetch_add(1, Ordering::Relaxed) + 1, total, &label);
+                        }
+                        let _ = tx.send(JobOutput { index, payload });
+                    }
+                });
+            }
+            drop(tx);
+
+            // Reassemble in submission order regardless of completion order.
+            let mut out: Vec<Option<String>> = (0..total).map(|_| None).collect();
+            for JobOutput { index, payload } in rx {
+                out[index] = Some(payload);
+            }
+            out.into_iter()
+                .map(|o| o.expect("worker died before completing its jobs"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn square_jobs(n: usize) -> Vec<SimJob> {
+        (0..n)
+            .map(|i| {
+                SimJob::new(format!("test/sq/{i}"), format!("sq{i}"), move || {
+                    format!("{}", i * i)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ordering_is_submission_order() {
+        let out = Executor::new(4).run(square_jobs(37), None);
+        let expect: Vec<String> = (0..37).map(|i| format!("{}", i * i)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn one_worker_equals_many_workers() {
+        let a = Executor::new(1).run(square_jobs(23), None);
+        let b = Executor::new(8).run(square_jobs(23), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_workers_than_jobs() {
+        let out = Executor::new(16).run(square_jobs(3), None);
+        assert_eq!(out, vec!["0", "1", "4"]);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        assert!(Executor::new(4).run(Vec::new(), None).is_empty());
+    }
+
+    #[test]
+    fn completion_callback_counts_every_job() {
+        let count = AtomicUsize::new(0);
+        let cb = |_done: usize, total: usize, _label: &str| {
+            assert_eq!(total, 11);
+            count.fetch_add(1, Ordering::Relaxed);
+        };
+        Executor::new(3).run(square_jobs(11), Some(&cb));
+        assert_eq!(count.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn uneven_job_costs_still_ordered() {
+        // Early jobs sleep; late jobs are instant. Stealing reorders the
+        // execution but never the results.
+        let jobs: Vec<SimJob> = (0..12)
+            .map(|i| {
+                SimJob::new(format!("test/sleep/{i}"), "s", move || {
+                    if i < 3 {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                    }
+                    format!("{i}")
+                })
+            })
+            .collect();
+        let out = Executor::new(4).run(jobs, None);
+        let expect: Vec<String> = (0..12).map(|i| format!("{i}")).collect();
+        assert_eq!(out, expect);
+    }
+}

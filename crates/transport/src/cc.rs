@@ -13,6 +13,24 @@
 use crate::packet::{AckInfo, FlowId, LossInfo, SentPacket};
 use crate::time::Time;
 
+/// A telemetry snapshot of a controller's internal decision state.
+///
+/// Returned by [`CongestionControl::snapshot`] so the tracing layer in
+/// `proteus-netsim` can record utility-module internals (utility value,
+/// active mode, mode switches) without downcasting. Controllers that have
+/// no such internals (CUBIC, LEDBAT, fixed-rate test stubs) return `None`
+/// from `snapshot` instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcSnapshot {
+    /// Most recent utility value, if the controller is utility-driven and
+    /// has completed at least one monitor interval.
+    pub utility: Option<f64>,
+    /// Active operating-mode name (e.g. `"Proteus-S"`).
+    pub mode: Option<&'static str>,
+    /// Number of mode switches since flow start.
+    pub mode_switches: u64,
+}
+
 /// Congestion controller interface (see module docs).
 ///
 /// All rates are in **bytes per second**; all windows in **bytes**.
@@ -51,6 +69,12 @@ pub trait CongestionControl {
 
     /// Timer callback.
     fn on_timer(&mut self, _now: Time) {}
+
+    /// Optional snapshot of utility-module internals for telemetry.
+    /// Default: `None` (controller exposes no such state).
+    fn snapshot(&self) -> Option<CcSnapshot> {
+        None
+    }
 }
 
 /// Factory producing a fresh controller for a flow; scenarios are described

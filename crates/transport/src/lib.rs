@@ -25,7 +25,7 @@ pub mod rtt;
 pub mod time;
 
 pub use app::{Application, BulkApp, SizedApp};
-pub use cc::{factory, CcFactory, CongestionControl};
+pub use cc::{factory, CcFactory, CcSnapshot, CongestionControl};
 pub use mi::{MiId, MiStats, MiTracker};
 pub use packet::{AckInfo, FlowId, LossInfo, SentPacket, SeqNr, DEFAULT_PACKET_BYTES};
 pub use rtt::{RttEstimator, WindowedMax, WindowedMin};

@@ -45,12 +45,9 @@ impl RttEstimator {
             Some(srtt) => {
                 let diff = if srtt >= rtt { srtt - rtt } else { rtt - srtt };
                 // rttvar = 3/4 rttvar + 1/4 |srtt - rtt|
-                self.rttvar =
-                    Dur::from_nanos((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
+                self.rttvar = Dur::from_nanos((3 * self.rttvar.as_nanos() + diff.as_nanos()) / 4);
                 // srtt = 7/8 srtt + 1/8 rtt
-                self.srtt = Some(Dur::from_nanos(
-                    (7 * srtt.as_nanos() + rtt.as_nanos()) / 8,
-                ));
+                self.srtt = Some(Dur::from_nanos((7 * srtt.as_nanos() + rtt.as_nanos()) / 8));
             }
         }
     }
@@ -134,11 +131,7 @@ impl<const IS_MIN: bool> WindowedExtremum<IS_MIN> {
     /// existing estimate has aged out of the window.
     pub fn update(&mut self, now: Time, sample: f64) -> f64 {
         match self.estimate {
-            Some((at, best))
-                if Self::better(best, sample) && now.since(at) <= self.window =>
-            {
-                best
-            }
+            Some((at, best)) if Self::better(best, sample) && now.since(at) <= self.window => best,
             _ => {
                 self.estimate = Some((now, sample));
                 sample

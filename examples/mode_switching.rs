@@ -62,11 +62,18 @@ fn main() {
 
     let res = run(sc);
 
-    println!("time      {:<22} {:<22}", res.flows[0].name, res.flows[1].name);
+    println!(
+        "time      {:<22} {:<22}",
+        res.flows[0].name, res.flows[1].name
+    );
     for bin in 0..8 {
         let from = Time::from_secs_f64(bin as f64 * 10.0);
         let to = Time::from_secs_f64((bin + 1) as f64 * 10.0);
-        let marker = if bin == 4 { "  <- switch to primary" } else { "" };
+        let marker = if bin == 4 {
+            "  <- switch to primary"
+        } else {
+            ""
+        };
         println!(
             "{:>3}-{:<3}s  {:>8.1} Mbps          {:>8.1} Mbps{}",
             bin * 10,

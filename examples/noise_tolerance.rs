@@ -11,9 +11,7 @@
 //! tolerance, MI-history trending tolerance — let the full sender hold most
 //! of the link anyway.
 
-use pcc_proteus::core::{
-    AdaptiveNoiseParams, Mode, NoiseTolerance, ProteusConfig, ProteusSender,
-};
+use pcc_proteus::core::{AdaptiveNoiseParams, Mode, NoiseTolerance, ProteusConfig, ProteusSender};
 use pcc_proteus::netsim::{run, FlowSpec, LinkSpec, NoiseConfig, Scenario};
 use pcc_proteus::transport::{Dur, Time};
 
@@ -41,7 +39,10 @@ fn throughput_with(noise: NoiseTolerance) -> f64 {
 fn main() {
     let full = AdaptiveNoiseParams::default();
     let variants: Vec<(&str, NoiseTolerance)> = vec![
-        ("full Proteus noise tolerance", NoiseTolerance::Adaptive(full)),
+        (
+            "full Proteus noise tolerance",
+            NoiseTolerance::Adaptive(full),
+        ),
         (
             "without per-ACK sample filter",
             NoiseTolerance::Adaptive(AdaptiveNoiseParams {

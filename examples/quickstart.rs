@@ -24,9 +24,11 @@ fn main() {
         .flow(FlowSpec::bulk("CUBIC (primary)", Dur::ZERO, || {
             Box::new(Cubic::new())
         }))
-        .flow(FlowSpec::bulk("Proteus-S (scavenger)", Dur::from_secs(5), || {
-            Box::new(ProteusSender::scavenger(42))
-        }))
+        .flow(FlowSpec::bulk(
+            "Proteus-S (scavenger)",
+            Dur::from_secs(5),
+            || Box::new(ProteusSender::scavenger(42)),
+        ))
         .with_seed(7);
 
     let result = run(scenario);

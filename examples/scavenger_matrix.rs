@@ -50,7 +50,9 @@ fn main() {
         for scav in ["Proteus-S", "LEDBAT"] {
             let sc = Scenario::new(link, Dur::from_secs(60))
                 .flow(FlowSpec::bulk(primary, Dur::ZERO, move || make(primary, 3)))
-                .flow(FlowSpec::bulk(scav, Dur::from_secs(5), move || make(scav, 9)))
+                .flow(FlowSpec::bulk(scav, Dur::from_secs(5), move || {
+                    make(scav, 9)
+                }))
                 .with_seed(11);
             let res = run(sc);
             ratios.push(tail(&res, 0) / alone);

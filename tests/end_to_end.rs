@@ -149,8 +149,8 @@ fn web_pages_complete_with_background_scavenger() {
 
 #[test]
 fn proteus_survives_wifi_noise() {
-    let link = LinkSpec::new(30.0, Dur::from_millis(40), 300_000)
-        .with_noise(NoiseConfig::wifi_default());
+    let link =
+        LinkSpec::new(30.0, Dur::from_millis(40), 300_000).with_noise(NoiseConfig::wifi_default());
     let sc = Scenario::new(link, Dur::from_secs(45))
         .flow(FlowSpec::bulk("s", Dur::ZERO, || {
             Box::new(ProteusSender::scavenger(3))
