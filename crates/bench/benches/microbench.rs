@@ -99,11 +99,100 @@ fn bench_simulator(c: &mut Criterion) {
     });
 }
 
+/// Fixed congestion window: pure ACK-clocking, no pacing events. Isolates
+/// the engine's per-packet cost (heap, in-flight tracking, metrics) from
+/// controller logic.
+struct FixedWindow {
+    cwnd: u64,
+}
+
+impl proteus_transport::CongestionControl for FixedWindow {
+    fn name(&self) -> &str {
+        "fixed-window"
+    }
+    fn on_ack(&mut self, _now: Time, _ack: &AckInfo) {}
+    fn on_loss(&mut self, _now: Time, _loss: &proteus_transport::LossInfo) {}
+    fn pacing_rate(&self) -> Option<f64> {
+        None
+    }
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd
+    }
+}
+
+/// Fixed pacing rate: every transmission goes through the pacing gate, so
+/// this shape stresses the Pace-event path of the engine.
+struct FixedPaced {
+    rate: f64, // bytes/sec
+}
+
+impl proteus_transport::CongestionControl for FixedPaced {
+    fn name(&self) -> &str {
+        "fixed-paced"
+    }
+    fn on_ack(&mut self, _now: Time, _ack: &AckInfo) {}
+    fn on_loss(&mut self, _now: Time, _loss: &proteus_transport::LossInfo) {}
+    fn pacing_rate(&self) -> Option<f64> {
+        Some(self.rate)
+    }
+}
+
+/// Engine-loop benchmarks: raw discrete-event throughput for the two flow
+/// shapes every experiment reduces to (ACK-clocked and paced), clean and
+/// lossy. Reported as ns per simulated run; lower is faster engine.
+fn bench_engine_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let link = || LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+
+    group.bench_function("ack_clocked_2s", |b| {
+        b.iter(|| {
+            let sc = Scenario::new(link(), Dur::from_secs(2))
+                .flow(FlowSpec::bulk("w", Dur::ZERO, || {
+                    Box::new(FixedWindow { cwnd: 375_000 })
+                }))
+                .with_seed(7);
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+    group.bench_function("ack_clocked_lossy_2s", |b| {
+        b.iter(|| {
+            let sc = Scenario::new(link().with_random_loss(0.01), Dur::from_secs(2))
+                .flow(FlowSpec::bulk("w", Dur::ZERO, || {
+                    Box::new(FixedWindow { cwnd: 375_000 })
+                }))
+                .with_seed(7);
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+    group.bench_function("paced_2s", |b| {
+        b.iter(|| {
+            let sc = Scenario::new(link(), Dur::from_secs(2))
+                .flow(FlowSpec::bulk("p", Dur::ZERO, || {
+                    Box::new(FixedPaced { rate: 5_000_000.0 }) // 40 Mbps
+                }))
+                .with_seed(7);
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+    group.bench_function("paced_lossy_2s", |b| {
+        b.iter(|| {
+            let sc = Scenario::new(link().with_random_loss(0.01), Dur::from_secs(2))
+                .flow(FlowSpec::bulk("p", Dur::ZERO, || {
+                    Box::new(FixedPaced { rate: 5_000_000.0 })
+                }))
+                .with_seed(7);
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_utility,
     bench_mi_tracker,
     bench_cc_per_ack,
-    bench_simulator
+    bench_simulator,
+    bench_engine_loop
 );
 criterion_main!(benches);

@@ -107,18 +107,50 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    proteus_runner::take_session_stats(); // discard anything pre-run
+    let mut timings: Vec<(&str, f64)> = Vec::new();
     for e in &experiments {
         if run_all || cli.ids.iter().any(|i| i == e.id) {
             eprintln!("=== {} — {} ===", e.id, e.description);
             let t0 = Instant::now();
             let report = (e.run)(cfg);
             println!("{report}");
-            eprintln!(
-                "=== {} done in {:.1}s ===\n",
-                e.id,
-                t0.elapsed().as_secs_f64()
-            );
+            let secs = t0.elapsed().as_secs_f64();
+            timings.push((e.id, secs));
+            eprintln!("=== {} done in {:.1}s ===\n", e.id, secs);
         }
     }
+
+    print_run_summary(&timings, &proteus_runner::take_session_stats());
     ExitCode::SUCCESS
+}
+
+/// End-of-run accounting: per-experiment wall time, then per-campaign cache
+/// hit/miss counts aggregated over the whole invocation.
+fn print_run_summary(timings: &[(&str, f64)], campaigns: &[proteus_runner::CampaignStats]) {
+    if timings.len() > 1 {
+        eprintln!("=== wall time by experiment ===");
+        for (id, secs) in timings {
+            eprintln!("  {id:8} {secs:6.1}s");
+        }
+        let total: f64 = timings.iter().map(|(_, s)| s).sum();
+        eprintln!("  {:8} {total:6.1}s", "total");
+    }
+    if !campaigns.is_empty() {
+        eprintln!("=== cache by campaign ===");
+        for s in campaigns {
+            eprintln!(
+                "  {:8} {} job(s): {} cached, {} executed ({:.1}s)",
+                s.name, s.total, s.cached, s.executed, s.wall_secs
+            );
+        }
+        let (total, cached): (usize, usize) = campaigns
+            .iter()
+            .fold((0, 0), |(t, c), s| (t + s.total, c + s.cached));
+        eprintln!(
+            "  {:8} {total} job(s): {cached} cached, {} executed",
+            "total",
+            total - cached
+        );
+    }
 }

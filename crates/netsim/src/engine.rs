@@ -15,7 +15,7 @@
 //! retransmission timeout expires without progress.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt as Rng, SeedableRng};
@@ -26,6 +26,7 @@ use proteus_transport::{
 };
 
 use crate::dist;
+use crate::inflight::InflightTracker;
 use crate::link::{BottleneckLink, Offer};
 use crate::metrics::{FlowMetrics, SimResult, TraceEvent};
 use crate::noise::NoiseState;
@@ -38,46 +39,56 @@ const REORDER_THRESHOLD: u64 = 3;
 const MIN_RTO: Dur = Dur::from_millis(200);
 /// Safety valve on packets transmitted within a single `try_send` call.
 const MAX_BURST: usize = 100_000;
+/// Initial event-heap capacity: enough for the steady-state event population
+/// of a multi-flow run without repeated early regrowth.
+const HEAP_CAPACITY: usize = 1024;
 
+/// A scheduled event. Fields are deliberately narrow (`u32` flow ids and
+/// packet sizes) to keep [`HeapEntry`] small: the binary heap shuffles
+/// entries by value on every push/pop, so entry size is directly visible in
+/// the per-packet cost.
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    FlowStart(FlowId),
-    FlowStop(FlowId),
+    FlowStart(u32),
+    FlowStop(u32),
     /// A packet finished serializing at the bottleneck: release its buffer
     /// space.
     QueueDrain {
-        bytes: u64,
+        bytes: u32,
     },
-    /// A data packet reaches the receiver.
+    /// A data packet reaches the receiver (at the heap entry's time).
     Delivery {
-        flow: FlowId,
+        flow: u32,
         seq: SeqNr,
-        bytes: u64,
+        bytes: u32,
         sent_at: Time,
-        delivered_at: Time,
     },
     /// An ACK reaches the sender.
     AckArrival {
-        flow: FlowId,
+        flow: u32,
         seq: SeqNr,
-        bytes: u64,
+        bytes: u32,
         sent_at: Time,
         delivered_at: Time,
     },
+    /// Pace and CcTimer keep per-flow epochs and re-push on every re-arm
+    /// (stale pops are filtered by epoch). A one-live-event discipline like
+    /// the RTO's would be cheaper, but it assigns the surviving event a
+    /// different `event_seq`, which perturbs same-timestamp tie order and
+    /// breaks bit-reproducibility of committed results.
     Pace {
-        flow: FlowId,
+        flow: u32,
         epoch: u64,
     },
     CcTimer {
-        flow: FlowId,
+        flow: u32,
         epoch: u64,
     },
     Rto {
-        flow: FlowId,
-        epoch: u64,
+        flow: u32,
     },
     AppWake {
-        flow: FlowId,
+        flow: u32,
         epoch: u64,
     },
     SpawnCross,
@@ -121,17 +132,20 @@ struct FlowState {
     /// Started and neither stopped nor finished.
     active: bool,
     next_seq: SeqNr,
-    /// Outstanding packets: seq → (sent_at, bytes).
-    inflight: BTreeMap<SeqNr, (Time, u64)>,
+    /// Outstanding packets, O(1) per ACK (seqs are monotone and the path
+    /// never reorders, so removals cluster at the front).
+    inflight: InflightTracker,
     inflight_bytes: u64,
     /// Bytes awaiting retransmission (reliable flows only).
     retx_bytes: u64,
     rtt: RttEstimator,
     next_pace_at: Time,
+    /// Epoch of the live Pace event (older pops are stale no-ops).
     pace_epoch: u64,
+    /// Epoch of the live CcTimer event.
     cc_epoch: u64,
+    /// Deadline the controller asked for via `next_timer()`, if any.
     cc_timer_at: Option<Time>,
-    rto_epoch: u64,
     rto_deadline: Option<Time>,
     /// Time of the currently scheduled RTO heap event, if any (lazy re-arm:
     /// the deadline may move later without re-pushing).
@@ -155,7 +169,7 @@ impl FlowState {
             reliable,
             active: false,
             next_seq: 0,
-            inflight: BTreeMap::new(),
+            inflight: InflightTracker::new(),
             inflight_bytes: 0,
             retx_bytes: 0,
             rtt: RttEstimator::new(),
@@ -163,7 +177,6 @@ impl FlowState {
             pace_epoch: 0,
             cc_epoch: 0,
             cc_timer_at: None,
-            rto_epoch: 0,
             rto_deadline: None,
             rto_event_at: None,
             app_epoch: 0,
@@ -206,6 +219,9 @@ pub struct Sim {
     trace: Vec<TraceEvent>,
     cross: Option<CrossState>,
     link_rate_bps: f64,
+    /// Reusable scratch for loss sweeps (dup-ACK and RTO), so the per-ACK
+    /// and per-RTO paths stay allocation-free after warm-up.
+    loss_scratch: Vec<(SeqNr, Time, u64)>,
 }
 
 impl Sim {
@@ -226,7 +242,7 @@ impl Sim {
         let half_rtt = Dur::from_nanos(link.rtt.as_nanos() / 2);
         let mut sim = Sim {
             now: Time::ZERO,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(HEAP_CAPACITY),
             event_seq: 0,
             link: BottleneckLink::new(link.rate_bps(), link.buffer_bytes),
             fwd_prop: half_rtt,
@@ -245,6 +261,7 @@ impl Sim {
             trace: Vec::new(),
             cross: None,
             link_rate_bps: link.rate_bps(),
+            loss_scratch: Vec::new(),
         };
 
         for spec in flows {
@@ -254,9 +271,9 @@ impl Sim {
             sim.flows.push(state);
             sim.metrics
                 .push(FlowMetrics::new(id, spec.name, throughput_bin, rtt_stride));
-            sim.push(Time::ZERO + spec.start, Event::FlowStart(id));
+            sim.push(Time::ZERO + spec.start, Event::FlowStart(id as u32));
             if let Some(stop) = spec.stop {
-                sim.push(Time::ZERO + stop, Event::FlowStop(id));
+                sim.push(Time::ZERO + stop, Event::FlowStop(id as u32));
             }
         }
 
@@ -314,31 +331,30 @@ impl Sim {
 
     fn dispatch(&mut self, ev: Event) {
         match ev {
-            Event::FlowStart(id) => self.on_flow_start(id),
-            Event::FlowStop(id) => self.on_flow_stop(id),
-            Event::QueueDrain { bytes } => self.link.on_departure(bytes),
+            Event::FlowStart(id) => self.on_flow_start(id as FlowId),
+            Event::FlowStop(id) => self.on_flow_stop(id as FlowId),
+            Event::QueueDrain { bytes } => self.link.on_departure(bytes as u64),
             Event::Delivery {
                 flow,
                 seq,
                 bytes,
                 sent_at,
-                delivered_at,
-            } => self.on_delivery(flow, seq, bytes, sent_at, delivered_at),
+            } => self.on_delivery(flow as FlowId, seq, bytes as u64, sent_at),
             Event::AckArrival {
                 flow,
                 seq,
                 bytes,
                 sent_at,
                 delivered_at,
-            } => self.on_ack_arrival(flow, seq, bytes, sent_at, delivered_at),
+            } => self.on_ack_arrival(flow as FlowId, seq, bytes as u64, sent_at, delivered_at),
             Event::Pace { flow, epoch } => {
-                if self.flows[flow].pace_epoch == epoch {
-                    self.try_send(flow);
+                if self.flows[flow as FlowId].pace_epoch == epoch {
+                    self.try_send(flow as FlowId);
                 }
             }
-            Event::CcTimer { flow, epoch } => self.on_cc_timer(flow, epoch),
-            Event::Rto { flow, epoch } => self.on_rto(flow, epoch),
-            Event::AppWake { flow, epoch } => self.on_app_wake(flow, epoch),
+            Event::CcTimer { flow, epoch } => self.on_cc_timer(flow as FlowId, epoch),
+            Event::Rto { flow } => self.on_rto(flow as FlowId),
+            Event::AppWake { flow, epoch } => self.on_app_wake(flow as FlowId, epoch),
             Event::SpawnCross => self.on_spawn_cross(),
             Event::QueueSample => {
                 self.queue_samples
@@ -407,17 +423,11 @@ impl Sim {
         }
     }
 
-    fn on_delivery(
-        &mut self,
-        flow: FlowId,
-        seq: SeqNr,
-        bytes: u64,
-        sent_at: Time,
-        delivered_at: Time,
-    ) {
+    fn on_delivery(&mut self, flow: FlowId, seq: SeqNr, bytes: u64, sent_at: Time) {
         // Receiver generates an ACK immediately; the noise model may hold it
         // (WiFi MAC aggregation) before it crosses the reverse path. The
         // return path is FIFO: ACK arrivals are clamped monotone per flow.
+        let delivered_at = self.now;
         let release = self.noise.ack_release(self.now, &mut self.rng);
         let mut arrival = release + self.rev_prop;
         {
@@ -430,9 +440,9 @@ impl Sim {
         self.push(
             arrival,
             Event::AckArrival {
-                flow,
+                flow: flow as u32,
                 seq,
-                bytes,
+                bytes: bytes as u32,
                 sent_at,
                 delivered_at,
             },
@@ -451,21 +461,22 @@ impl Sim {
         let rtt = now.since(sent_at);
         let owd = delivered_at.since(sent_at);
 
-        let mut lost: Vec<(SeqNr, Time, u64)> = Vec::new();
+        let mut lost = std::mem::take(&mut self.loss_scratch);
+        lost.clear();
         let acked;
         {
             let f = &mut self.flows[flow];
-            acked = f.inflight.remove(&seq).is_some();
+            acked = f.inflight.remove(seq).is_some();
             if acked {
                 f.inflight_bytes = f.inflight_bytes.saturating_sub(bytes);
                 f.rtt.update(rtt);
                 // Dup-ACK analog: earlier packets are lost once this ACK is
                 // REORDER_THRESHOLD ahead of them.
-                while let Some((&oldest, &(o_sent, o_bytes))) = f.inflight.first_key_value() {
+                while let Some((oldest, pkt)) = f.inflight.front() {
                     if oldest + REORDER_THRESHOLD <= seq {
-                        f.inflight.remove(&oldest);
-                        f.inflight_bytes = f.inflight_bytes.saturating_sub(o_bytes);
-                        lost.push((oldest, o_sent, o_bytes));
+                        f.inflight.pop_front();
+                        f.inflight_bytes = f.inflight_bytes.saturating_sub(pkt.bytes);
+                        lost.push((oldest, pkt.sent_at, pkt.bytes));
                     } else {
                         break;
                     }
@@ -475,6 +486,7 @@ impl Sim {
 
         if !acked {
             // Already declared lost (spurious "ack"); ignore.
+            self.loss_scratch = lost;
             return;
         }
 
@@ -489,9 +501,10 @@ impl Sim {
         };
         self.flows[flow].cc.on_ack(now, &ack);
 
-        for (l_seq, l_sent, l_bytes) in lost {
+        for &(l_seq, l_sent, l_bytes) in &lost {
             self.declare_loss(flow, l_seq, l_sent, l_bytes, false);
         }
+        self.loss_scratch = lost;
 
         // Deliver progress to the application and check for completion.
         let finished = {
@@ -533,10 +546,10 @@ impl Sim {
         }
     }
 
-    fn on_rto(&mut self, flow: FlowId, epoch: u64) {
-        if self.flows[flow].rto_epoch != epoch {
-            return;
-        }
+    fn on_rto(&mut self, flow: FlowId) {
+        // At most one RTO event is ever outstanding (pushes are guarded by
+        // `rto_event_at`), so a pop at any other time is impossible.
+        debug_assert_eq!(self.flows[flow].rto_event_at, Some(self.now));
         let now = self.now;
         self.flows[flow].rto_event_at = None;
         let Some(deadline) = self.flows[flow].rto_deadline else {
@@ -546,32 +559,32 @@ impl Sim {
             // The deadline moved later since this event was scheduled
             // (progress was made); re-arm at the true deadline.
             let f = &mut self.flows[flow];
-            f.rto_epoch += 1;
             f.rto_event_at = Some(deadline);
-            let epoch = f.rto_epoch;
-            self.push(deadline, Event::Rto { flow, epoch });
+            self.push(deadline, Event::Rto { flow: flow as u32 });
             return;
         }
         let rto = self.flows[flow].rtt.rto(MIN_RTO);
-        // Declare every packet older than one RTO lost.
-        let stale: Vec<(SeqNr, Time, u64)> = {
+        // Declare every packet older than one RTO lost. Packets are sent in
+        // seq order at non-decreasing times, so the stale set is exactly a
+        // prefix of the outstanding queue.
+        let mut stale = std::mem::take(&mut self.loss_scratch);
+        stale.clear();
+        {
             let f = &mut self.flows[flow];
             let cutoff = now - rto;
-            let stale: Vec<_> = f
-                .inflight
-                .iter()
-                .filter(|(_, &(sent, _))| sent <= cutoff)
-                .map(|(&s, &(sent, b))| (s, sent, b))
-                .collect();
-            for &(s, _, b) in &stale {
-                f.inflight.remove(&s);
-                f.inflight_bytes = f.inflight_bytes.saturating_sub(b);
+            while let Some((s, pkt)) = f.inflight.front() {
+                if pkt.sent_at > cutoff {
+                    break;
+                }
+                f.inflight.pop_front();
+                f.inflight_bytes = f.inflight_bytes.saturating_sub(pkt.bytes);
+                stale.push((s, pkt.sent_at, pkt.bytes));
             }
-            stale
-        };
-        for (s, sent, b) in stale {
+        }
+        for &(s, sent, b) in &stale {
             self.declare_loss(flow, s, sent, b, true);
         }
+        self.loss_scratch = stale;
         self.flows[flow].rto_deadline = None;
         self.rearm_rto(flow);
         self.sync_cc_timer(flow);
@@ -588,10 +601,8 @@ impl Sim {
         let deadline = self.now + rto;
         f.rto_deadline = Some(deadline);
         if f.rto_event_at.is_none() {
-            f.rto_epoch += 1;
             f.rto_event_at = Some(deadline);
-            let epoch = f.rto_epoch;
-            self.push(deadline, Event::Rto { flow, epoch });
+            self.push(deadline, Event::Rto { flow: flow as u32 });
         }
     }
 
@@ -618,7 +629,13 @@ impl Sim {
         if let Some(t) = want {
             let at = if t < self.now { self.now } else { t };
             let epoch = f.cc_epoch;
-            self.push(at, Event::CcTimer { flow, epoch });
+            self.push(
+                at,
+                Event::CcTimer {
+                    flow: flow as u32,
+                    epoch,
+                },
+            );
         }
     }
 
@@ -647,7 +664,13 @@ impl Sim {
         f.app_wake_at = want;
         if let Some(at) = want {
             let epoch = f.app_epoch;
-            self.push(at, Event::AppWake { flow, epoch });
+            self.push(
+                at,
+                Event::AppWake {
+                    flow: flow as u32,
+                    epoch,
+                },
+            );
         }
     }
 
@@ -676,7 +699,7 @@ impl Sim {
             self.throughput_bin,
             self.rtt_stride,
         ));
-        self.push(now, Event::FlowStart(id));
+        self.push(now, Event::FlowStart(id as u32));
         self.push(now + Dur::from_secs_f64(gap), Event::SpawnCross);
     }
 
@@ -723,7 +746,13 @@ impl Sim {
                     f.pace_epoch += 1;
                     let at = f.next_pace_at;
                     let epoch = f.pace_epoch;
-                    self.push(at, Event::Pace { flow, epoch });
+                    self.push(
+                        at,
+                        Event::Pace {
+                            flow: flow as u32,
+                            epoch,
+                        },
+                    );
                     return;
                 }
                 let interval = Dur::from_secs_f64(bytes as f64 / rate);
@@ -738,7 +767,7 @@ impl Sim {
             } else {
                 f.app.consume(bytes);
             }
-            f.inflight.insert(seq, (now, bytes));
+            f.inflight.insert(seq, now, bytes);
             f.inflight_bytes += bytes;
             let pkt = SentPacket {
                 seq,
@@ -754,7 +783,12 @@ impl Sim {
                     // Tail drop: the sender finds out via dup-ACKs or RTO.
                 }
                 Offer::Departs(at) => {
-                    self.push(at, Event::QueueDrain { bytes });
+                    self.push(
+                        at,
+                        Event::QueueDrain {
+                            bytes: bytes as u32,
+                        },
+                    );
                     if self.random_loss > 0.0 && self.rng.random::<f64>() < self.random_loss {
                         // Non-congestion loss on the wire after the queue.
                     } else {
@@ -771,11 +805,10 @@ impl Sim {
                         self.push(
                             delivered_at,
                             Event::Delivery {
-                                flow,
+                                flow: flow as u32,
                                 seq,
-                                bytes,
+                                bytes: bytes as u32,
                                 sent_at: now,
-                                delivered_at,
                             },
                         );
                     }

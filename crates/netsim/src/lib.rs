@@ -43,12 +43,14 @@
 
 pub mod dist;
 pub mod engine;
+pub mod inflight;
 pub mod link;
 pub mod metrics;
 pub mod noise;
 pub mod scenario;
 
 pub use engine::{run, Sim};
+pub use inflight::{InflightPkt, InflightTracker};
 pub use link::{BottleneckLink, Offer};
 pub use metrics::{FlowMetrics, SimResult, TraceEvent};
 pub use noise::{NoiseConfig, WifiNoiseConfig};

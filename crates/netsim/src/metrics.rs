@@ -6,7 +6,9 @@
 //! feeds raw events into [`FlowMetrics`]; the harness reads the aggregate
 //! accessors.
 
-use proteus_stats::percentile;
+use std::cell::OnceCell;
+
+use proteus_stats::percentile_sorted;
 use proteus_transport::{Dur, FlowId, Time};
 
 /// Measurements recorded for one flow over a simulation run.
@@ -32,10 +34,15 @@ pub struct FlowMetrics {
     pub pkts_lost: u64,
     /// Width of each throughput bin.
     pub bin: Dur,
-    /// Bytes acknowledged per time bin since `Time::ZERO`.
-    pub acked_bins: Vec<u64>,
     /// `(ack_time_seconds, rtt_seconds)` samples (possibly strided).
     pub rtt_samples: Vec<(f64, f64)>,
+    /// Cumulative bytes acknowledged through each time bin since
+    /// `Time::ZERO` (`acked_cum[i]` covers bins `0..=i`). Stored as a prefix
+    /// sum so any `throughput_bps` window is two lookups instead of a scan.
+    acked_cum: Vec<u64>,
+    /// Sorted RTT values, built lazily on the first percentile query and
+    /// invalidated by `on_ack` (percentile reads during a run stay correct).
+    rtt_sorted: OnceCell<Vec<f64>>,
     rtt_stride: usize,
     rtt_counter: usize,
 }
@@ -54,8 +61,9 @@ impl FlowMetrics {
             pkts_acked: 0,
             pkts_lost: 0,
             bin,
-            acked_bins: Vec::new(),
             rtt_samples: Vec::new(),
+            acked_cum: Vec::new(),
+            rtt_sorted: OnceCell::new(),
             rtt_stride: rtt_stride.max(1),
             rtt_counter: 0,
         }
@@ -70,14 +78,20 @@ impl FlowMetrics {
         self.bytes_acked += bytes;
         self.pkts_acked += 1;
         let bin_idx = (now.as_nanos() / self.bin.as_nanos().max(1)) as usize;
-        if self.acked_bins.len() <= bin_idx {
-            self.acked_bins.resize(bin_idx + 1, 0);
+        if self.acked_cum.len() <= bin_idx {
+            // New bins start from the running total (prefix-sum invariant).
+            let total = self.acked_cum.last().copied().unwrap_or(0);
+            self.acked_cum.resize(bin_idx + 1, total);
         }
-        self.acked_bins[bin_idx] += bytes;
+        // ACK events arrive in time order, so this ACK lands in the last bin
+        // and the prefix-sum stays consistent with a single update.
+        debug_assert_eq!(bin_idx + 1, self.acked_cum.len());
+        self.acked_cum[bin_idx] += bytes;
         self.rtt_counter += 1;
         if self.rtt_counter.is_multiple_of(self.rtt_stride) {
             self.rtt_samples
                 .push((now.as_secs_f64(), rtt.as_secs_f64()));
+            self.rtt_sorted.take();
         }
     }
 
@@ -85,9 +99,22 @@ impl FlowMetrics {
         self.pkts_lost += 1;
     }
 
+    /// Bytes acknowledged in bin `i`.
+    fn bin_bytes(&self, i: usize) -> u64 {
+        let lo = if i == 0 { 0 } else { self.acked_cum[i - 1] };
+        self.acked_cum[i] - lo
+    }
+
+    /// Bytes acknowledged per time bin since `Time::ZERO`.
+    pub fn acked_bins(&self) -> Vec<u64> {
+        (0..self.acked_cum.len())
+            .map(|i| self.bin_bytes(i))
+            .collect()
+    }
+
     /// Mean goodput in bits/sec over `[from, to)`, snapped inward to whole
     /// ACK bins (a partial bin would otherwise attribute bytes from outside
-    /// the window and overestimate the rate).
+    /// the window and overestimate the rate). O(1) via the bin prefix sum.
     pub fn throughput_bps(&self, from: Time, to: Time) -> f64 {
         if to <= from {
             return 0.0;
@@ -98,10 +125,18 @@ impl FlowMetrics {
         if last <= first {
             return 0.0;
         }
-        let mut bytes = 0u64;
-        for i in first..last.min(self.acked_bins.len()) {
-            bytes += self.acked_bins[i];
-        }
+        // Bytes in bins [first, min(last, len)) = cum[hi-1] - cum[first-1].
+        let hi = last.min(self.acked_cum.len());
+        let bytes = if hi <= first {
+            0
+        } else {
+            let lo = if first == 0 {
+                0
+            } else {
+                self.acked_cum[first - 1]
+            };
+            self.acked_cum[hi - 1] - lo
+        };
         let duration_s = ((last - first) as u64 * bin_ns) as f64 / 1e9;
         bytes as f64 * 8.0 / duration_s
     }
@@ -114,10 +149,13 @@ impl FlowMetrics {
     /// `(bin_start_seconds, Mbit/sec)` goodput timeline (Fig. 14 / Fig. 18).
     pub fn throughput_timeline_mbps(&self) -> Vec<(f64, f64)> {
         let bin_s = self.bin.as_secs_f64();
-        self.acked_bins
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| (i as f64 * bin_s, b as f64 * 8.0 / bin_s / 1e6))
+        (0..self.acked_cum.len())
+            .map(|i| {
+                (
+                    i as f64 * bin_s,
+                    self.bin_bytes(i) as f64 * 8.0 / bin_s / 1e6,
+                )
+            })
             .collect()
     }
 
@@ -136,9 +174,21 @@ impl FlowMetrics {
             .collect()
     }
 
-    /// The `p`-th percentile RTT in seconds, if samples exist.
+    /// The `p`-th percentile RTT in seconds, if samples exist. The sorted
+    /// sample set is cached after the first query, so sweeping several
+    /// percentiles (p50/p95/p99 columns) costs one sort total.
     pub fn rtt_percentile(&self, p: f64) -> Option<f64> {
-        percentile(&self.rtt_values(), p)
+        let sorted = self.rtt_sorted.get_or_init(|| {
+            let mut v: Vec<f64> = self
+                .rtt_samples
+                .iter()
+                .map(|&(_, r)| r)
+                .filter(|r| r.is_finite())
+                .collect();
+            v.sort_unstable_by(f64::total_cmp);
+            v
+        });
+        percentile_sorted(sorted, p)
     }
 
     /// Mean RTT in seconds.

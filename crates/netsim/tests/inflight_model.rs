@@ -1,0 +1,102 @@
+//! Model-based property test: [`InflightTracker`] must behave exactly like
+//! the `BTreeMap<SeqNr, (Time, u64)>` it replaced in the engine hot path,
+//! under randomized interleavings of the operations the engine performs —
+//! sends (monotone seqs, non-decreasing times), ACK removals (hits, repeats,
+//! and out-of-range seqs), dup-ACK oldest-first sweeps, and RTO prefix pops.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use proteus_netsim::{InflightPkt, InflightTracker};
+use proteus_transport::{SeqNr, Time};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Transmit the next sequence number at the current time.
+    Send { bytes: u64 },
+    /// ACK an arbitrary sequence number (possibly already gone or never sent).
+    Ack { pick: u64 },
+    /// Dup-ACK loss inference: declare up to `count` oldest packets lost.
+    DupAckSweep { count: usize },
+    /// RTO: drain every packet sent at or before a cutoff, oldest first.
+    RtoSweep,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..=1500).prop_map(|bytes| Op::Send { bytes }),
+        4 => any::<u64>().prop_map(|pick| Op::Ack { pick }),
+        1 => (0usize..4).prop_map(|count| Op::DupAckSweep { count }),
+        1 => Just(Op::RtoSweep),
+    ]
+}
+
+/// The reference model's view of the oldest outstanding packet.
+fn ref_front(reference: &BTreeMap<SeqNr, (Time, u64)>) -> Option<(SeqNr, InflightPkt)> {
+    reference
+        .iter()
+        .next()
+        .map(|(&seq, &(sent_at, bytes))| (seq, InflightPkt { sent_at, bytes }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tracker_matches_btreemap_reference(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut tracker = InflightTracker::new();
+        let mut reference: BTreeMap<SeqNr, (Time, u64)> = BTreeMap::new();
+        let mut next_seq: SeqNr = 0;
+
+        for (step, op) in ops.iter().enumerate() {
+            let now = Time::from_millis(step as u64);
+            match *op {
+                Op::Send { bytes } => {
+                    tracker.insert(next_seq, now, bytes);
+                    reference.insert(next_seq, (now, bytes));
+                    next_seq += 1;
+                }
+                Op::Ack { pick } => {
+                    // Bias slightly past `next_seq` so removals beyond the
+                    // tail get exercised too.
+                    let seq = pick % (next_seq + 3);
+                    let got = tracker.remove(seq);
+                    let want = reference
+                        .remove(&seq)
+                        .map(|(sent_at, bytes)| InflightPkt { sent_at, bytes });
+                    prop_assert_eq!(got, want, "remove({}) at step {}", seq, step);
+                }
+                Op::DupAckSweep { count } => {
+                    for _ in 0..count {
+                        let want = ref_front(&reference);
+                        if let Some((seq, _)) = want {
+                            reference.remove(&seq);
+                        }
+                        prop_assert_eq!(tracker.pop_front(), want, "pop_front at step {}", step);
+                    }
+                }
+                Op::RtoSweep => {
+                    let cutoff = Time::from_millis(step as u64 / 2);
+                    while let Some((_, pkt)) = tracker.front() {
+                        if pkt.sent_at > cutoff {
+                            break;
+                        }
+                        let want = ref_front(&reference);
+                        if let Some((seq, _)) = want {
+                            reference.remove(&seq);
+                        }
+                        prop_assert_eq!(tracker.pop_front(), want, "rto pop at step {}", step);
+                    }
+                    // Times are non-decreasing in seq, so the model must also
+                    // have nothing at or before the cutoff left.
+                    if let Some((_, pkt)) = ref_front(&reference) {
+                        prop_assert!(pkt.sent_at > cutoff, "model retains expired packet");
+                    }
+                }
+            }
+            prop_assert_eq!(tracker.len(), reference.len(), "len diverged at step {}", step);
+            prop_assert_eq!(tracker.is_empty(), reference.is_empty());
+            prop_assert_eq!(tracker.front(), ref_front(&reference), "front diverged at step {}", step);
+        }
+    }
+}

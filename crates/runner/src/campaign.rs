@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::cache::ResultCache;
@@ -85,6 +86,19 @@ impl CampaignStats {
             .int("workers", self.workers as u64);
         o.render()
     }
+}
+
+/// Process-wide log of every campaign finished since the last
+/// [`take_session_stats`] call. Lets a driver binary that runs many
+/// experiments (each constructing its own [`Campaign`]) report aggregate
+/// cache hit/miss accounting at the end without threading state through
+/// every experiment function.
+static SESSION_STATS: Mutex<Vec<CampaignStats>> = Mutex::new(Vec::new());
+
+/// Drains and returns the stats of every campaign completed in this process
+/// since the previous drain, in completion order.
+pub fn take_session_stats() -> Vec<CampaignStats> {
+    std::mem::take(&mut *SESSION_STATS.lock().unwrap_or_else(|e| e.into_inner()))
 }
 
 impl Campaign {
@@ -212,6 +226,10 @@ impl Campaign {
         if let Some(path) = &self.opts.summary {
             Self::append_summary(path, &stats);
         }
+        SESSION_STATS
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(stats.clone());
         CampaignResult { outputs, stats }
     }
 
@@ -410,6 +428,22 @@ mod tests {
             assert_eq!(text.lines().last().unwrap(), r.stats.to_json());
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_registry_records_completed_campaigns() {
+        // Other tests run campaigns concurrently, so only assert on our own
+        // uniquely named entries rather than on the registry as a whole.
+        let mut c = Campaign::new("session-registry-probe", CampaignOpts::default());
+        c.push(SimJob::new("test/registry/0", "j", || "1".to_string()));
+        c.push(SimJob::new("test/registry/1", "j", || "2".to_string()));
+        let r = c.run();
+
+        let mine: Vec<CampaignStats> = take_session_stats()
+            .into_iter()
+            .filter(|s| s.name == "session-registry-probe")
+            .collect();
+        assert_eq!(mine, vec![r.stats]);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod payload;
 pub mod pool;
 
 pub use cache::ResultCache;
-pub use campaign::{Campaign, CampaignOpts, CampaignResult, CampaignStats};
+pub use campaign::{take_session_stats, Campaign, CampaignOpts, CampaignResult, CampaignStats};
 pub use hash::JobKey;
 pub use job::SimJob;
 pub use pool::Executor;

@@ -52,7 +52,7 @@ pub use cdf::Ecdf;
 pub use ewma::{Ewma, MeanDeviationTracker};
 pub use histogram::Histogram;
 pub use jain::jain_index;
-pub use percentile::{median, percentile};
+pub use percentile::{median, percentile, percentile_sorted};
 pub use regression::LinearRegression;
 pub use summary::Summary;
 pub use welford::Welford;

@@ -5,18 +5,40 @@
 ///
 /// The paper reports 95th-percentile RTT and inflation ratios throughout
 /// §6.1–6.2; this helper is what the harness uses for those columns.
+///
+/// Selection-based (`select_nth_unstable_by`): O(n) expected rather than the
+/// O(n log n) of a full sort, which matters when the harness sweeps
+/// percentiles over every flow of a large campaign.
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     let mut v: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
     if v.is_empty() {
         return None;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let idx = nearest_rank_index(v.len(), p);
+    let (_, val, _) = v.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("finite"));
+    Some(*val)
+}
+
+/// Returns the `p`-th percentile of an **ascending-sorted** slice with no
+/// non-finite values, in O(1). Callers that cache a sorted sample set (e.g.
+/// per-flow RTT metrics) use this to answer repeated percentile queries
+/// without re-collecting.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    Some(sorted[nearest_rank_index(sorted.len(), p)])
+}
+
+/// Nearest-rank index for the `p`-th percentile of `len` samples.
+fn nearest_rank_index(len: usize, p: f64) -> usize {
     let p = p.clamp(0.0, 100.0);
     if p == 0.0 {
-        return v.first().copied();
+        return 0;
     }
-    let rank = (p / 100.0 * v.len() as f64).ceil() as usize;
-    Some(v[rank.saturating_sub(1).min(v.len() - 1)])
+    let rank = (p / 100.0 * len as f64).ceil() as usize;
+    rank.saturating_sub(1).min(len - 1)
 }
 
 /// Median shorthand.
@@ -51,6 +73,23 @@ mod tests {
     }
 
     #[test]
+    fn all_non_finite_is_none() {
+        assert_eq!(
+            percentile(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY], 95.0),
+            None
+        );
+    }
+
+    #[test]
+    fn infinities_are_dropped_like_nan() {
+        // Non-finite values must not poison selection ordering.
+        let xs = [f64::INFINITY, 2.0, f64::NEG_INFINITY, 1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&xs, 50.0), Some(2.0));
+        assert_eq!(percentile(&xs, 100.0), Some(3.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+    }
+
+    #[test]
     fn single_element() {
         assert_eq!(percentile(&[42.0], 95.0), Some(42.0));
     }
@@ -60,5 +99,37 @@ mod tests {
         let xs = [1.0, 2.0, 3.0];
         assert_eq!(percentile(&xs, -5.0), Some(1.0));
         assert_eq!(percentile(&xs, 150.0), Some(3.0));
+        assert_eq!(percentile(&xs, f64::NAN), Some(1.0), "NaN p clamps to 0");
+    }
+
+    #[test]
+    fn selection_matches_full_sort() {
+        // Pseudo-random fixture: selection must agree with the sort-based
+        // definition at every percentile.
+        let mut xs = Vec::new();
+        let mut x = 1u64;
+        for _ in 0..257 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            xs.push((x >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in 0..=100 {
+            let p = p as f64;
+            assert_eq!(percentile(&xs, p), percentile_sorted(&sorted, p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_sorted_edges() {
+        assert_eq!(percentile_sorted(&[], 50.0), None);
+        assert_eq!(percentile_sorted(&[4.0], 0.0), Some(4.0));
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile_sorted(&xs, 25.0), Some(1.0));
+        assert_eq!(percentile_sorted(&xs, 26.0), Some(2.0));
+        assert_eq!(percentile_sorted(&xs, 100.0), Some(4.0));
     }
 }

@@ -4,8 +4,9 @@
 //! re-implements the slice of the proptest DSL the workspace's property
 //! tests use: the [`proptest!`] macro (with an optional
 //! `#![proptest_config(..)]` header), range and `any::<bool>()` strategies,
-//! `prop::collection::vec`, and the `prop_assert!`/`prop_assert_eq!`
-//! macros. Cases are generated deterministically from the test name, so
+//! `prop::collection::vec`, combinators ([`Strategy::prop_map`], [`Just`],
+//! the weighted [`prop_oneof!`] macro), and the
+//! `prop_assert!`/`prop_assert_eq!` macros. Cases are generated deterministically from the test name, so
 //! failures are reproducible; there is no shrinking — the failing inputs
 //! are reported by the assertion message instead.
 
@@ -64,6 +65,40 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every drawn value through `f` (upstream `prop_map`).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
 }
 
 impl Strategy for Range<f64> {
@@ -86,6 +121,20 @@ macro_rules! impl_strategy_int_range {
     )*};
 }
 impl_strategy_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_strategy_int_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() - *self.start()) as u64 + 1;
+                *self.start() + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range_inclusive!(u8, u16, u32, u64, usize, i32, i64);
 
 /// Strategy returned by [`any`].
 #[derive(Debug, Clone, Copy)]
@@ -162,6 +211,60 @@ pub mod collection {
     }
 }
 
+/// Weighted choice between strategies that all yield the same value type.
+/// Built by [`prop_oneof!`]; arms are boxed so heterogeneous strategy types
+/// can share one union.
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedDraw<V>)>,
+}
+
+type BoxedDraw<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+impl<V> Union<V> {
+    /// A union with no arms yet (sampling panics until one is added).
+    pub fn empty() -> Self {
+        Self { arms: Vec::new() }
+    }
+
+    /// Adds an arm drawn with probability `weight / total_weight`.
+    pub fn arm<S>(mut self, weight: u32, strategy: S) -> Self
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        self.arms
+            .push((weight, Box::new(move |rng| strategy.sample(rng))));
+        self
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        let mut pick = rng.below(total);
+        for (weight, draw) in &self.arms {
+            if pick < *weight as u64 {
+                return draw(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("pick < total")
+    }
+}
+
+/// Weighted (`w => strategy`) or uniform (`strategy, ..`) choice between
+/// strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::empty()$(.arm($weight, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::empty()$(.arm(1, $strat))+
+    };
+}
+
 /// Per-run configuration (`#![proptest_config(..)]`).
 #[derive(Debug, Clone, Copy)]
 pub struct ProptestConfig {
@@ -232,7 +335,9 @@ pub mod prelude {
     /// Upstream proptest exposes the crate itself as `prop` in its prelude
     /// (enabling `prop::collection::vec`); mirror that.
     pub use crate as prop;
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
 }
 
 #[cfg(test)]
@@ -251,6 +356,18 @@ mod tests {
             prop_assert!((1.0..2.0).contains(&x));
             prop_assert!((3..7).contains(&n));
             prop_assert!(matches!(b, true | false));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop_oneof![
+                3 => (0_u32..10).prop_map(|n| n * 2),
+                1 => Just(99_u32),
+            ],
+            m in 5_u64..=7,
+        ) {
+            prop_assert!(v == 99 || (v % 2 == 0 && v < 20));
+            prop_assert!((5..=7).contains(&m));
         }
 
         #[test]
