@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use proteus_core::{evaluate, MiObservation, Mode, UtilityParams};
+use proteus_core::{evaluate, MiObservation, Mode, ProteusSender, SharedThreshold, UtilityParams};
 use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
-use proteus_transport::{AckInfo, Dur, MiTracker, SentPacket, Time};
+use proteus_transport::{AckInfo, CongestionControl, Dur, MiStats, MiTracker, SentPacket, Time};
 
 fn ack(seq: u64, sent_ms: u64, rtt_ms: u64) -> AckInfo {
     AckInfo {
@@ -37,7 +37,11 @@ fn bench_utility(c: &mut Criterion) {
 }
 
 fn bench_mi_tracker(c: &mut Criterion) {
-    c.bench_function("mi_tracker/100pkt_interval", |b| {
+    let mut group = c.benchmark_group("mi_tracker");
+    // One full 100-packet MI: send, roll, drain every ACK. `out` is reused
+    // across iterations like the senders reuse their scratch buffer.
+    group.bench_function("100pkt_interval", |b| {
+        let mut out: Vec<MiStats> = Vec::new();
         b.iter(|| {
             let mut t = MiTracker::new();
             t.start_mi(Time::ZERO, 6e6);
@@ -51,11 +55,38 @@ fn bench_mi_tracker(c: &mut Criterion) {
             t.start_mi(Time::from_millis(30), 6e6);
             let mut done = 0;
             for i in 0..100u64 {
-                done += t.on_ack(&ack(i, i * 3 / 10, 30)).len();
+                out.clear();
+                t.on_ack_into(&ack(i, i * 3 / 10, 30), &mut out);
+                done += out.len();
             }
             black_box(done)
         })
     });
+    // Same interval with every RTT sample excluded (`keep_rtt = false`):
+    // the path Proteus' per-ACK noise filter takes during a burst episode.
+    group.bench_function("100pkt_interval_filtered", |b| {
+        let mut out: Vec<MiStats> = Vec::new();
+        b.iter(|| {
+            let mut t = MiTracker::new();
+            t.start_mi(Time::ZERO, 6e6);
+            for i in 0..100u64 {
+                t.on_sent(&SentPacket {
+                    seq: i,
+                    bytes: 1500,
+                    sent_at: Time::from_micros(i * 300),
+                });
+            }
+            t.start_mi(Time::from_millis(30), 6e6);
+            let mut done = 0;
+            for i in 0..100u64 {
+                out.clear();
+                t.on_ack_filtered_into(&ack(i, i * 3 / 10, 30), false, &mut out);
+                done += out.len();
+            }
+            black_box(done)
+        })
+    });
+    group.finish();
 }
 
 fn bench_cc_per_ack(c: &mut Criterion) {
@@ -80,6 +111,78 @@ fn bench_cc_per_ack(c: &mut Criterion) {
             })
         });
     }
+    // Per-ACK cost at BDP-like occupancy: 256 packets stay in flight and
+    // the controller's own MI timer fires, so seq attribution spans
+    // hundreds of live packets across several pending MIs and every ~30th
+    // ACK closes an interval (regression fit, utility, rate update) — the
+    // shape a saturated 60 ms flow presents, where the single-outstanding
+    // loop above keeps every structure trivially small.
+    group.bench_function("Proteus-S-256inflight", |b| {
+        let mut cc = proteus_bench::cc("Proteus-S", 1);
+        cc.on_flow_start(Time::ZERO);
+        let mut seq = 0u64;
+        for _ in 0..256 {
+            seq += 1;
+            cc.on_packet_sent(
+                Time::from_millis(seq),
+                &SentPacket {
+                    seq,
+                    bytes: 1500,
+                    sent_at: Time::from_millis(seq),
+                },
+            );
+        }
+        b.iter(|| {
+            seq += 1;
+            let now = Time::from_millis(seq);
+            if cc.next_timer().is_some_and(|t| t <= now) {
+                cc.on_timer(now);
+            }
+            cc.on_packet_sent(
+                now,
+                &SentPacket {
+                    seq,
+                    bytes: 1500,
+                    sent_at: now,
+                },
+            );
+            let old = seq - 256;
+            cc.on_ack(now, &ack(old, old, 30));
+            black_box(cc.cwnd_bytes())
+        })
+    });
+    // Proteus-H with live mode switching: every 64 ACKs the sender flips
+    // between hybrid and scavenger objectives and the application retunes
+    // the shared threshold — the §4.4 cross-layer path, so the per-ACK cost
+    // of mode churn is tracked alongside the steady modes.
+    group.bench_function("Proteus-H-switching", |b| {
+        let threshold = SharedThreshold::new(25.0);
+        let mut cc = ProteusSender::hybrid(1, threshold.clone());
+        cc.on_flow_start(Time::ZERO);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            if seq.is_multiple_of(64) {
+                if (seq / 64).is_multiple_of(2) {
+                    threshold.set(5.0);
+                    cc.set_mode(Mode::Hybrid(threshold.clone()));
+                } else {
+                    threshold.set(50.0);
+                    cc.set_mode(Mode::Scavenger);
+                }
+            }
+            cc.on_packet_sent(
+                Time::from_millis(seq),
+                &SentPacket {
+                    seq,
+                    bytes: 1500,
+                    sent_at: Time::from_millis(seq),
+                },
+            );
+            cc.on_ack(Time::from_millis(seq + 30), &ack(seq, seq, 30));
+            black_box(cc.rate_mbps())
+        })
+    });
     group.finish();
 }
 

@@ -81,9 +81,15 @@ impl Table {
     }
 }
 
-/// Directory where experiment reports are written.
+/// Directory where experiment reports are written: `results/` at the repo
+/// root, or `$PROTEUS_RESULTS_DIR` when set (the golden-output test points
+/// this at a scratch directory so running experiments cannot clobber the
+/// committed full-fidelity reports).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let dir = match std::env::var_os("PROTEUS_RESULTS_DIR") {
+        Some(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+    };
     let _ = fs::create_dir_all(&dir);
     dir
 }

@@ -31,8 +31,6 @@
 //! satisfies both of the paper's stated goals (saturate a stable bottleneck;
 //! keep latency sensitivity against slow inflation).
 
-use std::collections::VecDeque;
-
 use proteus_stats::{LinearRegression, MeanDeviationTracker, Welford};
 use proteus_transport::{AckInfo, Dur, MiStats, Time};
 
@@ -137,6 +135,12 @@ pub struct GatedMetrics {
 
 /// Per-MI noise gate: either Vivace's flat threshold or Proteus' adaptive
 /// per-MI + trending mechanisms.
+//
+// The Adaptive variant inlines the fixed trending ring on purpose: the gate
+// lives once per flow and is consulted on the per-ACK/per-MI hot path, so
+// the footprint buys zero allocation and no pointer chase (boxing it would
+// reintroduce an indirection exactly where it hurts).
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum MiNoiseGate {
     /// Flat |gradient| threshold (PCC Vivace).
@@ -148,27 +152,50 @@ pub enum MiNoiseGate {
     Adaptive(AdaptiveGate),
 }
 
+/// Upper bound on the configurable trending window (§5 uses k = 6). The
+/// gate keeps its MI history in a fixed `[_; TREND_WINDOW_MAX]` ring so
+/// processing an MI never allocates.
+pub const TREND_WINDOW_MAX: usize = 16;
+
 /// State of the adaptive (Proteus) gate.
 #[derive(Debug)]
 pub struct AdaptiveGate {
     params: AdaptiveNoiseParams,
-    /// `(mi_mean_rtt, mi_rtt_dev)` of the most recent k MIs.
-    history: VecDeque<(f64, f64)>,
+    /// `(mi_mean_rtt, mi_rtt_dev)` of the most recent k MIs, as a ring over
+    /// the first `params.trend_window` slots of a fixed array.
+    history: [(f64, f64); TREND_WINDOW_MAX],
+    /// Valid entries in `history` (saturates at `params.trend_window`).
+    hist_len: usize,
+    /// Next ring write position; once saturated, also the oldest entry.
+    hist_pos: usize,
     trend_grad_tracker: MeanDeviationTracker,
     trend_dev_tracker: MeanDeviationTracker,
 }
 
 impl MiNoiseGate {
     /// Builds the gate from a configuration.
+    ///
+    /// # Panics
+    /// Panics when an adaptive configuration asks for a trending window
+    /// outside `1..=TREND_WINDOW_MAX`.
     pub fn new(cfg: NoiseTolerance) -> Self {
         match cfg {
             NoiseTolerance::FixedThreshold(threshold) => MiNoiseGate::Fixed { threshold },
-            NoiseTolerance::Adaptive(params) => MiNoiseGate::Adaptive(AdaptiveGate {
-                params,
-                history: VecDeque::new(),
-                trend_grad_tracker: MeanDeviationTracker::kernel_style(),
-                trend_dev_tracker: MeanDeviationTracker::kernel_style(),
-            }),
+            NoiseTolerance::Adaptive(params) => {
+                assert!(
+                    (1..=TREND_WINDOW_MAX).contains(&params.trend_window),
+                    "trend_window {} outside 1..={TREND_WINDOW_MAX}",
+                    params.trend_window
+                );
+                MiNoiseGate::Adaptive(AdaptiveGate {
+                    params,
+                    history: [(0.0, 0.0); TREND_WINDOW_MAX],
+                    hist_len: 0,
+                    hist_pos: 0,
+                    trend_grad_tracker: MeanDeviationTracker::kernel_style(),
+                    trend_dev_tracker: MeanDeviationTracker::kernel_style(),
+                })
+            }
         }
     }
 
@@ -196,28 +223,29 @@ impl AdaptiveGate {
         let per_mi_gated =
             self.params.per_mi_tolerance && mi.rtt_gradient.abs() < mi.gradient_error;
 
-        // Stage 2: trending metrics over the last k MIs.
-        self.history.push_back((mi.rtt_mean, mi.rtt_dev));
-        while self.history.len() > self.params.trend_window {
-            self.history.pop_front();
-        }
+        // Stage 2: trending metrics over the last k MIs. The history is a
+        // fixed ring; materializing the window chronologically into a stack
+        // buffer keeps the fit bit-identical to the old collect-a-Vec code
+        // without its per-MI allocation.
+        let k = self.params.trend_window;
+        self.history[self.hist_pos] = (mi.rtt_mean, mi.rtt_dev);
+        self.hist_pos = (self.hist_pos + 1) % k;
+        self.hist_len = (self.hist_len + 1).min(k);
 
         let mut grad_significant = false;
         let mut dev_significant = false;
-        if self.params.trending_tolerance && self.history.len() == self.params.trend_window {
-            let points: Vec<(f64, f64)> = self
-                .history
-                .iter()
-                .enumerate()
-                .map(|(j, &(mean, _))| (j as f64 + 1.0, mean))
-                .collect();
-            let trending_gradient = LinearRegression::fit(&points)
+        if self.params.trending_tolerance && self.hist_len == k {
+            let mut points = [(0.0, 0.0); TREND_WINDOW_MAX];
+            let mut dev_acc = Welford::new();
+            for (j, slot) in points.iter_mut().enumerate().take(k) {
+                // Oldest entry sits at hist_pos once the ring is saturated.
+                let (mean, dev) = self.history[(self.hist_pos + j) % k];
+                *slot = (j as f64 + 1.0, mean);
+                dev_acc.add(dev);
+            }
+            let trending_gradient = LinearRegression::fit(&points[..k])
                 .map(|f| f.slope)
                 .unwrap_or(0.0);
-            let mut dev_acc = Welford::new();
-            for &(_, d) in &self.history {
-                dev_acc.add(d);
-            }
             let trending_deviation = dev_acc.std_dev();
 
             // Compare against the running averages *before* absorbing the

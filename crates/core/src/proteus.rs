@@ -69,6 +69,10 @@ pub struct ProteusSender {
     /// Ring buffer of recent per-MI decisions (empty unless enabled).
     trace: VecDeque<MiTraceEntry>,
     trace_capacity: usize,
+    /// Reusable drain buffer for completed MIs: cleared and refilled on
+    /// every ACK/loss, so the steady-state per-ACK path performs no heap
+    /// allocation (guarded by `tests/alloc_free.rs`).
+    mi_scratch: Vec<MiStats>,
 }
 
 impl ProteusSender {
@@ -92,6 +96,7 @@ impl ProteusSender {
             last_utility: None,
             trace: VecDeque::new(),
             trace_capacity: 0,
+            mi_scratch: Vec::new(),
             cfg,
         }
     }
@@ -180,8 +185,14 @@ impl ProteusSender {
         self.mi_end = Some(now + self.mi_duration());
     }
 
-    fn process_completed(&mut self, completed: Vec<MiStats>) {
-        for mi in completed {
+    /// Runs the utility pipeline over the MIs drained into `mi_scratch`.
+    ///
+    /// The scratch vector is moved out for the duration of the loop (an
+    /// allocation-free pointer swap) so its elements can be read while
+    /// `self` is mutated, then handed back for reuse by the next event.
+    fn process_completed(&mut self) {
+        let completed = std::mem::take(&mut self.mi_scratch);
+        for &mi in &completed {
             // MIs with no packets (e.g. app-limited gaps) carry no signal.
             if mi.pkts_sent == 0 {
                 self.controller
@@ -214,6 +225,7 @@ impl ProteusSender {
             }
             self.controller.on_mi_complete(u);
         }
+        self.mi_scratch = completed;
     }
 }
 
@@ -246,13 +258,16 @@ impl CongestionControl for ProteusSender {
             Some(f) => f.on_ack(ack),
             None => true,
         };
-        let completed = self.tracker.on_ack_filtered(ack, keep_rtt);
-        self.process_completed(completed);
+        self.mi_scratch.clear();
+        self.tracker
+            .on_ack_filtered_into(ack, keep_rtt, &mut self.mi_scratch);
+        self.process_completed();
     }
 
     fn on_loss(&mut self, _now: Time, loss: &LossInfo) {
-        let completed = self.tracker.on_loss(loss);
-        self.process_completed(completed);
+        self.mi_scratch.clear();
+        self.tracker.on_loss_into(loss, &mut self.mi_scratch);
+        self.process_completed();
     }
 
     fn pacing_rate(&self) -> Option<f64> {

@@ -29,6 +29,68 @@ use rand::{RngExt as _, SeedableRng};
 
 use crate::config::{ProbeRule, RateControlParams};
 
+/// Upper bound on probe pairs any [`ProbeRule`] schedules (Vivace uses 2,
+/// Proteus §5 uses 3). Sizes the fixed probe buffers below.
+const MAX_PAIRS: usize = 4;
+
+/// A probe trial: `(pair index, high side, rate)`.
+type Trial = (usize, bool, f64);
+
+/// Fixed-capacity FIFO of probe trials still to hand out. Entering the
+/// Probing state happens inside the per-ACK completion path, so the plan
+/// lives on the stack instead of a `VecDeque` — pushing and popping never
+/// touch the heap. Trials are pushed once up front and only popped after,
+/// so a moving head index (no wraparound) is enough.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProbePlan {
+    slots: [Trial; 2 * MAX_PAIRS],
+    head: usize,
+    len: usize,
+}
+
+impl ProbePlan {
+    fn push_back(&mut self, trial: Trial) {
+        debug_assert!(self.head + self.len < self.slots.len());
+        self.slots[self.head + self.len] = trial;
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self) -> Option<Trial> {
+        if self.len == 0 {
+            return None;
+        }
+        let trial = self.slots[self.head];
+        self.head += 1;
+        self.len -= 1;
+        Some(trial)
+    }
+}
+
+/// Fixed-capacity collection of completed `(pair, high, utility)` probe
+/// results — at most `2 · MAX_PAIRS` per round, stack-allocated for the
+/// same reason as [`ProbePlan`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ProbeResults {
+    slots: [Trial; 2 * MAX_PAIRS],
+    len: usize,
+}
+
+impl ProbeResults {
+    fn push(&mut self, result: Trial) {
+        debug_assert!(self.len < self.slots.len());
+        self.slots[self.len] = result;
+        self.len += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn iter(&self) -> std::slice::Iter<'_, Trial> {
+        self.slots[..self.len].iter()
+    }
+}
+
 /// Why an MI was issued (matched back on completion).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Tag {
@@ -42,6 +104,10 @@ enum Tag {
     Moving { rate: f64 },
 }
 
+// Probing inlines its fixed probe-plan/result buffers: one State exists per
+// flow and probing re-entry happens on the ACK path, so the footprint is the
+// point — no allocation, no indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum State {
     Starting {
@@ -55,9 +121,9 @@ enum State {
     Probing {
         base: f64,
         /// Rates still to hand out, front first.
-        plan: VecDeque<(usize, bool, f64)>,
+        plan: ProbePlan,
         /// Collected `(pair, high, utility)` results.
-        results: Vec<(usize, bool, f64)>,
+        results: ProbeResults,
     },
     Moving {
         prev_rate: f64,
@@ -166,8 +232,10 @@ impl RateController {
         let base = base.max(self.params.min_rate_mbps);
         self.rate = base;
         let eps = self.params.epsilon;
-        let mut plan = VecDeque::new();
-        for pair in 0..self.params.probe_rule.pairs() {
+        let pairs = self.params.probe_rule.pairs();
+        debug_assert!(pairs <= MAX_PAIRS, "probe rule exceeds plan capacity");
+        let mut plan = ProbePlan::default();
+        for pair in 0..pairs {
             let high_first: bool = self.rng.random();
             let hi = (pair, true, base * (1.0 + eps));
             let lo = (pair, false, base * (1.0 - eps));
@@ -182,7 +250,7 @@ impl RateController {
         self.state = State::Probing {
             base,
             plan,
-            results: Vec::new(),
+            results: ProbeResults::default(),
         };
     }
 

@@ -11,6 +11,8 @@
 //! * [`LinearRegression`] — least-squares slope + residual, the exact
 //!   computation Proteus uses for RTT gradient and regression-error
 //!   tolerance (§5),
+//! * [`RegressionAccumulator`] — the streaming O(1)-per-sample form of the
+//!   same fit, used on the per-ACK hot path,
 //! * [`Ewma`] / [`MeanDeviationTracker`] — exponentially weighted moving
 //!   average and Linux-kernel-style mean-deviation tracking used by the
 //!   trending-tolerance gates (§5).
@@ -53,6 +55,6 @@ pub use ewma::{Ewma, MeanDeviationTracker};
 pub use histogram::Histogram;
 pub use jain::jain_index;
 pub use percentile::{median, percentile, percentile_sorted};
-pub use regression::LinearRegression;
+pub use regression::{LinearRegression, RegressionAccumulator};
 pub use summary::Summary;
 pub use welford::Welford;

@@ -61,6 +61,110 @@ impl LinearRegression {
     }
 }
 
+/// Streaming (single-pass) least-squares accumulator: the O(1)-per-sample,
+/// O(1)-finish counterpart of [`LinearRegression::fit`].
+///
+/// The monitor-interval pipeline feeds one `(send_time, RTT)` pair per ACK;
+/// storing them and running the two-pass fit at MI close made closing an MI
+/// O(n) and kept a growable `Vec` in every MI. This accumulator instead
+/// maintains running sums of the coordinates *relative to the first sample*
+/// (for the per-MI use that anchor is the MI start, since send times are
+/// already MI-relative): with `dx = x − x₀`, `dy = y − y₀` it tracks
+/// `Σdx, Σdy, Σdx², Σdx·dy, Σdy²`, from which slope, intercept and RMS
+/// residual follow in closed form. Anchoring keeps the magnitudes of the
+/// summed terms proportional to the *spread* of the data rather than its
+/// offset, so the classic catastrophic cancellation of textbook
+/// `Σx² − (Σx)²/n` at large offsets (e.g. absolute timestamps) does not
+/// occur.
+///
+/// Numerics: the result is algebraically identical to
+/// [`LinearRegression::fit`] but not bit-identical — the summation order
+/// differs, so slope/intercept/residual agree only to floating-point
+/// accuracy (relative error ~1e-12 on well-conditioned inputs; see the
+/// property tests in `crates/stats/tests/streaming_regression.rs` and
+/// DESIGN.md §4d for the documented tolerance).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegressionAccumulator {
+    n: u64,
+    /// Anchor point: the first sample. All sums are of offsets from it.
+    x0: f64,
+    y0: f64,
+    sum_dx: f64,
+    sum_dy: f64,
+    sum_dxdx: f64,
+    sum_dxdy: f64,
+    sum_dydy: f64,
+}
+
+impl RegressionAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of samples seen so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds one `(x, y)` sample. O(1), no allocation.
+    pub fn add(&mut self, x: f64, y: f64) {
+        if self.n == 0 {
+            self.x0 = x;
+            self.y0 = y;
+        }
+        self.n += 1;
+        let dx = x - self.x0;
+        let dy = y - self.y0;
+        self.sum_dx += dx;
+        self.sum_dy += dy;
+        self.sum_dxdx += dx * dx;
+        self.sum_dxdy += dx * dy;
+        self.sum_dydy += dy * dy;
+    }
+
+    /// Finishes the fit. Returns `None` with fewer than two samples or when
+    /// all `x` coincide, exactly like [`LinearRegression::fit`]. O(1).
+    pub fn fit(&self) -> Option<LinearRegression> {
+        if self.n < 2 {
+            return None;
+        }
+        let nf = self.n as f64;
+        // Centered second moments of the anchored offsets. When every x is
+        // bit-identical, dx is exactly 0 for all samples and sxx is exactly
+        // 0; rounding can otherwise leave sxx a hair negative, which the
+        // `> 0` guard also rejects (the data is degenerate to within noise).
+        let sxx = self.sum_dxdx - self.sum_dx * self.sum_dx / nf;
+        if sxx.is_nan() || sxx <= 0.0 {
+            return None;
+        }
+        let sxy = self.sum_dxdy - self.sum_dx * self.sum_dy / nf;
+        let syy = self.sum_dydy - self.sum_dy * self.sum_dy / nf;
+        let slope = sxy / sxx;
+        // Back to absolute coordinates: means are anchor + mean offset.
+        let mean_x = self.x0 + self.sum_dx / nf;
+        let mean_y = self.y0 + self.sum_dy / nf;
+        // Σ residual² = syy − slope·sxy; clamp the cancellation tail.
+        let ss_res = (syy - slope * sxy).max(0.0);
+        Some(LinearRegression {
+            slope,
+            intercept: mean_y - slope * mean_x,
+            rms_residual: (ss_res / nf).sqrt(),
+            n: self.n as usize,
+        })
+    }
+
+    /// Resets the accumulator to its empty state.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,226 @@
+//! Property tests: [`RegressionAccumulator`] (streaming, O(1) per sample)
+//! must agree with the two-pass [`LinearRegression::fit`] it replaced on the
+//! per-ACK hot path.
+//!
+//! The two forms are algebraically identical but sum in different orders, so
+//! bit-identity is impossible; the contract (DESIGN.md §4d) is agreement to a
+//! *conditioning-aware* tolerance: `1e-9 ×` the natural scale of each fitted
+//! quantity, which is ~1000× looser than the observed error (~1e-12 relative
+//! on well-conditioned inputs) and still far tighter than anything the §5
+//! noise gates can distinguish.
+
+use proptest::prelude::*;
+use proteus_stats::{LinearRegression, RegressionAccumulator};
+
+/// Runs every point through the accumulator and finishes the fit.
+fn stream_fit(points: &[(f64, f64)]) -> Option<LinearRegression> {
+    let mut acc = RegressionAccumulator::new();
+    for &(x, y) in points {
+        acc.add(x, y);
+    }
+    acc.fit()
+}
+
+fn assert_close(label: &str, a: f64, b: f64, scale: f64) {
+    let tol = 1e-9 * (scale + f64::MIN_POSITIVE);
+    assert!(
+        (a - b).abs() <= tol,
+        "{label}: batch {a:e} vs streamed {b:e}, tol {tol:e}"
+    );
+}
+
+/// Compares the two fits over one point set. Both must make the same
+/// `Some`/`None` decision; when they fit, slope / intercept / residual /
+/// predictions at the data's edges must agree to the documented tolerance.
+fn assert_fits_agree(points: &[(f64, f64)]) {
+    let batch = LinearRegression::fit(points);
+    let streamed = stream_fit(points);
+    match (batch, streamed) {
+        (None, None) => {}
+        (Some(b), Some(s)) => {
+            let x_min = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+            let x_max = points.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+            let y_min = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+            let y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+            let x_span = x_max - x_min;
+            let y_span = y_max - y_min;
+            // The slope is conditioned by the data's aspect ratio (a near-
+            // vertical cloud legitimately amplifies rounding) and, for the
+            // *batch* form, by how far the x-offset sits from zero: its
+            // computed mean carries ~eps·n·|x̄| rounding, so the achievable
+            // relative accuracy degrades by |x_max|/x_span. The 1e-6 factor
+            // turns the outer 1e-9 into ~10·eps per unit of conditioning.
+            let offset_cond = 1.0 + 1e-6 * x_max.abs() / x_span;
+            let slope_scale = (b.slope.abs() + s.slope.abs() + y_span / x_span) * offset_cond;
+            assert_eq!(b.n, s.n, "fitted point counts differ");
+            assert_close("slope", b.slope, s.slope, slope_scale);
+            assert_close(
+                "intercept",
+                b.intercept,
+                s.intercept,
+                y_max.abs() + y_span + slope_scale * x_max.abs(),
+            );
+            // Two conditioning terms beyond the obvious scales: the streamed
+            // residual comes from `syy − slope·sxy`, which cancels when the
+            // residual is small next to the y-trend (error ~ y_span² / rms);
+            // and the *batch* residual reconstructs `intercept + slope·x`
+            // from two huge cancelling terms when x carries a large offset
+            // (per-point error ~ eps·|intercept|, folded in at 1e-3 so the
+            // 1e-9 factor leaves ~1e4× headroom over eps growth).
+            assert_close(
+                "rms_residual",
+                b.rms_residual,
+                s.rms_residual,
+                b.rms_residual
+                    + y_span
+                    + y_span * y_span / (b.rms_residual + f64::MIN_POSITIVE)
+                    + 1e-3 * (b.intercept.abs() + slope_scale * x_max.abs()),
+            );
+            // Predictions at the data's edges are the well-conditioned form
+            // of (intercept, slope) together — e.g. what an MI-close gradient
+            // comparison actually consumes.
+            for x in [x_min, x_max] {
+                assert_close(
+                    "prediction",
+                    b.predict(x),
+                    s.predict(x),
+                    // A prediction inherits the intercept's tolerance plus
+                    // the slope's, amplified by how far out x sits.
+                    y_max.abs() + y_span + slope_scale * (x_span + x_max.abs()),
+                );
+            }
+        }
+        (b, s) => panic!(
+            "fit disagreement: batch {:?} vs streamed {:?} on {points:?}",
+            b.map(|f| f.slope),
+            s.map(|f| f.slope)
+        ),
+    }
+}
+
+/// Flat `[x, y, x, y, ..]` draws folded into pairs, each coordinate scaled
+/// into its own range (the vendored proptest has no tuple strategies).
+fn pairs(
+    n_pairs: std::ops::Range<usize>,
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(0.0f64..1.0, 2 * n_pairs.start..2 * n_pairs.end).prop_map(move |flat| {
+        flat.chunks_exact(2)
+            .map(|c| (x_lo + (x_hi - x_lo) * c[0], y_lo + (y_hi - y_lo) * c[1]))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Unstructured clouds shaped like an MI's samples: send offsets up to
+    /// half a second, RTTs between 1 ms and 300 ms.
+    #[test]
+    fn agrees_on_random_mi_points(points in pairs(2..120, 0.0, 0.5, 0.001, 0.3)) {
+        assert_fits_agree(&points);
+    }
+
+    /// RTT trends the gates actually fit: `y = a + b·x` plus bounded noise,
+    /// x strictly increasing. Also checks the true slope is recovered.
+    #[test]
+    fn agrees_on_trending_rtts(
+        raw in prop::collection::vec(0.0f64..1.0, 8..100),
+        slope in -0.5f64..0.5,
+        base in 0.01f64..0.2,
+        noise_amp in 0.0f64..0.005,
+    ) {
+        let points: Vec<(f64, f64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let x = i as f64 * 0.003;
+                (x, base + slope * x + noise_amp * (r - 0.5))
+            })
+            .collect();
+        assert_fits_agree(&points);
+        if noise_amp < 1e-6 {
+            let s = stream_fit(&points).unwrap();
+            prop_assert!((s.slope - slope).abs() < 1e-6 + noise_amp * 100.0);
+        }
+    }
+
+    /// Adversarial anchor offsets: absolute wall-clock-style timestamps up to
+    /// 1e9 s with millisecond spacing. The anchored sums must not suffer the
+    /// textbook `Σx² − (Σx)²/n` cancellation blow-up.
+    #[test]
+    fn agrees_on_large_timestamp_offsets(
+        raw in prop::collection::vec(0.0f64..1.0, 4..80),
+        offset in 1e6f64..1e9,
+        dt in 1e-4f64..1e-2,
+        slope in -0.1f64..0.1,
+    ) {
+        let points: Vec<(f64, f64)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (offset + i as f64 * dt, 0.05 + slope * (i as f64 * dt) + 0.001 * r))
+            .collect();
+        assert_fits_agree(&points);
+    }
+
+    /// Fewer than two samples never fits, in either form.
+    #[test]
+    fn single_sample_returns_none(x in -1e6f64..1e6, y in -1e3f64..1e3) {
+        prop_assert!(LinearRegression::fit(&[(x, y)]).is_none());
+        let mut acc = RegressionAccumulator::new();
+        prop_assert!(acc.fit().is_none());
+        acc.add(x, y);
+        prop_assert!(acc.fit().is_none());
+        prop_assert_eq!(acc.count(), 1);
+    }
+
+    /// Constant RTT: the streamed slope and residual are *exactly* zero
+    /// (every `dy` is bit-zero), the batch form agrees to tolerance.
+    #[test]
+    fn constant_rtt_gives_zero_slope(
+        xs in prop::collection::vec(0.0f64..0.5, 2..60),
+        rtt in 0.001f64..0.3,
+    ) {
+        let points: Vec<(f64, f64)> = xs.iter().map(|&x| (x, rtt)).collect();
+        if let Some(s) = stream_fit(&points) {
+            prop_assert_eq!(s.slope, 0.0);
+            prop_assert_eq!(s.rms_residual, 0.0);
+            let b = LinearRegression::fit(&points).unwrap();
+            prop_assert!(b.slope.abs() < 1e-9, "batch slope {:e}", b.slope);
+        }
+    }
+
+    /// All-x-identical data: the streamed fit is always `None` (every `dx`
+    /// is bit-zero, so sxx is exactly 0). The two-pass form rounds the mean
+    /// of n identical values, which for some n lands 1 ulp off x and yields
+    /// a garbage near-vertical fit instead — the accumulator's behavior is
+    /// the intentional one, so only it is pinned here.
+    #[test]
+    fn constant_x_streamed_is_none(
+        ys in prop::collection::vec(0.0f64..1.0, 2..40),
+        x in -1e3f64..1e3,
+    ) {
+        let points: Vec<(f64, f64)> = ys.iter().map(|&y| (x, y)).collect();
+        prop_assert!(stream_fit(&points).is_none());
+    }
+
+    /// `reset` restores the empty state: a reused accumulator matches a
+    /// fresh one bit-for-bit (the per-MI structs are reused across MIs).
+    #[test]
+    fn reset_matches_fresh(points in pairs(2..40, 0.0, 0.5, 0.001, 0.3)) {
+        let mut reused = RegressionAccumulator::new();
+        reused.add(123.0, 456.0);
+        reused.add(124.0, 457.0);
+        reused.reset();
+        prop_assert!(reused.is_empty());
+        let mut fresh = RegressionAccumulator::new();
+        for &(x, y) in &points {
+            reused.add(x, y);
+            fresh.add(x, y);
+        }
+        prop_assert_eq!(reused, fresh);
+    }
+}

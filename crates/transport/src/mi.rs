@@ -8,10 +8,30 @@
 //! completed [`MiStats`] — carrying throughput, loss rate, mean RTT, RTT
 //! deviation, RTT gradient and the regression residual that Proteus' per-MI
 //! noise gate needs (§5).
+//!
+//! This module is on the per-ACK hot path of every PCC-family sender, so it
+//! is built to do **no hashing, no heap allocation and no linear scans** per
+//! event in steady state:
+//!
+//! * packet→MI attribution is a seq-indexed ring ([`AttributionRing`], the
+//!   same shape as `netsim::inflight::InflightTracker`) instead of a SipHash
+//!   `HashMap<SeqNr, MiId>` — O(1) insert/remove with zero per-packet
+//!   allocator traffic once the ring has grown to the flow's in-flight size;
+//! * MI ids are handed out sequentially and `pending` is drained in order,
+//!   so the pending ids are always the contiguous range starting at the
+//!   front id and an id resolves to its `MiState` by direct indexing — no
+//!   linear `find`;
+//! * each `MiState` is a fixed-size struct: the RTT-gradient fit runs on a
+//!   streaming [`RegressionAccumulator`] instead of a stored
+//!   `Vec<(f64, f64)>`, making [`MiState::finish`] O(1) in the number of RTT
+//!   samples;
+//! * completed MIs are reported through a caller-provided drain buffer
+//!   (`on_ack_into`/`on_loss_into`) rather than a freshly allocated
+//!   `Vec<MiStats>` per event.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use proteus_stats::{LinearRegression, Welford};
+use proteus_stats::{RegressionAccumulator, Welford};
 
 use crate::packet::{AckInfo, LossInfo, SentPacket, SeqNr};
 use crate::time::{Dur, Time};
@@ -75,7 +95,8 @@ impl MiStats {
     }
 }
 
-/// One in-flight monitor interval.
+/// One in-flight monitor interval. Fixed-size: per-ACK updates touch only
+/// scalar accumulators, and [`MiState::finish`] is O(1).
 #[derive(Debug)]
 struct MiState {
     id: MiId,
@@ -90,9 +111,9 @@ struct MiState {
     pkts_acked: u64,
     pkts_lost: u64,
     outstanding: u64,
-    /// `(send time relative to MI start [s], RTT [s])` per ACKed packet,
-    /// feeding the gradient regression.
-    rtt_points: Vec<(f64, f64)>,
+    /// Streaming least-squares fit of `(send time relative to MI start [s],
+    /// RTT [s])` per ACKed packet — the RTT-gradient regression.
+    reg: RegressionAccumulator,
     rtt_acc: Welford,
 }
 
@@ -110,7 +131,7 @@ impl MiState {
             pkts_acked: 0,
             pkts_lost: 0,
             outstanding: 0,
-            rtt_points: Vec::new(),
+            reg: RegressionAccumulator::new(),
             rtt_acc: Welford::new(),
         }
     }
@@ -122,7 +143,7 @@ impl MiState {
     fn finish(&self) -> MiStats {
         let end = self.end.expect("finish() requires a closed MI");
         let dur_s = end.since(self.start).as_secs_f64().max(1e-9);
-        let (gradient, error) = match LinearRegression::fit(&self.rtt_points) {
+        let (gradient, error) = match self.reg.fit() {
             Some(fit) => (fit.slope, fit.rms_residual / dur_s),
             None => (0.0, 0.0),
         };
@@ -155,19 +176,91 @@ impl MiState {
     }
 }
 
+/// Sentinel marking a ring slot whose packet is not attributed to any MI
+/// (already resolved, skipped, or sent with no MI open).
+const NO_MI: MiId = MiId::MAX;
+
+/// Seq-indexed packet→MI attribution ring, in the style of
+/// `netsim::inflight::InflightTracker`: slot `i` holds the MI id of the
+/// packet with sequence number `head_seq + i` (or [`NO_MI`]). Senders hand
+/// out sequence numbers monotonically, so insert is a push at the tail and
+/// removal is direct indexing — O(1) amortized, no hashing, and no
+/// allocation once the ring has reached the flow's steady-state in-flight
+/// window.
+#[derive(Debug, Default)]
+struct AttributionRing {
+    slots: VecDeque<MiId>,
+    /// Sequence number of `slots[0]`.
+    head_seq: SeqNr,
+    /// Number of non-[`NO_MI`] slots.
+    live: usize,
+}
+
+impl AttributionRing {
+    /// Attributes `seq` to `mi`. Sequence numbers must be non-decreasing
+    /// across calls and unused; gaps are tolerated and treated as
+    /// unattributed.
+    fn insert(&mut self, seq: SeqNr, mi: MiId) {
+        if self.slots.is_empty() {
+            self.head_seq = seq;
+        }
+        let idx = (seq - self.head_seq) as usize;
+        debug_assert!(
+            idx >= self.slots.len(),
+            "sequence numbers must be inserted in increasing order"
+        );
+        while self.slots.len() < idx {
+            self.slots.push_back(NO_MI);
+        }
+        self.slots.push_back(mi);
+        self.live += 1;
+    }
+
+    /// Removes and returns the MI attribution of `seq`, if present.
+    fn remove(&mut self, seq: SeqNr) -> Option<MiId> {
+        let idx = seq.checked_sub(self.head_seq)? as usize;
+        if idx >= self.slots.len() {
+            return None;
+        }
+        let mi = std::mem::replace(&mut self.slots[idx], NO_MI);
+        if mi == NO_MI {
+            return None;
+        }
+        self.live -= 1;
+        if idx == 0 {
+            // Drop leading holes; amortized O(1) (each slot pops once).
+            while let Some(&NO_MI) = self.slots.front() {
+                self.slots.pop_front();
+                self.head_seq += 1;
+            }
+        }
+        Some(mi)
+    }
+
+    /// Number of outstanding attributed packets.
+    fn len(&self) -> usize {
+        self.live
+    }
+}
+
 /// Attributes packets to monitor intervals and emits completed [`MiStats`].
 ///
 /// The owner (a PCC-style controller) calls [`MiTracker::start_mi`] whenever
 /// it changes target rate, forwards every send/ACK/loss event, and drains
-/// [completed](MiTracker::on_ack) MIs in order.
+/// completed MIs — in id order — from the buffer it passes to
+/// [`MiTracker::on_ack_into`]/[`MiTracker::on_loss_into`]. The buffer is
+/// appended to (never cleared) so the caller can reuse one scratch `Vec`
+/// across events and keep the steady-state path allocation-free.
 #[derive(Default)]
 pub struct MiTracker {
     next_id: MiId,
-    /// Pending MIs, oldest first. The last element is the open MI if its
-    /// `end` is `None`.
+    /// Pending MIs, oldest first. Ids are sequential and the queue is pushed
+    /// and drained in order, so the stored ids are exactly
+    /// `front.id ..= front.id + len − 1` — an id maps to its slot by direct
+    /// indexing.
     pending: VecDeque<MiState>,
     /// Which MI each outstanding packet belongs to.
-    seq_to_mi: HashMap<SeqNr, MiId>,
+    seq_to_mi: AttributionRing,
 }
 
 impl MiTracker {
@@ -214,34 +307,49 @@ impl MiTracker {
     /// Records a transmitted packet against the open MI. Packets sent while
     /// no MI is open (e.g. before the controller starts its first interval)
     /// are ignored.
+    ///
+    /// Invariant: the newest pending MI is always the open one — `start_mi`
+    /// closes the previous MI only by pushing its successor, so there is no
+    /// state in which packets could arrive "in the gap" after a close and be
+    /// silently dropped (the pre-ring implementation guarded against that
+    /// with a silent `return`; the invariant is asserted instead, and
+    /// `every_sent_packet_between_mis_is_accounted` pins the behaviour).
     pub fn on_sent(&mut self, pkt: &SentPacket) {
         let Some(open) = self.pending.back_mut() else {
             return;
         };
-        if open.end.is_some() {
-            return;
-        }
+        debug_assert!(
+            open.end.is_none(),
+            "the newest pending MI must be open: start_mi only closes an MI \
+             by starting its successor"
+        );
         open.bytes_sent += pkt.bytes;
         open.pkts_sent += 1;
         open.outstanding += 1;
         self.seq_to_mi.insert(pkt.seq, open.id);
     }
 
+    /// Direct-index access to a pending MI by id (ids are sequential and the
+    /// queue is contiguous in id, see [`MiTracker::pending`]).
     fn mi_mut(&mut self, id: MiId) -> Option<&mut MiState> {
-        self.pending.iter_mut().find(|mi| mi.id == id)
+        let front_id = self.pending.front()?.id;
+        let idx = id.checked_sub(front_id)? as usize;
+        let mi = self.pending.get_mut(idx)?;
+        debug_assert_eq!(mi.id, id, "pending ids must be contiguous");
+        Some(mi)
     }
 
-    /// Processes an ACK; returns MIs completed by it, in id order.
-    pub fn on_ack(&mut self, ack: &AckInfo) -> Vec<MiStats> {
-        self.on_ack_filtered(ack, true)
+    /// Processes an ACK, appending MIs it completed to `out` in id order.
+    pub fn on_ack_into(&mut self, ack: &AckInfo, out: &mut Vec<MiStats>) {
+        self.on_ack_filtered_into(ack, true, out);
     }
 
-    /// Like [`MiTracker::on_ack`], but when `keep_rtt` is `false` the ACK
-    /// counts for throughput/completion while its RTT sample is excluded
+    /// Like [`MiTracker::on_ack_into`], but when `keep_rtt` is `false` the
+    /// ACK counts for throughput/completion while its RTT sample is excluded
     /// from the latency metrics (used by Proteus' per-ACK noise filter, §5).
-    pub fn on_ack_filtered(&mut self, ack: &AckInfo, keep_rtt: bool) -> Vec<MiStats> {
-        let Some(mi_id) = self.seq_to_mi.remove(&ack.seq) else {
-            return Vec::new();
+    pub fn on_ack_filtered_into(&mut self, ack: &AckInfo, keep_rtt: bool, out: &mut Vec<MiStats>) {
+        let Some(mi_id) = self.seq_to_mi.remove(ack.seq) else {
+            return;
         };
         if let Some(mi) = self.mi_mut(mi_id) {
             mi.bytes_acked += ack.bytes;
@@ -250,37 +358,35 @@ impl MiTracker {
             if keep_rtt {
                 let rel_send = ack.sent_at.since(mi.start).as_secs_f64();
                 let rtt_s = ack.rtt.as_secs_f64();
-                mi.rtt_points.push((rel_send, rtt_s));
+                mi.reg.add(rel_send, rtt_s);
                 mi.rtt_acc.add(rtt_s);
             }
         }
-        self.drain_complete()
+        self.drain_complete_into(out);
     }
 
-    /// Processes a loss; returns MIs completed by it.
-    pub fn on_loss(&mut self, loss: &LossInfo) -> Vec<MiStats> {
-        let Some(mi_id) = self.seq_to_mi.remove(&loss.seq) else {
-            return Vec::new();
+    /// Processes a loss, appending MIs it completed to `out` in id order.
+    pub fn on_loss_into(&mut self, loss: &LossInfo, out: &mut Vec<MiStats>) {
+        let Some(mi_id) = self.seq_to_mi.remove(loss.seq) else {
+            return;
         };
         if let Some(mi) = self.mi_mut(mi_id) {
             mi.bytes_lost += loss.bytes;
             mi.pkts_lost += 1;
             mi.outstanding = mi.outstanding.saturating_sub(1);
         }
-        self.drain_complete()
+        self.drain_complete_into(out);
     }
 
-    fn drain_complete(&mut self) -> Vec<MiStats> {
-        let mut done = Vec::new();
+    fn drain_complete_into(&mut self, out: &mut Vec<MiStats>) {
         while let Some(front) = self.pending.front() {
             if front.is_complete() {
                 let mi = self.pending.pop_front().expect("front exists");
-                done.push(mi.finish());
+                out.push(mi.finish());
             } else {
                 break;
             }
         }
-        done
     }
 }
 
@@ -328,6 +434,25 @@ mod tests {
         }
     }
 
+    /// Test shim for the drain-buffer API: one event, fresh buffer.
+    fn on_ack(t: &mut MiTracker, a: &AckInfo) -> Vec<MiStats> {
+        let mut out = Vec::new();
+        t.on_ack_into(a, &mut out);
+        out
+    }
+
+    fn on_ack_filtered(t: &mut MiTracker, a: &AckInfo, keep_rtt: bool) -> Vec<MiStats> {
+        let mut out = Vec::new();
+        t.on_ack_filtered_into(a, keep_rtt, &mut out);
+        out
+    }
+
+    fn on_loss(t: &mut MiTracker, l: &LossInfo) -> Vec<MiStats> {
+        let mut out = Vec::new();
+        t.on_loss_into(l, &mut out);
+        out
+    }
+
     #[test]
     fn mi_completes_when_all_packets_resolve() {
         let mut t = MiTracker::new();
@@ -335,8 +460,8 @@ mod tests {
         t.on_sent(&pkt(0, 0));
         t.on_sent(&pkt(1, 10));
         t.start_mi(Time::from_millis(30), 1e6); // close first MI
-        assert!(t.on_ack(&ack(0, 0, 30)).is_empty());
-        let done = t.on_ack(&ack(1, 10, 30));
+        assert!(on_ack(&mut t, &ack(0, 0, 30)).is_empty());
+        let done = on_ack(&mut t, &ack(1, 10, 30));
         assert_eq!(done.len(), 1);
         let mi = &done[0];
         assert_eq!(mi.pkts_sent, 2);
@@ -357,8 +482,8 @@ mod tests {
         t.on_sent(&pkt(0, 0));
         t.on_sent(&pkt(1, 5));
         t.start_mi(Time::from_millis(30), 1e6);
-        t.on_ack(&ack(0, 0, 30));
-        let done = t.on_loss(&loss(1, 5));
+        on_ack(&mut t, &ack(0, 0, 30));
+        let done = on_loss(&mut t, &loss(1, 5));
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].pkts_lost, 1);
         assert!((done[0].loss_rate - 0.5).abs() < 1e-12);
@@ -373,8 +498,8 @@ mod tests {
         t.on_sent(&pkt(1, 30));
         t.start_mi(Time::from_millis(60), 1e6);
         // Second MI's packet resolves first: nothing emitted until MI 0 done.
-        assert!(t.on_ack(&ack(1, 30, 20)).is_empty());
-        let done = t.on_ack(&ack(0, 0, 90));
+        assert!(on_ack(&mut t, &ack(1, 30, 20)).is_empty());
+        let done = on_ack(&mut t, &ack(0, 0, 90));
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].id, 0);
         assert_eq!(done[1].id, 1);
@@ -392,7 +517,7 @@ mod tests {
         t.start_mi(Time::from_millis(100), 1e6);
         let mut done = Vec::new();
         for i in 0..10u64 {
-            done.extend(t.on_ack(&ack(i, i * 10, 30 + i)));
+            t.on_ack_into(&ack(i, i * 10, 30 + i), &mut done);
         }
         assert_eq!(done.len(), 1);
         let mi = &done[0];
@@ -407,8 +532,8 @@ mod tests {
     fn unknown_seq_is_ignored() {
         let mut t = MiTracker::new();
         t.start_mi(Time::ZERO, 1e6);
-        assert!(t.on_ack(&ack(99, 0, 30)).is_empty());
-        assert!(t.on_loss(&loss(42, 0)).is_empty());
+        assert!(on_ack(&mut t, &ack(99, 0, 30)).is_empty());
+        assert!(on_loss(&mut t, &loss(42, 0)).is_empty());
     }
 
     #[test]
@@ -418,9 +543,35 @@ mod tests {
         t.start_mi(Time::ZERO, 1e6);
         t.on_sent(&pkt(1, 1));
         t.start_mi(Time::from_millis(10), 1e6);
-        let done = t.on_ack(&ack(1, 1, 10));
+        let done = on_ack(&mut t, &ack(1, 1, 10));
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].pkts_sent, 1);
+    }
+
+    /// The `on_sent` invariant (see its docs): between two `start_mi` calls
+    /// there is always exactly one open MI, so every packet sent in that
+    /// window is accounted against it — none fall into a "closed gap".
+    #[test]
+    fn every_sent_packet_between_mis_is_accounted() {
+        let mut t = MiTracker::new();
+        let mut sent_total = 0u64;
+        let mut seq = 0u64;
+        for round in 0..5u64 {
+            t.start_mi(Time::from_millis(round * 30), 1e6);
+            for _ in 0..=round {
+                t.on_sent(&pkt(seq, round * 30 + 1));
+                seq += 1;
+                sent_total += 1;
+            }
+        }
+        t.start_mi(Time::from_millis(150), 1e6);
+        let mut done = Vec::new();
+        for s in 0..seq {
+            t.on_ack_into(&ack(s, 0, 30), &mut done);
+        }
+        let accounted: u64 = done.iter().map(|mi| mi.pkts_sent).sum();
+        assert_eq!(done.len(), 5);
+        assert_eq!(accounted, sent_total, "a sent packet was silently dropped");
     }
 
     #[test]
@@ -430,8 +581,8 @@ mod tests {
         t.on_sent(&pkt(0, 0));
         t.on_sent(&pkt(1, 5));
         t.start_mi(Time::from_millis(30), 1e6);
-        t.on_ack_filtered(&ack(0, 0, 30), true);
-        let done = t.on_ack_filtered(&ack(1, 5, 500), false); // filtered out
+        on_ack_filtered(&mut t, &ack(0, 0, 30), true);
+        let done = on_ack_filtered(&mut t, &ack(1, 5, 500), false); // filtered out
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].pkts_acked, 2);
         assert_eq!(done[0].rtt_samples, 1);
@@ -446,10 +597,48 @@ mod tests {
         // packet in the second MI.
         t.on_sent(&pkt(0, 10));
         t.start_mi(Time::from_millis(20), 1e6);
-        let done = t.on_ack(&ack(0, 10, 10));
+        let done = on_ack(&mut t, &ack(0, 10, 10));
         assert_eq!(done.len(), 2);
         assert_eq!(done[0].pkts_sent, 0);
         assert_eq!(done[0].throughput, 0.0);
         assert_eq!(done[0].rtt_dev, 0.0);
+    }
+
+    /// The drain buffer is append-only: the tracker never clears it, so a
+    /// caller can batch multiple events into one reusable scratch `Vec`.
+    #[test]
+    fn drain_buffer_appends_across_events() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        t.on_sent(&pkt(0, 0));
+        t.start_mi(Time::from_millis(30), 1e6);
+        t.on_sent(&pkt(1, 30));
+        t.start_mi(Time::from_millis(60), 1e6);
+        let mut out = Vec::new();
+        t.on_ack_into(&ack(0, 0, 30), &mut out);
+        t.on_ack_into(&ack(1, 30, 30), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, 0);
+        assert_eq!(out[1].id, 1);
+    }
+
+    /// The attribution ring tolerates the same edge cases as the HashMap it
+    /// replaced: gaps from un-attributed packets, duplicate ACKs, and
+    /// out-of-range sequence numbers.
+    #[test]
+    fn attribution_ring_edge_cases() {
+        let mut t = MiTracker::new();
+        t.start_mi(Time::ZERO, 1e6);
+        t.on_sent(&pkt(3, 0)); // ring anchors at 3
+        t.on_sent(&pkt(7, 1)); // gap 4..=6 left unattributed
+        t.start_mi(Time::from_millis(30), 1e6);
+        assert!(on_ack(&mut t, &ack(5, 0, 30)).is_empty(), "gap seq misses");
+        assert!(on_ack(&mut t, &ack(2, 0, 30)).is_empty(), "below head");
+        assert!(on_ack(&mut t, &ack(9, 0, 30)).is_empty(), "beyond tail");
+        assert!(on_ack(&mut t, &ack(3, 0, 30)).is_empty());
+        assert!(on_ack(&mut t, &ack(3, 0, 30)).is_empty(), "duplicate ACK");
+        let done = on_ack(&mut t, &ack(7, 1, 30));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].pkts_acked, 2);
     }
 }

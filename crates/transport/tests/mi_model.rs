@@ -1,0 +1,313 @@
+//! Model-based property test: the hot-path [`MiTracker`] (seq-indexed
+//! attribution ring, direct-index MI lookup, streaming regression) must
+//! behave exactly like the structures it replaced — a `HashMap<SeqNr, MiId>`
+//! plus a linear id scan plus stored RTT points fitted two-pass at MI close —
+//! under randomized interleavings of MI rolls, sends, filtered/unfiltered
+//! ACKs (hits, repeats, strays) and losses.
+//!
+//! Every field of every completed `MiStats` must match bit-for-bit except
+//! the regression outputs (`rtt_gradient`, `gradient_error`), where the
+//! streaming accumulator is algebraically identical but sums in a different
+//! order (see DESIGN.md §4d); those match to a 1e-9 relative tolerance.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use proteus_stats::{LinearRegression, Welford};
+use proteus_transport::{
+    AckInfo, Dur, LossInfo, MiId, MiStats, MiTracker, SentPacket, SeqNr, Time,
+};
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Roll to a new MI at the current time.
+    StartMi { rate_step: u64 },
+    /// Transmit the next sequence number at the current time.
+    Send,
+    /// ACK a (usually outstanding) recent sequence number.
+    Ack {
+        pick: u64,
+        rtt_ms: u64,
+        keep_rtt: bool,
+    },
+    /// Declare a recent sequence number lost.
+    Loss { pick: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored proptest has no tuple strategies; derive the ACK fields
+    // from disjoint-enough bit ranges of one u64 draw.
+    prop_oneof![
+        1 => (0u64..8).prop_map(|rate_step| Op::StartMi { rate_step }),
+        4 => Just(Op::Send),
+        4 => any::<u64>().prop_map(|raw| Op::Ack {
+            pick: raw >> 16,
+            rtt_ms: 1 + (raw >> 8) % 199,
+            keep_rtt: raw & 1 == 1,
+        }),
+        2 => any::<u64>().prop_map(|raw| Op::Loss { pick: raw >> 8 }),
+    ]
+}
+
+/// The pre-change MI state: counters plus a growable list of RTT points,
+/// fitted two-pass at close.
+struct RefMi {
+    id: MiId,
+    start: Time,
+    end: Option<Time>,
+    target_rate: f64,
+    bytes_sent: u64,
+    bytes_acked: u64,
+    bytes_lost: u64,
+    pkts_sent: u64,
+    pkts_acked: u64,
+    pkts_lost: u64,
+    outstanding: u64,
+    rtt_points: Vec<(f64, f64)>,
+    rtt_acc: Welford,
+}
+
+impl RefMi {
+    fn finish(&self) -> MiStats {
+        let end = self.end.expect("closed");
+        let dur_s = end.since(self.start).as_secs_f64().max(1e-9);
+        let (gradient, error) = match LinearRegression::fit(&self.rtt_points) {
+            Some(fit) => (fit.slope, fit.rms_residual / dur_s),
+            None => (0.0, 0.0),
+        };
+        MiStats {
+            id: self.id,
+            start: self.start,
+            end,
+            target_rate: self.target_rate,
+            bytes_sent: self.bytes_sent,
+            bytes_acked: self.bytes_acked,
+            bytes_lost: self.bytes_lost,
+            pkts_sent: self.pkts_sent,
+            pkts_acked: self.pkts_acked,
+            pkts_lost: self.pkts_lost,
+            throughput: self.bytes_acked as f64 / dur_s,
+            send_rate: self.bytes_sent as f64 / dur_s,
+            loss_rate: if self.pkts_sent == 0 {
+                0.0
+            } else {
+                self.pkts_lost as f64 / self.pkts_sent as f64
+            },
+            rtt_mean: self.rtt_acc.mean(),
+            rtt_dev: self.rtt_acc.std_dev(),
+            rtt_gradient: gradient,
+            gradient_error: error,
+            rtt_samples: self.rtt_acc.count(),
+            rtt_min: self.rtt_acc.min().unwrap_or(0.0),
+            rtt_max: self.rtt_acc.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The pre-change tracker: hashing attribution, linear id scans.
+#[derive(Default)]
+struct RefTracker {
+    next_id: MiId,
+    pending: Vec<RefMi>,
+    seq_to_mi: HashMap<SeqNr, MiId>,
+}
+
+impl RefTracker {
+    fn start_mi(&mut self, now: Time, rate: f64) {
+        if let Some(open) = self.pending.last_mut() {
+            if open.end.is_none() {
+                open.end = Some(now);
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(RefMi {
+            id,
+            start: now,
+            end: None,
+            target_rate: rate,
+            bytes_sent: 0,
+            bytes_acked: 0,
+            bytes_lost: 0,
+            pkts_sent: 0,
+            pkts_acked: 0,
+            pkts_lost: 0,
+            outstanding: 0,
+            rtt_points: Vec::new(),
+            rtt_acc: Welford::new(),
+        });
+    }
+
+    fn on_sent(&mut self, pkt: &SentPacket) {
+        let Some(open) = self.pending.last_mut() else {
+            return;
+        };
+        open.bytes_sent += pkt.bytes;
+        open.pkts_sent += 1;
+        open.outstanding += 1;
+        self.seq_to_mi.insert(pkt.seq, open.id);
+    }
+
+    fn on_ack_filtered(&mut self, ack: &AckInfo, keep_rtt: bool, out: &mut Vec<MiStats>) {
+        let Some(id) = self.seq_to_mi.remove(&ack.seq) else {
+            return;
+        };
+        if let Some(mi) = self.pending.iter_mut().find(|m| m.id == id) {
+            mi.bytes_acked += ack.bytes;
+            mi.pkts_acked += 1;
+            mi.outstanding = mi.outstanding.saturating_sub(1);
+            if keep_rtt {
+                let rel_send = ack.sent_at.since(mi.start).as_secs_f64();
+                let rtt_s = ack.rtt.as_secs_f64();
+                mi.rtt_points.push((rel_send, rtt_s));
+                mi.rtt_acc.add(rtt_s);
+            }
+        }
+        self.drain(out);
+    }
+
+    fn on_loss(&mut self, loss: &LossInfo, out: &mut Vec<MiStats>) {
+        let Some(id) = self.seq_to_mi.remove(&loss.seq) else {
+            return;
+        };
+        if let Some(mi) = self.pending.iter_mut().find(|m| m.id == id) {
+            mi.bytes_lost += loss.bytes;
+            mi.pkts_lost += 1;
+            mi.outstanding = mi.outstanding.saturating_sub(1);
+        }
+        self.drain(out);
+    }
+
+    fn drain(&mut self, out: &mut Vec<MiStats>) {
+        while let Some(front) = self.pending.first() {
+            if front.end.is_some() && front.outstanding == 0 {
+                out.push(self.pending.remove(0).finish());
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn assert_stats_match(new: &MiStats, reference: &MiStats) {
+    assert_eq!(new.id, reference.id);
+    assert_eq!(new.start, reference.start);
+    assert_eq!(new.end, reference.end);
+    assert_eq!(new.target_rate, reference.target_rate);
+    assert_eq!(new.bytes_sent, reference.bytes_sent);
+    assert_eq!(new.bytes_acked, reference.bytes_acked);
+    assert_eq!(new.bytes_lost, reference.bytes_lost);
+    assert_eq!(new.pkts_sent, reference.pkts_sent);
+    assert_eq!(new.pkts_acked, reference.pkts_acked);
+    assert_eq!(new.pkts_lost, reference.pkts_lost);
+    // Same arithmetic on the same counters: bit-identical.
+    assert_eq!(new.throughput, reference.throughput);
+    assert_eq!(new.send_rate, reference.send_rate);
+    assert_eq!(new.loss_rate, reference.loss_rate);
+    // Welford sees the identical sample sequence: bit-identical.
+    assert_eq!(new.rtt_mean, reference.rtt_mean);
+    assert_eq!(new.rtt_dev, reference.rtt_dev);
+    assert_eq!(new.rtt_samples, reference.rtt_samples);
+    assert_eq!(new.rtt_min, reference.rtt_min);
+    assert_eq!(new.rtt_max, reference.rtt_max);
+    // Streaming vs two-pass regression: tolerance, not bit-identity. Both
+    // get a small absolute floor on top of the relative term: on
+    // near-collinear data the true residual is ~0 and each side computes a
+    // different rounding remainder of a catastrophic cancellation (≈
+    // √(ε·Σdy²), further amplified by the 1/duration factor in
+    // `gradient_error` for millisecond MIs) — see the conditioning analysis
+    // in crates/stats/tests/streaming_regression.rs.
+    let g_scale = new.rtt_gradient.abs() + reference.rtt_gradient.abs();
+    assert!(
+        (new.rtt_gradient - reference.rtt_gradient).abs() <= 1e-9 * g_scale + 1e-6,
+        "gradient: {} vs {}",
+        new.rtt_gradient,
+        reference.rtt_gradient
+    );
+    let e_scale = new.gradient_error.abs() + reference.gradient_error.abs();
+    assert!(
+        (new.gradient_error - reference.gradient_error).abs() <= 1e-9 * e_scale + 1e-4,
+        "gradient_error: {} vs {}",
+        new.gradient_error,
+        reference.gradient_error
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tracker_matches_hashmap_reference(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut tracker = MiTracker::new();
+        let mut reference = RefTracker::default();
+        let mut new_done: Vec<MiStats> = Vec::new();
+        let mut ref_done: Vec<MiStats> = Vec::new();
+        let mut next_seq: SeqNr = 0;
+        let mut sent_ms: Vec<u64> = Vec::new();
+
+        // Both trackers ignore events before the first MI; open one so the
+        // interleaving exercises real accounting from the start.
+        tracker.start_mi(Time::ZERO, 1e6);
+        reference.start_mi(Time::ZERO, 1e6);
+
+        for (step, op) in ops.iter().enumerate() {
+            let now_ms = 1 + step as u64;
+            let now = Time::from_millis(now_ms);
+            match *op {
+                Op::StartMi { rate_step } => {
+                    let rate = 1e6 + rate_step as f64 * 250e3;
+                    tracker.start_mi(now, rate);
+                    reference.start_mi(now, rate);
+                }
+                Op::Send => {
+                    let pkt = SentPacket { seq: next_seq, bytes: 1500, sent_at: now };
+                    tracker.on_sent(&pkt);
+                    reference.on_sent(&pkt);
+                    sent_ms.push(now_ms);
+                    next_seq += 1;
+                }
+                Op::Ack { pick, rtt_ms, keep_rtt } => {
+                    // Bias toward recent (usually outstanding) seqs, with
+                    // occasional strays past the tail.
+                    let seq = pick % (next_seq + 2);
+                    let sent_at = Time::from_millis(
+                        sent_ms.get(seq as usize).copied().unwrap_or(now_ms),
+                    );
+                    let ack = AckInfo {
+                        seq,
+                        bytes: 1500,
+                        sent_at,
+                        recv_at: Time::from_millis(now_ms + rtt_ms),
+                        rtt: Dur::from_millis(rtt_ms),
+                        one_way_delay: Dur::from_millis(rtt_ms / 2),
+                    };
+                    tracker.on_ack_filtered_into(&ack, keep_rtt, &mut new_done);
+                    reference.on_ack_filtered(&ack, keep_rtt, &mut ref_done);
+                }
+                Op::Loss { pick } => {
+                    let seq = pick % (next_seq + 2);
+                    let sent_at = Time::from_millis(
+                        sent_ms.get(seq as usize).copied().unwrap_or(now_ms),
+                    );
+                    let loss = LossInfo {
+                        seq,
+                        bytes: 1500,
+                        sent_at,
+                        detected_at: now,
+                        by_timeout: false,
+                    };
+                    tracker.on_loss_into(&loss, &mut new_done);
+                    reference.on_loss(&loss, &mut ref_done);
+                }
+            }
+            prop_assert_eq!(tracker.pending_count(), reference.pending.len());
+        }
+
+        prop_assert_eq!(new_done.len(), ref_done.len());
+        for (new, reference) in new_done.iter().zip(&ref_done) {
+            assert_stats_match(new, reference);
+        }
+    }
+}

@@ -6,6 +6,16 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a simple
 //! calibrated wall-clock loop (median of several batches) rather than
 //! criterion's full statistical machinery.
+//!
+//! A subset of criterion's CLI is honored (parsed from `std::env::args`):
+//!
+//! * positional arguments — substring filters; a benchmark runs when its
+//!   full `group/name` label contains *any* filter (criterion semantics),
+//! * `--quick` — one fast pass per benchmark, for smoke runs,
+//! * `--warm-up-time <secs>` / `--measurement-time <secs>` — calibration
+//!   target and total measurement budget, floored at 0.2 ms / 0.5 ms so a
+//!   smoke run can be fast but never degenerate,
+//! * unknown flags (e.g. cargo's `--bench`) are ignored.
 
 #![forbid(unsafe_code)]
 
@@ -14,30 +24,107 @@ use std::time::{Duration, Instant};
 /// Re-export for call sites that use `criterion::black_box`.
 pub use std::hint::black_box;
 
+/// Floor for `--warm-up-time`: below this, calibration picks iteration
+/// counts too small to outweigh timer quantization.
+const MIN_WARM_UP: Duration = Duration::from_micros(200);
+/// Floor for `--measurement-time`.
+const MIN_MEASUREMENT: Duration = Duration::from_micros(500);
+
+/// Run configuration, parsed once from the command line.
+#[derive(Debug, Clone)]
+struct Config {
+    /// Substring filters over `group/name` labels; empty = run everything.
+    filters: Vec<String>,
+    /// Calibration target: per-batch wall time the iteration count is
+    /// scaled to reach.
+    warm_up: Duration,
+    /// Total measurement budget, split evenly across the batches.
+    measurement: Duration,
+    /// Number of measured batches (the median is reported).
+    batches: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            filters: Vec::new(),
+            warm_up: Duration::from_millis(2),
+            measurement: Duration::from_millis(10),
+            batches: 5,
+        }
+    }
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => {
+                    cfg.warm_up = Duration::from_micros(500);
+                    cfg.measurement = Duration::from_micros(1500);
+                    cfg.batches = 3;
+                }
+                "--warm-up-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        cfg.warm_up = Duration::from_secs_f64(secs.max(0.0)).max(MIN_WARM_UP);
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        cfg.measurement =
+                            Duration::from_secs_f64(secs.max(0.0)).max(MIN_MEASUREMENT);
+                    }
+                }
+                // Cargo and libtest pass harness flags we don't implement
+                // (`--bench`, `--nocapture`, ...); swallow them silently
+                // like upstream criterion does.
+                flag if flag.starts_with('-') => {}
+                filter => cfg.filters.push(filter.to_string()),
+            }
+        }
+        cfg
+    }
+
+    fn matches(&self, label: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| label.contains(f))
+    }
+}
+
 /// Runs one benchmark's measured loop.
 pub struct Bencher {
     /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
     ns_per_iter: f64,
+    warm_up: Duration,
+    per_batch: Duration,
+    batches: usize,
 }
 
 impl Bencher {
     /// Times `f`, storing the median per-iteration cost.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Calibrate: find an iteration count that takes ≥ ~2 ms.
+        // Calibrate: find an iteration count that takes ≥ the warm-up
+        // target (doubling as the warm-up itself).
         let mut n = 1u64;
+        let mut dt;
         loop {
             let t0 = Instant::now();
             for _ in 0..n {
                 black_box(f());
             }
-            let dt = t0.elapsed();
-            if dt >= Duration::from_millis(2) || n >= 1 << 24 {
+            dt = t0.elapsed();
+            if dt >= self.warm_up || n >= 1 << 24 {
                 break;
             }
             n = (n * 4).max(4);
         }
-        // Measure: median of 5 batches.
-        let mut samples: Vec<f64> = (0..5)
+        // Rescale the iteration count so each measured batch spends about
+        // its share of the measurement budget.
+        let scale = self.per_batch.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+        let n = ((n as f64 * scale) as u64).clamp(1, 1 << 24);
+        // Measure: median of the batches.
+        let mut samples: Vec<f64> = (0..self.batches.max(1))
             .map(|_| {
                 let t0 = Instant::now();
                 for _ in 0..n {
@@ -52,21 +139,39 @@ impl Bencher {
 }
 
 /// The benchmark driver.
-#[derive(Default)]
 pub struct Criterion {
-    _private: (),
+    config: Config,
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
-    let mut b = Bencher { ns_per_iter: 0.0 };
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            config: Config::from_args(),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Config, label: &str, mut f: F) {
+    if !config.matches(label) {
+        return;
+    }
+    let mut b = Bencher {
+        ns_per_iter: 0.0,
+        warm_up: config.warm_up,
+        per_batch: config
+            .measurement
+            .checked_div(config.batches.max(1) as u32)
+            .unwrap_or(MIN_MEASUREMENT),
+        batches: config.batches,
+    };
     f(&mut b);
-    println!("{name:<40} {:>12.1} ns/iter", b.ns_per_iter);
+    println!("{label:<40} {:>12.1} ns/iter", b.ns_per_iter);
 }
 
 impl Criterion {
-    /// Runs a named benchmark.
+    /// Runs a named benchmark (subject to the CLI filters).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, f);
+        run_one(&self.config, name, f);
         self
     }
 
@@ -74,7 +179,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.to_string(),
-            _parent: self,
+            parent: self,
         }
     }
 }
@@ -82,13 +187,14 @@ impl Criterion {
 /// A named group of benchmarks (`group/name` labels).
 pub struct BenchmarkGroup<'a> {
     name: String,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Runs a named benchmark within the group.
+    /// Runs a named benchmark within the group (subject to the CLI
+    /// filters, matched against the full `group/name` label).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, name), f);
+        run_one(&self.parent.config, &format!("{}/{}", self.name, name), f);
         self
     }
 
@@ -134,5 +240,27 @@ mod tests {
         let mut g = c.benchmark_group("grp");
         g.bench_function("inner", |b| b.iter(|| 1 + 1));
         g.finish();
+    }
+
+    #[test]
+    fn filters_match_group_labels() {
+        let cfg = Config {
+            filters: vec!["per_ack".into(), "mi_tracker".into()],
+            ..Config::default()
+        };
+        assert!(cfg.matches("per_ack/CUBIC"));
+        assert!(cfg.matches("mi_tracker/100pkt_interval"));
+        assert!(!cfg.matches("engine/paced_2s"));
+        let all = Config::default();
+        assert!(all.matches("anything/at_all"));
+    }
+
+    #[test]
+    fn time_flags_are_floored() {
+        // Mirror the parsing arms directly (env::args can't be faked here).
+        let parsed = Duration::from_secs_f64(0.0001_f64.max(0.0)).max(MIN_WARM_UP);
+        assert_eq!(parsed, MIN_WARM_UP);
+        let parsed = Duration::from_secs_f64(0.5_f64.max(0.0)).max(MIN_MEASUREMENT);
+        assert_eq!(parsed, Duration::from_secs_f64(0.5));
     }
 }
