@@ -183,6 +183,32 @@ fn bench_cc_per_ack(c: &mut Criterion) {
             black_box(cc.rate_mbps())
         })
     });
+    // Decision tracing enabled (RingSink): the same single-outstanding
+    // Proteus-S loop as above, so the delta against `per_ack/Proteus-S`
+    // is the full cost of recording MI-close/gate/transition events. The
+    // untraced rows must not move at all — with the default NoopSink the
+    // recording sites compile away (the ≤2% acceptance bound vs
+    // BENCH_controller.json).
+    group.bench_function("Proteus-S-traced", |b| {
+        let mut cc = ProteusSender::scavenger(1).with_sink(proteus_trace::RingSink::new(
+            proteus_bench::mi_trace::MI_RING_CAPACITY,
+        ));
+        cc.on_flow_start(Time::ZERO);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            cc.on_packet_sent(
+                Time::from_millis(seq),
+                &SentPacket {
+                    seq,
+                    bytes: 1500,
+                    sent_at: Time::from_millis(seq),
+                },
+            );
+            cc.on_ack(Time::from_millis(seq + 30), &ack(seq, seq, 30));
+            black_box(cc.rate_mbps())
+        })
+    });
     group.finish();
 }
 

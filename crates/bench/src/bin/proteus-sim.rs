@@ -13,6 +13,9 @@
 //!   --seed <n>         RNG seed                  (default 1)
 //!   --timeline         print 5-second per-flow throughput bins
 //!   --trace <file>     write per-flow telemetry JSONL (100 ms samples)
+//!   --trace-mi         record structured decision traces (see OBSERVABILITY.md)
+//!   --trace-format <f> decision-trace format: jsonl, chrome or both
+//!   --trace-out <dir>  decision-trace directory (default results/trace-mi)
 //! ```
 //!
 //! Protocols: CUBIC, Reno, Vegas, BBR, BBR-S, COPA, LEDBAT, LEDBAT-25,
@@ -28,7 +31,7 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use proteus_bench::{cc, trace_jsonl, TRACE_EVERY};
+use proteus_bench::{cc, cc_traced, mi_trace, trace_jsonl, MiTraceSink, TraceFormat, TRACE_EVERY};
 use proteus_netsim::{run, FlowSpec, LinkSpec, NoiseConfig, Scenario};
 use proteus_transport::{Dur, Time};
 
@@ -42,6 +45,8 @@ struct Args {
     seed: u64,
     timeline: bool,
     trace: Option<String>,
+    trace_mi: bool,
+    trace_format: TraceFormat,
     flows: Vec<(String, f64)>,
 }
 
@@ -56,6 +61,8 @@ fn parse() -> Result<Args, String> {
         seed: 1,
         timeline: false,
         trace: None,
+        trace_mi: false,
+        trace_format: TraceFormat::Both,
         flows: Vec::new(),
     };
     let mut it = env::args().skip(1);
@@ -89,6 +96,14 @@ fn parse() -> Result<Args, String> {
             }
             "--timeline" => a.timeline = true,
             "--trace" => a.trace = Some(need(&mut it, "--trace")?),
+            "--trace-mi" => a.trace_mi = true,
+            "--trace-format" => {
+                let v = need(&mut it, "--trace-format")?;
+                a.trace_format = TraceFormat::parse(&v).ok_or(format!(
+                    "--trace-format must be jsonl, chrome or both, got {v:?}"
+                ))?;
+            }
+            "--trace-out" => mi_trace::set_mi_trace_dir(need(&mut it, "--trace-out")?),
             "--flow" => {
                 let spec = need(&mut it, "--flow")?;
                 let (proto, start) = match spec.split_once('@') {
@@ -131,6 +146,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: proteus-sim [--bw Mbps] [--rtt ms] [--buffer KB|xBDP] [--loss p] \
                  [--wifi] [--secs s] [--seed n] [--timeline] [--trace FILE] \
+                 [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR] \
                  --flow PROTO[@START] ..."
             );
             return ExitCode::from(2);
@@ -151,17 +167,24 @@ fn main() -> ExitCode {
     }
 
     let mut sc = Scenario::new(link, Dur::from_secs_f64(args.secs)).with_seed(args.seed);
-    if args.trace.is_some() {
+    if args.trace.is_some() || args.trace_mi {
         sc = sc.with_trace(TRACE_EVERY);
     }
     for (i, (proto, start)) in args.flows.iter().enumerate() {
         let name = format!("{proto}#{i}");
         let proto = proto.clone();
         let seed = args.seed + i as u64;
+        let decisions = args.trace_mi;
         sc = sc.flow(FlowSpec::bulk(
             name,
             Dur::from_secs_f64(*start),
-            move || cc(&proto, seed),
+            move || {
+                if decisions {
+                    cc_traced(&proto, seed)
+                } else {
+                    cc(&proto, seed)
+                }
+            },
         ));
     }
 
@@ -181,6 +204,23 @@ fn main() -> ExitCode {
                 eprintln!("error: cannot write trace to {path}: {e}");
                 return ExitCode::from(2);
             }
+        }
+    }
+    if args.trace_mi {
+        let mix = args
+            .flows
+            .iter()
+            .map(|(p, _)| p.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        let sink = MiTraceSink::new("adhoc", format!("{mix}-s{}", args.seed), args.trace_format);
+        sink.write(&res);
+        for path in sink.paths() {
+            eprintln!(
+                "decision trace: {} events -> {}",
+                res.decisions.len(),
+                path.display()
+            );
         }
     }
 

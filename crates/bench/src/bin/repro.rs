@@ -1,23 +1,32 @@
 //! Regenerates the paper's figures/tables from the simulation.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--jobs N] [--no-cache] [--trace] <id>... | all | list
+//! repro [--quick] [--seed N] [--jobs N] [--no-cache] [--trace]
+//!       [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR]
+//!       <id>... | all | list | trace-summary
 //! ```
 //!
 //! `--jobs N` runs each experiment's simulation campaign on `N` worker
 //! threads (`0` = one per core); results are identical to `--jobs 1`.
 //! `--no-cache` bypasses the disk result cache under `results/.cache/`.
 //! `--trace` records per-flow telemetry JSONL under `results/trace/`.
+//! `--trace-mi` records structured decision traces (MI closes, mode
+//! switches, filter verdicts — see `OBSERVABILITY.md`) under
+//! `results/trace-mi/` (or `--trace-out DIR` / `$PROTEUS_TRACE_DIR`), in
+//! the format(s) `--trace-format` selects. The pseudo-experiment
+//! `trace-summary` aggregates previously recorded decision traces instead
+//! of running simulations.
 
 use std::env;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use proteus_bench::experiments::registry;
-use proteus_bench::RunCfg;
+use proteus_bench::{mi_trace, RunCfg, TraceFormat};
 
-const USAGE: &str =
-    "usage: repro [--quick] [--seed N] [--jobs N] [--no-cache] [--trace] <id>... | all | list";
+const USAGE: &str = "usage: repro [--quick] [--seed N] [--jobs N] [--no-cache] [--trace] \
+     [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR] \
+     <id>... | all | list | trace-summary";
 
 /// Parsed command line: the run configuration plus experiment ids.
 struct Cli {
@@ -26,6 +35,8 @@ struct Cli {
     jobs: usize,
     no_cache: bool,
     trace: bool,
+    trace_mi: bool,
+    trace_format: TraceFormat,
     ids: Vec<String>,
 }
 
@@ -36,6 +47,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         jobs: 1,
         no_cache: false,
         trace: false,
+        trace_mi: false,
+        trace_format: TraceFormat::Both,
         ids: Vec::new(),
     };
     let mut args = args;
@@ -44,6 +57,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             "--quick" => cli.cfg_quick = true,
             "--no-cache" => cli.no_cache = true,
             "--trace" => cli.trace = true,
+            "--trace-mi" => cli.trace_mi = true,
+            "--trace-format" => {
+                let v = args.next().ok_or("--trace-format requires a value")?;
+                cli.trace_format = TraceFormat::parse(&v).ok_or(format!(
+                    "--trace-format must be jsonl, chrome or both, got {v:?}"
+                ))?;
+            }
+            "--trace-out" => {
+                let v = args.next().ok_or("--trace-out requires a value")?;
+                mi_trace::set_mi_trace_dir(v);
+            }
             "--seed" => {
                 let v = args.next().ok_or("--seed requires a value")?;
                 cli.seed = v
@@ -86,6 +110,7 @@ fn main() -> ExitCode {
     }
 
     let run_all = cli.ids.iter().any(|i| i == "all");
+    let trace_summary = cli.ids.iter().any(|i| i == "trace-summary");
     let mut cfg = if cli.cfg_quick {
         RunCfg::quick()
     } else {
@@ -95,10 +120,12 @@ fn main() -> ExitCode {
     cfg.jobs = cli.jobs;
     cfg.cache = !cli.no_cache;
     cfg.trace = cli.trace;
+    cfg.trace_mi = cli.trace_mi;
+    cfg.trace_format = cli.trace_format;
 
     let mut unknown = Vec::new();
     for id in &cli.ids {
-        if id != "all" && !experiments.iter().any(|e| e.id == id) {
+        if id != "all" && id != "trace-summary" && !experiments.iter().any(|e| e.id == id) {
             unknown.push(id.clone());
         }
     }
@@ -119,6 +146,12 @@ fn main() -> ExitCode {
             timings.push((e.id, secs));
             eprintln!("=== {} done in {:.1}s ===\n", e.id, secs);
         }
+    }
+
+    if trace_summary {
+        // After any requested experiments, so `repro --trace-mi fig6
+        // trace-summary` aggregates the traces it just recorded.
+        print!("{}", mi_trace::summary_report());
     }
 
     print_run_summary(&timings, &proteus_runner::take_session_stats());

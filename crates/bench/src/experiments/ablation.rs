@@ -29,7 +29,9 @@ use proteus_transport::{CongestionControl, Dur};
 
 use crate::experiments::wifi::{path_tag, wifi_paths};
 use crate::report::{f2, pct, write_report, Table};
-use crate::runner::{campaign, decode_single, link_tag, single_job, tail_mbps, tail_window};
+use crate::runner::{
+    campaign, decode_single, link_tag, single_job, tail_mbps, tail_window, Traces,
+};
 use crate::RunCfg;
 
 /// Named noise-tolerance variants for ablation runs.
@@ -292,7 +294,7 @@ fn ablation4_submit(cfg: RunCfg, camp: &mut Campaign) -> (Vec<usize>, usize) {
         link,
         secs,
         cfg.seed,
-        cfg.trace,
+        Traces::from_cfg(&cfg),
     ));
     (variants, reference)
 }

@@ -21,7 +21,7 @@ use crate::experiments::fig5::fairness_job;
 use crate::experiments::fig6::{cell_from_outputs, push_cell};
 use crate::protocols::{cc, PRIMARIES};
 use crate::report::{f2, f3, pct, write_report, Table};
-use crate::runner::{campaign, decode_single, link_tag, single_job};
+use crate::runner::{campaign, decode_single, link_tag, single_job, Traces};
 use crate::RunCfg;
 
 const LEDBATS: &[&str] = &["LEDBAT-25", "LEDBAT", "Proteus-S", "Proteus-P"];
@@ -47,7 +47,7 @@ fn fig15_submit(cfg: RunCfg, camp: &mut Campaign) -> Vec<Vec<usize>> {
                         link,
                         secs,
                         cfg.seed,
-                        cfg.trace,
+                        Traces::from_cfg(&cfg),
                     ))
                 })
                 .collect()
@@ -113,7 +113,7 @@ fn fig16_submit(cfg: RunCfg, camp: &mut Campaign) -> Vec<Vec<usize>> {
                         link,
                         secs,
                         cfg.seed,
-                        cfg.trace,
+                        Traces::from_cfg(&cfg),
                     ))
                 })
                 .collect()
@@ -257,7 +257,7 @@ fn fig19_submit(cfg: RunCfg, camp: &mut Campaign) -> Fig19Slots {
                         buf,
                         secs,
                         cfg.seed,
-                        cfg.trace,
+                        Traces::from_cfg(&cfg),
                     )
                 })
                 .collect()

@@ -10,8 +10,10 @@ use proteus_netsim::{run, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario};
 use proteus_stats::{Histogram, LinearRegression, Welford};
 use proteus_transport::{factory, Dur};
 
-use crate::protocols::cc;
+use crate::mi_trace::MiTraceSink;
+use crate::protocols::{cc, cc_traced};
 use crate::report::{f3, write_report, Table};
+use crate::runner::TRACE_EVERY;
 use crate::RunCfg;
 
 /// Windowed (deviation, |gradient|) metrics from a probe's RTT samples.
@@ -83,6 +85,30 @@ fn probe_run(rate_per_sec: f64, secs: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
     window_metrics(&res.flows[0].rtt_samples, 0.090)
 }
 
+/// The decision-trace companion scenario for `--trace-mi` runs of Fig. 2
+/// (and the golden decision-trace pin, see
+/// `crates/bench/tests/golden_trace.rs`): the figure's own probe is a
+/// fixed-rate UDP source with no MI decision points, so a Proteus-S flow on
+/// the same link under the figure's densest cross-traffic (9 flows/s)
+/// stands in as the decision-producing subject. Fully determined by
+/// `(secs, seed)`.
+pub fn decision_scenario(secs: f64, seed: u64) -> Scenario {
+    let link = LinkSpec::new(100.0, Dur::from_millis(60), 1_500_000);
+    Scenario::new(link, Dur::from_secs_f64(secs))
+        .flow(FlowSpec::bulk("Proteus-S", Dur::ZERO, move || {
+            cc_traced("Proteus-S", seed ^ 0xA5)
+        }))
+        .with_cross_traffic(CrossTrafficSpec {
+            arrivals_per_sec: 9.0,
+            size_range: (20_000, 100_000),
+            cc: factory(|_| proteus_baselines::Cubic::new()),
+            start: Dur::ZERO,
+            stop: Dur::from_secs_f64(secs),
+        })
+        .with_seed(seed)
+        .with_trace(TRACE_EVERY)
+}
+
 /// Runs the Fig.-2 experiment.
 pub fn run_experiment(cfg: RunCfg) -> String {
     let secs = if cfg.quick { 30.0 } else { 120.0 };
@@ -140,6 +166,11 @@ pub fn run_experiment(cfg: RunCfg) -> String {
         "|RTT gradient|".into(),
         format!("{:.1}%", conf_grad * 100.0),
     ]);
+
+    if cfg.trace_mi {
+        let res = run(decision_scenario(secs, cfg.seed));
+        MiTraceSink::new("fig2", format!("decision-s{}", cfg.seed), cfg.trace_format).write(&res);
+    }
 
     let text = format!(
         "{}\n{}\n{}\n",

@@ -12,7 +12,7 @@ use proteus_transport::Dur;
 
 use crate::protocols::PRIMARIES;
 use crate::report::{f2, pct, write_report, Table};
-use crate::runner::{campaign, decode_pair, decode_single, link_tag, pair_job, single_job};
+use crate::runner::{campaign, decode_pair, decode_single, link_tag, pair_job, single_job, Traces};
 use crate::RunCfg;
 
 /// The scavenger-role protocols of Fig. 6(a–d).
@@ -58,7 +58,7 @@ pub fn push_cell(
     buffer: u64,
     secs: f64,
     seed: u64,
-    trace: bool,
+    trace: Traces,
 ) -> (usize, usize) {
     let link = LinkSpec::new(50.0, Dur::from_millis(30), buffer);
     let tag = link_tag(&link);
@@ -94,7 +94,14 @@ pub fn run_experiment(cfg: RunCfg) -> String {
             }
             for &(buf, _) in buffers {
                 slots.push(push_cell(
-                    &mut camp, "fig6", primary, scav, buf, secs, cfg.seed, cfg.trace,
+                    &mut camp,
+                    "fig6",
+                    primary,
+                    scav,
+                    buf,
+                    secs,
+                    cfg.seed,
+                    Traces::from_cfg(&cfg),
                 ));
             }
         }

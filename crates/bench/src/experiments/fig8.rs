@@ -12,7 +12,7 @@ use proteus_stats::Ecdf;
 use proteus_transport::Dur;
 
 use crate::report::{pct, write_report, Table};
-use crate::runner::{campaign, decode_pair, decode_single, link_tag, pair_job, single_job};
+use crate::runner::{campaign, decode_pair, decode_single, link_tag, pair_job, single_job, Traces};
 use crate::RunCfg;
 
 const PRIMARIES_FIG8: &[&str] = &["BBR", "CUBIC", "Proteus-P"];
@@ -51,13 +51,26 @@ pub fn run_experiment(cfg: RunCfg) -> String {
             let tag = link_tag(&link);
             let seed = cfg.seed + ci as u64 * 13;
             let alone = camp.push_dedup(single_job(
-                "fig8", &tag, primary, link, secs, seed, cfg.trace,
+                "fig8",
+                &tag,
+                primary,
+                link,
+                secs,
+                seed,
+                Traces::from_cfg(&cfg),
             ));
             let pairs = SCAVS_FIG8
                 .iter()
                 .map(|&scav| {
                     camp.push_dedup(pair_job(
-                        "fig8", &tag, primary, scav, link, secs, seed, cfg.trace,
+                        "fig8",
+                        &tag,
+                        primary,
+                        scav,
+                        link,
+                        secs,
+                        seed,
+                        Traces::from_cfg(&cfg),
                     ))
                 })
                 .collect();

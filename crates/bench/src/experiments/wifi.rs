@@ -17,7 +17,7 @@ use rand::{RngExt as _, SeedableRng};
 
 use crate::protocols::{ALL_FIG3, PRIMARIES};
 use crate::report::{pct, write_report, Table};
-use crate::runner::{campaign, decode_pair, decode_single, pair_job, single_job};
+use crate::runner::{campaign, decode_pair, decode_single, pair_job, single_job, Traces};
 use crate::RunCfg;
 
 /// Builds `n` synthetic WiFi paths.
@@ -72,7 +72,13 @@ pub fn run_experiment(cfg: RunCfg) -> String {
                 .iter()
                 .map(|&proto| {
                     camp.push_dedup(single_job(
-                        "fig9", &tag, proto, *link, secs, seed, cfg.trace,
+                        "fig9",
+                        &tag,
+                        proto,
+                        *link,
+                        secs,
+                        seed,
+                        Traces::from_cfg(&cfg),
                     ))
                 })
                 .collect(),
@@ -82,7 +88,13 @@ pub fn run_experiment(cfg: RunCfg) -> String {
                 .iter()
                 .map(|&primary| {
                     camp.push_dedup(single_job(
-                        "fig10", &tag, primary, *link, secs, seed, cfg.trace,
+                        "fig10",
+                        &tag,
+                        primary,
+                        *link,
+                        secs,
+                        seed,
+                        Traces::from_cfg(&cfg),
                     ))
                 })
                 .collect(),
@@ -95,7 +107,14 @@ pub fn run_experiment(cfg: RunCfg) -> String {
                         .iter()
                         .map(|&scav| {
                             camp.push_dedup(pair_job(
-                                "fig10", &tag, primary, scav, *link, secs, seed, cfg.trace,
+                                "fig10",
+                                &tag,
+                                primary,
+                                scav,
+                                *link,
+                                secs,
+                                seed,
+                                Traces::from_cfg(&cfg),
                             ))
                         })
                         .collect()

@@ -18,14 +18,16 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod mi_trace;
 pub mod protocols;
 pub mod report;
 pub mod runner;
 
-pub use protocols::{cc, PRIMARIES, SCAVENGERS};
+pub use mi_trace::{mi_trace_dir, MiTraceSink, TraceFormat};
+pub use protocols::{cc, cc_traced, PRIMARIES, SCAVENGERS};
 pub use report::Table;
 pub use runner::{
-    campaign, run_pair, run_single, tail_mbps, tail_window, trace_jsonl, TRACE_EVERY,
+    campaign, run_pair, run_single, tail_mbps, tail_window, trace_jsonl, Traces, TRACE_EVERY,
 };
 
 /// Global knobs for an experiment invocation.
@@ -43,6 +45,11 @@ pub struct RunCfg {
     pub cache: bool,
     /// Record per-flow telemetry JSONL under `results/trace/`.
     pub trace: bool,
+    /// Record structured decision traces (MI closes, mode switches, filter
+    /// verdicts) under [`mi_trace::mi_trace_dir`].
+    pub trace_mi: bool,
+    /// Export format(s) for decision traces.
+    pub trace_format: TraceFormat,
 }
 
 impl RunCfg {
@@ -55,6 +62,8 @@ impl RunCfg {
             jobs: 1,
             cache: true,
             trace: false,
+            trace_mi: false,
+            trace_format: TraceFormat::Both,
         }
     }
 

@@ -3,6 +3,7 @@
 
 use proteus_baselines::{Bbr, Copa, Cubic, FixedRateProbe, Ledbat, Reno, ScavengerMod};
 use proteus_core::{Mode, ProteusSender, SharedThreshold};
+use proteus_trace::RingSink;
 use proteus_transport::CongestionControl;
 
 /// The primary protocols of §6 (plus Reno as an extra reference).
@@ -60,6 +61,33 @@ pub fn hybrid(seed: u64, threshold: SharedThreshold) -> Box<dyn CongestionContro
     ))
 }
 
+/// Like [`cc`], but PCC-family senders carry a [`RingSink`] decision
+/// recorder (drained into `SimResult::decisions` by the engine). The other
+/// protocols have no MI decision points, so they are returned untraced —
+/// the run itself is unchanged either way.
+pub fn cc_traced(name: &str, seed: u64) -> Box<dyn CongestionControl> {
+    let ring = || RingSink::new(crate::mi_trace::MI_RING_CAPACITY);
+    match name {
+        "Proteus-P" => Box::new(ProteusSender::primary(seed).with_sink(ring())),
+        "Proteus-S" => Box::new(ProteusSender::scavenger(seed).with_sink(ring())),
+        "PCC-Vivace" => Box::new(ProteusSender::vivace(seed).with_sink(ring())),
+        "PCC-Allegro" => Box::new(ProteusSender::allegro(seed).with_sink(ring())),
+        other => cc(other, seed),
+    }
+}
+
+/// Traced [`hybrid`]: a Proteus-H sender recording decisions (including the
+/// §4.4 mode switches) into a [`RingSink`].
+pub fn hybrid_traced(seed: u64, threshold: SharedThreshold) -> Box<dyn CongestionControl> {
+    Box::new(
+        ProteusSender::with_config(
+            proteus_core::ProteusConfig::proteus().with_seed(seed),
+            Mode::Hybrid(threshold),
+        )
+        .with_sink(RingSink::new(crate::mi_trace::MI_RING_CAPACITY)),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +108,15 @@ mod tests {
     #[should_panic]
     fn unknown_name_panics() {
         let _ = cc("TCP-Tahoe", 1);
+    }
+
+    #[test]
+    fn traced_registry_builds_everything() {
+        for name in PRIMARIES.iter().chain(SCAVENGERS).chain(ALL_FIG3) {
+            let c = cc_traced(name, 1);
+            assert_eq!(c.name(), cc(name, 1).name());
+        }
+        let h = hybrid_traced(1, SharedThreshold::new(10.0));
+        assert_eq!(h.name(), "Proteus-H");
     }
 }

@@ -17,7 +17,8 @@ use proteus_runner::json::Obj;
 use proteus_runner::{payload, Campaign, CampaignOpts, SimJob};
 use proteus_transport::{Dur, Time};
 
-use crate::protocols::cc;
+use crate::mi_trace::{MiTraceSink, TraceFormat};
+use crate::protocols::{cc, cc_traced};
 use crate::report::results_dir;
 use crate::RunCfg;
 
@@ -147,12 +148,57 @@ pub fn trace_jsonl(res: &SimResult) -> String {
 
 /// Runs a scenario, recording telemetry first if a sink is given.
 pub fn run_traced(sc: Scenario, trace: Option<&TraceSink>) -> SimResult {
-    match trace {
-        None => run(sc),
-        Some(sink) => {
-            let res = run(sc.with_trace(TRACE_EVERY));
-            sink.write(&res);
-            res
+    run_job(sc, trace, None)
+}
+
+/// Runs a scenario, writing telemetry and/or decision traces. Any active
+/// sink turns on 100 ms trace sampling, which also makes the engine drain
+/// the flows' decision rings on the same cadence.
+fn run_job(
+    sc: Scenario,
+    telemetry: Option<&TraceSink>,
+    decisions: Option<&MiTraceSink>,
+) -> SimResult {
+    let res = if telemetry.is_some() || decisions.is_some() {
+        run(sc.with_trace(TRACE_EVERY))
+    } else {
+        run(sc)
+    };
+    if let Some(sink) = telemetry {
+        sink.write(&res);
+    }
+    if let Some(sink) = decisions {
+        sink.write(&res);
+    }
+    res
+}
+
+// ---------------------------------------------------------------------------
+// Trace selection
+// ---------------------------------------------------------------------------
+
+/// Which trace streams a job records, derived from the CLI flags
+/// (`--trace`, `--trace-mi`, `--trace-format`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Traces {
+    /// Per-flow telemetry JSONL under `results/trace/` (`--trace`).
+    pub telemetry: bool,
+    /// Structured decision traces under the MI-trace directory
+    /// (`--trace-mi`), with the selected export format(s).
+    pub decisions: Option<TraceFormat>,
+}
+
+impl Traces {
+    /// No tracing (the job-builder default for tests and helpers).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// The trace selection an invocation's [`RunCfg`] asks for.
+    pub fn from_cfg(cfg: &RunCfg) -> Self {
+        Self {
+            telemetry: cfg.trace,
+            decisions: cfg.trace_mi.then_some(cfg.trace_format),
         }
     }
 }
@@ -161,11 +207,22 @@ pub fn run_traced(sc: Scenario, trace: Option<&TraceSink>) -> SimResult {
 // Scenario builders (shared by direct runners and jobs)
 // ---------------------------------------------------------------------------
 
-fn single_scenario(name: &'static str, link: LinkSpec, secs: f64, seed: u64) -> Scenario {
-    Scenario::new(link, Dur::from_secs_f64(secs))
-        .flow(FlowSpec::bulk(name, Dur::ZERO, move || {
+fn single_scenario(
+    name: &'static str,
+    link: LinkSpec,
+    secs: f64,
+    seed: u64,
+    decisions: bool,
+) -> Scenario {
+    let build = move || {
+        if decisions {
+            cc_traced(name, seed ^ 0xA5)
+        } else {
             cc(name, seed ^ 0xA5)
-        }))
+        }
+    };
+    Scenario::new(link, Dur::from_secs_f64(secs))
+        .flow(FlowSpec::bulk(name, Dur::ZERO, build))
         .with_seed(seed)
         .with_rtt_stride(2)
 }
@@ -176,21 +233,31 @@ fn pair_scenario(
     link: LinkSpec,
     secs: f64,
     seed: u64,
+    decisions: bool,
 ) -> Scenario {
+    let build = move |name: &'static str, salt: u64| {
+        move || {
+            if decisions {
+                cc_traced(name, seed ^ salt)
+            } else {
+                cc(name, seed ^ salt)
+            }
+        }
+    };
     Scenario::new(link, Dur::from_secs_f64(secs))
-        .flow(FlowSpec::bulk(primary, Dur::ZERO, move || {
-            cc(primary, seed ^ 0xA5)
-        }))
-        .flow(FlowSpec::bulk(scavenger, Dur::from_secs(5), move || {
-            cc(scavenger, seed ^ 0x5A)
-        }))
+        .flow(FlowSpec::bulk(primary, Dur::ZERO, build(primary, 0xA5)))
+        .flow(FlowSpec::bulk(
+            scavenger,
+            Dur::from_secs(5),
+            build(scavenger, 0x5A),
+        ))
         .with_seed(seed)
         .with_rtt_stride(2)
 }
 
 /// Runs one bulk flow of `name` over `link` for `secs` seconds.
 pub fn run_single(name: &'static str, link: LinkSpec, secs: f64, seed: u64) -> SimResult {
-    run(single_scenario(name, link, secs, seed))
+    run(single_scenario(name, link, secs, seed, false))
 }
 
 /// Runs `primary` (starting at 0) against `scavenger` (starting at 5 s).
@@ -202,22 +269,28 @@ pub fn run_pair(
     secs: f64,
     seed: u64,
 ) -> SimResult {
-    run(pair_scenario(primary, scavenger, link, secs, seed))
+    run(pair_scenario(primary, scavenger, link, secs, seed, false))
 }
 
 // ---------------------------------------------------------------------------
 // Campaign jobs
 // ---------------------------------------------------------------------------
 
-fn trace_suffix(trace: bool) -> &'static str {
+fn trace_suffix(traces: Traces) -> String {
     // Traced and untraced runs are simulated identically, but they get
-    // distinct cache identities so enabling --trace actually (re)writes
-    // the JSONL instead of short-circuiting on a cached payload.
-    if trace {
-        "/trace"
-    } else {
-        ""
+    // distinct cache identities so enabling --trace / --trace-mi actually
+    // (re)writes the exports instead of short-circuiting on a cached
+    // payload. (Decision-trace files are additionally declared as cache
+    // artifacts, so even a warm hit replays them from the cache.)
+    let mut s = String::new();
+    if traces.telemetry {
+        s.push_str("/trace");
     }
+    if let Some(fmt) = traces.decisions {
+        s.push_str("/mi-trace=");
+        s.push_str(fmt.tag());
+    }
+    s
 }
 
 /// Decoded [`single_job`] payload.
@@ -253,21 +326,35 @@ pub fn single_job(
     link: LinkSpec,
     secs: f64,
     seed: u64,
-    trace: bool,
+    traces: Traces,
 ) -> SimJob {
     let descriptor = format!(
         "single/{tag}/proto={proto}/secs={secs:?}/seed={seed}{}/v1",
-        trace_suffix(trace)
+        trace_suffix(traces)
     );
-    let sink = trace.then(|| TraceSink::new(exp, format!("single-{tag}-{proto}-s{seed}")));
-    SimJob::new(descriptor, format!("{proto} alone"), move || {
-        let res = run_traced(single_scenario(proto, link, secs, seed), sink.as_ref());
+    let run_name = format!("single-{tag}-{proto}-s{seed}");
+    let sink = traces.telemetry.then(|| TraceSink::new(exp, &run_name));
+    let mi = traces
+        .decisions
+        .map(|fmt| MiTraceSink::new(exp, &run_name, fmt));
+    let artifacts: Vec<_> = mi.iter().flat_map(|s| s.paths()).collect();
+    let decisions = mi.is_some();
+    let mut job = SimJob::new(descriptor, format!("{proto} alone"), move || {
+        let res = run_job(
+            single_scenario(proto, link, secs, seed, decisions),
+            sink.as_ref(),
+            mi.as_ref(),
+        );
         payload::encode_floats(&[
             tail_mbps(&res, 0, secs),
             res.flows[0].rtt_percentile(95.0).unwrap_or(0.0),
             res.flows[0].loss_rate(),
         ])
-    })
+    });
+    for path in artifacts {
+        job = job.with_artifact(path);
+    }
+    job
 }
 
 /// Decoded [`pair_job`] payload.
@@ -302,25 +389,35 @@ pub fn pair_job(
     link: LinkSpec,
     secs: f64,
     seed: u64,
-    trace: bool,
+    traces: Traces,
 ) -> SimJob {
     let descriptor = format!(
         "pair/{tag}/primary={primary}/scav={scavenger}/secs={secs:?}/seed={seed}{}/v1",
-        trace_suffix(trace)
+        trace_suffix(traces)
     );
-    let sink =
-        trace.then(|| TraceSink::new(exp, format!("pair-{tag}-{primary}-vs-{scavenger}-s{seed}")));
-    SimJob::new(descriptor, format!("{primary} vs {scavenger}"), move || {
-        let res = run_traced(
-            pair_scenario(primary, scavenger, link, secs, seed),
+    let run_name = format!("pair-{tag}-{primary}-vs-{scavenger}-s{seed}");
+    let sink = traces.telemetry.then(|| TraceSink::new(exp, &run_name));
+    let mi = traces
+        .decisions
+        .map(|fmt| MiTraceSink::new(exp, &run_name, fmt));
+    let artifacts: Vec<_> = mi.iter().flat_map(|s| s.paths()).collect();
+    let decisions = mi.is_some();
+    let mut job = SimJob::new(descriptor, format!("{primary} vs {scavenger}"), move || {
+        let res = run_job(
+            pair_scenario(primary, scavenger, link, secs, seed, decisions),
             sink.as_ref(),
+            mi.as_ref(),
         );
         payload::encode_floats(&[
             tail_mbps(&res, 0, secs),
             tail_mbps(&res, 1, secs),
             res.flows[0].rtt_percentile(95.0).unwrap_or(0.0),
         ])
-    })
+    });
+    for path in artifacts {
+        job = job.with_artifact(path);
+    }
+    job
 }
 
 #[cfg(test)]
@@ -346,7 +443,15 @@ mod tests {
     #[test]
     fn single_job_matches_direct_run() {
         let link = LinkSpec::new(20.0, Dur::from_millis(20), 100_000);
-        let job = single_job("test", &link_tag(&link), "CUBIC", link, 10.0, 3, false);
+        let job = single_job(
+            "test",
+            &link_tag(&link),
+            "CUBIC",
+            link,
+            10.0,
+            3,
+            Traces::off(),
+        );
         let out = decode_single(&job.execute());
         let direct = run_single("CUBIC", link, 10.0, 3);
         assert_eq!(out.tail_mbps, tail_mbps(&direct, 0, 10.0));
@@ -357,13 +462,57 @@ mod tests {
     fn job_descriptors_are_stable_identities() {
         let link = LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
         let tag = link_tag(&link);
-        let a = single_job("x", &tag, "BBR", link, 30.0, 7, false);
-        let b = single_job("y", &tag, "BBR", link, 30.0, 7, false);
+        let a = single_job("x", &tag, "BBR", link, 30.0, 7, Traces::off());
+        let b = single_job("y", &tag, "BBR", link, 30.0, 7, Traces::off());
         // Same cell from different experiments shares one cache identity.
         assert_eq!(a.key(), b.key());
-        // The trace flag changes the identity.
-        let t = single_job("x", &tag, "BBR", link, 30.0, 7, true);
+        // Each trace selection gets its own identity.
+        let telemetry = Traces {
+            telemetry: true,
+            ..Traces::off()
+        };
+        let t = single_job("x", &tag, "BBR", link, 30.0, 7, telemetry);
         assert_ne!(a.key(), t.key());
+        let mi = Traces {
+            decisions: Some(TraceFormat::Both),
+            ..Traces::off()
+        };
+        let m = single_job("x", &tag, "BBR", link, 30.0, 7, mi);
+        assert_ne!(a.key(), m.key());
+        assert_ne!(t.key(), m.key());
+        // Decision-tracing jobs declare their export files as artifacts.
+        assert_eq!(a.artifacts().len(), 0);
+        assert_eq!(m.artifacts().len(), 2);
+    }
+
+    #[test]
+    fn traced_controllers_do_not_change_results() {
+        // The decision sink must be an observer: a run with RingSink-backed
+        // senders is byte-identical to the untraced run.
+        let link = LinkSpec::new(20.0, Dur::from_millis(20), 100_000);
+        let plain = run(pair_scenario(
+            "Proteus-P",
+            "Proteus-S",
+            link,
+            12.0,
+            3,
+            false,
+        ));
+        let traced = run(pair_scenario("Proteus-P", "Proteus-S", link, 12.0, 3, true));
+        assert_eq!(
+            tail_mbps(&plain, 0, 12.0),
+            tail_mbps(&traced, 0, 12.0),
+            "primary goodput differs under tracing"
+        );
+        assert_eq!(tail_mbps(&plain, 1, 12.0), tail_mbps(&traced, 1, 12.0));
+        assert!(plain.decisions.is_empty());
+        assert!(
+            traced
+                .decisions
+                .iter()
+                .any(|fe| matches!(fe.event.kind, proteus_trace::EventKind::MiClose(_))),
+            "traced run recorded no MI closes"
+        );
     }
 
     #[test]

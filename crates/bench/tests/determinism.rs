@@ -10,7 +10,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use proteus_bench::report::Table;
-use proteus_bench::runner::{decode_single, link_tag, pair_job, single_job};
+use proteus_bench::runner::{decode_single, link_tag, pair_job, single_job, Traces};
 use proteus_netsim::LinkSpec;
 use proteus_runner::{Campaign, CampaignOpts, JobKey, SimJob};
 use proteus_transport::Dur;
@@ -25,10 +25,25 @@ fn job_grid(seed: u64) -> Vec<SimJob> {
     for link in links {
         let tag = link_tag(&link);
         for proto in ["CUBIC", "BBR"] {
-            jobs.push(single_job("det", &tag, proto, link, 8.0, seed, false));
+            jobs.push(single_job(
+                "det",
+                &tag,
+                proto,
+                link,
+                8.0,
+                seed,
+                Traces::off(),
+            ));
         }
         jobs.push(pair_job(
-            "det", &tag, "CUBIC", "LEDBAT", link, 12.0, seed, false,
+            "det",
+            &tag,
+            "CUBIC",
+            "LEDBAT",
+            link,
+            12.0,
+            seed,
+            Traces::off(),
         ));
     }
     jobs

@@ -9,6 +9,9 @@
 //! time with [`ProteusSender::set_mode`], even mid-flow ("In our user-space
 //! implementation, this is a simple API call").
 
+use proteus_trace::{
+    AckFilter, DecisionEvent, EventKind, GateVerdict, MiClose, ModeSwitch, NoopSink, TraceSink,
+};
 use proteus_transport::{
     AckInfo, CcSnapshot, CongestionControl, Dur, LossInfo, MiStats, MiTracker, RttEstimator,
     SentPacket, Time,
@@ -21,7 +24,9 @@ use proteus_stats::Ewma;
 use crate::config::{NoiseTolerance, ProteusConfig};
 use crate::noise::{AckIntervalFilter, GatedMetrics, MiNoiseGate};
 use crate::rate_control::RateController;
-use crate::utility::{evaluate, MiObservation, Mode, SharedThreshold};
+use crate::utility::{
+    evaluate, evaluate_terms, hybrid_uses_scavenger, MiObservation, Mode, SharedThreshold,
+};
 
 /// One entry of the sender's diagnostic trace: what the utility module saw
 /// and decided for a completed monitor interval.
@@ -44,7 +49,15 @@ pub struct MiTraceEntry {
 }
 
 /// A Proteus (or PCC Vivace) sender.
-pub struct ProteusSender {
+///
+/// The `S` parameter selects the decision-trace sink (see `proteus-trace`).
+/// The default, [`NoopSink`], has `ENABLED = false`: every emission site is
+/// guarded by that associated constant, so an untraced sender compiles to
+/// exactly the pre-tracing code — no branches, no stores, no allocation on
+/// the per-ACK path (guarded by `tests/alloc_free.rs` and the `per_ack`
+/// microbenches). [`ProteusSender::with_sink`] rebuilds the sender with a
+/// recording sink such as [`proteus_trace::RingSink`].
+pub struct ProteusSender<S: TraceSink = NoopSink> {
     cfg: ProteusConfig,
     mode: Mode,
     tracker: MiTracker,
@@ -73,6 +86,16 @@ pub struct ProteusSender {
     /// every ACK/loss, so the steady-state per-ACK path performs no heap
     /// allocation (guarded by `tests/alloc_free.rs`).
     mi_scratch: Vec<MiStats>,
+    /// Decision-event sink (the zero-sized [`NoopSink`] by default).
+    sink: S,
+    /// Latest event time seen, used to stamp decisions that happen outside
+    /// MI completion (explicit `set_mode` calls). Only maintained when
+    /// tracing is enabled.
+    clock: Time,
+    /// Which side of the Proteus-H threshold rule the previous MI used
+    /// (`Some(true)` = scavenger terms), for implicit-switch detection.
+    /// Only maintained when tracing is enabled.
+    hybrid_branch: Option<bool>,
 }
 
 impl ProteusSender {
@@ -97,21 +120,11 @@ impl ProteusSender {
             trace: VecDeque::new(),
             trace_capacity: 0,
             mi_scratch: Vec::new(),
+            sink: NoopSink,
+            clock: Time::ZERO,
+            hybrid_branch: None,
             cfg,
         }
-    }
-
-    /// Enables the per-MI diagnostic trace, keeping the most recent
-    /// `capacity` entries (see [`MiTraceEntry`]). Useful for debugging why
-    /// a sender yielded or ramped.
-    pub fn with_trace(mut self, capacity: usize) -> Self {
-        self.trace_capacity = capacity;
-        self
-    }
-
-    /// The recorded per-MI trace, oldest first.
-    pub fn trace(&self) -> impl Iterator<Item = &MiTraceEntry> {
-        self.trace.iter()
     }
 
     /// Proteus-P with the paper's defaults.
@@ -143,11 +156,84 @@ impl ProteusSender {
     pub fn allegro(seed: u64) -> Self {
         Self::with_config(ProteusConfig::vivace().with_seed(seed), Mode::Allegro)
     }
+}
+
+impl<S: TraceSink> ProteusSender<S> {
+    /// Enables the per-MI diagnostic trace, keeping the most recent
+    /// `capacity` entries (see [`MiTraceEntry`]). Useful for debugging why
+    /// a sender yielded or ramped.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// The recorded per-MI trace, oldest first.
+    pub fn trace(&self) -> impl Iterator<Item = &MiTraceEntry> {
+        self.trace.iter()
+    }
+
+    /// Rebuilds the sender with a different decision-trace sink (all
+    /// controller and measurement state carries over; typically called
+    /// right after construction). Enabling a recording sink also turns on
+    /// the rate controller's transition log.
+    pub fn with_sink<S2: TraceSink>(self, sink: S2) -> ProteusSender<S2> {
+        let mut s = ProteusSender {
+            cfg: self.cfg,
+            mode: self.mode,
+            tracker: self.tracker,
+            controller: self.controller,
+            gate: self.gate,
+            ack_filter: self.ack_filter,
+            rtt: self.rtt,
+            mi_end: self.mi_end,
+            current_rate_mbps: self.current_rate_mbps,
+            loss_ewma: self.loss_ewma,
+            mode_switches: self.mode_switches,
+            last_utility: self.last_utility,
+            trace: self.trace,
+            trace_capacity: self.trace_capacity,
+            mi_scratch: self.mi_scratch,
+            sink,
+            clock: self.clock,
+            hybrid_branch: self.hybrid_branch,
+        };
+        s.controller.set_trace_enabled(S2::ENABLED);
+        s
+    }
+
+    /// The decision-trace sink (e.g. to inspect `RingSink::dropped`).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Moves all buffered decision events into `out`, oldest first (the
+    /// [`CongestionControl::drain_decisions`] hook forwards here).
+    pub fn drain_decisions_into(&mut self, out: &mut Vec<DecisionEvent>) {
+        self.sink.drain_into(out);
+    }
 
     /// Switches the utility function, even mid-flow (the paper's
     /// *flexibility* goal). The rate controller keeps its state; only the
     /// objective changes.
     pub fn set_mode(&mut self, mode: Mode) {
+        if S::ENABLED {
+            let threshold_mbps = match &mode {
+                Mode::Hybrid(th) => th.get(),
+                _ => f64::NAN,
+            };
+            self.sink.record(DecisionEvent {
+                t_ns: self.clock.as_nanos(),
+                kind: EventKind::ModeSwitch(ModeSwitch {
+                    from: self.mode.name(),
+                    to: mode.name(),
+                    implicit: false,
+                    threshold_mbps,
+                    rate_mbps: self.current_rate_mbps,
+                }),
+            });
+            // The threshold-rule branch history belongs to the old mode.
+            self.hybrid_branch = None;
+        }
         self.mode_switches += 1;
         self.mode = mode;
     }
@@ -197,6 +283,9 @@ impl ProteusSender {
             if mi.pkts_sent == 0 {
                 self.controller
                     .on_mi_complete(self.last_utility.unwrap_or(0.0));
+                if S::ENABLED {
+                    self.drain_controller_log(mi.end);
+                }
                 continue;
             }
             let gated = self.gate.process(&mi);
@@ -207,7 +296,72 @@ impl ProteusSender {
                 rtt_gradient: gated.rtt_gradient,
                 rtt_deviation: gated.rtt_deviation,
             };
-            let u = evaluate(&self.mode, &self.cfg.utility, &obs);
+            // The traced path evaluates through `evaluate_terms`, whose
+            // `utility` is bitwise identical to `evaluate` (tested in
+            // `utility.rs`), so tracing cannot perturb control decisions.
+            let u = if S::ENABLED {
+                let end_ns = mi.end.as_nanos();
+                self.sink.record(DecisionEvent {
+                    t_ns: end_ns,
+                    kind: EventKind::GateVerdict(GateVerdict {
+                        raw_gradient: mi.rtt_gradient,
+                        raw_deviation: mi.rtt_dev,
+                        gradient_error: mi.gradient_error,
+                        per_mi_gated: gated.per_mi_gated,
+                        trend_restored_gradient: gated.trend_restored_gradient,
+                        trend_restored_deviation: gated.trend_restored_deviation,
+                        out_gradient: gated.rtt_gradient,
+                        out_deviation: gated.rtt_deviation,
+                    }),
+                });
+                if let Mode::Hybrid(th) = &self.mode {
+                    let threshold = th.get();
+                    let scav = hybrid_uses_scavenger(obs.rate_mbps, threshold);
+                    if let Some(prev) = self.hybrid_branch {
+                        if prev != scav {
+                            let (from, to) = if scav {
+                                ("Proteus-P", "Proteus-S")
+                            } else {
+                                ("Proteus-S", "Proteus-P")
+                            };
+                            self.sink.record(DecisionEvent {
+                                t_ns: end_ns,
+                                kind: EventKind::ModeSwitch(ModeSwitch {
+                                    from,
+                                    to,
+                                    implicit: true,
+                                    threshold_mbps: threshold,
+                                    rate_mbps: obs.rate_mbps,
+                                }),
+                            });
+                        }
+                    }
+                    self.hybrid_branch = Some(scav);
+                }
+                let terms = evaluate_terms(&self.mode, &self.cfg.utility, &obs);
+                self.sink.record(DecisionEvent {
+                    t_ns: end_ns,
+                    kind: EventKind::MiClose(MiClose {
+                        mi_start_ns: mi.start.as_nanos(),
+                        rate_mbps: obs.rate_mbps,
+                        goodput_mbps: mi.throughput * 8.0 / 1e6,
+                        loss_rate,
+                        raw_loss_rate: mi.loss_rate,
+                        rtt_mean_s: mi.rtt_mean,
+                        rtt_dev_s: gated.rtt_deviation,
+                        rtt_gradient: gated.rtt_gradient,
+                        utility: terms.utility,
+                        term_rate: terms.term_rate,
+                        term_gradient: terms.term_gradient,
+                        term_loss: terms.term_loss,
+                        term_deviation: terms.term_deviation,
+                        mode: terms.effective,
+                    }),
+                });
+                terms.utility
+            } else {
+                evaluate(&self.mode, &self.cfg.utility, &obs)
+            };
             self.last_utility = Some(u);
             if self.trace_capacity > 0 {
                 if self.trace.len() == self.trace_capacity {
@@ -224,12 +378,25 @@ impl ProteusSender {
                 });
             }
             self.controller.on_mi_complete(u);
+            if S::ENABLED {
+                self.drain_controller_log(mi.end);
+            }
         }
         self.mi_scratch = completed;
     }
+
+    /// Moves the controller's per-completion decision log into the sink,
+    /// stamped with the completing MI's end time.
+    fn drain_controller_log(&mut self, at: Time) {
+        let t_ns = at.as_nanos();
+        let sink = &mut self.sink;
+        self.controller
+            .log
+            .drain(|kind| sink.record(DecisionEvent { t_ns, kind }));
+    }
 }
 
-impl std::fmt::Debug for ProteusSender {
+impl<S: TraceSink> std::fmt::Debug for ProteusSender<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ProteusSender")
             .field("mode", &self.mode.name())
@@ -239,12 +406,15 @@ impl std::fmt::Debug for ProteusSender {
     }
 }
 
-impl CongestionControl for ProteusSender {
+impl<S: TraceSink> CongestionControl for ProteusSender<S> {
     fn name(&self) -> &str {
         self.mode.name()
     }
 
     fn on_flow_start(&mut self, now: Time) {
+        if S::ENABLED {
+            self.clock = now;
+        }
         self.roll_mi(now);
     }
 
@@ -252,10 +422,34 @@ impl CongestionControl for ProteusSender {
         self.tracker.on_sent(pkt);
     }
 
-    fn on_ack(&mut self, _now: Time, ack: &AckInfo) {
+    fn on_ack(&mut self, now: Time, ack: &AckInfo) {
+        if S::ENABLED {
+            self.clock = now;
+        }
         self.rtt.update(ack.rtt);
         let keep_rtt = match &mut self.ack_filter {
-            Some(f) => f.on_ack(ack),
+            Some(f) => {
+                if S::ENABLED {
+                    // The filter verdicts every ACK; the trace records the
+                    // episode *boundaries* (started/stopped dropping).
+                    let was_filtering = f.is_filtering();
+                    let keep = f.on_ack(ack);
+                    if f.is_filtering() != was_filtering {
+                        let (accepted, dropped) = f.counts();
+                        self.sink.record(DecisionEvent {
+                            t_ns: now.as_nanos(),
+                            kind: EventKind::AckFilter(AckFilter {
+                                dropping: !was_filtering,
+                                accepted,
+                                dropped,
+                            }),
+                        });
+                    }
+                    keep
+                } else {
+                    f.on_ack(ack)
+                }
+            }
             None => true,
         };
         self.mi_scratch.clear();
@@ -264,7 +458,10 @@ impl CongestionControl for ProteusSender {
         self.process_completed();
     }
 
-    fn on_loss(&mut self, _now: Time, loss: &LossInfo) {
+    fn on_loss(&mut self, now: Time, loss: &LossInfo) {
+        if S::ENABLED {
+            self.clock = now;
+        }
         self.mi_scratch.clear();
         self.tracker.on_loss_into(loss, &mut self.mi_scratch);
         self.process_completed();
@@ -279,6 +476,9 @@ impl CongestionControl for ProteusSender {
     }
 
     fn on_timer(&mut self, now: Time) {
+        if S::ENABLED {
+            self.clock = now;
+        }
         if let Some(end) = self.mi_end {
             if now >= end {
                 self.roll_mi(now);
@@ -292,6 +492,12 @@ impl CongestionControl for ProteusSender {
             mode: Some(self.mode.name()),
             mode_switches: self.mode_switches,
         })
+    }
+
+    fn drain_decisions(&mut self, out: &mut Vec<DecisionEvent>) {
+        if S::ENABLED {
+            self.drain_decisions_into(out);
+        }
     }
 }
 
@@ -437,5 +643,97 @@ mod tests {
         s.rtt.update(Dur::from_millis(1));
         // Clamped to the configured minimum.
         assert!(s.mi_duration() >= s.cfg.mi.min_duration);
+    }
+
+    /// Closes `n` MIs on a traced sender, one acked packet per MI.
+    fn close_mis(
+        s: &mut ProteusSender<proteus_trace::RingSink>,
+        now: &mut Time,
+        seq: &mut u64,
+        n: usize,
+    ) {
+        for _ in 0..n {
+            let pkt = SentPacket {
+                seq: *seq,
+                bytes: 1500,
+                sent_at: *now + Dur::from_millis(1),
+            };
+            s.on_packet_sent(pkt.sent_at, &pkt);
+            s.on_timer(s.next_timer().unwrap());
+            *now = s.next_timer().unwrap();
+            s.on_ack(*now, &ack(*seq, pkt.sent_at, *now));
+            *seq += 1;
+        }
+    }
+
+    /// Drains the sender's sink and returns `(t_ns, switch)` pairs.
+    fn drain_switches(s: &mut ProteusSender<proteus_trace::RingSink>) -> Vec<(u64, ModeSwitch)> {
+        let mut events = Vec::new();
+        s.drain_decisions_into(&mut events);
+        events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::ModeSwitch(m) => Some((e.t_ns, m)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hybrid_emits_mode_switches_exactly_at_threshold_crossings() {
+        let th = SharedThreshold::new(f64::MAX);
+        let mut s = ProteusSender::with_config(
+            ProteusConfig::proteus().with_seed(1),
+            Mode::Hybrid(th.clone()),
+        )
+        .with_sink(proteus_trace::RingSink::new(128));
+        s.on_flow_start(Time::ZERO);
+        let (mut now, mut seq) = (Time::ZERO, 0u64);
+
+        // Every rate is below f64::MAX: the first MI close pins the primary
+        // branch and later closes stay on it — no crossing, no events.
+        close_mis(&mut s, &mut now, &mut seq, 3);
+        assert!(drain_switches(&mut s).is_empty());
+
+        // Dropping the threshold below the sending rate is a crossing: the
+        // §4.4 rule flips to scavenger terms at the very next MI close, and
+        // exactly once — later closes stay on the new branch.
+        th.set(0.0);
+        close_mis(&mut s, &mut now, &mut seq, 3);
+        let next_close_ns = {
+            // The switch must carry the timestamp of the first MI close
+            // after the flip, which `close_mis` aligned to `next_timer`.
+            let switches = drain_switches(&mut s);
+            assert_eq!(switches.len(), 1, "one crossing, one event");
+            let (t_ns, sw) = switches[0];
+            assert!(sw.implicit, "threshold-rule switches are implicit");
+            assert_eq!((sw.from, sw.to), ("Proteus-P", "Proteus-S"));
+            assert_eq!(sw.threshold_mbps, 0.0);
+            assert!(sw.rate_mbps >= sw.threshold_mbps);
+            t_ns
+        };
+        assert!(next_close_ns > 0);
+
+        // Raising it back above the rate crosses again, in the other
+        // direction.
+        th.set(f64::MAX);
+        close_mis(&mut s, &mut now, &mut seq, 3);
+        let switches = drain_switches(&mut s);
+        assert_eq!(switches.len(), 1);
+        assert_eq!(
+            (switches[0].1.from, switches[0].1.to),
+            ("Proteus-S", "Proteus-P")
+        );
+        assert!(switches[0].1.implicit);
+
+        // An explicit `set_mode` also records a switch, marked as such.
+        s.set_mode(Mode::Scavenger);
+        let switches = drain_switches(&mut s);
+        assert_eq!(switches.len(), 1);
+        assert!(!switches[0].1.implicit);
+        assert_eq!(
+            (switches[0].1.from, switches[0].1.to),
+            ("Proteus-H", "Proteus-S")
+        );
     }
 }

@@ -24,6 +24,7 @@
 
 use std::collections::VecDeque;
 
+use proteus_trace::{CtlPhase, EventKind, ProbeOutcome, RateTransition};
 use rand::rngs::SmallRng;
 use rand::{RngExt as _, SeedableRng};
 
@@ -142,6 +143,43 @@ enum State {
     },
 }
 
+/// Fixed-capacity scratch log of controller decisions taken while
+/// processing one MI completion (at most a probe outcome plus the state
+/// transition it causes — capacity 4 leaves slack). The owning sender
+/// drains it after each `on_mi_complete`, stamping timestamps; when tracing
+/// is disabled (the default) nothing is ever pushed, so the completion path
+/// stays write-free.
+#[derive(Debug, Default)]
+pub(crate) struct CtlLog {
+    enabled: bool,
+    slots: [Option<EventKind>; 4],
+    len: usize,
+}
+
+impl CtlLog {
+    fn push(&mut self, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        if self.len < self.slots.len() {
+            self.slots[self.len] = Some(kind);
+            self.len += 1;
+        }
+        // Overflow is impossible by construction (≤ 2 pushes per
+        // completion, drained every completion); dropping on the floor is
+        // still the right failure mode for a tracing path.
+    }
+
+    pub(crate) fn drain(&mut self, mut f: impl FnMut(EventKind)) {
+        for slot in &mut self.slots[..self.len] {
+            if let Some(kind) = slot.take() {
+                f(kind);
+            }
+        }
+        self.len = 0;
+    }
+}
+
 /// The PCC rate controller. Rates are in Mbit/sec throughout.
 #[derive(Debug)]
 pub struct RateController {
@@ -154,6 +192,8 @@ pub struct RateController {
     epoch: u64,
     /// Tags for MIs handed out and not yet completed, front = oldest.
     pending: VecDeque<(u64, Tag)>,
+    /// Decision log scratch, drained by the sender per completion.
+    pub(crate) log: CtlLog,
 }
 
 impl RateController {
@@ -169,6 +209,22 @@ impl RateController {
             rate: params.initial_rate_mbps,
             epoch: 0,
             pending: VecDeque::new(),
+            log: CtlLog::default(),
+        }
+    }
+
+    /// Turns decision logging on or off (off by default; the log is only
+    /// written when a tracing sender will drain it).
+    pub(crate) fn set_trace_enabled(&mut self, enabled: bool) {
+        self.log.enabled = enabled;
+    }
+
+    /// Current controller phase, for decision traces.
+    fn phase(&self) -> CtlPhase {
+        match self.state {
+            State::Starting { .. } => CtlPhase::Starting,
+            State::Probing { .. } => CtlPhase::Probing,
+            State::Moving { .. } => CtlPhase::Moving,
         }
     }
 
@@ -230,6 +286,11 @@ impl RateController {
     fn enter_probing(&mut self, base: f64) {
         self.bump_epoch();
         let base = base.max(self.params.min_rate_mbps);
+        self.log.push(EventKind::RateTransition(RateTransition {
+            from: self.phase(),
+            to: CtlPhase::Probing,
+            rate_mbps: base,
+        }));
         self.rate = base;
         let eps = self.params.epsilon;
         let pairs = self.params.probe_rule.pairs();
@@ -258,6 +319,11 @@ impl RateController {
         self.bump_epoch();
         let direction = if gradient >= 0.0 { 1.0 } else { -1.0 };
         let theta = self.clamped_step(gradient, 1, base);
+        self.log.push(EventKind::RateTransition(RateTransition {
+            from: self.phase(),
+            to: CtlPhase::Moving,
+            rate_mbps: (base + theta).max(self.params.min_rate_mbps),
+        }));
         self.rate = (base + theta).max(self.params.min_rate_mbps);
         self.state = State::Moving {
             prev_rate: base,
@@ -370,8 +436,24 @@ impl RateController {
                 }
                 ProbeRule::Agreement => gradient,
             };
+            self.log.push(EventKind::ProbeOutcome(ProbeOutcome {
+                base_mbps: base,
+                decided: true,
+                vote: direction_sum,
+                gradient: signed,
+            }));
             self.enter_moving(base, base_utility, signed);
         } else {
+            self.log.push(EventKind::ProbeOutcome(ProbeOutcome {
+                base_mbps: base,
+                decided: false,
+                vote: direction_sum,
+                gradient: if gradient_n > 0 {
+                    gradient_sum / gradient_n as f64
+                } else {
+                    0.0
+                },
+            }));
             // Inconclusive: probe again around the same base.
             self.enter_probing(base);
         }
@@ -627,6 +709,48 @@ mod tests {
         // A stale pending tag from before the bump must not disturb probing.
         c.on_mi_complete(123.0);
         assert!((c.rate_mbps() - base).abs() < 1e-9 || c.is_probing());
+    }
+
+    #[test]
+    fn decision_log_records_outcomes_and_transitions() {
+        let mut c = controller(ProbeRule::Majority);
+        c.set_trace_enabled(true);
+        force_probing(&mut c);
+        let mut kinds = Vec::new();
+        c.log.drain(|k| kinds.push(k));
+        // Leaving slow start logs a Starting → Probing transition.
+        assert!(kinds.iter().any(|k| matches!(
+            k,
+            EventKind::RateTransition(t)
+                if t.from == CtlPhase::Starting && t.to == CtlPhase::Probing
+        )));
+        // A unanimous "up" probe round logs a decided outcome and the
+        // Probing → Moving transition it causes, in that order.
+        kinds.clear();
+        while c.is_probing() {
+            step(&mut c, |r| r);
+            c.log.drain(|k| kinds.push(k));
+        }
+        let outcome = kinds
+            .iter()
+            .position(|k| matches!(k, EventKind::ProbeOutcome(o) if o.decided && o.vote > 0))
+            .expect("no decided probe outcome logged");
+        assert!(matches!(
+            kinds[outcome + 1],
+            EventKind::RateTransition(t) if t.to == CtlPhase::Moving
+        ));
+    }
+
+    #[test]
+    fn decision_log_disabled_by_default() {
+        let mut c = controller(ProbeRule::Majority);
+        force_probing(&mut c);
+        while c.is_probing() {
+            step(&mut c, |r| r);
+        }
+        let mut kinds = Vec::new();
+        c.log.drain(|k| kinds.push(k));
+        assert!(kinds.is_empty());
     }
 
     #[test]

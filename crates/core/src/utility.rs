@@ -119,12 +119,21 @@ pub fn utility_allegro(_p: &UtilityParams, o: &MiObservation) -> f64 {
     x * (1.0 - l) * sig - x * l
 }
 
+/// Whether Eq. 3's piecewise rule selects the scavenger terms for this rate:
+/// `rate < threshold` is strictly primary, everything else (including NaN
+/// thresholds) scavenger. Shared between [`utility_hybrid`] and the sender's
+/// implicit mode-switch detection so the trace can never disagree with the
+/// utility actually evaluated.
+pub fn hybrid_uses_scavenger(rate_mbps: f64, threshold_mbps: f64) -> bool {
+    rate_mbps.partial_cmp(&threshold_mbps) != Some(std::cmp::Ordering::Less)
+}
+
 /// Evaluates Eq. 3's Proteus-H utility for a given threshold (Mbps).
 pub fn utility_hybrid(p: &UtilityParams, o: &MiObservation, threshold_mbps: f64) -> f64 {
-    if o.rate_mbps < threshold_mbps {
-        utility_primary(p, o)
-    } else {
+    if hybrid_uses_scavenger(o.rate_mbps, threshold_mbps) {
         utility_scavenger(p, o)
+    } else {
+        utility_primary(p, o)
     }
 }
 
@@ -136,6 +145,100 @@ pub fn evaluate(mode: &Mode, p: &UtilityParams, o: &MiObservation) -> f64 {
         Mode::Primary => utility_primary(p, o),
         Mode::Scavenger => utility_scavenger(p, o),
         Mode::Hybrid(th) => utility_hybrid(p, o, th.get()),
+    }
+}
+
+/// A utility value decomposed into its additive terms (for decision traces).
+///
+/// Invariant: `utility` equals
+/// `term_rate − term_gradient − term_loss − term_deviation` evaluated in
+/// that association order, bitwise identical to what [`evaluate`] returns
+/// for the same inputs — [`evaluate_terms`] is the single implementation
+/// and `evaluate` is checked against it in tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilityTerms {
+    /// The utility value (what the controller optimizes).
+    pub utility: f64,
+    /// Throughput reward `x^d` (Allegro: `x·(1−L)·sigmoid`).
+    pub term_rate: f64,
+    /// Latency-gradient penalty `b·x·grad` as subtracted (negative when
+    /// Vivace rewards a falling RTT).
+    pub term_gradient: f64,
+    /// Loss penalty `c·x·L` (Allegro: `x·L`).
+    pub term_loss: f64,
+    /// RTT-deviation penalty `d·x·σ(RTT)` (zero outside scavenger terms).
+    pub term_deviation: f64,
+    /// Name of the term set actually applied — differs from the mode name
+    /// only for Proteus-H, where it reports which side of the threshold
+    /// rule fired (`"Proteus-P"` or `"Proteus-S"`).
+    pub effective: &'static str,
+}
+
+/// Evaluates the utility for the given mode with its per-term breakdown.
+pub fn evaluate_terms(mode: &Mode, p: &UtilityParams, o: &MiObservation) -> UtilityTerms {
+    let x = o.rate_mbps.max(0.0);
+    match mode {
+        Mode::Allegro => {
+            let l = o.loss_rate;
+            let sig = 1.0 / (1.0 + (-100.0 * (0.05 - l)).exp());
+            let term_rate = x * (1.0 - l) * sig;
+            let term_loss = x * l;
+            UtilityTerms {
+                utility: term_rate - term_loss,
+                term_rate,
+                term_gradient: 0.0,
+                term_loss,
+                term_deviation: 0.0,
+                effective: "PCC-Allegro",
+            }
+        }
+        Mode::Vivace => {
+            let term_rate = x.powf(p.exponent);
+            let term_gradient = p.gradient_coef * x * o.rtt_gradient;
+            let term_loss = p.loss_coef * x * o.loss_rate;
+            UtilityTerms {
+                utility: term_rate - term_gradient - term_loss,
+                term_rate,
+                term_gradient,
+                term_loss,
+                term_deviation: 0.0,
+                effective: "PCC-Vivace",
+            }
+        }
+        Mode::Primary => primary_terms(p, o, "Proteus-P"),
+        Mode::Scavenger => scavenger_terms(p, o, "Proteus-S"),
+        Mode::Hybrid(th) => {
+            if hybrid_uses_scavenger(o.rate_mbps, th.get()) {
+                scavenger_terms(p, o, "Proteus-S")
+            } else {
+                primary_terms(p, o, "Proteus-P")
+            }
+        }
+    }
+}
+
+fn primary_terms(p: &UtilityParams, o: &MiObservation, effective: &'static str) -> UtilityTerms {
+    let x = o.rate_mbps.max(0.0);
+    let term_rate = x.powf(p.exponent);
+    let term_gradient = p.gradient_coef * x * o.rtt_gradient.max(0.0);
+    let term_loss = p.loss_coef * x * o.loss_rate;
+    UtilityTerms {
+        utility: term_rate - term_gradient - term_loss,
+        term_rate,
+        term_gradient,
+        term_loss,
+        term_deviation: 0.0,
+        effective,
+    }
+}
+
+fn scavenger_terms(p: &UtilityParams, o: &MiObservation, effective: &'static str) -> UtilityTerms {
+    let base = primary_terms(p, o, effective);
+    let term_deviation = p.deviation_coef * o.rate_mbps.max(0.0) * o.rtt_deviation;
+    UtilityTerms {
+        utility: base.utility - term_deviation,
+        term_deviation,
+        ..base
     }
 }
 
@@ -277,6 +380,53 @@ mod tests {
         high.loss_rate = 0.09;
         assert!(utility_allegro(&p, &low) > 0.8 * 10.0);
         assert!(utility_allegro(&p, &high) < 0.0);
+    }
+
+    #[test]
+    fn evaluate_terms_matches_evaluate_bitwise() {
+        let p = params();
+        let th = SharedThreshold::new(10.0);
+        let modes = [
+            Mode::Allegro,
+            Mode::Vivace,
+            Mode::Primary,
+            Mode::Scavenger,
+            Mode::Hybrid(th),
+        ];
+        for mode in &modes {
+            for rate in [0.5, 9.9, 10.0, 42.0] {
+                for grad in [-0.02, 0.0, 0.01] {
+                    let o = MiObservation {
+                        rate_mbps: rate,
+                        loss_rate: 0.03,
+                        rtt_gradient: grad,
+                        rtt_deviation: 0.002,
+                    };
+                    let t = evaluate_terms(mode, &p, &o);
+                    // Bitwise identical to the scalar path, and the terms
+                    // recompose exactly in the documented association order.
+                    assert_eq!(t.utility, evaluate(mode, &p, &o), "{}", mode.name());
+                    assert_eq!(
+                        t.utility,
+                        t.term_rate - t.term_gradient - t.term_loss - t.term_deviation
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_terms_reports_effective_hybrid_side() {
+        let p = params();
+        let th = SharedThreshold::new(10.0);
+        let mode = Mode::Hybrid(th);
+        let mut o = obs(5.0);
+        o.rtt_deviation = 0.002;
+        assert_eq!(evaluate_terms(&mode, &p, &o).effective, "Proteus-P");
+        o.rate_mbps = 10.0; // at-threshold is scavenger (strict less-than)
+        assert_eq!(evaluate_terms(&mode, &p, &o).effective, "Proteus-S");
+        assert!(hybrid_uses_scavenger(10.0, 10.0));
+        assert!(!hybrid_uses_scavenger(9.99, 10.0));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use proteus_core::{Mode, ProteusSender, SharedThreshold};
+use proteus_trace::{RingSink, TraceSink};
 use proteus_transport::{AckInfo, CongestionControl, Dur, SentPacket, Time};
 
 /// Counts every allocation (fresh, zeroed, or growth via realloc) routed
@@ -50,7 +51,7 @@ const RTT_MS: u64 = 30;
 /// Drives `events` send+ACK pairs (1 ms apart, fixed 30 ms RTT), firing the
 /// MI timer whenever it is due — the same shape the simulator produces for
 /// a paced steady flow, so MIs roll and complete throughout.
-fn drive(cc: &mut ProteusSender, seq: &mut u64, events: u64) {
+fn drive<S: TraceSink>(cc: &mut ProteusSender<S>, seq: &mut u64, events: u64) {
     for _ in 0..events {
         *seq += 1;
         let now = Time::from_millis(*seq);
@@ -141,5 +142,33 @@ fn steady_state_controller_path_does_not_allocate() {
                 drive(&mut cc, &mut seq, 100);
             }
         },
+    );
+
+    // Phase 3: decision tracing enabled through a RingSink. The ring is
+    // preallocated at construction and overwrites in place, and the drain
+    // scratch can never need more than the ring's capacity, so recording
+    // every MI-close/gate/transition event and draining them stays
+    // allocation-free too. (With the default NoopSink the recording sites
+    // compile away entirely — phases 1–2 already cover that.)
+    let mut cc = ProteusSender::scavenger(7).with_sink(RingSink::new(4096));
+    cc.on_flow_start(Time::ZERO);
+    let mut seq = 0u64;
+    let mut events: Vec<proteus_trace::DecisionEvent> = Vec::with_capacity(4096);
+    drive(&mut cc, &mut seq, 5_000);
+    cc.drain_decisions_into(&mut events);
+
+    assert_window_alloc_free(
+        "steady-state traced (RingSink) path (10k events + drain)",
+        || {
+            drive(&mut cc, &mut seq, 10_000);
+            events.clear();
+            cc.drain_decisions_into(&mut events);
+        },
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| { matches!(e.kind, proteus_trace::EventKind::MiClose(_)) }),
+        "traced phase recorded no MI closes — the window measured nothing"
     );
 }

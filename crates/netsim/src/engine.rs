@@ -217,6 +217,11 @@ pub struct Sim {
     queue_samples: Vec<(f64, u64)>,
     trace_every: Option<Dur>,
     trace: Vec<TraceEvent>,
+    /// Decision events drained from controllers carrying a recording
+    /// `proteus-trace` sink (stays empty for untraced controllers).
+    decisions: Vec<proteus_trace::FlowEvent>,
+    /// Reusable drain buffer for [`Sim::drain_decisions`].
+    decision_scratch: Vec<proteus_trace::DecisionEvent>,
     cross: Option<CrossState>,
     link_rate_bps: f64,
     /// Reusable scratch for loss sweeps (dup-ACK and RTO), so the per-ACK
@@ -259,6 +264,8 @@ impl Sim {
             queue_samples: Vec::new(),
             trace_every,
             trace: Vec::new(),
+            decisions: Vec::new(),
+            decision_scratch: Vec::new(),
             cross: None,
             link_rate_bps: link.rate_bps(),
             loss_scratch: Vec::new(),
@@ -318,6 +325,11 @@ impl Sim {
             self.now = entry.at;
             self.dispatch(entry.ev);
         }
+        // Final decision sweep (stopped flows included), then restore
+        // global timestamp order: drains interleave flows per sweep, so a
+        // stable sort by time is enough to keep each flow's own order.
+        self.drain_decisions();
+        self.decisions.sort_by_key(|fe| fe.event.t_ns);
         SimResult {
             flows: self.metrics,
             duration: self.duration,
@@ -326,6 +338,7 @@ impl Sim {
             link_dropped_pkts: self.link.dropped_pkts(),
             queue_samples: self.queue_samples,
             trace: self.trace,
+            decisions: self.decisions,
         }
     }
 
@@ -365,9 +378,27 @@ impl Sim {
             }
             Event::TraceSample => {
                 self.sample_trace();
+                self.drain_decisions();
                 if let Some(every) = self.trace_every {
                     self.push(self.now + every, Event::TraceSample);
                 }
+            }
+        }
+    }
+
+    /// Moves buffered decision events out of every controller, labelling
+    /// them with the flow id. Called on each telemetry sample — which
+    /// bounds how full a flow's ring sink can get between sweeps — and once
+    /// more at run end.
+    fn drain_decisions(&mut self) {
+        for (id, f) in self.flows.iter_mut().enumerate() {
+            self.decision_scratch.clear();
+            f.cc.drain_decisions(&mut self.decision_scratch);
+            for &event in &self.decision_scratch {
+                self.decisions.push(proteus_trace::FlowEvent {
+                    flow: id as u32,
+                    event,
+                });
             }
         }
     }

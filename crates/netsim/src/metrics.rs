@@ -271,6 +271,10 @@ pub struct SimResult {
     /// Per-flow telemetry time series (empty unless the scenario enables
     /// [`crate::scenario::Scenario::with_trace`]).
     pub trace: Vec<TraceEvent>,
+    /// Structured decision events drained from the controllers, in
+    /// timestamp order (empty unless a flow's controller carries a
+    /// recording `proteus-trace` sink).
+    pub decisions: Vec<proteus_trace::FlowEvent>,
 }
 
 impl SimResult {
@@ -366,6 +370,7 @@ mod tests {
             link_dropped_pkts: 0,
             queue_samples: vec![],
             trace: vec![],
+            decisions: vec![],
         };
         let u = r.utilization(Time::ZERO, Time::from_secs_f64(1.0));
         assert!((u - 0.5).abs() < 1e-9);

@@ -65,11 +65,53 @@ impl ResultCache {
         }
     }
 
+    fn artifact_path(&self, key: JobKey, index: usize) -> PathBuf {
+        self.dir.join(format!("{}.a{index}", key.hex()))
+    }
+
+    /// Looks up a stored artifact (a declared side-effect file of the job,
+    /// see `SimJob::with_artifact`). Same header validation as
+    /// [`ResultCache::get`].
+    pub fn get_artifact(&self, key: JobKey, descriptor: &str, index: usize) -> Option<String> {
+        let text = fs::read_to_string(self.artifact_path(key, index)).ok()?;
+        let mut lines = text.splitn(4, '\n');
+        if lines.next() != Some(MAGIC) {
+            return None;
+        }
+        if lines.next() != Some(descriptor) {
+            return None;
+        }
+        if lines.next() != Some("---") {
+            return None;
+        }
+        Some(lines.next().unwrap_or("").to_string())
+    }
+
+    /// Stores one artifact alongside the job's payload entry, under the
+    /// same key. Failure semantics match [`ResultCache::put`].
+    pub fn put_artifact(&self, key: JobKey, descriptor: &str, index: usize, content: &str) {
+        debug_assert!(!descriptor.contains('\n'), "descriptor must be one line");
+        let body = format!("{MAGIC}\n{descriptor}\n---\n{content}");
+        let tmp = self.dir.join(format!("{}.a{index}.tmp", key.hex()));
+        if fs::write(&tmp, body).is_ok() {
+            let _ = fs::rename(&tmp, self.artifact_path(key, index));
+        }
+    }
+
     /// Removes every cache entry (used by tests and `--no-cache` refresh).
     pub fn clear(&self) -> std::io::Result<()> {
         for entry in fs::read_dir(&self.dir)? {
             let p = entry?.path();
-            if p.extension().is_some_and(|e| e == "job" || e == "tmp") {
+            let is_ours = p.extension().is_some_and(|e| {
+                let e = e.to_string_lossy();
+                // `.job`, `.tmp`, and artifact entries `.a0`, `.a1`, ...
+                e == "job"
+                    || e == "tmp"
+                    || (e.len() > 1
+                        && e.starts_with('a')
+                        && e[1..].chars().all(|c| c.is_ascii_digit()))
+            });
+            if is_ours {
                 let _ = fs::remove_file(p);
             }
         }
@@ -122,6 +164,25 @@ mod tests {
         c.put(key, "gone", "x");
         c.clear().unwrap();
         assert_eq!(c.get(key, "gone"), None);
+    }
+
+    #[test]
+    fn artifact_round_trip_and_clear() {
+        let c = tmp_cache("artifact");
+        let key = JobKey::from_descriptor("exp/a=1");
+        assert_eq!(c.get_artifact(key, "exp/a=1", 0), None);
+        c.put_artifact(key, "exp/a=1", 0, "line1\nline2\n");
+        c.put_artifact(key, "exp/a=1", 1, "{}");
+        assert_eq!(
+            c.get_artifact(key, "exp/a=1", 0).as_deref(),
+            Some("line1\nline2\n")
+        );
+        assert_eq!(c.get_artifact(key, "exp/a=1", 1).as_deref(), Some("{}"));
+        // Wrong descriptor or index misses.
+        assert_eq!(c.get_artifact(key, "exp/a=2", 0), None);
+        assert_eq!(c.get_artifact(key, "exp/a=1", 2), None);
+        c.clear().unwrap();
+        assert_eq!(c.get_artifact(key, "exp/a=1", 0), None);
     }
 
     #[test]

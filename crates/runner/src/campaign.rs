@@ -162,15 +162,31 @@ impl Campaign {
             .and_then(|dir| ResultCache::at(dir).ok());
 
         // Partition into cache hits and jobs that must run, remembering
-        // each job's submission slot so order survives the split.
+        // each job's submission slot so order survives the split. A job
+        // with declared artifacts only counts as a hit when the payload
+        // *and* every artifact are stored: then the artifacts are replayed
+        // (rewritten to their declared paths); otherwise the job is forced
+        // to re-execute so it regenerates them.
         let mut outputs: Vec<Option<String>> = (0..total).map(|_| None).collect();
         let mut to_run: Vec<(usize, SimJob)> = Vec::new();
         for (index, job) in self.jobs.into_iter().enumerate() {
-            let hit = cache
-                .as_ref()
-                .and_then(|c| c.get(job.key(), job.descriptor()));
+            let hit = cache.as_ref().and_then(|c| {
+                let payload = c.get(job.key(), job.descriptor())?;
+                let artifacts: Vec<String> = job
+                    .artifacts()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| c.get_artifact(job.key(), job.descriptor(), i))
+                    .collect::<Option<_>>()?;
+                Some((payload, artifacts))
+            });
             match hit {
-                Some(payload) => outputs[index] = Some(payload),
+                Some((payload, artifacts)) => {
+                    for (path, content) in job.artifacts().iter().zip(&artifacts) {
+                        Self::replay_artifact(path, content);
+                    }
+                    outputs[index] = Some(payload);
+                }
                 None => to_run.push((index, job)),
             }
         }
@@ -185,11 +201,19 @@ impl Campaign {
         }
 
         if !to_run.is_empty() {
-            // Keep (slot, key, descriptor) aside: SimJob is consumed by the
-            // executor, but we still need its identity to store the result.
-            let identities: Vec<(usize, crate::hash::JobKey, String)> = to_run
+            // Keep (slot, key, descriptor, artifact paths) aside: SimJob is
+            // consumed by the executor, but we still need its identity to
+            // store the result.
+            let identities: Vec<(usize, crate::hash::JobKey, String, Vec<PathBuf>)> = to_run
                 .iter()
-                .map(|(slot, job)| (*slot, job.key(), job.descriptor().to_string()))
+                .map(|(slot, job)| {
+                    (
+                        *slot,
+                        job.key(),
+                        job.descriptor().to_string(),
+                        job.artifacts().to_vec(),
+                    )
+                })
                 .collect();
             let jobs: Vec<SimJob> = to_run.into_iter().map(|(_, job)| job).collect();
 
@@ -202,9 +226,20 @@ impl Campaign {
             };
             let payloads = Executor::new(workers).run(jobs, Some(&cb));
 
-            for ((slot, key, descriptor), payload) in identities.into_iter().zip(payloads) {
+            for ((slot, key, descriptor, artifacts), payload) in
+                identities.into_iter().zip(payloads)
+            {
                 if let Some(c) = cache.as_ref() {
                     c.put(key, &descriptor, &payload);
+                    // Store whichever artifacts the job actually produced.
+                    // A missing file leaves the stored set incomplete, which
+                    // future lookups treat as a miss — never a silent hit
+                    // with absent side effects.
+                    for (i, path) in artifacts.iter().enumerate() {
+                        if let Ok(content) = std::fs::read_to_string(path) {
+                            c.put_artifact(key, &descriptor, i, &content);
+                        }
+                    }
                 }
                 outputs[slot] = Some(payload);
             }
@@ -231,6 +266,17 @@ impl Campaign {
             .unwrap_or_else(|e| e.into_inner())
             .push(stats.clone());
         CampaignResult { outputs, stats }
+    }
+
+    /// Rewrites one cached artifact to its declared path. Write failures
+    /// are ignored like cache-store failures: replay is best-effort, and a
+    /// reader that needs the file will see it missing and re-run without a
+    /// cache (`--no-cache`) to regenerate it.
+    fn replay_artifact(path: &std::path::Path, content: &str) {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let _ = std::fs::write(path, content);
     }
 
     /// Appends one stats line to the JSONL trajectory file. I/O errors are
@@ -349,6 +395,84 @@ mod tests {
             3,
             "cached jobs never re-ran"
         );
+    }
+
+    fn artifact_job(dir: &std::path::Path, counter: &Arc<AtomicUsize>) -> SimJob {
+        let out = dir.join("sub").join("trace.jsonl");
+        let out2 = out.clone();
+        let counter = Arc::clone(counter);
+        SimJob::new("test/artifact/0", "a0", move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+            std::fs::create_dir_all(out2.parent().unwrap()).unwrap();
+            std::fs::write(&out2, "{\"event\":\"mi_close\"}\n").unwrap();
+            "payload".to_string()
+        })
+        .with_artifact(out)
+    }
+
+    #[test]
+    fn cached_job_replays_artifacts() {
+        let dir = tmp_dir("artifact-replay");
+        let opts = CampaignOpts {
+            cache: Some(dir.join("cache")),
+            ..CampaignOpts::default()
+        };
+        let counter = Arc::new(AtomicUsize::new(0));
+        let artifact = dir.join("sub").join("trace.jsonl");
+
+        let mut first = Campaign::new("t", opts.clone());
+        first.push(artifact_job(&dir, &counter));
+        assert_eq!(first.run().stats.executed, 1);
+        assert!(artifact.is_file());
+
+        // Delete the artifact; a warm-cache run must restore it without
+        // re-executing the job.
+        std::fs::remove_file(&artifact).unwrap();
+        let mut second = Campaign::new("t", opts);
+        second.push(artifact_job(&dir, &counter));
+        let r = second.run();
+        assert_eq!(r.stats.cached, 1);
+        assert_eq!(r.stats.executed, 0);
+        assert_eq!(counter.load(Ordering::Relaxed), 1, "job must not re-run");
+        assert_eq!(
+            std::fs::read_to_string(&artifact).unwrap(),
+            "{\"event\":\"mi_close\"}\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_stored_artifact_forces_re_execution() {
+        let dir = tmp_dir("artifact-force");
+        let opts = CampaignOpts {
+            cache: Some(dir.join("cache")),
+            ..CampaignOpts::default()
+        };
+        let counter = Arc::new(AtomicUsize::new(0));
+
+        // Seed the cache with a payload-only entry (as if the job had been
+        // run without artifacts declared — e.g. before a flag flip).
+        let mut plain = Campaign::new("t", opts.clone());
+        plain.push(SimJob::new("test/artifact/0", "a0", || {
+            "payload".to_string()
+        }));
+        plain.run();
+
+        // The artifact-declaring variant of the same descriptor must treat
+        // the artifact-less entry as a miss and execute.
+        let mut declared = Campaign::new("t", opts.clone());
+        declared.push(artifact_job(&dir, &counter));
+        let r = declared.run();
+        assert_eq!(r.stats.cached, 0);
+        assert_eq!(r.stats.executed, 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+
+        // And now the stored set is complete: next run replays.
+        let mut warm = Campaign::new("t", opts);
+        warm.push(artifact_job(&dir, &counter));
+        assert_eq!(warm.run().stats.cached, 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The unit of campaign work: one pure simulation cell.
 
+use std::path::PathBuf;
+
 use crate::hash::JobKey;
 
 /// One cell of a simulation campaign.
@@ -18,6 +20,7 @@ pub struct SimJob {
     key: JobKey,
     descriptor: String,
     label: String,
+    artifacts: Vec<PathBuf>,
     run: Box<dyn FnOnce() -> String + Send>,
 }
 
@@ -35,8 +38,27 @@ impl SimJob {
             key: JobKey::from_descriptor(&descriptor),
             descriptor,
             label: label.into(),
+            artifacts: Vec::new(),
             run: Box::new(run),
         }
+    }
+
+    /// Declares a side-effect file the job writes in addition to its
+    /// payload (e.g. a decision-trace export). Declared artifacts become
+    /// part of the cache contract: a cache hit rewrites every artifact to
+    /// its declared path from the stored copy (*replay*), and a hit whose
+    /// stored artifacts are incomplete is demoted to a miss so the job
+    /// re-executes and regenerates them. Artifact file *contents* must be a
+    /// pure function of the descriptor, like the payload; the paths
+    /// themselves may differ between runs (they are not part of the key).
+    pub fn with_artifact(mut self, path: impl Into<PathBuf>) -> Self {
+        self.artifacts.push(path.into());
+        self
+    }
+
+    /// The declared side-effect files, in declaration order.
+    pub fn artifacts(&self) -> &[PathBuf] {
+        &self.artifacts
     }
 
     /// The job's stable content-hash key.

@@ -1,0 +1,222 @@
+//! The decision-event vocabulary.
+//!
+//! Every record is a fixed-size `Copy` struct (no strings beyond `'static`
+//! mode names, no heap), so recording one into a [`crate::RingSink`] is a
+//! bounded memcpy. Field units are spelled out per field; timestamps are
+//! simulation-time nanoseconds since the run's `Time::ZERO`.
+
+/// One timestamped decision record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionEvent {
+    /// Event time, nanoseconds of simulation time.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The decision taken (see the per-variant structs for field meanings).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A monitor interval completed and was fed to the utility function.
+    MiClose(MiClose),
+    /// A §5 noise-gate verdict on a completed MI's latency metrics.
+    GateVerdict(GateVerdict),
+    /// The §5 per-ACK burst filter started or stopped dropping samples.
+    AckFilter(AckFilter),
+    /// The rate controller changed state (Starting/Probing/Moving).
+    RateTransition(RateTransition),
+    /// A probe round concluded (decided or inconclusive).
+    ProbeOutcome(ProbeOutcome),
+    /// The sender's utility function changed (§4.4), explicitly via
+    /// `set_mode` or implicitly via the Proteus-H threshold rule.
+    ModeSwitch(ModeSwitch),
+}
+
+impl EventKind {
+    /// Stable machine-readable tag used by the exporters
+    /// (`"mi_close"`, `"gate"`, `"ack_filter"`, `"rate_transition"`,
+    /// `"probe_outcome"`, `"mode_switch"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::MiClose(_) => "mi_close",
+            EventKind::GateVerdict(_) => "gate",
+            EventKind::AckFilter(_) => "ack_filter",
+            EventKind::RateTransition(_) => "rate_transition",
+            EventKind::ProbeOutcome(_) => "probe_outcome",
+            EventKind::ModeSwitch(_) => "mode_switch",
+        }
+    }
+}
+
+/// Rate-controller phase (the §4.3 state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlPhase {
+    /// Slow start: the rate doubles each MI while utility rises.
+    Starting,
+    /// Randomized ±ε probe pairs around the base rate.
+    Probing,
+    /// Gradient-ascent stepping.
+    Moving,
+}
+
+impl CtlPhase {
+    /// Display name (`"Starting"`, `"Probing"`, `"Moving"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            CtlPhase::Starting => "Starting",
+            CtlPhase::Probing => "Probing",
+            CtlPhase::Moving => "Moving",
+        }
+    }
+}
+
+/// A completed monitor interval, with the utility value and its per-term
+/// breakdown. The terms satisfy
+/// `utility = term_rate − term_gradient − term_loss − term_deviation`
+/// (each `term_*` is the signed amount subtracted; Vivace's negative-
+/// gradient *reward* shows up as a negative `term_gradient`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiClose {
+    /// MI start, nanoseconds (the event's `t_ns` is the MI end).
+    pub mi_start_ns: u64,
+    /// Target sending rate of the MI, Mbit/s.
+    pub rate_mbps: f64,
+    /// Achieved goodput over the MI, Mbit/s.
+    pub goodput_mbps: f64,
+    /// Smoothed loss rate the utility function consumed (short EWMA).
+    pub loss_rate: f64,
+    /// Raw per-MI loss rate before smoothing.
+    pub raw_loss_rate: f64,
+    /// Mean RTT over the MI, seconds.
+    pub rtt_mean_s: f64,
+    /// RTT deviation the utility consumed (post-gating), seconds.
+    pub rtt_dev_s: f64,
+    /// RTT gradient the utility consumed (post-gating), dimensionless.
+    pub rtt_gradient: f64,
+    /// Resulting utility value.
+    pub utility: f64,
+    /// Throughput term `x^d` (Allegro: `x·(1−L)·sigmoid`).
+    pub term_rate: f64,
+    /// Subtracted latency-gradient penalty `b·x·grad` (may be negative for
+    /// Vivace's reward).
+    pub term_gradient: f64,
+    /// Subtracted loss penalty `c·x·L` (Allegro: `x·L`).
+    pub term_loss: f64,
+    /// Subtracted RTT-deviation penalty `d·x·σ(RTT)` (scavenger terms only).
+    pub term_deviation: f64,
+    /// Utility-function name at evaluation time (e.g. `"Proteus-S"`).
+    pub mode: &'static str,
+}
+
+/// Verdict of the §5 noise gates on one MI (regression-error tolerance and
+/// the trending override).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateVerdict {
+    /// Raw RTT gradient measured by the MI's linear fit.
+    pub raw_gradient: f64,
+    /// Raw RTT deviation measured over the MI, seconds.
+    pub raw_deviation: f64,
+    /// Normalized RMS residual of the fit (the gate's noise yardstick).
+    pub gradient_error: f64,
+    /// Whether the per-MI regression-error gate judged the gradient noise.
+    pub per_mi_gated: bool,
+    /// Whether the trending gate restored the suppressed gradient.
+    pub trend_restored_gradient: bool,
+    /// Whether the trending gate restored the suppressed deviation.
+    pub trend_restored_deviation: bool,
+    /// Gradient actually handed to the utility function.
+    pub out_gradient: f64,
+    /// Deviation actually handed to the utility function, seconds.
+    pub out_deviation: f64,
+}
+
+/// A per-ACK burst-filter episode boundary (§5 "RTT Sample Filtering").
+///
+/// The filter takes a verdict on *every* ACK; recording each would swamp any
+/// bounded buffer at simulated ACK rates, so the trace records the episode
+/// *transitions* (started dropping / resumed accepting) together with the
+/// cumulative counters, from which per-episode drop counts are recoverable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AckFilter {
+    /// `true`: the filter just started dropping RTT samples;
+    /// `false`: a sample at/below the moving average ended the episode.
+    pub dropping: bool,
+    /// Cumulative accepted RTT samples at this boundary.
+    pub accepted: u64,
+    /// Cumulative dropped RTT samples at this boundary.
+    pub dropped: u64,
+}
+
+/// A rate-controller state transition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateTransition {
+    /// Phase before the transition.
+    pub from: CtlPhase,
+    /// Phase after the transition.
+    pub to: CtlPhase,
+    /// Base rate after the transition, Mbit/s.
+    pub rate_mbps: f64,
+}
+
+/// Conclusion of one probe round (all ±ε trials reported).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeOutcome {
+    /// Base rate the round probed around, Mbit/s.
+    pub base_mbps: f64,
+    /// Whether the rule (majority/agreement) reached a decision.
+    pub decided: bool,
+    /// Per-pair vote sum (+1 up / −1 down per pair); 0 on a tie.
+    pub vote: i32,
+    /// Measured utility gradient, utility-units per Mbit/s (signed by the
+    /// vote under majority rule).
+    pub gradient: f64,
+}
+
+/// A §4.4 utility-function switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeSwitch {
+    /// Utility function before the switch.
+    pub from: &'static str,
+    /// Utility function after the switch.
+    pub to: &'static str,
+    /// `true` when the switch is Proteus-H's implicit threshold rule
+    /// (`rate < threshold → primary terms, else scavenger terms`); `false`
+    /// for an explicit application `set_mode` call.
+    pub implicit: bool,
+    /// Threshold in force, Mbit/s (`NaN` when not hybrid).
+    pub threshold_mbps: f64,
+    /// Sending rate compared against the threshold, Mbit/s.
+    pub rate_mbps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable() {
+        let ev = EventKind::RateTransition(RateTransition {
+            from: CtlPhase::Starting,
+            to: CtlPhase::Probing,
+            rate_mbps: 12.0,
+        });
+        assert_eq!(ev.tag(), "rate_transition");
+        assert_eq!(CtlPhase::Moving.name(), "Moving");
+    }
+
+    #[test]
+    fn events_are_copy_and_small() {
+        // The ring buffer copies events by value; keep the record compact.
+        assert!(std::mem::size_of::<DecisionEvent>() <= 144);
+        let a = DecisionEvent {
+            t_ns: 5,
+            kind: EventKind::AckFilter(AckFilter {
+                dropping: true,
+                accepted: 10,
+                dropped: 1,
+            }),
+        };
+        let b = a; // Copy
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,387 @@
+//! Exporters: JSONL and Chrome `trace_event` renderings of a recorded run.
+//!
+//! Both exporters consume the same input — the run's drained events, each
+//! labelled with its flow id — and are pure functions of it, so a
+//! deterministic simulation yields byte-identical trace files (the golden
+//! trace test pins exactly that).
+//!
+//! JSON is emitted by a small local writer rather than a serialization
+//! dependency: every value is a bool, integer, finite float or short name
+//! string, and non-finite floats are rendered as `null` (JSON has no
+//! `NaN`/`Infinity`).
+
+use crate::event::{DecisionEvent, EventKind};
+
+/// One drained event attributed to the flow that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowEvent {
+    /// Flow id within the scenario.
+    pub flow: u32,
+    /// The decision record.
+    pub event: DecisionEvent,
+}
+
+/// Minimal JSON object writer (append-only, insertion order preserved).
+struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    fn num(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            // Rust's `Display` for f64 is shortest-roundtrip decimal — valid
+            // JSON and stable across runs.
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    fn int(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&format!("{v}"));
+        self
+    }
+
+    fn signed(&mut self, k: &str, v: i64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&format!("{v}"));
+        self
+    }
+
+    fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        push_json_string(&mut self.buf, v);
+        self
+    }
+
+    /// Nested raw JSON (already rendered).
+    fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    fn render(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn push_json_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            c if (c as u32) < 0x20 => buf.push_str(&format!("\\u{:04x}", c as u32)),
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn flow_name<'a>(names: &'a [&'a str], flow: u32) -> &'a str {
+    names.get(flow as usize).copied().unwrap_or("?")
+}
+
+/// Appends the kind-specific fields of `ev` to `o`.
+fn payload_fields(o: &mut Obj, ev: &DecisionEvent) {
+    match &ev.kind {
+        EventKind::MiClose(m) => {
+            o.num("mi_start", m.mi_start_ns as f64 / 1e9)
+                .num("rate_mbps", m.rate_mbps)
+                .num("goodput_mbps", m.goodput_mbps)
+                .num("loss_rate", m.loss_rate)
+                .num("raw_loss_rate", m.raw_loss_rate)
+                .num("rtt_mean_s", m.rtt_mean_s)
+                .num("rtt_dev_s", m.rtt_dev_s)
+                .num("rtt_gradient", m.rtt_gradient)
+                .num("utility", m.utility)
+                .num("term_rate", m.term_rate)
+                .num("term_gradient", m.term_gradient)
+                .num("term_loss", m.term_loss)
+                .num("term_deviation", m.term_deviation)
+                .str("mode", m.mode);
+        }
+        EventKind::GateVerdict(g) => {
+            o.num("raw_gradient", g.raw_gradient)
+                .num("raw_deviation", g.raw_deviation)
+                .num("gradient_error", g.gradient_error)
+                .bool("per_mi_gated", g.per_mi_gated)
+                .bool("trend_restored_gradient", g.trend_restored_gradient)
+                .bool("trend_restored_deviation", g.trend_restored_deviation)
+                .num("out_gradient", g.out_gradient)
+                .num("out_deviation", g.out_deviation);
+        }
+        EventKind::AckFilter(a) => {
+            o.bool("dropping", a.dropping)
+                .int("accepted", a.accepted)
+                .int("dropped", a.dropped);
+        }
+        EventKind::RateTransition(t) => {
+            o.str("from", t.from.name())
+                .str("to", t.to.name())
+                .num("rate_mbps", t.rate_mbps);
+        }
+        EventKind::ProbeOutcome(p) => {
+            o.num("base_mbps", p.base_mbps)
+                .bool("decided", p.decided)
+                .signed("vote", p.vote as i64)
+                .num("gradient", p.gradient);
+        }
+        EventKind::ModeSwitch(s) => {
+            o.str("from", s.from)
+                .str("to", s.to)
+                .bool("implicit", s.implicit)
+                .num("threshold_mbps", s.threshold_mbps)
+                .num("rate_mbps", s.rate_mbps);
+        }
+    }
+}
+
+/// Renders events as JSONL: one object per line, schema documented in
+/// `OBSERVABILITY.md`. `names[flow]` labels each line with its protocol
+/// name.
+pub fn to_jsonl(events: &[FlowEvent], names: &[&str]) -> String {
+    let mut out = String::new();
+    for fe in events {
+        let mut o = Obj::new();
+        o.num("t", fe.event.t_ns as f64 / 1e9)
+            .int("flow", fe.flow as u64)
+            .str("name", flow_name(names, fe.flow))
+            .str("event", fe.event.kind.tag());
+        payload_fields(&mut o, &fe.event);
+        out.push_str(&o.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events in Chrome `trace_event` format (the JSON object form with
+/// a `traceEvents` array), loadable in Perfetto or `chrome://tracing`.
+///
+/// Mapping: each flow becomes a thread (`tid` = flow id) of one process;
+/// MI closes become complete spans (`ph:"X"`) covering the interval, with
+/// per-flow `rate`/`utility` counter tracks (`ph:"C"`); every other decision
+/// becomes a thread-scoped instant (`ph:"i"`). Timestamps are microseconds,
+/// as the format requires.
+pub fn to_chrome_trace(events: &[FlowEvent], names: &[&str]) -> String {
+    let mut entries: Vec<String> = Vec::new();
+
+    // Thread-name metadata for every flow that produced events.
+    let mut seen: Vec<u32> = events.iter().map(|e| e.flow).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    for flow in seen {
+        let mut o = Obj::new();
+        o.str("name", "thread_name")
+            .str("ph", "M")
+            .int("pid", 1)
+            .int("tid", flow as u64);
+        let mut args = Obj::new();
+        args.str("name", &format!("flow {flow}: {}", flow_name(names, flow)));
+        o.raw("args", &args.render());
+        entries.push(o.render());
+    }
+
+    for fe in events {
+        let ts_us = fe.event.t_ns as f64 / 1e3;
+        let mut o = Obj::new();
+        match &fe.event.kind {
+            EventKind::MiClose(m) => {
+                let start_us = m.mi_start_ns as f64 / 1e3;
+                o.str("name", "MI")
+                    .str("cat", "mi")
+                    .str("ph", "X")
+                    .int("pid", 1)
+                    .int("tid", fe.flow as u64)
+                    .num("ts", start_us)
+                    .num("dur", (ts_us - start_us).max(0.0));
+                let mut args = Obj::new();
+                payload_fields(&mut args, &fe.event);
+                o.raw("args", &args.render());
+                entries.push(o.render());
+
+                // Counter tracks: rate and utility over time.
+                let mut rate = Obj::new();
+                rate.str("name", &format!("rate_mbps/flow{}", fe.flow))
+                    .str("ph", "C")
+                    .int("pid", 1)
+                    .num("ts", ts_us);
+                let mut rargs = Obj::new();
+                rargs.num("mbps", m.rate_mbps);
+                rate.raw("args", &rargs.render());
+                entries.push(rate.render());
+
+                let mut util = Obj::new();
+                util.str("name", &format!("utility/flow{}", fe.flow))
+                    .str("ph", "C")
+                    .int("pid", 1)
+                    .num("ts", ts_us);
+                let mut uargs = Obj::new();
+                uargs.num("u", m.utility);
+                util.raw("args", &uargs.render());
+                entries.push(util.render());
+            }
+            other => {
+                let cat = match other {
+                    EventKind::GateVerdict(_) | EventKind::AckFilter(_) => "noise",
+                    EventKind::RateTransition(_) | EventKind::ProbeOutcome(_) => "control",
+                    EventKind::ModeSwitch(_) => "mode",
+                    EventKind::MiClose(_) => unreachable!(),
+                };
+                o.str("name", other.tag())
+                    .str("cat", cat)
+                    .str("ph", "i")
+                    .str("s", "t")
+                    .int("pid", 1)
+                    .int("tid", fe.flow as u64)
+                    .num("ts", ts_us);
+                let mut args = Obj::new();
+                payload_fields(&mut args, &fe.event);
+                o.raw("args", &args.render());
+                entries.push(o.render());
+            }
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+
+    fn sample_events() -> Vec<FlowEvent> {
+        vec![
+            FlowEvent {
+                flow: 0,
+                event: DecisionEvent {
+                    t_ns: 30_000_000,
+                    kind: EventKind::MiClose(MiClose {
+                        mi_start_ns: 0,
+                        rate_mbps: 12.5,
+                        goodput_mbps: 11.0,
+                        loss_rate: 0.01,
+                        raw_loss_rate: 0.02,
+                        rtt_mean_s: 0.03,
+                        rtt_dev_s: 0.001,
+                        rtt_gradient: 0.0,
+                        utility: 9.5,
+                        term_rate: 9.7,
+                        term_gradient: 0.0,
+                        term_loss: 0.2,
+                        term_deviation: 0.0,
+                        mode: "Proteus-S",
+                    }),
+                },
+            },
+            FlowEvent {
+                flow: 1,
+                event: DecisionEvent {
+                    t_ns: 31_000_000,
+                    kind: EventKind::ModeSwitch(ModeSwitch {
+                        from: "Proteus-P",
+                        to: "Proteus-S",
+                        implicit: true,
+                        threshold_mbps: 10.0,
+                        rate_mbps: 12.5,
+                    }),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let text = to_jsonl(&sample_events(), &["Proteus-S", "Proteus-H"]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"mi_close\""));
+        assert!(lines[0].contains("\"t\":0.03"));
+        assert!(lines[0].contains("\"utility\":9.5"));
+        assert!(lines[1].contains("\"event\":\"mode_switch\""));
+        assert!(lines[1].contains("\"implicit\":true"));
+        assert!(lines[1].contains("\"name\":\"Proteus-H\""));
+    }
+
+    #[test]
+    fn jsonl_nonfinite_floats_become_null() {
+        let ev = vec![FlowEvent {
+            flow: 0,
+            event: DecisionEvent {
+                t_ns: 0,
+                kind: EventKind::ModeSwitch(ModeSwitch {
+                    from: "a",
+                    to: "b",
+                    implicit: false,
+                    threshold_mbps: f64::INFINITY,
+                    rate_mbps: 1.0,
+                }),
+            },
+        }];
+        let text = to_jsonl(&ev, &["x"]);
+        assert!(text.contains("\"threshold_mbps\":null"));
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_json_with_spans_and_instants() {
+        let text = to_chrome_trace(&sample_events(), &["Proteus-S", "Proteus-H"]);
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        // Two thread metadata + 1 span + 2 counters + 1 instant.
+        assert!(text.contains("\"ph\":\"M\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"dur\":30000"));
+        // Braces balance (cheap structural sanity; the format is plain JSON).
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut buf = String::new();
+        push_json_string(&mut buf, "a\"b\\c\nd");
+        assert_eq!(buf, "\"a\\\"b\\\\c\\u000ad\"");
+    }
+}

@@ -1,0 +1,320 @@
+//! Aggregate statistics over a decision trace.
+//!
+//! [`TraceSummary`] backs the `repro trace-summary` report mode: it counts
+//! each event kind and the interesting boolean outcomes (gate suppressions,
+//! probe decisions, implicit mode switches), either from in-memory events
+//! via [`TraceSummary::record`] or from exported JSONL files via
+//! [`TraceSummary::scan_jsonl_line`] — the two paths agree by construction
+//! (tested below), so summarizing a stored artifact equals summarizing the
+//! run that produced it.
+
+use crate::event::EventKind;
+
+/// Event counts and derived hit-rates for one trace (or a merge of several).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events seen.
+    pub events: u64,
+    /// Completed monitor intervals.
+    pub mi_closes: u64,
+    /// §5 noise-gate verdicts.
+    pub gate_verdicts: u64,
+    /// Verdicts where the per-MI regression-error gate suppressed the
+    /// gradient.
+    pub per_mi_gated: u64,
+    /// Verdicts where the trending gate restored a suppressed metric.
+    pub trend_restored: u64,
+    /// Per-ACK burst-filter episode boundaries.
+    pub ack_filter_events: u64,
+    /// Rate-controller state transitions.
+    pub rate_transitions: u64,
+    /// Concluded probe rounds.
+    pub probe_outcomes: u64,
+    /// Probe rounds that reached a decision.
+    pub probe_decided: u64,
+    /// Utility-function switches (explicit and implicit).
+    pub mode_switches: u64,
+    /// Switches caused by Proteus-H's implicit threshold rule.
+    pub implicit_mode_switches: u64,
+}
+
+impl TraceSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one in-memory event into the counts.
+    pub fn record(&mut self, kind: &EventKind) {
+        self.events += 1;
+        match kind {
+            EventKind::MiClose(_) => self.mi_closes += 1,
+            EventKind::GateVerdict(g) => {
+                self.gate_verdicts += 1;
+                if g.per_mi_gated {
+                    self.per_mi_gated += 1;
+                }
+                if g.trend_restored_gradient || g.trend_restored_deviation {
+                    self.trend_restored += 1;
+                }
+            }
+            EventKind::AckFilter(_) => self.ack_filter_events += 1,
+            EventKind::RateTransition(_) => self.rate_transitions += 1,
+            EventKind::ProbeOutcome(p) => {
+                self.probe_outcomes += 1;
+                if p.decided {
+                    self.probe_decided += 1;
+                }
+            }
+            EventKind::ModeSwitch(s) => {
+                self.mode_switches += 1;
+                if s.implicit {
+                    self.implicit_mode_switches += 1;
+                }
+            }
+        }
+    }
+
+    /// Folds one line of an exported JSONL trace into the counts.
+    ///
+    /// Matches on the stable `"event":"…"` tag plus the few boolean fields
+    /// the summary cares about — deliberately a substring scan, not a JSON
+    /// parser: the exporter (this crate) controls the format, every key
+    /// appears exactly once per line, and keeping the scanner trivial lets
+    /// `trace-summary` chew through large traces without a parse dependency.
+    /// Lines that are not decision events (blank, or foreign) are ignored.
+    pub fn scan_jsonl_line(&mut self, line: &str) {
+        let tag = match find_str_field(line, "event") {
+            Some(t) => t,
+            None => return,
+        };
+        self.events += 1;
+        match tag {
+            "mi_close" => self.mi_closes += 1,
+            "gate" => {
+                self.gate_verdicts += 1;
+                if has_true(line, "per_mi_gated") {
+                    self.per_mi_gated += 1;
+                }
+                if has_true(line, "trend_restored_gradient")
+                    || has_true(line, "trend_restored_deviation")
+                {
+                    self.trend_restored += 1;
+                }
+            }
+            "ack_filter" => self.ack_filter_events += 1,
+            "rate_transition" => self.rate_transitions += 1,
+            "probe_outcome" => {
+                self.probe_outcomes += 1;
+                if has_true(line, "decided") {
+                    self.probe_decided += 1;
+                }
+            }
+            "mode_switch" => {
+                self.mode_switches += 1;
+                if has_true(line, "implicit") {
+                    self.implicit_mode_switches += 1;
+                }
+            }
+            _ => self.events -= 1, // unknown tag: not one of ours
+        }
+    }
+
+    /// Adds another summary's counts into this one (for aggregating the
+    /// per-run files of an experiment).
+    pub fn merge(&mut self, other: &TraceSummary) {
+        self.events += other.events;
+        self.mi_closes += other.mi_closes;
+        self.gate_verdicts += other.gate_verdicts;
+        self.per_mi_gated += other.per_mi_gated;
+        self.trend_restored += other.trend_restored;
+        self.ack_filter_events += other.ack_filter_events;
+        self.rate_transitions += other.rate_transitions;
+        self.probe_outcomes += other.probe_outcomes;
+        self.probe_decided += other.probe_decided;
+        self.mode_switches += other.mode_switches;
+        self.implicit_mode_switches += other.implicit_mode_switches;
+    }
+
+    /// Fraction of gate verdicts where the per-MI gate suppressed the
+    /// gradient (0 when no verdicts were seen).
+    pub fn gate_hit_rate(&self) -> f64 {
+        ratio(self.per_mi_gated, self.gate_verdicts)
+    }
+
+    /// Fraction of probe rounds that reached a decision.
+    pub fn probe_decision_rate(&self) -> f64 {
+        ratio(self.probe_decided, self.probe_outcomes)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Extracts the value of `"key":"value"` from a single-line JSON object.
+fn find_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Whether the line contains `"key":true`.
+fn has_true(line: &str, key: &str) -> bool {
+    line.contains(&format!("\"{key}\":true"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::*;
+    use crate::export::{to_jsonl, FlowEvent};
+
+    fn sample() -> Vec<FlowEvent> {
+        let mk = |t_ns, kind| FlowEvent {
+            flow: 0,
+            event: DecisionEvent { t_ns, kind },
+        };
+        vec![
+            mk(
+                1,
+                EventKind::GateVerdict(GateVerdict {
+                    raw_gradient: 0.2,
+                    raw_deviation: 0.001,
+                    gradient_error: 0.5,
+                    per_mi_gated: true,
+                    trend_restored_gradient: false,
+                    trend_restored_deviation: true,
+                    out_gradient: 0.0,
+                    out_deviation: 0.001,
+                }),
+            ),
+            mk(
+                2,
+                EventKind::MiClose(MiClose {
+                    mi_start_ns: 0,
+                    rate_mbps: 10.0,
+                    goodput_mbps: 9.0,
+                    loss_rate: 0.0,
+                    raw_loss_rate: 0.0,
+                    rtt_mean_s: 0.03,
+                    rtt_dev_s: 0.0,
+                    rtt_gradient: 0.0,
+                    utility: 5.0,
+                    term_rate: 5.0,
+                    term_gradient: 0.0,
+                    term_loss: 0.0,
+                    term_deviation: 0.0,
+                    mode: "Proteus-P",
+                }),
+            ),
+            mk(
+                3,
+                EventKind::ProbeOutcome(ProbeOutcome {
+                    base_mbps: 10.0,
+                    decided: true,
+                    vote: 2,
+                    gradient: 0.4,
+                }),
+            ),
+            mk(
+                4,
+                EventKind::ProbeOutcome(ProbeOutcome {
+                    base_mbps: 10.0,
+                    decided: false,
+                    vote: 0,
+                    gradient: 0.0,
+                }),
+            ),
+            mk(
+                5,
+                EventKind::ModeSwitch(ModeSwitch {
+                    from: "Proteus-P",
+                    to: "Proteus-S",
+                    implicit: true,
+                    threshold_mbps: 10.0,
+                    rate_mbps: 12.0,
+                }),
+            ),
+            mk(
+                6,
+                EventKind::RateTransition(RateTransition {
+                    from: CtlPhase::Starting,
+                    to: CtlPhase::Probing,
+                    rate_mbps: 12.0,
+                }),
+            ),
+            mk(
+                7,
+                EventKind::AckFilter(AckFilter {
+                    dropping: true,
+                    accepted: 100,
+                    dropped: 3,
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn record_counts_every_kind() {
+        let mut s = TraceSummary::new();
+        for fe in sample() {
+            s.record(&fe.event.kind);
+        }
+        assert_eq!(s.events, 7);
+        assert_eq!(s.mi_closes, 1);
+        assert_eq!(s.gate_verdicts, 1);
+        assert_eq!(s.per_mi_gated, 1);
+        assert_eq!(s.trend_restored, 1);
+        assert_eq!(s.probe_outcomes, 2);
+        assert_eq!(s.probe_decided, 1);
+        assert_eq!(s.mode_switches, 1);
+        assert_eq!(s.implicit_mode_switches, 1);
+        assert_eq!(s.rate_transitions, 1);
+        assert_eq!(s.ack_filter_events, 1);
+        assert_eq!(s.gate_hit_rate(), 1.0);
+        assert_eq!(s.probe_decision_rate(), 0.5);
+    }
+
+    #[test]
+    fn jsonl_scan_matches_in_memory_record() {
+        let events = sample();
+        let mut direct = TraceSummary::new();
+        for fe in &events {
+            direct.record(&fe.event.kind);
+        }
+        let text = to_jsonl(&events, &["Proteus-H"]);
+        let mut scanned = TraceSummary::new();
+        for line in text.lines() {
+            scanned.scan_jsonl_line(line);
+        }
+        assert_eq!(direct, scanned);
+    }
+
+    #[test]
+    fn scan_ignores_foreign_lines() {
+        let mut s = TraceSummary::new();
+        s.scan_jsonl_line("");
+        s.scan_jsonl_line("{\"t\":1.0,\"goodput\":5.0}");
+        s.scan_jsonl_line("{\"event\":\"something_else\"}");
+        assert_eq!(s, TraceSummary::new());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = TraceSummary::new();
+        for fe in sample() {
+            a.record(&fe.event.kind);
+        }
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.events, 14);
+        assert_eq!(a.probe_decided, 2);
+    }
+}

@@ -75,6 +75,12 @@ pub trait CongestionControl {
     fn snapshot(&self) -> Option<CcSnapshot> {
         None
     }
+
+    /// Moves any buffered decision-trace events into `out`, oldest first
+    /// (see the `proteus-trace` crate). The simulator calls this
+    /// periodically and at flow end; controllers without decision tracing —
+    /// or with tracing disabled — use this default and append nothing.
+    fn drain_decisions(&mut self, _out: &mut Vec<proteus_trace::DecisionEvent>) {}
 }
 
 /// Factory producing a fresh controller for a flow; scenarios are described

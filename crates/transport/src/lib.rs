@@ -15,7 +15,7 @@
 //! the algorithms themselves live in `proteus-baselines` and `proteus-core`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod app;
 pub mod cc;

@@ -13,7 +13,7 @@
 //! is built to do **no hashing, no heap allocation and no linear scans** per
 //! event in steady state:
 //!
-//! * packet→MI attribution is a seq-indexed ring ([`AttributionRing`], the
+//! * packet→MI attribution is a seq-indexed ring (`AttributionRing`, the
 //!   same shape as `netsim::inflight::InflightTracker`) instead of a SipHash
 //!   `HashMap<SeqNr, MiId>` — O(1) insert/remove with zero per-packet
 //!   allocator traffic once the ring has grown to the flow's in-flight size;
@@ -22,8 +22,8 @@
 //!   front id and an id resolves to its `MiState` by direct indexing — no
 //!   linear `find`;
 //! * each `MiState` is a fixed-size struct: the RTT-gradient fit runs on a
-//!   streaming [`RegressionAccumulator`] instead of a stored
-//!   `Vec<(f64, f64)>`, making [`MiState::finish`] O(1) in the number of RTT
+//!   streaming `RegressionAccumulator` instead of a stored
+//!   `Vec<(f64, f64)>`, making `MiState::finish` O(1) in the number of RTT
 //!   samples;
 //! * completed MIs are reported through a caller-provided drain buffer
 //!   (`on_ack_into`/`on_loss_into`) rather than a freshly allocated
@@ -96,7 +96,7 @@ impl MiStats {
 }
 
 /// One in-flight monitor interval. Fixed-size: per-ACK updates touch only
-/// scalar accumulators, and [`MiState::finish`] is O(1).
+/// scalar accumulators, and `MiState::finish` is O(1).
 #[derive(Debug)]
 struct MiState {
     id: MiId,

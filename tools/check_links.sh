@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Relative-link checker for the repo's Markdown docs (a minimal
+# `cargo deadlinks` stand-in, run in CI).
+#
+# Two kinds of cross-reference are verified, over every git-tracked *.md
+# outside vendor/:
+#
+#   1. inline Markdown links `[text](target)` whose target is not an
+#      absolute URL or a pure fragment — resolved relative to the file
+#      (a `#fragment` suffix is stripped; fragments themselves are not
+#      checked);
+#   2. backticked file mentions like `OBSERVABILITY.md` or
+#      `crates/bench/tests/golden_trace.rs` — any `-escaped token ending
+#      in .md, .rs, .sh, .toml or .yml with no spaces or placeholders —
+#      resolved relative to the repo root, then the file's directory.
+#      Tokens containing `<`, `*` or `$` (path templates such as
+#      `results/trace/<exp>/<run>.jsonl`) are skipped.
+#
+# Exits non-zero listing every broken reference.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() { # file, reference
+    echo "BROKEN: $1 -> $2" >&2
+    fail=1
+}
+
+while IFS= read -r md; do
+    dir=$(dirname "$md")
+
+    # 1. Inline links. One match per line is enough for these docs.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue
+        [ -e "$dir/$path" ] || complain "$md" "($target)"
+    done < <(grep -o '\][(][^)]*[)]' "$md" | sed 's/^](//; s/)$//')
+
+    # 2. Backticked file mentions.
+    while IFS= read -r token; do
+        case "$token" in
+        *'<'* | *'*'* | *'$'* | *' '*) continue ;;
+        esac
+        [ -e "$token" ] || [ -e "$dir/$token" ] || complain "$md" "\`$token\`"
+    done < <(grep -o '`[^`]*`' "$md" | sed 's/^`//; s/`$//' |
+        grep -E '^[A-Za-z0-9_./-]+\.(md|rs|sh|toml|yml)$')
+done < <(git ls-files '*.md' ':!vendor/')
+
+if [ "$fail" -ne 0 ]; then
+    echo "Markdown cross-references are broken (see above)." >&2
+    exit 1
+fi
+echo "All Markdown cross-references resolve."
