@@ -15,7 +15,7 @@
 //! their own, so they can be unit-tested and reused outside video.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod crosslayer;
 pub mod video;

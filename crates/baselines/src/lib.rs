@@ -15,7 +15,7 @@
 //! * [`FixedRateProbe`] — the constant-rate UDP measurement flow of Fig. 2.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bbr;
 pub mod copa;

@@ -16,6 +16,15 @@
 //!   --trace-mi         record structured decision traces (see OBSERVABILITY.md)
 //!   --trace-format <f> decision-trace format: jsonl, chrome or both
 //!   --trace-out <dir>  decision-trace directory (default results/trace-mi)
+//!
+//! Fault injection (see SCENARIOS.md; all flags repeatable where sensible):
+//!
+//!   --bw-step <T:MBPS>      set bottleneck bandwidth to MBPS at T seconds
+//!   --rtt-step <T:MS>       set base RTT to MS at T seconds (route change)
+//!   --outage <T:LEN>        link down at T seconds for LEN seconds
+//!   --burst-loss <PE:PX:PB> Gilbert-Elliott loss: p_enter, p_exit, loss_bad
+//!   --reorder <PROB:MS>     delay PROB of packets by up to MS past FIFO order
+//!   --ack-comp <EVERY:HOLD> hold ACKs for HOLD ms roughly every EVERY seconds
 //! ```
 //!
 //! Protocols: CUBIC, Reno, Vegas, BBR, BBR-S, COPA, LEDBAT, LEDBAT-25,
@@ -32,7 +41,10 @@ use std::fs;
 use std::process::ExitCode;
 
 use proteus_bench::{cc, cc_traced, mi_trace, trace_jsonl, MiTraceSink, TraceFormat, TRACE_EVERY};
-use proteus_netsim::{run, FlowSpec, LinkSpec, NoiseConfig, Scenario};
+use proteus_netsim::{
+    run, AckCompression, FaultSchedule, FlowSpec, GilbertElliott, LinkSpec, NoiseConfig,
+    ReorderConfig, Scenario,
+};
 use proteus_transport::{Dur, Time};
 
 struct Args {
@@ -48,6 +60,18 @@ struct Args {
     trace_mi: bool,
     trace_format: TraceFormat,
     flows: Vec<(String, f64)>,
+    faults: FaultSchedule,
+}
+
+/// Splits `spec` into exactly `n` colon-separated floats.
+fn floats(spec: &str, n: usize, what: &str) -> Result<Vec<f64>, String> {
+    let vals: Result<Vec<f64>, _> = spec.split(':').map(str::parse).collect();
+    match vals {
+        Ok(v) if v.len() == n => Ok(v),
+        _ => Err(format!(
+            "{what} expects {n} colon-separated numbers, got {spec:?}"
+        )),
+    }
 }
 
 fn parse() -> Result<Args, String> {
@@ -64,6 +88,7 @@ fn parse() -> Result<Args, String> {
         trace_mi: false,
         trace_format: TraceFormat::Both,
         flows: Vec::new(),
+        faults: FaultSchedule::new(),
     };
     let mut it = env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, what: &str| {
@@ -104,6 +129,44 @@ fn parse() -> Result<Args, String> {
                 ))?;
             }
             "--trace-out" => mi_trace::set_mi_trace_dir(need(&mut it, "--trace-out")?),
+            "--bw-step" => {
+                let v = floats(&need(&mut it, "--bw-step")?, 2, "--bw-step")?;
+                a.faults =
+                    std::mem::take(&mut a.faults).bandwidth_step(Dur::from_secs_f64(v[0]), v[1]);
+            }
+            "--rtt-step" => {
+                let v = floats(&need(&mut it, "--rtt-step")?, 2, "--rtt-step")?;
+                a.faults = std::mem::take(&mut a.faults)
+                    .rtt_step(Dur::from_secs_f64(v[0]), Dur::from_secs_f64(v[1] / 1e3));
+            }
+            "--outage" => {
+                let v = floats(&need(&mut it, "--outage")?, 2, "--outage")?;
+                a.faults = std::mem::take(&mut a.faults)
+                    .outage(Dur::from_secs_f64(v[0]), Dur::from_secs_f64(v[1]));
+            }
+            "--burst-loss" => {
+                let v = floats(&need(&mut it, "--burst-loss")?, 3, "--burst-loss")?;
+                a.faults = std::mem::take(&mut a.faults).with_burst_loss(GilbertElliott {
+                    p_enter: v[0],
+                    p_exit: v[1],
+                    loss_good: 0.0,
+                    loss_bad: v[2],
+                });
+            }
+            "--reorder" => {
+                let v = floats(&need(&mut it, "--reorder")?, 2, "--reorder")?;
+                a.faults = std::mem::take(&mut a.faults).with_reorder(ReorderConfig {
+                    prob: v[0],
+                    max_extra: Dur::from_secs_f64(v[1] / 1e3),
+                });
+            }
+            "--ack-comp" => {
+                let v = floats(&need(&mut it, "--ack-comp")?, 2, "--ack-comp")?;
+                a.faults = std::mem::take(&mut a.faults).with_ack_compression(AckCompression {
+                    every: Dur::from_secs_f64(v[0]),
+                    hold: Dur::from_secs_f64(v[1] / 1e3),
+                });
+            }
             "--flow" => {
                 let spec = need(&mut it, "--flow")?;
                 let (proto, start) = match spec.split_once('@') {
@@ -147,6 +210,8 @@ fn main() -> ExitCode {
                 "usage: proteus-sim [--bw Mbps] [--rtt ms] [--buffer KB|xBDP] [--loss p] \
                  [--wifi] [--secs s] [--seed n] [--timeline] [--trace FILE] \
                  [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR] \
+                 [--bw-step T:MBPS] [--rtt-step T:MS] [--outage T:LEN] \
+                 [--burst-loss PE:PX:PB] [--reorder PROB:MS] [--ack-comp EVERY:HOLD] \
                  --flow PROTO[@START] ..."
             );
             return ExitCode::from(2);
@@ -166,7 +231,9 @@ fn main() -> ExitCode {
         link = link.with_noise(NoiseConfig::wifi_default());
     }
 
-    let mut sc = Scenario::new(link, Dur::from_secs_f64(args.secs)).with_seed(args.seed);
+    let mut sc = Scenario::new(link, Dur::from_secs_f64(args.secs))
+        .with_seed(args.seed)
+        .with_faults(args.faults.clone());
     if args.trace.is_some() || args.trace_mi {
         sc = sc.with_trace(TRACE_EVERY);
     }
@@ -242,6 +309,19 @@ fn main() -> ExitCode {
     }
     let util = res.utilization(from, to);
     println!("joint utilization: {:.1}%", util * 100.0);
+    if !args.faults.is_empty() {
+        let s = res.fault_stats;
+        println!(
+            "faults: {} link change(s), {} outage drop(s), {} burst loss(es) in {} episode(s), \
+             {} reordered pkt(s), {} compressed ACK(s)",
+            s.link_changes,
+            s.outage_drops,
+            s.burst_losses,
+            s.loss_episodes,
+            s.reordered_pkts,
+            s.compressed_acks
+        );
+    }
 
     if args.timeline {
         println!();

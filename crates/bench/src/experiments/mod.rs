@@ -14,6 +14,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod stress;
 pub mod video_util;
 pub mod wifi;
 
@@ -108,6 +109,12 @@ pub fn registry() -> Vec<Experiment> {
             id: "theory",
             description: "Appendix A equilibria + S4.4 hybrid ideal allocation",
             run: equilibrium::run_experiment,
+        },
+        Experiment {
+            id: "stress",
+            description:
+                "Robustness: fault profiles (outages, bursty loss, reordering, ACK compression) x protocols + invariant checker",
+            run: stress::run_experiment,
         },
     ]
 }

@@ -15,7 +15,7 @@
 //! Reports are printed and also written under `results/`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod mi_trace;

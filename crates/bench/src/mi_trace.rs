@@ -234,6 +234,7 @@ pub fn summary_report() -> String {
             "filter_ev",
             "probes",
             "decided%",
+            "faults",
         ],
     );
     let pct = |x: f64| {
@@ -259,6 +260,7 @@ pub fn summary_report() -> String {
             s.ack_filter_events.to_string(),
             s.probe_outcomes.to_string(),
             pct(s.probe_decision_rate()),
+            s.fault_events.to_string(),
         ]);
     }
     if exps.len() > 1 {
@@ -273,6 +275,7 @@ pub fn summary_report() -> String {
             total.ack_filter_events.to_string(),
             total.probe_outcomes.to_string(),
             pct(total.probe_decision_rate()),
+            total.fault_events.to_string(),
         ]);
     }
     format!("{}\n", t.render())

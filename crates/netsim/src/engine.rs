@@ -11,8 +11,16 @@
 //!
 //! Loss detection mirrors TCP practice: a packet is declared lost when a
 //! packet sent three or more sequence numbers later is ACKed (dup-ACK
-//! threshold; the simulated path never reorders), or when the RFC 6298
-//! retransmission timeout expires without progress.
+//! threshold; the path only reorders when a [`crate::fault::FaultSchedule`]
+//! injects it, in which case spurious dup-ACK losses are the intended
+//! pathology), or when the RFC 6298 retransmission timeout expires without
+//! progress.
+//!
+//! A scenario may attach a fault schedule: timed link changes arrive
+//! through the same event heap (`Event::Fault`), and the stochastic fault
+//! components (bursty loss, reordering, ACK compression) draw from a
+//! dedicated RNG so that fault-free scenarios reproduce historical results
+//! bit for bit (see `crate::fault` for the determinism rules).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -26,6 +34,7 @@ use proteus_transport::{
 };
 
 use crate::dist;
+use crate::fault::{FaultState, LinkChange, WireLoss};
 use crate::inflight::InflightTracker;
 use crate::link::{BottleneckLink, Offer};
 use crate::metrics::{FlowMetrics, SimResult, TraceEvent};
@@ -95,6 +104,10 @@ enum Event {
     QueueSample,
     /// Periodic per-flow telemetry sampling (see `Scenario::with_trace`).
     TraceSample,
+    /// Apply the `idx`-th scheduled link change of the fault schedule.
+    Fault {
+        idx: u32,
+    },
 }
 
 struct HeapEntry {
@@ -227,6 +240,11 @@ pub struct Sim {
     /// Reusable scratch for loss sweeps (dup-ACK and RTO), so the per-ACK
     /// and per-RTO paths stay allocation-free after warm-up.
     loss_scratch: Vec<(SeqNr, Time, u64)>,
+    /// Fault-layer runtime (`None` without a schedule: the static fast
+    /// path, with zero extra RNG draws).
+    faults: Option<FaultState>,
+    /// The schedule's link changes, indexed by `Event::Fault::idx`.
+    fault_changes: Vec<LinkChange>,
 }
 
 impl Sim {
@@ -242,6 +260,7 @@ impl Sim {
             rtt_stride,
             queue_sample_every,
             trace_every,
+            faults,
         } = scenario;
 
         let half_rtt = Dur::from_nanos(link.rtt.as_nanos() / 2);
@@ -269,7 +288,19 @@ impl Sim {
             cross: None,
             link_rate_bps: link.rate_bps(),
             loss_scratch: Vec::new(),
+            faults: None,
+            fault_changes: Vec::new(),
         };
+
+        if let Some(sched) = &faults {
+            if !sched.is_empty() {
+                sim.faults = Some(FaultState::new(sched, seed));
+                for (idx, &(at, change)) in sched.link_events.iter().enumerate() {
+                    sim.fault_changes.push(change);
+                    sim.push(Time::ZERO + at, Event::Fault { idx: idx as u32 });
+                }
+            }
+        }
 
         for spec in flows {
             let id = sim.flows.len();
@@ -339,6 +370,7 @@ impl Sim {
             queue_samples: self.queue_samples,
             trace: self.trace,
             decisions: self.decisions,
+            fault_stats: self.faults.map(|f| f.stats).unwrap_or_default(),
         }
     }
 
@@ -383,7 +415,56 @@ impl Sim {
                     self.push(self.now + every, Event::TraceSample);
                 }
             }
+            Event::Fault { idx } => self.on_fault(idx as usize),
         }
+    }
+
+    /// Applies one scheduled link change and records it as a link-scoped
+    /// trace event.
+    fn on_fault(&mut self, idx: usize) {
+        use proteus_trace::FaultKind;
+        let change = self.fault_changes[idx];
+        let (kind, value) = match change {
+            LinkChange::Bandwidth(mbps) => {
+                self.link.set_rate(mbps * 1e6);
+                (FaultKind::Bandwidth, mbps)
+            }
+            LinkChange::Rtt(rtt) => {
+                // Same half-split as construction; in-flight packets keep
+                // the propagation delay they departed with.
+                let half = Dur::from_nanos(rtt.as_nanos() / 2);
+                self.fwd_prop = half;
+                self.rev_prop = rtt - half;
+                (FaultKind::Rtt, rtt.as_secs_f64())
+            }
+            LinkChange::Down => {
+                if let Some(f) = &mut self.faults {
+                    f.down = true;
+                }
+                (FaultKind::OutageStart, 0.0)
+            }
+            LinkChange::Up => {
+                if let Some(f) = &mut self.faults {
+                    f.down = false;
+                }
+                (FaultKind::OutageEnd, 0.0)
+            }
+        };
+        if let Some(f) = &mut self.faults {
+            f.stats.link_changes += 1;
+        }
+        self.record_fault(kind, value);
+    }
+
+    /// Appends a link-scoped fault record to the decision stream.
+    fn record_fault(&mut self, kind: proteus_trace::FaultKind, value: f64) {
+        self.decisions.push(proteus_trace::FlowEvent {
+            flow: proteus_trace::LINK_FLOW,
+            event: proteus_trace::DecisionEvent {
+                t_ns: self.now.as_nanos(),
+                kind: proteus_trace::EventKind::Fault(proteus_trace::Fault { kind, value }),
+            },
+        });
     }
 
     /// Moves buffered decision events out of every controller, labelling
@@ -459,7 +540,12 @@ impl Sim {
         // (WiFi MAC aggregation) before it crosses the reverse path. The
         // return path is FIFO: ACK arrivals are clamped monotone per flow.
         let delivered_at = self.now;
-        let release = self.noise.ack_release(self.now, &mut self.rng);
+        let mut release = self.noise.ack_release(self.now, &mut self.rng);
+        if let Some(f) = &mut self.faults {
+            // ACK compression: episodes hold ACKs past the noise model's
+            // release time and let them go in a single batch.
+            release = f.ack_release(release);
+        }
         let mut arrival = release + self.rev_prop;
         {
             let f = &mut self.flows[flow];
@@ -820,13 +906,40 @@ impl Sim {
                             bytes: bytes as u32,
                         },
                     );
-                    if self.random_loss > 0.0 && self.rng.random::<f64>() < self.random_loss {
+                    // Fault layer first (its own RNG: no draws without a
+                    // schedule), then the pre-existing random-loss draw from
+                    // the main RNG, in the original order.
+                    let fault = match &mut self.faults {
+                        Some(f) => f.wire_loss(),
+                        None => WireLoss::default(),
+                    };
+                    if let Some(p_bad) = fault.burst_started {
+                        self.record_fault(proteus_trace::FaultKind::LossBurstStart, p_bad);
+                    }
+                    if fault.burst_ended {
+                        self.record_fault(proteus_trace::FaultKind::LossBurstEnd, 0.0);
+                    }
+                    if fault.lost {
+                        // Outage or loss burst: departs the queue, never
+                        // reaches the receiver.
+                    } else if self.random_loss > 0.0 && self.rng.random::<f64>() < self.random_loss
+                    {
                         // Non-congestion loss on the wire after the queue.
                     } else {
                         let noise = self.noise.data_delay(&mut self.rng);
-                        // FIFO clamp: jitter never reorders a flow's packets.
                         let mut delivered_at = at + self.fwd_prop + noise;
-                        {
+                        let reorder_extra = match &mut self.faults {
+                            Some(f) => f.reorder_extra(),
+                            None => None,
+                        };
+                        if let Some(extra) = reorder_extra {
+                            // Reordered packet: held back by `extra` and
+                            // exempted from the FIFO clamp (and from
+                            // advancing it), so later packets overtake it.
+                            delivered_at += extra;
+                        } else {
+                            // FIFO clamp: jitter never reorders a flow's
+                            // packets.
                             let f = &mut self.flows[flow];
                             if delivered_at < f.last_delivery_at {
                                 delivered_at = f.last_delivery_at;

@@ -7,6 +7,8 @@
 //!
 //! * [`BottleneckLink`] — fixed-rate FIFO tail-drop queue,
 //! * [`NoiseConfig`] — latency-noise models (clean, Gaussian, WiFi-like),
+//! * [`FaultSchedule`] — deterministic fault injection (time-varying
+//!   bandwidth/RTT, outages, bursty loss, reordering, ACK compression),
 //! * [`Scenario`]/[`FlowSpec`]/[`CrossTrafficSpec`] — declarative experiment
 //!   descriptions,
 //! * [`Sim`]/[`run`] — the event engine driving [`CongestionControl`]
@@ -39,10 +41,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod inflight;
 pub mod link;
 pub mod metrics;
@@ -50,6 +53,9 @@ pub mod noise;
 pub mod scenario;
 
 pub use engine::{run, Sim};
+pub use fault::{
+    AckCompression, FaultSchedule, FaultStats, GilbertElliott, LinkChange, ReorderConfig,
+};
 pub use inflight::{InflightPkt, InflightTracker};
 pub use link::{BottleneckLink, Offer};
 pub use metrics::{FlowMetrics, SimResult, TraceEvent};

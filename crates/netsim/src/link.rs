@@ -62,6 +62,21 @@ impl BottleneckLink {
         self.rate_bps
     }
 
+    /// Changes the drain rate (time-varying links / fault injection).
+    ///
+    /// Packets already accepted keep the departure times committed at offer
+    /// time — the virtual queue cannot cheaply re-plan them — so the new
+    /// rate takes effect from the next offered packet. With per-packet
+    /// serialization times in the sub-millisecond range the approximation
+    /// error is one packet's worth of drain time.
+    ///
+    /// # Panics
+    /// Panics if the rate is not positive and finite.
+    pub fn set_rate(&mut self, rate_bps: f64) {
+        assert!(rate_bps > 0.0 && rate_bps.is_finite());
+        self.rate_bps = rate_bps;
+    }
+
     /// Configured buffer size, bytes.
     pub fn buffer_bytes(&self) -> u64 {
         self.buffer_bytes
@@ -203,6 +218,23 @@ mod tests {
         l.offer(Time::ZERO, 1500);
         l.offer(Time::ZERO, 1500);
         assert_eq!(l.current_delay(Time::ZERO, 1500), Dur::from_millis(3));
+    }
+
+    #[test]
+    fn set_rate_applies_to_subsequent_offers() {
+        let mut l = link();
+        let Offer::Departs(t1) = l.offer(Time::ZERO, 1500) else {
+            panic!()
+        };
+        assert_eq!(t1, Time::from_millis(1));
+        // Halve the rate: the next packet serializes in 2 ms after the
+        // committed backlog.
+        l.set_rate(6_000_000.0);
+        assert_eq!(l.rate_bps(), 6_000_000.0);
+        let Offer::Departs(t2) = l.offer(Time::ZERO, 1500) else {
+            panic!()
+        };
+        assert_eq!(t2, Time::from_millis(3));
     }
 
     #[test]

@@ -11,6 +11,8 @@ use std::cell::OnceCell;
 use proteus_stats::percentile_sorted;
 use proteus_transport::{Dur, FlowId, Time};
 
+use crate::fault::FaultStats;
+
 /// Measurements recorded for one flow over a simulation run.
 #[derive(Debug, Clone)]
 pub struct FlowMetrics {
@@ -273,8 +275,11 @@ pub struct SimResult {
     pub trace: Vec<TraceEvent>,
     /// Structured decision events drained from the controllers, in
     /// timestamp order (empty unless a flow's controller carries a
-    /// recording `proteus-trace` sink).
+    /// recording `proteus-trace` sink). When a fault schedule is set, also
+    /// contains the link-scoped fault records.
     pub decisions: Vec<proteus_trace::FlowEvent>,
+    /// What the fault layer injected (all zero without a schedule).
+    pub fault_stats: FaultStats,
 }
 
 impl SimResult {
@@ -371,6 +376,7 @@ mod tests {
             queue_samples: vec![],
             trace: vec![],
             decisions: vec![],
+            fault_stats: FaultStats::default(),
         };
         let u = r.utilization(Time::ZERO, Time::from_secs_f64(1.0));
         assert!((u - 0.5).abs() < 1e-9);

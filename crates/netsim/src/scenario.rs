@@ -6,6 +6,7 @@
 
 use proteus_transport::{Application, BulkApp, CcFactory, CongestionControl, Dur, SizedApp};
 
+use crate::fault::FaultSchedule;
 use crate::noise::NoiseConfig;
 
 /// Bottleneck link parameters.
@@ -216,6 +217,10 @@ pub struct Scenario {
     /// Record per-flow telemetry ([`crate::metrics::TraceEvent`]) at this
     /// period, if set.
     pub trace_every: Option<Dur>,
+    /// Injected path faults (link dynamics, bursty loss, reordering, ACK
+    /// compression), if any. `None` keeps the static-link fast path:
+    /// existing results stay byte-identical.
+    pub faults: Option<FaultSchedule>,
 }
 
 impl Scenario {
@@ -232,6 +237,7 @@ impl Scenario {
             rtt_stride: 1,
             queue_sample_every: None,
             trace_every: None,
+            faults: None,
         }
     }
 
@@ -279,6 +285,17 @@ impl Scenario {
         self.trace_every = Some(every);
         self
     }
+
+    /// Attaches a fault schedule (see [`FaultSchedule`]). An empty schedule
+    /// is treated as no schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = if faults.is_empty() {
+            None
+        } else {
+            Some(faults)
+        };
+        self
+    }
 }
 
 impl std::fmt::Debug for Scenario {
@@ -289,6 +306,7 @@ impl std::fmt::Debug for Scenario {
             .field("cross_traffic", &self.cross_traffic)
             .field("duration", &self.duration)
             .field("seed", &self.seed)
+            .field("faults", &self.faults)
             .finish()
     }
 }

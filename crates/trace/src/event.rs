@@ -30,12 +30,16 @@ pub enum EventKind {
     /// The sender's utility function changed (§4.4), explicitly via
     /// `set_mode` or implicitly via the Proteus-H threshold rule.
     ModeSwitch(ModeSwitch),
+    /// An injected fault took effect on the simulated path (link-scoped:
+    /// recorded with the reserved flow id [`crate::export::LINK_FLOW`], not
+    /// attributed to any sender).
+    Fault(Fault),
 }
 
 impl EventKind {
     /// Stable machine-readable tag used by the exporters
     /// (`"mi_close"`, `"gate"`, `"ack_filter"`, `"rate_transition"`,
-    /// `"probe_outcome"`, `"mode_switch"`).
+    /// `"probe_outcome"`, `"mode_switch"`, `"fault"`).
     pub fn tag(&self) -> &'static str {
         match self {
             EventKind::MiClose(_) => "mi_close",
@@ -44,6 +48,7 @@ impl EventKind {
             EventKind::RateTransition(_) => "rate_transition",
             EventKind::ProbeOutcome(_) => "probe_outcome",
             EventKind::ModeSwitch(_) => "mode_switch",
+            EventKind::Fault(_) => "fault",
         }
     }
 }
@@ -189,9 +194,67 @@ pub struct ModeSwitch {
     pub rate_mbps: f64,
 }
 
+/// An injected fault-layer event on the simulated path (netsim's
+/// `FaultSchedule`). These are link-scoped — the path misbehaved, not a
+/// sender — and exist so decision traces can be correlated with the fault
+/// that provoked them (e.g. an ACK-compression episode immediately followed
+/// by `ack_filter` `dropping:true`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// Which fault took effect.
+    pub kind: FaultKind,
+    /// Kind-specific magnitude (see [`FaultKind`] for units); `0.0` where
+    /// the kind carries no magnitude.
+    pub value: f64,
+}
+
+/// The fault vocabulary, mirroring netsim's `LinkChange` plus the
+/// stochastic loss-burst episode boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Bottleneck bandwidth changed; `value` is the new rate in Mbit/s.
+    Bandwidth,
+    /// Base RTT changed (route change); `value` is the new RTT in seconds.
+    Rtt,
+    /// The link went down; `value` is `0.0`.
+    OutageStart,
+    /// The link came back up; `value` is `0.0`.
+    OutageEnd,
+    /// The Gilbert–Elliott chain entered the bad (lossy) state; `value` is
+    /// the bad-state per-packet loss probability.
+    LossBurstStart,
+    /// The chain returned to the good state; `value` is `0.0`.
+    LossBurstEnd,
+}
+
+impl FaultKind {
+    /// Display name, stable for exporters and log scanners.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Bandwidth => "bandwidth",
+            FaultKind::Rtt => "rtt",
+            FaultKind::OutageStart => "outage_start",
+            FaultKind::OutageEnd => "outage_end",
+            FaultKind::LossBurstStart => "loss_burst_start",
+            FaultKind::LossBurstEnd => "loss_burst_end",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_tags_and_names_are_stable() {
+        let ev = EventKind::Fault(Fault {
+            kind: FaultKind::Bandwidth,
+            value: 15.0,
+        });
+        assert_eq!(ev.tag(), "fault");
+        assert_eq!(FaultKind::OutageStart.name(), "outage_start");
+        assert_eq!(FaultKind::LossBurstEnd.name(), "loss_burst_end");
+    }
 
     #[test]
     fn tags_are_stable() {

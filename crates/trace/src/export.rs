@@ -12,10 +12,16 @@
 
 use crate::event::{DecisionEvent, EventKind};
 
+/// Reserved flow id for link-scoped records ([`EventKind::Fault`]): the
+/// event belongs to the simulated path itself, not to any sender. Exporters
+/// label it `"link"`.
+pub const LINK_FLOW: u32 = u32::MAX;
+
 /// One drained event attributed to the flow that produced it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowEvent {
-    /// Flow id within the scenario.
+    /// Flow id within the scenario, or [`LINK_FLOW`] for path-scoped
+    /// fault records.
     pub flow: u32,
     /// The decision record.
     pub event: DecisionEvent,
@@ -108,6 +114,9 @@ fn push_json_string(buf: &mut String, s: &str) {
 }
 
 fn flow_name<'a>(names: &'a [&'a str], flow: u32) -> &'a str {
+    if flow == LINK_FLOW {
+        return "link";
+    }
     names.get(flow as usize).copied().unwrap_or("?")
 }
 
@@ -163,6 +172,9 @@ fn payload_fields(o: &mut Obj, ev: &DecisionEvent) {
                 .num("threshold_mbps", s.threshold_mbps)
                 .num("rate_mbps", s.rate_mbps);
         }
+        EventKind::Fault(f) => {
+            o.str("fault", f.kind.name()).num("value", f.value);
+        }
     }
 }
 
@@ -206,7 +218,12 @@ pub fn to_chrome_trace(events: &[FlowEvent], names: &[&str]) -> String {
             .int("pid", 1)
             .int("tid", flow as u64);
         let mut args = Obj::new();
-        args.str("name", &format!("flow {flow}: {}", flow_name(names, flow)));
+        let label = if flow == LINK_FLOW {
+            "link (injected faults)".to_string()
+        } else {
+            format!("flow {flow}: {}", flow_name(names, flow))
+        };
+        args.str("name", &label);
         o.raw("args", &args.render());
         entries.push(o.render());
     }
@@ -255,12 +272,17 @@ pub fn to_chrome_trace(events: &[FlowEvent], names: &[&str]) -> String {
                     EventKind::GateVerdict(_) | EventKind::AckFilter(_) => "noise",
                     EventKind::RateTransition(_) | EventKind::ProbeOutcome(_) => "control",
                     EventKind::ModeSwitch(_) => "mode",
+                    EventKind::Fault(_) => "fault",
                     EventKind::MiClose(_) => unreachable!(),
                 };
+                // Link-scoped faults render as globally-scoped instants (a
+                // vertical marker across every flow's track); flow decisions
+                // stay thread-scoped.
+                let scope = if fe.flow == LINK_FLOW { "g" } else { "t" };
                 o.str("name", other.tag())
                     .str("cat", cat)
                     .str("ph", "i")
-                    .str("s", "t")
+                    .str("s", scope)
                     .int("pid", 1)
                     .int("tid", fe.flow as u64)
                     .num("ts", ts_us);
@@ -376,6 +398,30 @@ mod tests {
         let opens = text.matches('{').count();
         let closes = text.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn fault_events_are_link_scoped() {
+        let ev = vec![FlowEvent {
+            flow: LINK_FLOW,
+            event: DecisionEvent {
+                t_ns: 2_000_000_000,
+                kind: EventKind::Fault(Fault {
+                    kind: FaultKind::Bandwidth,
+                    value: 15.0,
+                }),
+            },
+        }];
+        let text = to_jsonl(&ev, &["CUBIC"]);
+        assert!(text.contains("\"event\":\"fault\""));
+        assert!(text.contains("\"name\":\"link\""));
+        assert!(text.contains("\"fault\":\"bandwidth\""));
+        assert!(text.contains("\"value\":15"));
+
+        let chrome = to_chrome_trace(&ev, &["CUBIC"]);
+        assert!(chrome.contains("\"cat\":\"fault\""));
+        assert!(chrome.contains("\"s\":\"g\""));
+        assert!(chrome.contains("link (injected faults)"));
     }
 
     #[test]

@@ -33,9 +33,9 @@ pub mod sink;
 pub mod summary;
 
 pub use event::{
-    AckFilter, CtlPhase, DecisionEvent, EventKind, GateVerdict, MiClose, ModeSwitch, ProbeOutcome,
-    RateTransition,
+    AckFilter, CtlPhase, DecisionEvent, EventKind, Fault, FaultKind, GateVerdict, MiClose,
+    ModeSwitch, ProbeOutcome, RateTransition,
 };
-pub use export::FlowEvent;
+pub use export::{FlowEvent, LINK_FLOW};
 pub use sink::{NoopSink, RingSink, TraceSink};
 pub use summary::TraceSummary;

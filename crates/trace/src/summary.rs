@@ -36,6 +36,9 @@ pub struct TraceSummary {
     pub mode_switches: u64,
     /// Switches caused by Proteus-H's implicit threshold rule.
     pub implicit_mode_switches: u64,
+    /// Injected fault-layer events (link changes, outage edges, loss-burst
+    /// episode boundaries).
+    pub fault_events: u64,
 }
 
 impl TraceSummary {
@@ -72,6 +75,7 @@ impl TraceSummary {
                     self.implicit_mode_switches += 1;
                 }
             }
+            EventKind::Fault(_) => self.fault_events += 1,
         }
     }
 
@@ -116,6 +120,7 @@ impl TraceSummary {
                     self.implicit_mode_switches += 1;
                 }
             }
+            "fault" => self.fault_events += 1,
             _ => self.events -= 1, // unknown tag: not one of ours
         }
     }
@@ -134,6 +139,7 @@ impl TraceSummary {
         self.probe_decided += other.probe_decided;
         self.mode_switches += other.mode_switches;
         self.implicit_mode_switches += other.implicit_mode_switches;
+        self.fault_events += other.fault_events;
     }
 
     /// Fraction of gate verdicts where the per-MI gate suppressed the
@@ -258,6 +264,13 @@ mod tests {
                     dropped: 3,
                 }),
             ),
+            mk(
+                8,
+                EventKind::Fault(Fault {
+                    kind: FaultKind::OutageStart,
+                    value: 0.0,
+                }),
+            ),
         ]
     }
 
@@ -267,7 +280,7 @@ mod tests {
         for fe in sample() {
             s.record(&fe.event.kind);
         }
-        assert_eq!(s.events, 7);
+        assert_eq!(s.events, 8);
         assert_eq!(s.mi_closes, 1);
         assert_eq!(s.gate_verdicts, 1);
         assert_eq!(s.per_mi_gated, 1);
@@ -278,6 +291,7 @@ mod tests {
         assert_eq!(s.implicit_mode_switches, 1);
         assert_eq!(s.rate_transitions, 1);
         assert_eq!(s.ack_filter_events, 1);
+        assert_eq!(s.fault_events, 1);
         assert_eq!(s.gate_hit_rate(), 1.0);
         assert_eq!(s.probe_decision_rate(), 0.5);
     }
@@ -314,7 +328,8 @@ mod tests {
         }
         let b = a;
         a.merge(&b);
-        assert_eq!(a.events, 14);
+        assert_eq!(a.events, 16);
         assert_eq!(a.probe_decided, 2);
+        assert_eq!(a.fault_events, 2);
     }
 }

@@ -3,7 +3,8 @@
 # `cargo deadlinks` stand-in, run in CI).
 #
 # Two kinds of cross-reference are verified, over every git-tracked *.md
-# outside vendor/:
+# outside vendor/ (ISSUE.md is excluded: it is transient task state, not
+# documentation):
 #
 #   1. inline Markdown links `[text](target)` whose target is not an
 #      absolute URL or a pure fragment — resolved relative to the file
@@ -48,7 +49,7 @@ while IFS= read -r md; do
         [ -e "$token" ] || [ -e "$dir/$token" ] || complain "$md" "\`$token\`"
     done < <(grep -o '`[^`]*`' "$md" | sed 's/^`//; s/`$//' |
         grep -E '^[A-Za-z0-9_./-]+\.(md|rs|sh|toml|yml)$')
-done < <(git ls-files '*.md' ':!vendor/')
+done < <(git ls-files '*.md' ':!vendor/' ':!ISSUE.md')
 
 if [ "$fail" -ne 0 ]; then
     echo "Markdown cross-references are broken (see above)." >&2
