@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use proteus_core::{evaluate, MiObservation, Mode, ProteusSender, SharedThreshold, UtilityParams};
-use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_netsim::{
+    run, AckCompression, FaultSchedule, FlowSpec, GilbertElliott, LinkSpec, ReorderConfig, Scenario,
+};
 use proteus_transport::{AckInfo, CongestionControl, Dur, MiStats, MiTracker, SentPacket, Time};
 
 fn ack(seq: u64, sent_ms: u64, rtt_ms: u64) -> AckInfo {
@@ -27,6 +29,7 @@ fn bench_utility(c: &mut Criterion) {
         loss_rate: 0.01,
         rtt_gradient: 0.004,
         rtt_deviation: 0.0006,
+        rtt_s: 0.034,
     };
     c.bench_function("utility/proteus_s", |b| {
         b.iter(|| evaluate(&Mode::Scavenger, black_box(&params), black_box(&obs)))
@@ -316,12 +319,67 @@ fn bench_engine_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fault-injection path benchmarks: the ACK-clocked 2 s scenario of the
+/// `engine` group run (a) with no schedule at all, (b) with an *empty*
+/// `FaultSchedule` (normalized away at scenario build time, so it must cost
+/// nothing), and (c) with a populated schedule exercising every fault class
+/// at once — bandwidth steps, Gilbert–Elliott burst loss, bounded
+/// reordering and ACK-compression episodes. The (c)−(a) delta is the price
+/// of the fault branches in `Link::transmit` plus the injected work itself.
+fn bench_fault_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault");
+    let link = || LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+    let flow = || FlowSpec::bulk("w", Dur::ZERO, || Box::new(FixedWindow { cwnd: 375_000 }));
+
+    group.bench_function("clean_2s", |b| {
+        b.iter(|| {
+            let sc = Scenario::new(link(), Dur::from_secs(2))
+                .flow(flow())
+                .with_seed(7);
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+    group.bench_function("empty_schedule_2s", |b| {
+        b.iter(|| {
+            let sc = Scenario::new(link(), Dur::from_secs(2))
+                .flow(flow())
+                .with_seed(7)
+                .with_faults(FaultSchedule::new());
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+    group.bench_function("populated_2s", |b| {
+        b.iter(|| {
+            let faults = FaultSchedule::new()
+                .bandwidth_step(Dur::from_millis(500), 25.0)
+                .bandwidth_step(Dur::from_millis(1000), 50.0)
+                .outage(Dur::from_millis(1400), Dur::from_millis(100))
+                .with_burst_loss(GilbertElliott::default())
+                .with_reorder(ReorderConfig {
+                    prob: 0.01,
+                    max_extra: Dur::from_millis(2),
+                })
+                .with_ack_compression(AckCompression {
+                    every: Dur::from_millis(500),
+                    hold: Dur::from_millis(40),
+                });
+            let sc = Scenario::new(link(), Dur::from_secs(2))
+                .flow(flow())
+                .with_seed(7)
+                .with_faults(faults);
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_utility,
     bench_mi_tracker,
     bench_cc_per_ack,
     bench_simulator,
-    bench_engine_loop
+    bench_engine_loop,
+    bench_fault_path
 );
 criterion_main!(benches);

@@ -1,13 +1,20 @@
 //! Regenerates the paper's figures/tables from the simulation.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--jobs N] [--no-cache] [--trace]
-//!       [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR]
-//!       <id>... | all | list | trace-summary
+//! repro [--quick] [--seed N] [--jobs N] [--shard I/N] [--no-cache]
+//!       [--trace] [--trace-mi] [--trace-format jsonl|chrome|both]
+//!       [--trace-out DIR] <id>... | all | list | trace-summary
 //! ```
 //!
 //! `--jobs N` runs each experiment's simulation campaign on `N` worker
 //! threads (`0` = one per core); results are identical to `--jobs 1`.
+//! `--shard I/N` (1-based, e.g. `--shard 2/4`) executes only the cache-miss
+//! jobs whose content hash falls in shard `I` of `N`; out-of-shard misses
+//! are skipped, so N invocations — one per shard, sharing or later merging
+//! `results/.cache/` — split a cold campaign across machines. Sharded
+//! reports contain placeholder zeros for skipped cells: after all shards
+//! finish, re-run without `--shard` for complete reports (pure cache
+//! replay).
 //! `--no-cache` bypasses the disk result cache under `results/.cache/`.
 //! `--trace` records per-flow telemetry JSONL under `results/trace/`.
 //! `--trace-mi` records structured decision traces (MI closes, mode
@@ -24,8 +31,8 @@ use std::time::Instant;
 use proteus_bench::experiments::registry;
 use proteus_bench::{mi_trace, RunCfg, TraceFormat};
 
-const USAGE: &str = "usage: repro [--quick] [--seed N] [--jobs N] [--no-cache] [--trace] \
-     [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR] \
+const USAGE: &str = "usage: repro [--quick] [--seed N] [--jobs N] [--shard I/N] [--no-cache] \
+     [--trace] [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR] \
      <id>... | all | list | trace-summary";
 
 /// Parsed command line: the run configuration plus experiment ids.
@@ -37,7 +44,21 @@ struct Cli {
     trace: bool,
     trace_mi: bool,
     trace_format: TraceFormat,
+    shard: Option<(u32, u32)>,
     ids: Vec<String>,
+}
+
+/// Parses `--shard I/N` (1-based shard `I` of `N`) into the 0-based
+/// `(index, count)` the campaign layer expects.
+fn parse_shard(v: &str) -> Result<(u32, u32), String> {
+    let err = || format!("--shard requires I/N with 1 <= I <= N, got {v:?}");
+    let (i, n) = v.split_once('/').ok_or_else(err)?;
+    let i: u32 = i.trim().parse().map_err(|_| err())?;
+    let n: u32 = n.trim().parse().map_err(|_| err())?;
+    if i == 0 || n == 0 || i > n {
+        return Err(err());
+    }
+    Ok((i - 1, n))
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -49,6 +70,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         trace: false,
         trace_mi: false,
         trace_format: TraceFormat::Both,
+        shard: None,
         ids: Vec::new(),
     };
     let mut args = args;
@@ -79,6 +101,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 cli.jobs = v
                     .parse()
                     .map_err(|_| format!("--jobs requires a number, got {v:?}"))?;
+            }
+            "--shard" => {
+                let v = args.next().ok_or("--shard requires a value (I/N)")?;
+                cli.shard = Some(parse_shard(&v)?);
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other}"));
@@ -122,6 +148,14 @@ fn main() -> ExitCode {
     cfg.trace = cli.trace;
     cfg.trace_mi = cli.trace_mi;
     cfg.trace_format = cli.trace_format;
+    cfg.shard = cli.shard;
+    if let Some((index, count)) = cfg.shard {
+        eprintln!(
+            "shard {}/{count}: skipping out-of-shard cache misses; re-run unsharded after all \
+             shards for complete reports",
+            index + 1
+        );
+    }
 
     let mut unknown = Vec::new();
     for id in &cli.ids {
@@ -172,18 +206,52 @@ fn print_run_summary(timings: &[(&str, f64)], campaigns: &[proteus_runner::Campa
     if !campaigns.is_empty() {
         eprintln!("=== cache by campaign ===");
         for s in campaigns {
+            let skipped = if s.skipped > 0 {
+                format!(", {} skipped (shard)", s.skipped)
+            } else {
+                String::new()
+            };
             eprintln!(
-                "  {:8} {} job(s): {} cached, {} executed ({:.1}s)",
+                "  {:8} {} job(s): {} cached, {} executed{skipped} ({:.1}s)",
                 s.name, s.total, s.cached, s.executed, s.wall_secs
             );
         }
-        let (total, cached): (usize, usize) = campaigns
-            .iter()
-            .fold((0, 0), |(t, c), s| (t + s.total, c + s.cached));
+        let (total, cached, executed): (usize, usize, usize) =
+            campaigns.iter().fold((0, 0, 0), |(t, c, e), s| {
+                (t + s.total, c + s.cached, e + s.executed)
+            });
         eprintln!(
-            "  {:8} {total} job(s): {cached} cached, {} executed",
-            "total",
-            total - cached
+            "  {:8} {total} job(s): {cached} cached, {executed} executed",
+            "total"
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parsing() {
+        assert_eq!(parse_shard("1/4"), Ok((0, 4)));
+        assert_eq!(parse_shard("4/4"), Ok((3, 4)));
+        assert_eq!(parse_shard("1/1"), Ok((0, 1)));
+        for bad in ["0/4", "5/4", "4", "a/b", "1/0", "/", ""] {
+            assert!(parse_shard(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn cli_accepts_shard_flag() {
+        let cli = parse_args(
+            ["--quick", "--shard", "2/3", "tune"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cli.shard, Some((1, 3)));
+        assert!(cli.cfg_quick);
+        assert_eq!(cli.ids, ["tune"]);
+        assert!(parse_args(["--shard", "9"].into_iter().map(String::from)).is_err());
     }
 }

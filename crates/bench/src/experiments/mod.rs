@@ -15,6 +15,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod stress;
+pub mod tune;
 pub mod video_util;
 pub mod wifi;
 
@@ -115,6 +116,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "Robustness: fault profiles (outages, bursty loss, reordering, ACK compression) x protocols + invariant checker",
             run: stress::run_experiment,
+        },
+        Experiment {
+            id: "tune",
+            description:
+                "Offline parameter search + utility ablation: grid sweep and genetic refinement over ProteusConfig space",
+            run: tune::run_experiment,
         },
     ]
 }

@@ -1,0 +1,44 @@
+//! `repro tune`: the offline parameter-search and utility-ablation harness
+//! (`proteus-tune`) over the deterministic evaluator.
+//!
+//! Searches `ProteusConfig` space — the scavenger penalty `d`, the §5 gate
+//! gains G1/G2, the trend window, the probing ε/ω-step and the probe rule —
+//! *and* the utility shape itself (Proteus-S, a loss-only ablation, a
+//! delay-budget scavenger, Proteus-H) for the configuration that best
+//! satisfies `maximize scav_util subject to harm < 0.05`. Quick mode runs a
+//! 64-cell grid plus 2 genetic generations on two short scenarios; full
+//! mode a 216-cell grid plus 6 generations including a BBR primary.
+//!
+//! Artifacts land in `results/tune/`: `leaderboard.csv`, `frontier.csv`
+//! and `best_config.json`. Every simulation goes through the shared
+//! campaign cache, so re-runs are cache replays and `--shard i/n` can
+//! split the grid's cold cost across machines (the genetic phase only
+//! runs unsharded; see EXPERIMENTS.md §Tuning).
+
+use proteus_tune::{full_spec, quick_spec, run_tune, TuneOpts};
+
+use crate::report::results_dir;
+use crate::RunCfg;
+
+/// Builds the tuning options implied by the CLI configuration.
+pub fn tune_opts(cfg: RunCfg) -> TuneOpts {
+    TuneOpts {
+        jobs: cfg.jobs,
+        cache: cfg.cache.then(|| results_dir().join(".cache")),
+        summary: Some(results_dir().join("campaigns.jsonl")),
+        out_dir: results_dir().join("tune"),
+        progress: cfg.jobs != 1,
+        shard: cfg.shard,
+        sim_seed: cfg.seed,
+    }
+}
+
+/// Entry point for `repro tune`.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    let spec = if cfg.quick {
+        quick_spec(cfg.seed)
+    } else {
+        full_spec(cfg.seed)
+    };
+    run_tune(&spec, &tune_opts(cfg))
+}

@@ -50,6 +50,9 @@ pub struct RunCfg {
     pub trace_mi: bool,
     /// Export format(s) for decision traces.
     pub trace_format: TraceFormat,
+    /// Shard filter `(index, count)` forwarded to every campaign: cache-
+    /// miss jobs outside the shard are skipped (see `repro --shard i/n`).
+    pub shard: Option<(u32, u32)>,
 }
 
 impl RunCfg {
@@ -64,6 +67,7 @@ impl RunCfg {
             trace: false,
             trace_mi: false,
             trace_format: TraceFormat::Both,
+            shard: None,
         }
     }
 

@@ -201,6 +201,55 @@ impl ProteusConfig {
         self.seed = seed;
         self
     }
+
+    /// A stable one-line serialization of every field, for embedding in
+    /// content-hash job descriptors (e.g. `proteus-tune` candidate jobs).
+    ///
+    /// Two configs render identically iff they are equal: every field is
+    /// spelled out, floats use Rust's shortest round-trip `{:?}` form, and
+    /// durations render as integer nanoseconds. The format is part of the
+    /// result-cache contract — changing it invalidates cached candidate
+    /// evaluations (which is exactly what a semantic config change should
+    /// do), so extend it only alongside new fields.
+    pub fn canonical(&self) -> String {
+        let u = &self.utility;
+        let r = &self.rate_control;
+        let probe = match r.probe_rule {
+            ProbeRule::Agreement => "agreement",
+            ProbeRule::Majority => "majority",
+        };
+        let noise = match self.noise {
+            NoiseTolerance::FixedThreshold(t) => format!("fixed({t:?})"),
+            NoiseTolerance::Adaptive(a) => format!(
+                "adaptive(air={:?},permi={},k={},trend={},g1={:?},g2={:?})",
+                a.ack_interval_ratio,
+                a.per_mi_tolerance,
+                a.trend_window,
+                a.trending_tolerance,
+                a.g1,
+                a.g2
+            ),
+        };
+        format!(
+            "u(exp={:?},b={:?},c={:?},d={:?})/rc(eps={:?},probe={},gamma={:?},w0={:?},wstep={:?},wmax={:?},x0={:?},xmin={:?})/noise={}/mi({}ns,{}ns)/seed={}",
+            u.exponent,
+            u.gradient_coef,
+            u.loss_coef,
+            u.deviation_coef,
+            r.epsilon,
+            probe,
+            r.gamma,
+            r.omega_init,
+            r.omega_step,
+            r.omega_max,
+            r.initial_rate_mbps,
+            r.min_rate_mbps,
+            noise,
+            self.mi.min_duration.as_nanos(),
+            self.mi.max_duration.as_nanos(),
+            self.seed
+        )
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +274,30 @@ mod tests {
     fn probe_rule_pair_counts() {
         assert_eq!(ProbeRule::Agreement.pairs(), 2);
         assert_eq!(ProbeRule::Majority.pairs(), 3);
+    }
+
+    #[test]
+    fn canonical_is_injective_on_field_changes() {
+        let base = ProteusConfig::proteus();
+        assert_eq!(base.canonical(), ProteusConfig::proteus().canonical());
+        // Every knob class shows up in the rendering.
+        let mut u = base;
+        u.utility.deviation_coef = 1501.0;
+        assert_ne!(u.canonical(), base.canonical());
+        let mut rc = base;
+        rc.rate_control.epsilon = 0.051;
+        assert_ne!(rc.canonical(), base.canonical());
+        let mut n = base;
+        n.noise = NoiseTolerance::FixedThreshold(0.01);
+        assert_ne!(n.canonical(), base.canonical());
+        let mut g = base;
+        if let NoiseTolerance::Adaptive(ref mut a) = g.noise {
+            a.g1 = 2.5;
+        }
+        assert_ne!(g.canonical(), base.canonical());
+        assert_ne!(base.with_seed(8).canonical(), base.canonical());
+        // Vivace differs from Proteus in probe rule and noise mechanism.
+        assert_ne!(ProteusConfig::vivace().canonical(), base.canonical());
     }
 
     #[test]

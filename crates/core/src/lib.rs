@@ -36,6 +36,7 @@
 //!     loss_rate: 0.0,
 //!     rtt_gradient: 0.0,
 //!     rtt_deviation: 0.0,
+//!     rtt_s: 0.030,
 //! };
 //! let contended = MiObservation { rtt_deviation: 0.001, ..calm };
 //!
@@ -68,6 +69,7 @@ pub use noise::{AckIntervalFilter, GatedMetrics, MiNoiseGate};
 pub use proteus::{MiTraceEntry, ProteusSender};
 pub use rate_control::RateController;
 pub use utility::{
-    evaluate, utility_allegro, utility_hybrid, utility_primary, utility_scavenger, utility_vivace,
-    MiObservation, Mode, SharedThreshold,
+    evaluate, evaluate_terms, utility_allegro, utility_delay_budget, utility_hybrid,
+    utility_loss_only, utility_primary, utility_scavenger, utility_vivace, DelayBudgetParams,
+    MiObservation, Mode, SharedThreshold, UtilityFunction, UtilityTerms,
 };

@@ -295,6 +295,7 @@ impl<S: TraceSink> ProteusSender<S> {
                 loss_rate,
                 rtt_gradient: gated.rtt_gradient,
                 rtt_deviation: gated.rtt_deviation,
+                rtt_s: mi.rtt_mean,
             };
             // The traced path evaluates through `evaluate_terms`, whose
             // `utility` is bitwise identical to `evaluate` (tested in

@@ -1,21 +1,37 @@
-//! The Proteus utility-function library (§4).
+//! The Proteus utility-function library (§4), as sealed plug-ins.
 //!
-//! Four utility functions share one shape, `u(x) = x^d − penalties·x`:
+//! Six utility functions share one shape, `u(x) = x^d − penalties·x`:
 //!
+//! * **Allegro** (NSDI'15): loss-based sigmoid utility — latency-blind,
 //! * **Vivace** (NSDI'18): penalizes the raw RTT gradient (negative
 //!   gradients *reward*) and loss,
 //! * **Proteus-P** (Eq. 1): like Vivace but negative RTT gradient is
 //!   ignored (the paper found rewarding it slows convergence),
 //! * **Proteus-S** (Eq. 2): Proteus-P minus `d·x·σ(RTT)` — the RTT
 //!   *deviation* penalty that makes the sender yield to competing flows,
-//! * **Proteus-H** (Eq. 3): piecewise — Proteus-P below an
-//!   application-controlled rate threshold, Proteus-S above it.
+//! * **Loss-Only**: Proteus-P with every latency term removed — the
+//!   Allegro/Vivace-style ablation showing that coefficients alone cannot
+//!   produce scavenging; the *shape* of the utility is the design surface,
+//! * **Delay-Budget**: penalizes absolute RTT beyond a budget (à la
+//!   D'Aronco's delay-constrained utilities) instead of RTT deviation.
 //!
-//! The hybrid threshold is shared with the application through a
-//! [`SharedThreshold`] cell so cross-layer policies (e.g. the video rules of
-//! §4.4) can retune it mid-flow; "there is no explicit switch in the control
-//! algorithm; it happens implicitly, simply by comparing utility values of
-//! different sending rates."
+//! Proteus-H (Eq. 3) is not a seventh function but a *composition*: it is
+//! piecewise Proteus-P below an application-controlled rate threshold and
+//! Proteus-S above it. The threshold is shared with the application through
+//! a [`SharedThreshold`] cell so cross-layer policies (e.g. the video rules
+//! of §4.4) can retune it mid-flow; "there is no explicit switch in the
+//! control algorithm; it happens implicitly, simply by comparing utility
+//! values of different sending rates."
+//!
+//! # Why a *sealed* trait?
+//!
+//! Each function is a unit struct (or param-carrying struct) implementing
+//! [`UtilityFunction`], but the trait is sealed: the set of utilities is
+//! closed at compile time and dispatch happens through the [`Mode`] enum,
+//! never through `Box<dyn UtilityFunction>`. That keeps the per-ACK /
+//! per-MI control path fully monomorphized and allocation-free (see the
+//! counting-allocator test in `tests/alloc_free.rs`) while still giving
+//! tools like `proteus-tune` a uniform surface to enumerate and ablate.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -45,6 +61,28 @@ impl SharedThreshold {
     }
 }
 
+/// Parameters of the [`DelayBudget`] utility variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayBudgetParams {
+    /// RTT budget in seconds; RTTs at or below this are free.
+    pub budget_s: f64,
+    /// Penalty coefficient `w` applied as `w·x·max(0, RTT − budget)`.
+    pub over_coef: f64,
+}
+
+impl Default for DelayBudgetParams {
+    fn default() -> Self {
+        Self {
+            // 60 ms: double the paper's 30 ms testbed base RTT, i.e. one
+            // base-RTT's worth of queueing allowance.
+            budget_s: 0.060,
+            // Same scale as the deviation coefficient `d` (both multiply
+            // rate × seconds).
+            over_coef: 1500.0,
+        }
+    }
+}
+
 /// Which utility function a sender is currently optimizing.
 #[derive(Debug, Clone)]
 pub enum Mode {
@@ -58,6 +96,10 @@ pub enum Mode {
     Scavenger,
     /// Proteus-H: hybrid mode with an adaptive threshold (Eq. 3).
     Hybrid(SharedThreshold),
+    /// Loss-only ablation: Proteus-P without latency terms.
+    LossOnly,
+    /// Delay-budget scavenger: absolute-RTT budget instead of deviation.
+    DelayBudget(DelayBudgetParams),
 }
 
 impl Mode {
@@ -69,6 +111,8 @@ impl Mode {
             Mode::Primary => "Proteus-P",
             Mode::Scavenger => "Proteus-S",
             Mode::Hybrid(_) => "Proteus-H",
+            Mode::LossOnly => "Loss-Only",
+            Mode::DelayBudget(_) => "Delay-Budget",
         }
     }
 }
@@ -86,37 +130,238 @@ pub struct MiObservation {
     pub rtt_gradient: f64,
     /// RTT standard deviation, seconds (possibly zeroed).
     pub rtt_deviation: f64,
+    /// Mean RTT of the MI, seconds — raw (never noise-gated; the gates act
+    /// on derivatives, not levels). Zero when the MI carried no RTT
+    /// samples. Only the [`DelayBudget`] variant consumes it.
+    pub rtt_s: f64,
 }
 
-/// Evaluates Eq. 1's Proteus-P utility.
-pub fn utility_primary(p: &UtilityParams, o: &MiObservation) -> f64 {
-    let x = o.rate_mbps.max(0.0);
-    x.powf(p.exponent)
-        - p.gradient_coef * x * o.rtt_gradient.max(0.0)
-        - p.loss_coef * x * o.loss_rate
+mod sealed {
+    /// Seals [`super::UtilityFunction`]: only this crate's utility structs
+    /// may implement it.
+    pub trait Sealed {}
 }
 
-/// Evaluates PCC Vivace's published utility (raw gradient, both signs).
-pub fn utility_vivace(p: &UtilityParams, o: &MiObservation) -> f64 {
-    let x = o.rate_mbps.max(0.0);
-    x.powf(p.exponent) - p.gradient_coef * x * o.rtt_gradient - p.loss_coef * x * o.loss_rate
+/// A pluggable utility function, `u(x) = reward(x) − penalties(x)`.
+///
+/// The trait is **sealed** — the implementor set is fixed at compile time
+/// (see the module docs for why). Every implementor must keep
+/// [`UtilityFunction::evaluate`] bitwise identical to
+/// `self.terms(p, o).utility`; the provided method guarantees that by
+/// construction, and the composition invariant
+/// `utility == term_rate − term_gradient − term_loss − term_deviation`
+/// (evaluated in that association order) is covered by tests.
+pub trait UtilityFunction: sealed::Sealed {
+    /// Display name of the term set this function applies.
+    fn label(&self) -> &'static str;
+
+    /// The utility value with its per-term breakdown.
+    fn terms(&self, p: &UtilityParams, o: &MiObservation) -> UtilityTerms;
+
+    /// The scalar utility value (what the controller optimizes).
+    fn evaluate(&self, p: &UtilityParams, o: &MiObservation) -> f64 {
+        self.terms(p, o).utility
+    }
 }
 
-/// Evaluates Eq. 2's Proteus-S utility.
-pub fn utility_scavenger(p: &UtilityParams, o: &MiObservation) -> f64 {
-    utility_primary(p, o) - p.deviation_coef * o.rate_mbps.max(0.0) * o.rtt_deviation
-}
-
-/// Evaluates PCC Allegro's loss-based utility (NSDI'15):
+/// PCC Allegro's loss-based utility (NSDI'15):
 /// `u = x·(1−L)·sigmoid(α·(0.05−L)) − x·L`, α = 100 — throughput rewarded
 /// until loss approaches the 5 % cliff, no latency terms at all. Included
 /// as the PCC-family ancestor for ablations (the paper's §8 notes Allegro
 /// "uses a loss-based utility function, and also suffers from bufferbloat").
-pub fn utility_allegro(_p: &UtilityParams, o: &MiObservation) -> f64 {
-    let x = o.rate_mbps.max(0.0);
-    let l = o.loss_rate;
-    let sig = 1.0 / (1.0 + (-100.0 * (0.05 - l)).exp());
-    x * (1.0 - l) * sig - x * l
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Allegro;
+
+impl sealed::Sealed for Allegro {}
+impl UtilityFunction for Allegro {
+    fn label(&self) -> &'static str {
+        "PCC-Allegro"
+    }
+
+    fn terms(&self, _p: &UtilityParams, o: &MiObservation) -> UtilityTerms {
+        let x = o.rate_mbps.max(0.0);
+        let l = o.loss_rate;
+        let sig = 1.0 / (1.0 + (-100.0 * (0.05 - l)).exp());
+        let term_rate = x * (1.0 - l) * sig;
+        let term_loss = x * l;
+        UtilityTerms {
+            utility: term_rate - term_loss,
+            term_rate,
+            term_gradient: 0.0,
+            term_loss,
+            term_deviation: 0.0,
+            effective: self.label(),
+        }
+    }
+}
+
+/// PCC Vivace's published utility (raw gradient, both signs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vivace;
+
+impl sealed::Sealed for Vivace {}
+impl UtilityFunction for Vivace {
+    fn label(&self) -> &'static str {
+        "PCC-Vivace"
+    }
+
+    fn terms(&self, p: &UtilityParams, o: &MiObservation) -> UtilityTerms {
+        let x = o.rate_mbps.max(0.0);
+        let term_rate = x.powf(p.exponent);
+        let term_gradient = p.gradient_coef * x * o.rtt_gradient;
+        let term_loss = p.loss_coef * x * o.loss_rate;
+        UtilityTerms {
+            utility: term_rate - term_gradient - term_loss,
+            term_rate,
+            term_gradient,
+            term_loss,
+            term_deviation: 0.0,
+            effective: self.label(),
+        }
+    }
+}
+
+/// Eq. 1's Proteus-P utility (primary mode).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Primary;
+
+impl Primary {
+    fn terms_as(
+        &self,
+        p: &UtilityParams,
+        o: &MiObservation,
+        effective: &'static str,
+    ) -> UtilityTerms {
+        let x = o.rate_mbps.max(0.0);
+        let term_rate = x.powf(p.exponent);
+        let term_gradient = p.gradient_coef * x * o.rtt_gradient.max(0.0);
+        let term_loss = p.loss_coef * x * o.loss_rate;
+        UtilityTerms {
+            utility: term_rate - term_gradient - term_loss,
+            term_rate,
+            term_gradient,
+            term_loss,
+            term_deviation: 0.0,
+            effective,
+        }
+    }
+}
+
+impl sealed::Sealed for Primary {}
+impl UtilityFunction for Primary {
+    fn label(&self) -> &'static str {
+        "Proteus-P"
+    }
+
+    fn terms(&self, p: &UtilityParams, o: &MiObservation) -> UtilityTerms {
+        self.terms_as(p, o, self.label())
+    }
+}
+
+/// Eq. 2's Proteus-S utility (scavenger mode).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scavenger;
+
+impl sealed::Sealed for Scavenger {}
+impl UtilityFunction for Scavenger {
+    fn label(&self) -> &'static str {
+        "Proteus-S"
+    }
+
+    fn terms(&self, p: &UtilityParams, o: &MiObservation) -> UtilityTerms {
+        let base = Primary.terms_as(p, o, self.label());
+        let term_deviation = p.deviation_coef * o.rate_mbps.max(0.0) * o.rtt_deviation;
+        UtilityTerms {
+            utility: base.utility - term_deviation,
+            term_deviation,
+            ..base
+        }
+    }
+}
+
+/// Loss-only ablation: Eq. 1 with both latency terms removed,
+/// `u = x^d − c·x·L`. The Allegro/Vivace-style "loss is the only
+/// congestion signal" shape — useful for showing that no coefficient
+/// setting of a latency-blind utility can scavenge.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LossOnly;
+
+impl sealed::Sealed for LossOnly {}
+impl UtilityFunction for LossOnly {
+    fn label(&self) -> &'static str {
+        "Loss-Only"
+    }
+
+    fn terms(&self, p: &UtilityParams, o: &MiObservation) -> UtilityTerms {
+        let x = o.rate_mbps.max(0.0);
+        let term_rate = x.powf(p.exponent);
+        let term_loss = p.loss_coef * x * o.loss_rate;
+        UtilityTerms {
+            utility: term_rate - term_loss,
+            term_rate,
+            term_gradient: 0.0,
+            term_loss,
+            term_deviation: 0.0,
+            effective: self.label(),
+        }
+    }
+}
+
+/// Delay-budget scavenger (à la D'Aronco's delay-constrained utilities):
+/// `u = x^d − b·x·max(0, grad) − c·x·L − w·x·max(0, RTT − budget)`.
+/// Where Proteus-S keys on RTT *deviation* (relative competition signal),
+/// this keys on the *absolute* RTT level against a budget — yielding only
+/// once standing queues push the path past the budget. The over-budget
+/// penalty is reported in [`UtilityTerms::term_deviation`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DelayBudget(pub DelayBudgetParams);
+
+impl sealed::Sealed for DelayBudget {}
+impl UtilityFunction for DelayBudget {
+    fn label(&self) -> &'static str {
+        "Delay-Budget"
+    }
+
+    fn terms(&self, p: &UtilityParams, o: &MiObservation) -> UtilityTerms {
+        let base = Primary.terms_as(p, o, self.label());
+        let over = (o.rtt_s - self.0.budget_s).max(0.0);
+        let term_deviation = self.0.over_coef * o.rate_mbps.max(0.0) * over;
+        UtilityTerms {
+            utility: base.utility - term_deviation,
+            term_deviation,
+            ..base
+        }
+    }
+}
+
+/// Evaluates Eq. 1's Proteus-P utility.
+pub fn utility_primary(p: &UtilityParams, o: &MiObservation) -> f64 {
+    Primary.evaluate(p, o)
+}
+
+/// Evaluates PCC Vivace's published utility (raw gradient, both signs).
+pub fn utility_vivace(p: &UtilityParams, o: &MiObservation) -> f64 {
+    Vivace.evaluate(p, o)
+}
+
+/// Evaluates Eq. 2's Proteus-S utility.
+pub fn utility_scavenger(p: &UtilityParams, o: &MiObservation) -> f64 {
+    Scavenger.evaluate(p, o)
+}
+
+/// Evaluates PCC Allegro's loss-based utility (see [`Allegro`]).
+pub fn utility_allegro(p: &UtilityParams, o: &MiObservation) -> f64 {
+    Allegro.evaluate(p, o)
+}
+
+/// Evaluates the loss-only ablation utility (see [`LossOnly`]).
+pub fn utility_loss_only(p: &UtilityParams, o: &MiObservation) -> f64 {
+    LossOnly.evaluate(p, o)
+}
+
+/// Evaluates the delay-budget utility (see [`DelayBudget`]).
+pub fn utility_delay_budget(p: &UtilityParams, o: &MiObservation, b: &DelayBudgetParams) -> f64 {
+    DelayBudget(*b).evaluate(p, o)
 }
 
 /// Whether Eq. 3's piecewise rule selects the scavenger terms for this rate:
@@ -140,11 +385,13 @@ pub fn utility_hybrid(p: &UtilityParams, o: &MiObservation, threshold_mbps: f64)
 /// Evaluates the utility for the given mode.
 pub fn evaluate(mode: &Mode, p: &UtilityParams, o: &MiObservation) -> f64 {
     match mode {
-        Mode::Allegro => utility_allegro(p, o),
-        Mode::Vivace => utility_vivace(p, o),
-        Mode::Primary => utility_primary(p, o),
-        Mode::Scavenger => utility_scavenger(p, o),
+        Mode::Allegro => Allegro.evaluate(p, o),
+        Mode::Vivace => Vivace.evaluate(p, o),
+        Mode::Primary => Primary.evaluate(p, o),
+        Mode::Scavenger => Scavenger.evaluate(p, o),
         Mode::Hybrid(th) => utility_hybrid(p, o, th.get()),
+        Mode::LossOnly => LossOnly.evaluate(p, o),
+        Mode::DelayBudget(b) => DelayBudget(*b).evaluate(p, o),
     }
 }
 
@@ -153,8 +400,8 @@ pub fn evaluate(mode: &Mode, p: &UtilityParams, o: &MiObservation) -> f64 {
 /// Invariant: `utility` equals
 /// `term_rate − term_gradient − term_loss − term_deviation` evaluated in
 /// that association order, bitwise identical to what [`evaluate`] returns
-/// for the same inputs — [`evaluate_terms`] is the single implementation
-/// and `evaluate` is checked against it in tests.
+/// for the same inputs — each plug-in's [`UtilityFunction::terms`] is the
+/// single implementation and `evaluate` is checked against it in tests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilityTerms {
     /// The utility value (what the controller optimizes).
@@ -166,7 +413,9 @@ pub struct UtilityTerms {
     pub term_gradient: f64,
     /// Loss penalty `c·x·L` (Allegro: `x·L`).
     pub term_loss: f64,
-    /// RTT-deviation penalty `d·x·σ(RTT)` (zero outside scavenger terms).
+    /// RTT-deviation penalty `d·x·σ(RTT)` (Delay-Budget: the over-budget
+    /// penalty `w·x·max(0, RTT − budget)`; zero outside scavenger-style
+    /// terms).
     pub term_deviation: f64,
     /// Name of the term set actually applied — differs from the mode name
     /// only for Proteus-H, where it reports which side of the threshold
@@ -176,69 +425,20 @@ pub struct UtilityTerms {
 
 /// Evaluates the utility for the given mode with its per-term breakdown.
 pub fn evaluate_terms(mode: &Mode, p: &UtilityParams, o: &MiObservation) -> UtilityTerms {
-    let x = o.rate_mbps.max(0.0);
     match mode {
-        Mode::Allegro => {
-            let l = o.loss_rate;
-            let sig = 1.0 / (1.0 + (-100.0 * (0.05 - l)).exp());
-            let term_rate = x * (1.0 - l) * sig;
-            let term_loss = x * l;
-            UtilityTerms {
-                utility: term_rate - term_loss,
-                term_rate,
-                term_gradient: 0.0,
-                term_loss,
-                term_deviation: 0.0,
-                effective: "PCC-Allegro",
-            }
-        }
-        Mode::Vivace => {
-            let term_rate = x.powf(p.exponent);
-            let term_gradient = p.gradient_coef * x * o.rtt_gradient;
-            let term_loss = p.loss_coef * x * o.loss_rate;
-            UtilityTerms {
-                utility: term_rate - term_gradient - term_loss,
-                term_rate,
-                term_gradient,
-                term_loss,
-                term_deviation: 0.0,
-                effective: "PCC-Vivace",
-            }
-        }
-        Mode::Primary => primary_terms(p, o, "Proteus-P"),
-        Mode::Scavenger => scavenger_terms(p, o, "Proteus-S"),
+        Mode::Allegro => Allegro.terms(p, o),
+        Mode::Vivace => Vivace.terms(p, o),
+        Mode::Primary => Primary.terms(p, o),
+        Mode::Scavenger => Scavenger.terms(p, o),
         Mode::Hybrid(th) => {
             if hybrid_uses_scavenger(o.rate_mbps, th.get()) {
-                scavenger_terms(p, o, "Proteus-S")
+                Scavenger.terms(p, o)
             } else {
-                primary_terms(p, o, "Proteus-P")
+                Primary.terms(p, o)
             }
         }
-    }
-}
-
-fn primary_terms(p: &UtilityParams, o: &MiObservation, effective: &'static str) -> UtilityTerms {
-    let x = o.rate_mbps.max(0.0);
-    let term_rate = x.powf(p.exponent);
-    let term_gradient = p.gradient_coef * x * o.rtt_gradient.max(0.0);
-    let term_loss = p.loss_coef * x * o.loss_rate;
-    UtilityTerms {
-        utility: term_rate - term_gradient - term_loss,
-        term_rate,
-        term_gradient,
-        term_loss,
-        term_deviation: 0.0,
-        effective,
-    }
-}
-
-fn scavenger_terms(p: &UtilityParams, o: &MiObservation, effective: &'static str) -> UtilityTerms {
-    let base = primary_terms(p, o, effective);
-    let term_deviation = p.deviation_coef * o.rate_mbps.max(0.0) * o.rtt_deviation;
-    UtilityTerms {
-        utility: base.utility - term_deviation,
-        term_deviation,
-        ..base
+        Mode::LossOnly => LossOnly.terms(p, o),
+        Mode::DelayBudget(b) => DelayBudget(*b).terms(p, o),
     }
 }
 
@@ -256,6 +456,7 @@ mod tests {
             loss_rate: 0.0,
             rtt_gradient: 0.0,
             rtt_deviation: 0.0,
+            rtt_s: 0.0,
         }
     }
 
@@ -267,6 +468,9 @@ mod tests {
         assert!((utility_primary(&p, &o) - expect).abs() < 1e-12);
         assert!((utility_scavenger(&p, &o) - expect).abs() < 1e-12);
         assert!((utility_vivace(&p, &o) - expect).abs() < 1e-12);
+        assert!((utility_loss_only(&p, &o) - expect).abs() < 1e-12);
+        let b = DelayBudgetParams::default();
+        assert!((utility_delay_budget(&p, &o, &b) - expect).abs() < 1e-12);
     }
 
     #[test]
@@ -317,6 +521,46 @@ mod tests {
         let u_s = utility_scavenger(&p, &o);
         // d·x·σ = 1500·10·0.001 = 15.
         assert!((utility_scavenger(&p, &obs(10.0)) - u_s - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_only_is_latency_blind() {
+        let p = params();
+        let mut o = obs(10.0);
+        o.rtt_gradient = 0.05;
+        o.rtt_deviation = 0.01;
+        o.rtt_s = 0.4;
+        // All latency signals ignored; only loss moves it.
+        assert_eq!(utility_loss_only(&p, &o), utility_loss_only(&p, &obs(10.0)));
+        let mut lossy = obs(10.0);
+        lossy.loss_rate = 0.05;
+        // c·x·L = 11.35·10·0.05 = 5.675.
+        let drop = utility_loss_only(&p, &obs(10.0)) - utility_loss_only(&p, &lossy);
+        assert!((drop - 5.675).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_budget_penalizes_only_over_budget_rtt() {
+        let p = params();
+        let b = DelayBudgetParams::default(); // 60 ms budget, w = 1500
+        let mut under = obs(10.0);
+        under.rtt_s = 0.050;
+        assert_eq!(
+            utility_delay_budget(&p, &under, &b),
+            utility_delay_budget(&p, &obs(10.0), &b)
+        );
+        let mut over = obs(10.0);
+        over.rtt_s = 0.080; // 20 ms over budget
+        let u = utility_delay_budget(&p, &over, &b);
+        // w·x·over = 1500·10·0.020 = 300.
+        assert!((utility_delay_budget(&p, &obs(10.0), &b) - u - 300.0).abs() < 1e-9);
+        // ...and unlike Proteus-S, RTT deviation alone is ignored.
+        let mut dev = obs(10.0);
+        dev.rtt_deviation = 0.01;
+        assert_eq!(
+            utility_delay_budget(&p, &dev, &b),
+            utility_delay_budget(&p, &obs(10.0), &b)
+        );
     }
 
     #[test]
@@ -392,6 +636,8 @@ mod tests {
             Mode::Primary,
             Mode::Scavenger,
             Mode::Hybrid(th),
+            Mode::LossOnly,
+            Mode::DelayBudget(DelayBudgetParams::default()),
         ];
         for mode in &modes {
             for rate in [0.5, 9.9, 10.0, 42.0] {
@@ -401,6 +647,7 @@ mod tests {
                         loss_rate: 0.03,
                         rtt_gradient: grad,
                         rtt_deviation: 0.002,
+                        rtt_s: 0.071,
                     };
                     let t = evaluate_terms(mode, &p, &o);
                     // Bitwise identical to the scalar path, and the terms
@@ -436,5 +683,20 @@ mod tests {
         assert_eq!(Mode::Primary.name(), "Proteus-P");
         assert_eq!(Mode::Scavenger.name(), "Proteus-S");
         assert_eq!(Mode::Hybrid(SharedThreshold::new(1.0)).name(), "Proteus-H");
+        assert_eq!(Mode::LossOnly.name(), "Loss-Only");
+        assert_eq!(
+            Mode::DelayBudget(DelayBudgetParams::default()).name(),
+            "Delay-Budget"
+        );
+    }
+
+    #[test]
+    fn plugin_labels_match_mode_names() {
+        assert_eq!(Allegro.label(), Mode::Allegro.name());
+        assert_eq!(Vivace.label(), Mode::Vivace.name());
+        assert_eq!(Primary.label(), Mode::Primary.name());
+        assert_eq!(Scavenger.label(), Mode::Scavenger.name());
+        assert_eq!(LossOnly.label(), Mode::LossOnly.name());
+        assert_eq!(DelayBudget::default().label(), "Delay-Budget");
     }
 }

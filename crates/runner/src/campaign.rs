@@ -26,6 +26,17 @@ pub struct CampaignOpts {
     /// File to append the run's [`CampaignStats`] JSON line to (JSONL
     /// trajectory across invocations); `None` disables it.
     pub summary: Option<PathBuf>,
+    /// Shard filter `(index, count)` with `index < count`: a cache-**miss**
+    /// job is executed only when `key % count == index`; out-of-shard
+    /// misses are *skipped* — their output slot is filled with
+    /// [`skipped_payload`] and nothing is stored in the cache. Cache hits
+    /// are always used regardless of shard, so shards share whatever work
+    /// is already done. Because job keys are stable content hashes, the
+    /// shards partition the job set deterministically across machines: run
+    /// shard `i/n` on `n` machines against the same spec, merge the
+    /// `results/.cache/` directories, then re-run unsharded for complete
+    /// reports (~every job a hit). `None` disables sharding.
+    pub shard: Option<(u32, u32)>,
 }
 
 impl Default for CampaignOpts {
@@ -35,8 +46,21 @@ impl Default for CampaignOpts {
             cache: None,
             progress: false,
             summary: None,
+            shard: None,
         }
     }
+}
+
+/// Number of zero floats in a skipped job's placeholder payload — sized
+/// past every float index any experiment decoder reads, so sharded runs
+/// produce partial-but-well-formed reports instead of panicking.
+pub const SKIPPED_PAYLOAD_FLOATS: usize = 16;
+
+/// The placeholder payload a sharded campaign stores in the output slot of
+/// an out-of-shard job: [`SKIPPED_PAYLOAD_FLOATS`] zeros, encoded with
+/// [`crate::payload::encode_floats`].
+pub fn skipped_payload() -> String {
+    crate::payload::encode_floats(&[0.0; SKIPPED_PAYLOAD_FLOATS])
 }
 
 /// A named batch of [`SimJob`]s.
@@ -68,6 +92,8 @@ pub struct CampaignStats {
     pub cached: usize,
     /// Jobs actually executed.
     pub executed: usize,
+    /// Cache-miss jobs skipped by the shard filter (always 0 unsharded).
+    pub skipped: usize,
     /// Wall-clock seconds for the whole run (lookup + execute + store).
     pub wall_secs: f64,
     /// Worker threads used.
@@ -82,6 +108,7 @@ impl CampaignStats {
             .int("total", self.total as u64)
             .int("cached", self.cached as u64)
             .int("executed", self.executed as u64)
+            .int("skipped", self.skipped as u64)
             .num("wall_secs", self.wall_secs)
             .int("workers", self.workers as u64);
         o.render()
@@ -167,8 +194,16 @@ impl Campaign {
         // *and* every artifact are stored: then the artifacts are replayed
         // (rewritten to their declared paths); otherwise the job is forced
         // to re-execute so it regenerates them.
+        if let Some((index, count)) = self.opts.shard {
+            assert!(
+                count > 0 && index < count,
+                "invalid shard {index}/{count}: need index < count, count > 0"
+            );
+        }
+
         let mut outputs: Vec<Option<String>> = (0..total).map(|_| None).collect();
         let mut to_run: Vec<(usize, SimJob)> = Vec::new();
+        let mut skipped = 0usize;
         for (index, job) in self.jobs.into_iter().enumerate() {
             let hit = cache.as_ref().and_then(|c| {
                 let payload = c.get(job.key(), job.descriptor())?;
@@ -187,16 +222,27 @@ impl Campaign {
                     }
                     outputs[index] = Some(payload);
                 }
-                None => to_run.push((index, job)),
+                None => match self.opts.shard {
+                    Some((shard_index, shard_count))
+                        if job.key().0 % shard_count as u64 != shard_index as u64 =>
+                    {
+                        // Out-of-shard miss: another shard owns this job.
+                        // Fill the slot with the placeholder (not stored in
+                        // the cache) so reports stay well-formed.
+                        outputs[index] = Some(skipped_payload());
+                        skipped += 1;
+                    }
+                    _ => to_run.push((index, job)),
+                },
             }
         }
-        let cached = total - to_run.len();
+        let cached = total - to_run.len() - skipped;
         let executed = to_run.len();
 
         if self.opts.progress && total > 0 {
             eprintln!(
-                "[{}] {} job(s): {} cached, {} to run on {} worker(s)",
-                self.name, total, cached, executed, workers
+                "[{}] {} job(s): {} cached, {} skipped (shard), {} to run on {} worker(s)",
+                self.name, total, cached, skipped, executed, workers
             );
         }
 
@@ -255,6 +301,7 @@ impl Campaign {
             total,
             cached,
             executed,
+            skipped,
             wall_secs: start.elapsed().as_secs_f64(),
             workers,
         };
@@ -576,13 +623,121 @@ mod tests {
             name: "fig8".to_string(),
             total: 10,
             cached: 4,
-            executed: 6,
+            executed: 5,
+            skipped: 1,
             wall_secs: 1.25,
             workers: 2,
         };
         assert_eq!(
             s.to_json(),
-            "{\"campaign\":\"fig8\",\"total\":10,\"cached\":4,\"executed\":6,\"wall_secs\":1.25,\"workers\":2}"
+            "{\"campaign\":\"fig8\",\"total\":10,\"cached\":4,\"executed\":5,\"skipped\":1,\"wall_secs\":1.25,\"workers\":2}"
         );
+    }
+
+    #[test]
+    fn shards_partition_the_miss_set() {
+        let dir = tmp_dir("shard-partition");
+        let opts = |shard| CampaignOpts {
+            cache: Some(dir.clone()),
+            shard,
+            ..CampaignOpts::default()
+        };
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = 16;
+
+        // Run every shard of a 3-way split on the same cache.
+        let mut total_executed = 0;
+        let mut total_skipped = 0;
+        for i in 0..3 {
+            let mut c = Campaign::new("t", opts(Some((i, 3))));
+            for j in counted_jobs(n, &counter) {
+                c.push(j);
+            }
+            let r = c.run();
+            // Earlier shards' results are cache hits here, never skips.
+            assert_eq!(r.stats.total, n);
+            total_executed += r.stats.executed;
+            total_skipped += r.stats.skipped;
+            for (slot, out) in r.outputs.iter().enumerate() {
+                assert!(
+                    *out == format!("{}", slot * 10) || *out == skipped_payload(),
+                    "slot {slot} holds neither real payload nor placeholder"
+                );
+            }
+        }
+        // The three shards exactly cover the job set, with no double work
+        // (later shards see earlier shards' output as cache hits, so some
+        // of their out-of-shard jobs are hits rather than skips).
+        assert_eq!(total_executed, n);
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+        assert!(total_skipped > 0, "a 3-way shard must skip something");
+
+        // After the shards ran (caches merged — here they shared one), an
+        // unsharded pass is pure replay with complete outputs.
+        let mut merged = Campaign::new("t", opts(None));
+        for j in counted_jobs(n, &counter) {
+            merged.push(j);
+        }
+        let r = merged.run();
+        assert_eq!(r.stats.cached, n);
+        assert_eq!(r.stats.executed, 0);
+        assert_eq!(r.stats.skipped, 0);
+        assert_eq!(counter.load(Ordering::Relaxed), n, "no job re-ran");
+        let expect: Vec<String> = (0..n).map(|i| format!("{}", i * 10)).collect();
+        assert_eq!(r.outputs, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn skipped_jobs_leave_no_cache_entry() {
+        let dir = tmp_dir("shard-nocache");
+        let counter = Arc::new(AtomicUsize::new(0));
+        // Single shard of a 64-way split: almost everything is skipped.
+        let mut c = Campaign::new(
+            "t",
+            CampaignOpts {
+                cache: Some(dir.clone()),
+                shard: Some((0, 64)),
+                ..CampaignOpts::default()
+            },
+        );
+        for j in counted_jobs(8, &counter) {
+            c.push(j);
+        }
+        let r = c.run();
+        assert_eq!(r.stats.executed + r.stats.skipped, 8);
+        assert!(r.stats.skipped > 0, "64-way shard must skip something");
+
+        // A warm unsharded run re-executes exactly the skipped jobs: the
+        // placeholders were never stored as results.
+        let mut again = Campaign::new(
+            "t",
+            CampaignOpts {
+                cache: Some(dir.clone()),
+                ..CampaignOpts::default()
+            },
+        );
+        for j in counted_jobs(8, &counter) {
+            again.push(j);
+        }
+        let r2 = again.run();
+        assert_eq!(r2.stats.cached, r.stats.executed);
+        assert_eq!(r2.stats.executed, r.stats.skipped);
+        let expect: Vec<String> = (0..8).map(|i| format!("{}", i * 10)).collect();
+        assert_eq!(r2.outputs, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn invalid_shard_panics() {
+        let c = Campaign::new(
+            "t",
+            CampaignOpts {
+                shard: Some((3, 3)),
+                ..CampaignOpts::default()
+            },
+        );
+        c.run();
     }
 }

@@ -48,7 +48,10 @@ pub mod payload;
 pub mod pool;
 
 pub use cache::ResultCache;
-pub use campaign::{take_session_stats, Campaign, CampaignOpts, CampaignResult, CampaignStats};
+pub use campaign::{
+    skipped_payload, take_session_stats, Campaign, CampaignOpts, CampaignResult, CampaignStats,
+    SKIPPED_PAYLOAD_FLOATS,
+};
 pub use hash::JobKey;
 pub use job::SimJob;
 pub use pool::Executor;

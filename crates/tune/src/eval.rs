@@ -1,0 +1,277 @@
+//! Batch candidate evaluation through the campaign runner.
+//!
+//! [`evaluate_batch`] turns a list of [`Candidate`]s into content-hashed
+//! [`SimJob`]s (one pair run per candidate × scenario, plus one shared
+//! "primary alone" baseline per scenario), submits them through a
+//! [`Campaign`] — so the disk cache, the worker pool and the shard filter
+//! all apply — and aggregates the payloads into [`CandidateMetrics`].
+//!
+//! Job descriptors embed [`Candidate::canonical`], so candidates that
+//! behave identically (equal config + mode, any seed or unused genes)
+//! share cache entries, and a re-run of the same search is pure cache
+//! replay.
+
+use std::path::PathBuf;
+
+use proteus_core::ProteusSender;
+use proteus_netsim::{run, FlowSpec, Scenario, SimResult};
+use proteus_runner::{payload, Campaign, CampaignOpts, CampaignStats, SimJob};
+use proteus_transport::{Dur, Time};
+
+use crate::objective::{CandidateMetrics, Objective};
+use crate::scenarios::EvalScenario;
+use crate::space::Candidate;
+
+/// Knobs for a tuning run (mirrors the repro CLI flags).
+#[derive(Debug, Clone)]
+pub struct TuneOpts {
+    /// Campaign worker threads (0 → one per core).
+    pub jobs: usize,
+    /// Result-cache directory; `None` disables caching.
+    pub cache: Option<PathBuf>,
+    /// Campaign-stats JSONL file, if any.
+    pub summary: Option<PathBuf>,
+    /// Directory the reports are written into.
+    pub out_dir: PathBuf,
+    /// Print per-job progress lines.
+    pub progress: bool,
+    /// Shard filter `(index, count)` forwarded to the campaigns; when set,
+    /// the genetic phase is skipped (see [`crate::search::run_search`]).
+    pub shard: Option<(u32, u32)>,
+    /// Base simulation seed; scenario `i` runs with `sim_seed + i`.
+    pub sim_seed: u64,
+}
+
+impl Default for TuneOpts {
+    fn default() -> Self {
+        Self {
+            jobs: 0,
+            cache: None,
+            summary: None,
+            out_dir: PathBuf::from("results/tune"),
+            progress: false,
+            shard: None,
+            sim_seed: 1,
+        }
+    }
+}
+
+/// One candidate's aggregated evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateEval {
+    /// The evaluated genome.
+    pub candidate: Candidate,
+    /// Aggregates across the scenario set.
+    pub metrics: CandidateMetrics,
+    /// Whether every objective constraint holds.
+    pub feasible: bool,
+    /// Ranking fitness (see [`Objective::score`]).
+    pub fitness: f64,
+}
+
+/// Scavenger flow start: a quarter into the horizon, so the primary's solo
+/// convergence and the contended tail are both visible in the tail window.
+fn scav_start(secs: f64) -> Dur {
+    Dur::from_secs_f64(secs * 0.25)
+}
+
+/// Measurement window: the last 2/3 of the run.
+fn tail(res: &SimResult, idx: usize, secs: f64) -> f64 {
+    res.flows[idx].throughput_mbps(Time::from_secs_f64(secs / 3.0), Time::from_secs_f64(secs))
+}
+
+fn baseline_job(sc: EvalScenario, seed: u64) -> SimJob {
+    let descriptor = format!("tune/single/{}/secs={:?}/seed={seed}/v1", sc.tag(), sc.secs);
+    SimJob::new(descriptor, format!("{} alone", sc.name), move || {
+        let res = run(Scenario::new(sc.link(), Dur::from_secs_f64(sc.secs))
+            .flow(FlowSpec::bulk("primary", Dur::ZERO, move || {
+                sc.primary_cc()
+            }))
+            .with_seed(seed)
+            .with_rtt_stride(2));
+        payload::encode_floats(&[tail(&res, 0, sc.secs)])
+    })
+}
+
+fn pair_job(sc: EvalScenario, cand: Candidate, seed: u64) -> SimJob {
+    let descriptor = format!(
+        "tune/pair/{}/cand={}/secs={:?}/seed={seed}/v1",
+        sc.tag(),
+        cand.canonical(),
+        sc.secs
+    );
+    SimJob::new(
+        descriptor,
+        format!("{} vs {}", sc.name, cand.variant.name()),
+        move || {
+            let res = run(Scenario::new(sc.link(), Dur::from_secs_f64(sc.secs))
+                .flow(FlowSpec::bulk("primary", Dur::ZERO, move || {
+                    sc.primary_cc()
+                }))
+                .flow(FlowSpec::bulk(
+                    "tune-cand",
+                    scav_start(sc.secs),
+                    move || {
+                        // Mode construction happens here, inside the worker: the
+                        // hybrid variant's SharedThreshold is deliberately !Send.
+                        Box::new(ProteusSender::with_config(
+                            cand.config(seed ^ 0x5A),
+                            cand.mode(),
+                        ))
+                    },
+                ))
+                .with_seed(seed)
+                .with_rtt_stride(2));
+            payload::encode_floats(&[
+                tail(&res, 0, sc.secs),
+                tail(&res, 1, sc.secs),
+                res.flows[0].rtt_percentile(95.0).unwrap_or(0.0),
+            ])
+        },
+    )
+}
+
+/// Evaluates `cands` on every scenario through one campaign named `name`,
+/// returning per-candidate aggregates (input order preserved) plus the
+/// campaign's execution accounting.
+///
+/// Under a shard filter, out-of-shard cache misses come back as zero
+/// placeholders, so the returned metrics are only meaningful on an
+/// unsharded (or fully cached) run — sharded invocations exist to warm the
+/// cache in parallel across machines.
+pub fn evaluate_batch(
+    name: &str,
+    cands: &[Candidate],
+    scenarios: &[EvalScenario],
+    objective: &Objective,
+    opts: &TuneOpts,
+) -> (Vec<CandidateEval>, CampaignStats) {
+    assert!(!scenarios.is_empty(), "tuning needs at least one scenario");
+    let mut campaign = Campaign::new(
+        name,
+        CampaignOpts {
+            jobs: opts.jobs,
+            cache: opts.cache.clone(),
+            progress: opts.progress,
+            summary: opts.summary.clone(),
+            shard: opts.shard,
+        },
+    );
+
+    // Baselines first (deduped: every batch of every generation shares
+    // them), then one pair cell per candidate × scenario. Identical
+    // candidates dedup to one slot via their canonical descriptor.
+    let baseline_idx: Vec<usize> = scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, &sc)| campaign.push_dedup(baseline_job(sc, opts.sim_seed + i as u64)))
+        .collect();
+    let pair_idx: Vec<Vec<usize>> = cands
+        .iter()
+        .map(|&cand| {
+            scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, &sc)| campaign.push_dedup(pair_job(sc, cand, opts.sim_seed + i as u64)))
+                .collect()
+        })
+        .collect();
+
+    let result = campaign.run();
+    let alone: Vec<f64> = baseline_idx
+        .iter()
+        .map(|&i| payload::decode_floats(&result.outputs[i])[0])
+        .collect();
+
+    let evals = cands
+        .iter()
+        .zip(&pair_idx)
+        .map(|(&candidate, slots)| {
+            let mut m = CandidateMetrics::default();
+            for ((&slot, sc), &alone_mbps) in slots.iter().zip(scenarios).zip(&alone) {
+                let v = payload::decode_floats(&result.outputs[slot]);
+                let (primary, scav, p95) = (v[0], v[1], v[2]);
+                m.scav_mbps += scav / scenarios.len() as f64;
+                m.scav_util += scav / sc.bw_mbps / scenarios.len() as f64;
+                if alone_mbps > 1e-9 {
+                    m.harm = m.harm.max((1.0 - primary / alone_mbps).max(0.0));
+                }
+                m.p95_rtt_s = m.p95_rtt_s.max(p95);
+            }
+            let (feasible, fitness) = objective.score(&m);
+            CandidateEval {
+                candidate,
+                metrics: m,
+                feasible,
+                fitness,
+            }
+        })
+        .collect();
+    (evals, result.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::quick_scenarios;
+
+    fn tiny_scenario() -> EvalScenario {
+        EvalScenario {
+            name: "tiny",
+            primary: "CUBIC",
+            bw_mbps: 20.0,
+            rtt_ms: 20.0,
+            buffer_bdp: 1.0,
+            secs: 8.0,
+        }
+    }
+
+    #[test]
+    fn descriptors_dedup_identical_behavior() {
+        let sc = quick_scenarios()[0];
+        let a = Candidate::paper_default();
+        let mut b = a;
+        b.budget_ms = 99.0; // unused gene — identical behavior
+        assert_eq!(pair_job(sc, a, 7).key(), pair_job(sc, b, 7).key());
+        let mut c = a;
+        c.deviation_coef = 900.0;
+        assert_ne!(pair_job(sc, a, 7).key(), pair_job(sc, c, 7).key());
+        // Different sim seeds are distinct cells.
+        assert_ne!(pair_job(sc, a, 7).key(), pair_job(sc, a, 8).key());
+    }
+
+    #[test]
+    fn batch_evaluates_scavenger_as_low_harm() {
+        let scenarios = [tiny_scenario()];
+        let objective = Objective::default_scavenger();
+        let cands = [Candidate::paper_default()];
+        let opts = TuneOpts {
+            jobs: 1,
+            ..TuneOpts::default()
+        };
+        let (evals, stats) = evaluate_batch("tune-test", &cands, &scenarios, &objective, &opts);
+        assert_eq!(evals.len(), 1);
+        assert_eq!(stats.total, 2); // 1 baseline + 1 pair
+        let e = &evals[0];
+        assert!(e.metrics.scav_mbps > 0.1, "scavenger moved no data: {e:?}");
+        assert!(
+            e.metrics.harm < 0.25,
+            "paper-default scavenger harms the primary: {e:?}"
+        );
+        assert!(e.metrics.scav_util > 0.0 && e.metrics.scav_util <= 1.0);
+    }
+
+    #[test]
+    fn duplicate_candidates_share_jobs() {
+        let scenarios = [tiny_scenario()];
+        let objective = Objective::parse("maximize scav_mbps").unwrap();
+        let cands = [Candidate::paper_default(), Candidate::paper_default()];
+        let opts = TuneOpts {
+            jobs: 1,
+            ..TuneOpts::default()
+        };
+        let (evals, stats) = evaluate_batch("tune-test", &cands, &scenarios, &objective, &opts);
+        assert_eq!(stats.total, 2, "identical candidates must dedup");
+        assert_eq!(evals[0].fitness, evals[1].fitness);
+    }
+}

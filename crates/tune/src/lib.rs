@@ -1,0 +1,58 @@
+//! Offline parameter-search and utility-ablation harness for the Proteus
+//! reproduction.
+//!
+//! The paper hand-picks its controller constants (the scavenger penalty
+//! `d = 1500`, the §5 gate gains G1/G2, the trend window, the probing
+//! ε/ω-step) and motivates its utility shape by argument. This crate turns
+//! both into a searchable space and asks the deterministic evaluator the
+//! quantitative question directly: *which configuration — and which
+//! utility shape — best satisfies a stated objective*, e.g.
+//!
+//! ```text
+//! maximize scav_util subject to harm < 0.05
+//! ```
+//!
+//! # Pipeline
+//!
+//! 1. [`space`] — the [`Candidate`] genome (config knobs plus utility
+//!    [`Variant`]) and its bounded [`SearchSpace`] with deterministic
+//!    operators;
+//! 2. [`scenarios`] — the fixed primary/scavenger cells candidates are
+//!    scored on;
+//! 3. [`eval`] — batch evaluation through `proteus-runner` campaigns:
+//!    content-hashed jobs, disk cache, shard filter;
+//! 4. [`objective`] — the objective grammar and constraint scoring;
+//! 5. [`search`] — grid sweep + seeded genetic refinement, same seed ⇒
+//!    byte-identical leaderboard at any worker count;
+//! 6. [`report`] — `leaderboard.csv`, `frontier.csv`, `best_config.json`.
+//!
+//! The CLI entry point is `repro tune` (in `proteus-bench`); [`run_tune`]
+//! is the library equivalent.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod eval;
+pub mod objective;
+pub mod report;
+pub mod scenarios;
+pub mod search;
+pub mod space;
+
+pub use eval::{evaluate_batch, CandidateEval, TuneOpts};
+pub use objective::{CandidateMetrics, Constraint, Metric, Objective};
+pub use report::{best_config_json, frontier_csv, leaderboard_csv, text_report};
+pub use scenarios::{full_scenarios, quick_scenarios, EvalScenario};
+pub use search::{
+    candidate_id, full_spec, grid_candidates, quick_spec, run_search, GridLevels, RankedCandidate,
+    SearchOutcome, SearchSpec,
+};
+pub use space::{Candidate, SearchSpace, Variant};
+
+/// Runs the search described by `spec`, writes `leaderboard.csv`,
+/// `frontier.csv` and `best_config.json` into `opts.out_dir`, and returns
+/// the human-readable report.
+pub fn run_tune(spec: &SearchSpec, opts: &TuneOpts) -> String {
+    let outcome = run_search(spec, opts);
+    report::write_reports(spec, &outcome, opts)
+}

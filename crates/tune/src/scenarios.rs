@@ -1,0 +1,128 @@
+//! The fixed evaluation scenarios a tuning run scores candidates on.
+//!
+//! Each [`EvalScenario`] is one primary/scavenger dumbbell cell: a real
+//! primary (CUBIC or BBR) owns the link, the candidate scavenger joins a
+//! quarter of the way in, and the objective compares the primary's goodput
+//! against its solo baseline on the same link. Scenario sets are small on
+//! purpose — every candidate is simulated on *every* scenario, so the set
+//! size multiplies the search cost.
+
+use proteus_baselines::{Bbr, Cubic};
+use proteus_netsim::LinkSpec;
+use proteus_transport::{CongestionControl, Dur};
+
+/// One evaluation cell: a link, a primary protocol and a horizon.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalScenario {
+    /// Short human-readable label used in reports.
+    pub name: &'static str,
+    /// Primary protocol: `"CUBIC"` or `"BBR"`.
+    pub primary: &'static str,
+    /// Bottleneck bandwidth, Mbps.
+    pub bw_mbps: f64,
+    /// Base RTT, milliseconds.
+    pub rtt_ms: f64,
+    /// Bottleneck buffer, BDPs.
+    pub buffer_bdp: f64,
+    /// Simulated horizon, seconds.
+    pub secs: f64,
+}
+
+impl EvalScenario {
+    /// The scenario's bottleneck link.
+    pub fn link(&self) -> LinkSpec {
+        LinkSpec::new(self.bw_mbps, Dur::from_secs_f64(self.rtt_ms / 1e3), 1)
+            .with_buffer_bdp(self.buffer_bdp)
+    }
+
+    /// Stable cache tag pinning the link and the primary (the horizon is
+    /// appended separately by the job descriptors).
+    pub fn tag(&self) -> String {
+        format!(
+            "p={}/bw={:?}/rtt={:?}ms/bdp={:?}",
+            self.primary, self.bw_mbps, self.rtt_ms, self.buffer_bdp
+        )
+    }
+
+    /// Builds the primary's congestion controller.
+    ///
+    /// # Panics
+    /// On an unknown primary name.
+    pub fn primary_cc(&self) -> Box<dyn CongestionControl> {
+        match self.primary {
+            "CUBIC" => Box::new(Cubic::new()),
+            "BBR" => Box::new(Bbr::new()),
+            other => panic!("unknown tuning primary {other:?}"),
+        }
+    }
+}
+
+/// The `--quick` scenario set: two CUBIC cells, 16 s horizons.
+pub fn quick_scenarios() -> Vec<EvalScenario> {
+    vec![
+        EvalScenario {
+            name: "cubic-50M-30ms",
+            primary: "CUBIC",
+            bw_mbps: 50.0,
+            rtt_ms: 30.0,
+            buffer_bdp: 2.0,
+            secs: 16.0,
+        },
+        EvalScenario {
+            name: "cubic-20M-50ms",
+            primary: "CUBIC",
+            bw_mbps: 20.0,
+            rtt_ms: 50.0,
+            buffer_bdp: 1.0,
+            secs: 16.0,
+        },
+    ]
+}
+
+/// The full scenario set: the quick cells at 30 s plus a BBR primary.
+pub fn full_scenarios() -> Vec<EvalScenario> {
+    let mut v = quick_scenarios();
+    for s in &mut v {
+        s.secs = 30.0;
+    }
+    v.push(EvalScenario {
+        name: "bbr-50M-30ms",
+        primary: "BBR",
+        bw_mbps: 50.0,
+        rtt_ms: 30.0,
+        buffer_bdp: 2.0,
+        secs: 30.0,
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn links_respect_bdp_buffers() {
+        let s = &quick_scenarios()[0];
+        let link = s.link();
+        // 50 Mbps * 30 ms = 187.5 KB BDP; 2 BDP = 375 KB.
+        assert_eq!(link.buffer_bytes, 375_000);
+        assert_eq!(link.bandwidth_mbps, 50.0);
+    }
+
+    #[test]
+    fn tags_distinguish_scenarios() {
+        let all = full_scenarios();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.tag(), b.tag());
+            }
+        }
+    }
+
+    #[test]
+    fn primaries_build() {
+        for s in full_scenarios() {
+            let _ = s.primary_cc();
+        }
+    }
+}

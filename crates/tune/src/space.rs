@@ -1,0 +1,416 @@
+//! The candidate genome and the bounded search space it lives in.
+//!
+//! A [`Candidate`] is one point of `ProteusConfig` space plus a utility
+//! [`Variant`]: the knobs the paper hand-picks (scavenger penalty `d`, §5
+//! gate gains G1/G2, trend window `k`, probing ε/ω-step, probe pair count)
+//! together with *which* utility shape the scavenger optimizes. The
+//! [`SearchSpace`] declares per-gene bounds and provides the deterministic
+//! sampling, mutation and crossover operators the genetic search uses —
+//! every operator keeps its output inside the declared bounds (property
+//! tested in `tests/determinism.rs`).
+
+use proteus_core::noise::TREND_WINDOW_MAX;
+use proteus_core::{
+    DelayBudgetParams, Mode, NoiseTolerance, ProbeRule, ProteusConfig, SharedThreshold,
+};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// Which utility shape a candidate optimizes (the ablation axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Proteus-S (Eq. 2): the paper's RTT-deviation scavenger.
+    Scavenger,
+    /// Loss-only ablation: Proteus-P without latency terms (Allegro/Vivace
+    /// style) — expected to fail the harm constraint at any coefficients.
+    LossOnly,
+    /// Delay-budget scavenger: absolute-RTT budget à la D'Aronco.
+    DelayBudget,
+    /// Proteus-H (Eq. 3) with a fixed threshold (Mbps).
+    Hybrid,
+}
+
+impl Variant {
+    /// Every variant, in canonical enumeration order.
+    pub const ALL: [Variant; 4] = [
+        Variant::Scavenger,
+        Variant::LossOnly,
+        Variant::DelayBudget,
+        Variant::Hybrid,
+    ];
+
+    /// Display name (matches [`Mode::name`] of the mode it builds).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Scavenger => "Proteus-S",
+            Variant::LossOnly => "Loss-Only",
+            Variant::DelayBudget => "Delay-Budget",
+            Variant::Hybrid => "Proteus-H",
+        }
+    }
+}
+
+/// One point of the search space: a utility variant plus every tuned knob.
+///
+/// Genes a variant does not consume (`budget_ms` outside `DelayBudget`,
+/// `threshold_mbps` outside `Hybrid`) are carried anyway so the genome has
+/// a fixed shape; they do not enter [`Candidate::canonical`], so two
+/// candidates that behave identically share one cache identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Utility shape.
+    pub variant: Variant,
+    /// Scavenger RTT-deviation coefficient `d` (also the delay-budget
+    /// variant's `UtilityParams` carry it, unused).
+    pub deviation_coef: f64,
+    /// Trending-gradient gate gain G1 (§5).
+    pub g1: f64,
+    /// Trending-deviation gate gain G2 (§5).
+    pub g2: f64,
+    /// Trend window `k`, MIs (must stay within `1..=TREND_WINDOW_MAX`).
+    pub trend_window: usize,
+    /// Probing perturbation ε.
+    pub epsilon: f64,
+    /// Rate-change bound increment ω-step.
+    pub omega_step: f64,
+    /// `true` → three-pair majority probing; `false` → two-pair agreement.
+    pub majority_probe: bool,
+    /// Delay budget, milliseconds (`DelayBudget` only).
+    pub budget_ms: f64,
+    /// Hybrid rate threshold, Mbps (`Hybrid` only).
+    pub threshold_mbps: f64,
+}
+
+impl Candidate {
+    /// The paper's hand-picked configuration as a Proteus-S candidate.
+    pub fn paper_default() -> Self {
+        Self {
+            variant: Variant::Scavenger,
+            deviation_coef: 1500.0,
+            g1: 2.0,
+            g2: 4.0,
+            trend_window: 6,
+            epsilon: 0.05,
+            omega_step: 0.05,
+            majority_probe: true,
+            budget_ms: 60.0,
+            threshold_mbps: 10.0,
+        }
+    }
+
+    /// Materializes the candidate as a full sender config with `seed` as
+    /// the controller's RNG seed.
+    pub fn config(&self, seed: u64) -> ProteusConfig {
+        let mut cfg = ProteusConfig::proteus().with_seed(seed);
+        cfg.utility.deviation_coef = self.deviation_coef;
+        if let NoiseTolerance::Adaptive(ref mut a) = cfg.noise {
+            a.g1 = self.g1;
+            a.g2 = self.g2;
+            a.trend_window = self.trend_window;
+        }
+        cfg.rate_control.epsilon = self.epsilon;
+        cfg.rate_control.omega_step = self.omega_step;
+        cfg.rate_control.probe_rule = if self.majority_probe {
+            ProbeRule::Majority
+        } else {
+            ProbeRule::Agreement
+        };
+        cfg
+    }
+
+    /// Builds the sender [`Mode`] this candidate's variant selects.
+    ///
+    /// The hybrid variant allocates a [`SharedThreshold`] (an `Rc` cell,
+    /// deliberately not `Send`), so call this *inside* a job closure, not
+    /// before submitting it to a campaign.
+    pub fn mode(&self) -> Mode {
+        match self.variant {
+            Variant::Scavenger => Mode::Scavenger,
+            Variant::LossOnly => Mode::LossOnly,
+            Variant::DelayBudget => Mode::DelayBudget(DelayBudgetParams {
+                budget_s: self.budget_ms / 1e3,
+                over_coef: self.deviation_coef,
+            }),
+            Variant::Hybrid => Mode::Hybrid(SharedThreshold::new(self.threshold_mbps)),
+        }
+    }
+
+    /// Stable serialization of the variant *and the genes it consumes* —
+    /// the mode half of the candidate's cache identity.
+    pub fn mode_tag(&self) -> String {
+        match self.variant {
+            Variant::Scavenger => "scavenger".to_string(),
+            Variant::LossOnly => "loss-only".to_string(),
+            Variant::DelayBudget => format!(
+                "delay-budget(b={:?}ms,w={:?})",
+                self.budget_ms, self.deviation_coef
+            ),
+            Variant::Hybrid => format!("hybrid(th={:?})", self.threshold_mbps),
+        }
+    }
+
+    /// The candidate's behavioral identity: config (seed-independent) plus
+    /// mode tag. Candidates with equal `canonical()` produce byte-identical
+    /// simulations, so the leaderboard dedups on it and their evaluation
+    /// jobs share cache entries.
+    pub fn canonical(&self) -> String {
+        format!("{}/mode={}", self.config(0).canonical(), self.mode_tag())
+    }
+}
+
+/// Inclusive per-gene bounds plus the enabled variant set.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Enabled utility variants.
+    pub variants: Vec<Variant>,
+    /// Bounds on the deviation coefficient `d`.
+    pub deviation_coef: (f64, f64),
+    /// Bounds on gate gain G1.
+    pub g1: (f64, f64),
+    /// Bounds on gate gain G2.
+    pub g2: (f64, f64),
+    /// Bounds on the trend window `k` (clamped to `1..=TREND_WINDOW_MAX`).
+    pub trend_window: (usize, usize),
+    /// Bounds on the probing perturbation ε.
+    pub epsilon: (f64, f64),
+    /// Bounds on the ω-step increment.
+    pub omega_step: (f64, f64),
+    /// Bounds on the delay budget, ms.
+    pub budget_ms: (f64, f64),
+    /// Bounds on the hybrid threshold, Mbps.
+    pub threshold_mbps: (f64, f64),
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self {
+            variants: Variant::ALL.to_vec(),
+            deviation_coef: (300.0, 3000.0),
+            g1: (0.5, 8.0),
+            g2: (1.0, 16.0),
+            trend_window: (2, TREND_WINDOW_MAX),
+            epsilon: (0.01, 0.10),
+            omega_step: (0.01, 0.10),
+            budget_ms: (40.0, 120.0),
+            threshold_mbps: (1.0, 20.0),
+        }
+    }
+}
+
+/// Uniform jitter half-width for mutation, as a fraction of a gene's range.
+const MUTATION_SPAN: f64 = 0.25;
+
+impl SearchSpace {
+    /// Panics if the space is malformed (empty variant set, inverted
+    /// bounds, or a trend window outside what `MiNoiseGate` accepts).
+    pub fn validate(&self) {
+        assert!(!self.variants.is_empty(), "search space has no variants");
+        let ok = |(lo, hi): (f64, f64)| lo.is_finite() && hi.is_finite() && lo <= hi;
+        assert!(ok(self.deviation_coef), "bad deviation_coef bounds");
+        assert!(ok(self.g1) && ok(self.g2), "bad gate-gain bounds");
+        assert!(
+            ok(self.epsilon) && ok(self.omega_step),
+            "bad probing bounds"
+        );
+        assert!(
+            ok(self.budget_ms) && ok(self.threshold_mbps),
+            "bad variant bounds"
+        );
+        assert!(
+            (1..=TREND_WINDOW_MAX).contains(&self.trend_window.0)
+                && self.trend_window.0 <= self.trend_window.1
+                && self.trend_window.1 <= TREND_WINDOW_MAX,
+            "trend_window bounds outside 1..={TREND_WINDOW_MAX}"
+        );
+    }
+
+    /// Whether every gene of `c` is inside bounds and its variant enabled.
+    pub fn contains(&self, c: &Candidate) -> bool {
+        let within = |v: f64, (lo, hi): (f64, f64)| (lo..=hi).contains(&v);
+        self.variants.contains(&c.variant)
+            && within(c.deviation_coef, self.deviation_coef)
+            && within(c.g1, self.g1)
+            && within(c.g2, self.g2)
+            && (self.trend_window.0..=self.trend_window.1).contains(&c.trend_window)
+            && within(c.epsilon, self.epsilon)
+            && within(c.omega_step, self.omega_step)
+            && within(c.budget_ms, self.budget_ms)
+            && within(c.threshold_mbps, self.threshold_mbps)
+    }
+
+    fn sample(&self, rng: &mut SmallRng, (lo, hi): (f64, f64)) -> f64 {
+        if lo < hi {
+            lo + (hi - lo) * rng.random::<f64>()
+        } else {
+            lo
+        }
+    }
+
+    /// Draws a uniform candidate.
+    pub fn random(&self, rng: &mut SmallRng) -> Candidate {
+        Candidate {
+            variant: self.variants[rng.random_range(0..self.variants.len())],
+            deviation_coef: self.sample(rng, self.deviation_coef),
+            g1: self.sample(rng, self.g1),
+            g2: self.sample(rng, self.g2),
+            trend_window: rng.random_range(self.trend_window.0..=self.trend_window.1),
+            epsilon: self.sample(rng, self.epsilon),
+            omega_step: self.sample(rng, self.omega_step),
+            majority_probe: rng.random::<bool>(),
+            budget_ms: self.sample(rng, self.budget_ms),
+            threshold_mbps: self.sample(rng, self.threshold_mbps),
+        }
+    }
+
+    fn jitter(&self, rng: &mut SmallRng, v: f64, (lo, hi): (f64, f64)) -> f64 {
+        let step = (rng.random::<f64>() * 2.0 - 1.0) * MUTATION_SPAN * (hi - lo);
+        (v + step).clamp(lo, hi)
+    }
+
+    /// Mutates each gene independently with probability `rate`: numeric
+    /// genes take a bounded uniform jitter (±25 % of the gene's range,
+    /// clamped), categorical genes redraw. The RNG consumption pattern is
+    /// fixed per call, so searches replay identically for a given seed.
+    pub fn mutate(&self, c: &mut Candidate, rng: &mut SmallRng, rate: f64) {
+        // One decision draw per gene, always consumed in the same order.
+        if rng.random::<f64>() < rate {
+            c.variant = self.variants[rng.random_range(0..self.variants.len())];
+        }
+        if rng.random::<f64>() < rate {
+            c.deviation_coef = self.jitter(rng, c.deviation_coef, self.deviation_coef);
+        }
+        if rng.random::<f64>() < rate {
+            c.g1 = self.jitter(rng, c.g1, self.g1);
+        }
+        if rng.random::<f64>() < rate {
+            c.g2 = self.jitter(rng, c.g2, self.g2);
+        }
+        if rng.random::<f64>() < rate {
+            c.trend_window = rng.random_range(self.trend_window.0..=self.trend_window.1);
+        }
+        if rng.random::<f64>() < rate {
+            c.epsilon = self.jitter(rng, c.epsilon, self.epsilon);
+        }
+        if rng.random::<f64>() < rate {
+            c.omega_step = self.jitter(rng, c.omega_step, self.omega_step);
+        }
+        if rng.random::<f64>() < rate {
+            c.majority_probe = rng.random::<bool>();
+        }
+        if rng.random::<f64>() < rate {
+            c.budget_ms = self.jitter(rng, c.budget_ms, self.budget_ms);
+        }
+        if rng.random::<f64>() < rate {
+            c.threshold_mbps = self.jitter(rng, c.threshold_mbps, self.threshold_mbps);
+        }
+    }
+
+    /// Uniform crossover: each gene comes from parent `a` or `b` with equal
+    /// probability.
+    pub fn crossover(&self, a: &Candidate, b: &Candidate, rng: &mut SmallRng) -> Candidate {
+        macro_rules! pick {
+            ($field:ident) => {
+                if rng.random::<bool>() {
+                    a.$field
+                } else {
+                    b.$field
+                }
+            };
+        }
+        Candidate {
+            variant: pick!(variant),
+            deviation_coef: pick!(deviation_coef),
+            g1: pick!(g1),
+            g2: pick!(g2),
+            trend_window: pick!(trend_window),
+            epsilon: pick!(epsilon),
+            omega_step: pick!(omega_step),
+            majority_probe: pick!(majority_probe),
+            budget_ms: pick!(budget_ms),
+            threshold_mbps: pick!(threshold_mbps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_is_in_default_space() {
+        let space = SearchSpace::default();
+        space.validate();
+        assert!(space.contains(&Candidate::paper_default()));
+    }
+
+    #[test]
+    fn config_reflects_genes() {
+        let mut c = Candidate::paper_default();
+        c.deviation_coef = 777.0;
+        c.g1 = 3.0;
+        c.trend_window = 9;
+        c.epsilon = 0.02;
+        c.majority_probe = false;
+        let cfg = c.config(42);
+        assert_eq!(cfg.utility.deviation_coef, 777.0);
+        assert_eq!(cfg.rate_control.epsilon, 0.02);
+        assert_eq!(cfg.rate_control.probe_rule, ProbeRule::Agreement);
+        assert_eq!(cfg.seed, 42);
+        match cfg.noise {
+            NoiseTolerance::Adaptive(a) => {
+                assert_eq!(a.g1, 3.0);
+                assert_eq!(a.trend_window, 9);
+            }
+            _ => panic!("candidate config lost adaptive noise"),
+        }
+    }
+
+    #[test]
+    fn canonical_ignores_unused_genes() {
+        let a = Candidate::paper_default();
+        let mut b = a;
+        b.budget_ms = 99.0; // unused by the Scavenger variant
+        b.threshold_mbps = 3.0;
+        assert_eq!(a.canonical(), b.canonical());
+        let mut c = a;
+        c.variant = Variant::DelayBudget;
+        let mut d = c;
+        d.budget_ms = 99.0; // consumed now
+        assert_ne!(c.canonical(), d.canonical());
+    }
+
+    #[test]
+    fn canonical_is_seed_independent() {
+        let c = Candidate::paper_default();
+        // Different sim seeds must not split the leaderboard identity.
+        assert_eq!(c.canonical(), c.canonical());
+        assert!(c.canonical().contains("seed=0"));
+    }
+
+    #[test]
+    fn operators_stay_in_bounds() {
+        let space = SearchSpace::default();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut c = space.random(&mut rng);
+        assert!(space.contains(&c));
+        for _ in 0..200 {
+            space.mutate(&mut c, &mut rng, 0.8);
+            assert!(space.contains(&c), "mutation escaped bounds: {c:?}");
+        }
+        let a = space.random(&mut rng);
+        let b = space.random(&mut rng);
+        let x = space.crossover(&a, &b, &mut rng);
+        assert!(space.contains(&x));
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let space = SearchSpace::default();
+        let mut r1 = SmallRng::seed_from_u64(5);
+        let mut r2 = SmallRng::seed_from_u64(5);
+        for _ in 0..32 {
+            assert_eq!(space.random(&mut r1), space.random(&mut r2));
+        }
+    }
+}

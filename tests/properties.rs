@@ -16,6 +16,7 @@ fn obs(rate: f64, loss: f64, grad: f64, dev: f64) -> MiObservation {
         loss_rate: loss,
         rtt_gradient: grad,
         rtt_deviation: dev,
+        rtt_s: 0.05,
     }
 }
 
