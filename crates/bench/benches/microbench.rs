@@ -373,6 +373,100 @@ fn bench_fault_path(c: &mut Criterion) {
     group.finish();
 }
 
+/// Population-scale benchmarks for the timing-wheel scheduler (DESIGN.md
+/// §4c), in two layers:
+///
+/// * `sched_{wheel,heap}_{1k,10k}` — steady-state pop-one/push-one through
+///   the `EventQueue` facade with N events pending, deltas cycling through
+///   every wheel region (same slot, low levels, overflow). This is the
+///   O(1)-vs-O(log n) comparison in isolation: per-operation cost, so the
+///   wheel's advantage should *grow* from 1k to 10k.
+/// * `e2e_churn_{wheel,heap}` — a full churning simulation (250 warm-start
+///   paced flows, Poisson arrivals, 4 s), identical except for the
+///   scheduler, so the delta is the wheel's end-to-end win on the workload
+///   the `scale` campaign runs at 40× the size.
+fn bench_scale(c: &mut Criterion) {
+    use proteus_netsim::sched::EventQueue;
+    use proteus_netsim::{ChurnClass, ChurnSpec, Scheduler};
+
+    let mut group = c.benchmark_group("scale");
+    // Delta mix matching the engine's event-horizon distribution on a
+    // churning 10k-flow link: mostly pacing/serialization gaps (sub-ms),
+    // a band of delivery/ACK horizons (one-way delay ~15 ms) and CC
+    // timers (~MI length), and one RTO-class outlier (300 ms) per 16 —
+    // RTOs are the only long timers and the one-live-event rule keeps
+    // them rare.
+    const DELTAS: [u64; 16] = [
+        0,
+        300,
+        800,
+        1_500,
+        3_000,
+        8_000,
+        12_000,
+        30_000,
+        90_000,
+        200_000,
+        400_000,
+        900_000,
+        2_500_000,
+        15_000_000,
+        30_000_000,
+        300_000_000,
+    ];
+    for (n, wheel_label, heap_label) in [
+        (1_000usize, "sched_wheel_1k", "sched_heap_1k"),
+        (10_000, "sched_wheel_10k", "sched_heap_10k"),
+    ] {
+        for (label, kind) in [
+            (wheel_label, Scheduler::Wheel),
+            (heap_label, Scheduler::Heap),
+        ] {
+            group.bench_function(label, |b| {
+                let mut q: EventQueue<u64> = EventQueue::new(kind, n);
+                let mut seq = 0u64;
+                for i in 0..n {
+                    seq += 1;
+                    q.push(Time::from_nanos(DELTAS[i % DELTAS.len()]), seq, seq);
+                }
+                b.iter(|| {
+                    let (at, _, v) = q.pop().expect("queue holds n events");
+                    seq += 1;
+                    let delta = DELTAS[(seq as usize) % DELTAS.len()];
+                    q.push(Time::from_nanos(at.as_nanos() + delta), seq, seq);
+                    black_box(v)
+                })
+            });
+        }
+    }
+
+    for (label, kind) in [
+        ("e2e_churn_wheel", Scheduler::Wheel),
+        ("e2e_churn_heap", Scheduler::Heap),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let classes = vec![ChurnClass::new(
+                    "paced",
+                    1.0,
+                    proteus_transport::factory(|_| FixedPaced { rate: 125_000.0 }),
+                )];
+                let sc = Scenario::new(
+                    LinkSpec::new(250.0, Dur::from_millis(30), 1_875_000),
+                    Dur::from_secs(4),
+                )
+                .with_churn(ChurnSpec::new(50.0, Dur::from_secs(5), classes).with_initial(250))
+                .with_rtt_stride(64)
+                .with_throughput_bin(Dur::from_secs(1))
+                .with_scheduler(kind)
+                .with_seed(7);
+                black_box(run(sc).flows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_utility,
@@ -380,6 +474,7 @@ criterion_group!(
     bench_cc_per_ack,
     bench_simulator,
     bench_engine_loop,
-    bench_fault_path
+    bench_fault_path,
+    bench_scale
 );
 criterion_main!(benches);

@@ -11,6 +11,12 @@
 //!   --wifi             WiFi-style latency noise
 //!   --secs <s>         duration                  (default 60)
 //!   --seed <n>         RNG seed                  (default 1)
+//!   --churn <a,l>      Poisson flow churn: `a` arrivals/sec, mean
+//!                      lifetime `l` seconds; arrivals draw uniformly from
+//!                      the --flow protocol list (equal-weight classes)
+//!   --population <N>   N long-lived background flows of the same class
+//!                      mix, started at t=0 (with --churn: the warm-start
+//!                      population)
 //!   --timeline         print 5-second per-flow throughput bins
 //!   --trace <file>     write per-flow telemetry JSONL (100 ms samples)
 //!   --trace-mi         record structured decision traces (see OBSERVABILITY.md)
@@ -42,8 +48,8 @@ use std::process::ExitCode;
 
 use proteus_bench::{cc, cc_traced, mi_trace, trace_jsonl, MiTraceSink, TraceFormat, TRACE_EVERY};
 use proteus_netsim::{
-    run, AckCompression, FaultSchedule, FlowSpec, GilbertElliott, LinkSpec, NoiseConfig,
-    ReorderConfig, Scenario,
+    run, AckCompression, ChurnClass, ChurnSpec, FaultSchedule, FlowSpec, GilbertElliott, LinkSpec,
+    NoiseConfig, ReorderConfig, Scenario,
 };
 use proteus_transport::{Dur, Time};
 
@@ -61,6 +67,9 @@ struct Args {
     trace_format: TraceFormat,
     flows: Vec<(String, f64)>,
     faults: FaultSchedule,
+    /// `(arrivals_per_sec, mean_lifetime_secs)`.
+    churn: Option<(f64, f64)>,
+    population: usize,
 }
 
 /// Splits `spec` into exactly `n` colon-separated floats.
@@ -89,6 +98,8 @@ fn parse() -> Result<Args, String> {
         trace_format: TraceFormat::Both,
         flows: Vec::new(),
         faults: FaultSchedule::new(),
+        churn: None,
+        population: 0,
     };
     let mut it = env::args().skip(1);
     let need = |it: &mut dyn Iterator<Item = String>, what: &str| {
@@ -118,6 +129,33 @@ fn parse() -> Result<Args, String> {
                 a.seed = need(&mut it, "--seed")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
+            }
+            "--churn" => {
+                let v = need(&mut it, "--churn")?;
+                let (arr, life) = v.split_once(',').ok_or(format!(
+                    "--churn expects ARRIVALS,LIFETIME (e.g. 50,10), got {v:?}"
+                ))?;
+                let arrivals: f64 = arr
+                    .parse()
+                    .map_err(|e| format!("bad --churn arrival rate: {e}"))?;
+                let lifetime: f64 = life
+                    .parse()
+                    .map_err(|e| format!("bad --churn mean lifetime: {e}"))?;
+                if !arrivals.is_finite()
+                    || arrivals < 0.0
+                    || !lifetime.is_finite()
+                    || lifetime <= 0.0
+                {
+                    return Err(format!(
+                        "--churn needs arrivals >= 0 and lifetime > 0, got {v:?}"
+                    ));
+                }
+                a.churn = Some((arrivals, lifetime));
+            }
+            "--population" => {
+                a.population = need(&mut it, "--population")?
+                    .parse()
+                    .map_err(|e| format!("bad --population: {e}"))?
             }
             "--timeline" => a.timeline = true,
             "--trace" => a.trace = Some(need(&mut it, "--trace")?),
@@ -210,6 +248,7 @@ fn main() -> ExitCode {
                 "usage: proteus-sim [--bw Mbps] [--rtt ms] [--buffer KB|xBDP] [--loss p] \
                  [--wifi] [--secs s] [--seed n] [--timeline] [--trace FILE] \
                  [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR] \
+                 [--churn ARRIVALS,LIFETIME] [--population N] \
                  [--bw-step T:MBPS] [--rtt-step T:MS] [--outage T:LEN] \
                  [--burst-loss PE:PX:PB] [--reorder PROB:MS] [--ack-comp EVERY:HOLD] \
                  --flow PROTO[@START] ..."
@@ -253,6 +292,38 @@ fn main() -> ExitCode {
                 }
             },
         ));
+    }
+    if args.churn.is_some() || args.population > 0 {
+        // One churn class per --flow protocol, equal weight; listing a
+        // protocol twice doubles its share. Churn flows draw per-id seeds
+        // from the scenario seed so each arrival gets a distinct CC RNG.
+        let classes: Vec<ChurnClass> = args
+            .flows
+            .iter()
+            .map(|(proto, _)| {
+                let proto = proto.clone();
+                let seed = args.seed;
+                ChurnClass::new(
+                    proto.clone(),
+                    1.0,
+                    Box::new(move |id| cc(&proto, seed.wrapping_add(id as u64))),
+                )
+            })
+            .collect();
+        let (arrivals, lifetime) = match args.churn {
+            Some((a, l)) => (a, l),
+            // --population alone: a fixed background population whose mean
+            // lifetime far exceeds the run, so departures are negligible.
+            None => (0.0, args.secs * 1000.0),
+        };
+        sc = sc.with_churn(
+            ChurnSpec::new(arrivals, Dur::from_secs_f64(lifetime), classes)
+                .with_initial(args.population),
+        );
+        eprintln!(
+            "churn: {arrivals}/s arrivals, mean lifetime {lifetime}s, warm-start {}",
+            args.population
+        );
     }
 
     eprintln!(

@@ -14,6 +14,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod scale;
 pub mod stress;
 pub mod tune;
 pub mod video_util;
@@ -116,6 +117,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "Robustness: fault profiles (outages, bursty loss, reordering, ACK compression) x protocols + invariant checker",
             run: stress::run_experiment,
+        },
+        Experiment {
+            id: "scale",
+            description:
+                "ISP-scale populations: 1k/10k/100k churning flows with equilibrium-fairness and scavenger-harm invariants",
+            run: scale::run_experiment,
         },
         Experiment {
             id: "tune",

@@ -1,0 +1,78 @@
+//! The `scale` population campaign: deterministic under churn, invariant
+//! clean, and pinned against a committed golden report.
+//!
+//! This is the population-scale determinism guarantee for the timing-wheel
+//! scheduler + SoA flow table: the quick campaign's churn cell turns over
+//! ~1k flows (250 warm-start + 50/s Poisson arrivals), and its report —
+//! every per-class throughput figure derived from every ACK of every flow —
+//! must be byte-identical between a single-threaded run and a 4-worker run.
+//!
+//! Everything env-dependent lives in the single `#[test]` below —
+//! `PROTEUS_RESULTS_DIR` is process-global, so a second env-touching test in
+//! this binary would race it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use proteus_bench::experiments::scale;
+use proteus_bench::RunCfg;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Runs the quick campaign twice (single-threaded, then on 4 workers) and
+/// checks: byte-identical reports, all invariants pass, and the report
+/// matches `results/golden/scale_quick.txt`.
+#[test]
+fn scale_campaign_is_deterministic_and_invariants_hold() {
+    let scratch = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("scale_invariants");
+    let _ = fs::remove_dir_all(&scratch);
+    std::env::set_var("PROTEUS_RESULTS_DIR", &scratch);
+
+    // No cache: both runs must actually simulate, or the byte-identity
+    // check would just compare a cache entry with itself.
+    let cfg = RunCfg {
+        cache: false,
+        ..RunCfg::quick()
+    };
+    let serial = scale::run_with_outcome(cfg);
+    let parallel = scale::run_with_outcome(RunCfg { jobs: 4, ..cfg });
+    std::env::remove_var("PROTEUS_RESULTS_DIR");
+
+    assert_eq!(
+        serial.report, parallel.report,
+        "scale report differs between --jobs 1 and --jobs 4 runs: churn \
+         flow naming or RNG streams are not deterministic"
+    );
+    assert!(
+        serial.all_pass(),
+        "scale invariants failed:\n{:#?}",
+        serial.failures()
+    );
+    // The campaign wrote its report files where the docs promise.
+    assert!(scratch.join("scale/scale.txt").is_file());
+    assert!(scratch.join("scale/cells.csv").is_file());
+    assert!(scratch.join("scale/invariants.csv").is_file());
+
+    // Golden pin: quick-mode scale must reproduce the committed report
+    // byte for byte. Re-bless with
+    // `PROTEUS_BLESS=1 cargo test -p proteus-bench --test scale_invariants`.
+    let golden_path = repo_path("results/golden/scale_quick.txt");
+    if std::env::var_os("PROTEUS_BLESS").is_some_and(|v| !v.is_empty()) {
+        fs::create_dir_all(golden_path.parent().unwrap()).expect("create results/golden");
+        fs::write(&golden_path, &serial.report).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .expect("missing results/golden/scale_quick.txt — bless it with PROTEUS_BLESS=1");
+    assert_eq!(
+        serial.report, golden,
+        "quick-mode scale no longer matches results/golden/scale_quick.txt. \
+         If intentional: PROTEUS_BLESS=1 cargo test -p proteus-bench --test \
+         scale_invariants, regenerate results/scale with `repro --no-cache \
+         scale`, and commit both."
+    );
+}

@@ -9,6 +9,12 @@
 //! wakeups — so the whole run is a deterministic function of the scenario
 //! and its seed.
 //!
+//! Events are ordered by `(time, push sequence)` through the scheduler in
+//! [`crate::sched`] (a hierarchical timing wheel by default, with the
+//! reference binary heap selectable per scenario); both implementations pop
+//! in exactly that total order, so results do not depend on the scheduler
+//! choice.
+//!
 //! Loss detection mirrors TCP practice: a packet is declared lost when a
 //! packet sent three or more sequence numbers later is ACKed (dup-ACK
 //! threshold; the path only reorders when a [`crate::fault::FaultSchedule`]
@@ -17,29 +23,28 @@
 //! progress.
 //!
 //! A scenario may attach a fault schedule: timed link changes arrive
-//! through the same event heap (`Event::Fault`), and the stochastic fault
+//! through the same event queue (`Event::Fault`), and the stochastic fault
 //! components (bursty loss, reordering, ACK compression) draw from a
 //! dedicated RNG so that fault-free scenarios reproduce historical results
-//! bit for bit (see `crate::fault` for the determinism rules).
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! bit for bit (see `crate::fault` for the determinism rules). Poisson flow
+//! churn ([`crate::scenario::ChurnSpec`]) follows the same discipline with
+//! its own salted RNG stream.
 
 use rand::rngs::SmallRng;
 use rand::{RngExt as Rng, SeedableRng};
 
 use proteus_transport::{
-    AckInfo, Application, CongestionControl, Dur, FlowId, LossInfo, RttEstimator, SentPacket,
-    SeqNr, Time, DEFAULT_PACKET_BYTES,
+    AckInfo, BulkApp, Dur, FlowId, LossInfo, SentPacket, SeqNr, Time, DEFAULT_PACKET_BYTES,
 };
 
 use crate::dist;
 use crate::fault::{FaultState, LinkChange, WireLoss};
-use crate::inflight::InflightTracker;
+use crate::flows::FlowTable;
 use crate::link::{BottleneckLink, Offer};
 use crate::metrics::{FlowMetrics, SimResult, TraceEvent};
 use crate::noise::NoiseState;
-use crate::scenario::Scenario;
+use crate::scenario::{ChurnClass, Scenario};
+use crate::sched::EventQueue;
 
 /// Dup-ACK threshold: a packet is lost once a packet sent this many
 /// sequence numbers later has been ACKed.
@@ -48,14 +53,21 @@ const REORDER_THRESHOLD: u64 = 3;
 const MIN_RTO: Dur = Dur::from_millis(200);
 /// Safety valve on packets transmitted within a single `try_send` call.
 const MAX_BURST: usize = 100_000;
-/// Initial event-heap capacity: enough for the steady-state event population
-/// of a multi-flow run without repeated early regrowth.
-const HEAP_CAPACITY: usize = 1024;
+/// Headroom added to the derived initial scheduler capacity (periodic
+/// samplers, cross-traffic arrivals, the first pacing/timer wave).
+const QUEUE_CAPACITY_MARGIN: usize = 64;
+
+/// Salt for the churn RNG stream: churn draws (class choice, lifetimes,
+/// interarrival gaps) come from `seed ^ CHURN_SEED_SALT`, mirroring
+/// [`crate::fault::FAULT_SEED_SALT`], so attaching churn to a scenario
+/// leaves the main RNG's draw sequence — and with it every existing
+/// result — untouched.
+pub const CHURN_SEED_SALT: u64 = 0xC44E_5EED_0000_0002;
 
 /// A scheduled event. Fields are deliberately narrow (`u32` flow ids and
-/// packet sizes) to keep [`HeapEntry`] small: the binary heap shuffles
-/// entries by value on every push/pop, so entry size is directly visible in
-/// the per-packet cost.
+/// packet sizes) to keep entries small: the scheduler shuffles entries by
+/// value on every push/pop, so entry size is directly visible in the
+/// per-packet cost.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     FlowStart(u32),
@@ -65,7 +77,7 @@ enum Event {
     QueueDrain {
         bytes: u32,
     },
-    /// A data packet reaches the receiver (at the heap entry's time).
+    /// A data packet reaches the receiver (at the queue entry's time).
     Delivery {
         flow: u32,
         seq: SeqNr,
@@ -101,6 +113,8 @@ enum Event {
         epoch: u64,
     },
     SpawnCross,
+    /// Next Poisson churn arrival (see [`crate::scenario::ChurnSpec`]).
+    ChurnSpawn,
     QueueSample,
     /// Periodic per-flow telemetry sampling (see `Scenario::with_trace`).
     TraceSample,
@@ -108,97 +122,6 @@ enum Event {
     Fault {
         idx: u32,
     },
-}
-
-struct HeapEntry {
-    at: Time,
-    seq: u64,
-    ev: Event,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapEntry {
-    /// Reversed so that `BinaryHeap` (a max-heap) pops the earliest event;
-    /// ties break by insertion order for determinism.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-struct FlowState {
-    cc: Box<dyn CongestionControl>,
-    app: Box<dyn Application>,
-    reliable: bool,
-    /// Started and neither stopped nor finished.
-    active: bool,
-    next_seq: SeqNr,
-    /// Outstanding packets, O(1) per ACK (seqs are monotone and the path
-    /// never reorders, so removals cluster at the front).
-    inflight: InflightTracker,
-    inflight_bytes: u64,
-    /// Bytes awaiting retransmission (reliable flows only).
-    retx_bytes: u64,
-    rtt: RttEstimator,
-    next_pace_at: Time,
-    /// Epoch of the live Pace event (older pops are stale no-ops).
-    pace_epoch: u64,
-    /// Epoch of the live CcTimer event.
-    cc_epoch: u64,
-    /// Deadline the controller asked for via `next_timer()`, if any.
-    cc_timer_at: Option<Time>,
-    rto_deadline: Option<Time>,
-    /// Time of the currently scheduled RTO heap event, if any (lazy re-arm:
-    /// the deadline may move later without re-pushing).
-    rto_event_at: Option<Time>,
-    app_epoch: u64,
-    app_wake_at: Option<Time>,
-    stop_at: Option<Time>,
-    /// Latest scheduled data-delivery instant: the wireless channel jitters
-    /// per-packet latency but still delivers FIFO, so later packets are
-    /// clamped to arrive no earlier than their predecessors.
-    last_delivery_at: Time,
-    /// Same monotonicity clamp for the ACK return path.
-    last_ack_arrival_at: Time,
-}
-
-impl FlowState {
-    fn new(cc: Box<dyn CongestionControl>, app: Box<dyn Application>, reliable: bool) -> Self {
-        Self {
-            cc,
-            app,
-            reliable,
-            active: false,
-            next_seq: 0,
-            inflight: InflightTracker::new(),
-            inflight_bytes: 0,
-            retx_bytes: 0,
-            rtt: RttEstimator::new(),
-            next_pace_at: Time::ZERO,
-            pace_epoch: 0,
-            cc_epoch: 0,
-            cc_timer_at: None,
-            rto_deadline: None,
-            rto_event_at: None,
-            app_epoch: 0,
-            app_wake_at: None,
-            stop_at: None,
-            last_delivery_at: Time::ZERO,
-            last_ack_arrival_at: Time::ZERO,
-        }
-    }
 }
 
 struct CrossState {
@@ -209,18 +132,31 @@ struct CrossState {
     spawned: usize,
 }
 
+/// Runtime state of a [`crate::scenario::ChurnSpec`].
+struct ChurnState {
+    arrivals_per_sec: f64,
+    mean_lifetime_secs: f64,
+    classes: Vec<ChurnClass>,
+    /// Normalized cumulative class weights for arrival sampling.
+    cum_weights: Vec<f64>,
+    stop: Time,
+    spawned: usize,
+    /// Dedicated churn RNG stream (`seed ^ CHURN_SEED_SALT`).
+    rng: SmallRng,
+}
+
 /// The simulation engine. Construct with [`Sim::new`], execute with
 /// [`Sim::run`], or use the [`run`] convenience function.
 pub struct Sim {
     now: Time,
-    heap: BinaryHeap<HeapEntry>,
+    queue: EventQueue<Event>,
     event_seq: u64,
     link: BottleneckLink,
     fwd_prop: Dur,
     rev_prop: Dur,
     random_loss: f64,
     noise: NoiseState,
-    flows: Vec<FlowState>,
+    flows: FlowTable,
     metrics: Vec<FlowMetrics>,
     rng: SmallRng,
     duration: Dur,
@@ -235,7 +171,10 @@ pub struct Sim {
     decisions: Vec<proteus_trace::FlowEvent>,
     /// Reusable drain buffer for [`Sim::drain_decisions`].
     decision_scratch: Vec<proteus_trace::DecisionEvent>,
+    /// Reusable sorted-id buffer for the telemetry and decision sweeps.
+    id_scratch: Vec<u32>,
     cross: Option<CrossState>,
+    churn: Option<ChurnState>,
     link_rate_bps: f64,
     /// Reusable scratch for loss sweeps (dup-ACK and RTO), so the per-ACK
     /// and per-RTO paths stay allocation-free after warm-up.
@@ -261,20 +200,36 @@ impl Sim {
             queue_sample_every,
             trace_every,
             faults,
+            churn,
+            scheduler,
         } = scenario;
+
+        // Initial scheduler capacity is derived from the scenario, not a
+        // fixed constant: every static flow contributes a start (and maybe a
+        // stop) event, the churn warm-start population does the same, and
+        // each scheduled fault is one event. The scheduler grows beyond this
+        // without dropping events (`sched` tests assert no silent cap);
+        // deriving it just avoids regrowth storms at t=0 for 10k-flow runs.
+        let fault_events =
+            faults
+                .as_ref()
+                .map_or(0, |s| if s.is_empty() { 0 } else { s.link_events.len() });
+        let churn_initial = churn.as_ref().map_or(0, |c| c.initial);
+        let capacity = (flows.len() + churn_initial) * 2 + fault_events + QUEUE_CAPACITY_MARGIN;
+        let flow_capacity = flows.len() + churn_initial;
 
         let half_rtt = Dur::from_nanos(link.rtt.as_nanos() / 2);
         let mut sim = Sim {
             now: Time::ZERO,
-            heap: BinaryHeap::with_capacity(HEAP_CAPACITY),
+            queue: EventQueue::new(scheduler, capacity),
             event_seq: 0,
             link: BottleneckLink::new(link.rate_bps(), link.buffer_bytes),
             fwd_prop: half_rtt,
             rev_prop: link.rtt - half_rtt,
             random_loss: link.random_loss,
             noise: link.noise.build(),
-            flows: Vec::new(),
-            metrics: Vec::new(),
+            flows: FlowTable::with_capacity(flow_capacity),
+            metrics: Vec::with_capacity(flow_capacity),
             rng: SmallRng::seed_from_u64(seed),
             duration,
             throughput_bin,
@@ -285,7 +240,9 @@ impl Sim {
             trace: Vec::new(),
             decisions: Vec::new(),
             decision_scratch: Vec::new(),
+            id_scratch: Vec::new(),
             cross: None,
+            churn: None,
             link_rate_bps: link.rate_bps(),
             loss_scratch: Vec::new(),
             faults: None,
@@ -303,10 +260,10 @@ impl Sim {
         }
 
         for spec in flows {
-            let id = sim.flows.len();
-            let mut state = FlowState::new((spec.cc)(), (spec.app)(), spec.reliable);
-            state.stop_at = spec.stop.map(|d| Time::ZERO + d);
-            sim.flows.push(state);
+            let id = sim
+                .flows
+                .push_flow((spec.cc)(), (spec.app)(), spec.reliable);
+            sim.flows.stop_at[id] = spec.stop.map(|d| Time::ZERO + d);
             sim.metrics
                 .push(FlowMetrics::new(id, spec.name, throughput_bin, rtt_stride));
             sim.push(Time::ZERO + spec.start, Event::FlowStart(id as u32));
@@ -326,6 +283,36 @@ impl Sim {
             });
         }
 
+        if let Some(cs) = churn {
+            let total: f64 = cs.classes.iter().map(|c| c.weight).sum();
+            debug_assert!(total > 0.0, "churn classes need positive weight");
+            let mut cum_weights = Vec::with_capacity(cs.classes.len());
+            let mut acc = 0.0;
+            for c in &cs.classes {
+                acc += c.weight / total;
+                cum_weights.push(acc);
+            }
+            let start = Time::ZERO + cs.start;
+            sim.churn = Some(ChurnState {
+                arrivals_per_sec: cs.arrivals_per_sec,
+                mean_lifetime_secs: cs.mean_lifetime.as_secs_f64(),
+                classes: cs.classes,
+                cum_weights,
+                stop: Time::ZERO + cs.stop,
+                spawned: 0,
+                rng: SmallRng::seed_from_u64(seed ^ CHURN_SEED_SALT),
+            });
+            // Warm-start population: each flow draws (class, lifetime) from
+            // the churn stream and starts when arrivals begin.
+            for _ in 0..cs.initial {
+                let (class_idx, lifetime) = sim.draw_churn();
+                sim.spawn_churn_flow(class_idx, start, lifetime);
+            }
+            if cs.arrivals_per_sec > 0.0 && start < Time::ZERO + cs.stop {
+                sim.push(start, Event::ChurnSpawn);
+            }
+        }
+
         if let Some(every) = queue_sample_every {
             sim.push(Time::ZERO + every, Event::QueueSample);
         }
@@ -339,22 +326,18 @@ impl Sim {
 
     fn push(&mut self, at: Time, ev: Event) {
         self.event_seq += 1;
-        self.heap.push(HeapEntry {
-            at,
-            seq: self.event_seq,
-            ev,
-        });
+        self.queue.push(at, self.event_seq, ev);
     }
 
     /// Runs the scenario to completion and returns the measurements.
     pub fn run(mut self) -> SimResult {
         let end = Time::ZERO + self.duration;
-        while let Some(entry) = self.heap.pop() {
-            if entry.at > end {
+        while let Some((at, _seq, ev)) = self.queue.pop() {
+            if at > end {
                 break;
             }
-            self.now = entry.at;
-            self.dispatch(entry.ev);
+            self.now = at;
+            self.dispatch(ev);
         }
         // Final decision sweep (stopped flows included), then restore
         // global timestamp order: drains interleave flows per sweep, so a
@@ -393,7 +376,7 @@ impl Sim {
                 delivered_at,
             } => self.on_ack_arrival(flow as FlowId, seq, bytes as u64, sent_at, delivered_at),
             Event::Pace { flow, epoch } => {
-                if self.flows[flow as FlowId].pace_epoch == epoch {
+                if self.flows.pace_epoch[flow as FlowId] == epoch {
                     self.try_send(flow as FlowId);
                 }
             }
@@ -401,6 +384,7 @@ impl Sim {
             Event::Rto { flow } => self.on_rto(flow as FlowId),
             Event::AppWake { flow, epoch } => self.on_app_wake(flow as FlowId, epoch),
             Event::SpawnCross => self.on_spawn_cross(),
+            Event::ChurnSpawn => self.on_churn_spawn(),
             Event::QueueSample => {
                 self.queue_samples
                     .push((self.now.as_secs_f64(), self.link.queued_bytes()));
@@ -467,14 +451,23 @@ impl Sim {
         });
     }
 
-    /// Moves buffered decision events out of every controller, labelling
-    /// them with the flow id. Called on each telemetry sample — which
-    /// bounds how full a flow's ring sink can get between sweeps — and once
-    /// more at run end.
+    /// Moves buffered decision events out of every controller that can
+    /// still produce them, labelling them with the flow id. Called on each
+    /// telemetry sample — which bounds how full a flow's ring sink can get
+    /// between sweeps — and once more at run end.
+    ///
+    /// The sweep visits active and lingering flows in id order, which is
+    /// exactly the set the previous all-flows scan could extract anything
+    /// from: flows not yet started have never had a controller callback,
+    /// and quiesced flows (pruned from the lingering list after their final
+    /// drain below) never see another one.
     fn drain_decisions(&mut self) {
-        for (id, f) in self.flows.iter_mut().enumerate() {
+        let mut ids = std::mem::take(&mut self.id_scratch);
+        self.flows.sweep_ids(&mut ids);
+        for &id in &ids {
+            let id = id as usize;
             self.decision_scratch.clear();
-            f.cc.drain_decisions(&mut self.decision_scratch);
+            self.flows.cc[id].drain_decisions(&mut self.decision_scratch);
             for &event in &self.decision_scratch {
                 self.decisions.push(proteus_trace::FlowEvent {
                     flow: id as u32,
@@ -482,57 +475,60 @@ impl Sim {
                 });
             }
         }
+        self.id_scratch = ids;
+        self.flows.prune_quiesced();
     }
 
-    /// Records one telemetry sample per active flow.
+    /// Records one telemetry sample per active flow (in id order, walking
+    /// the active list rather than every flow ever created).
     fn sample_trace(&mut self) {
         let t = self.now.as_secs_f64();
-        for (id, f) in self.flows.iter().enumerate() {
-            if !f.active {
-                continue;
-            }
-            let snap = f.cc.snapshot();
+        let mut ids = std::mem::take(&mut self.id_scratch);
+        self.flows.sorted_active(&mut ids);
+        for &id in &ids {
+            let id = id as usize;
+            let snap = self.flows.cc[id].snapshot();
             self.trace.push(TraceEvent {
                 t,
                 flow: id,
-                rate_mbps: f.cc.pacing_rate().map(|bps| bps * 8.0 / 1e6),
-                cwnd_bytes: match f.cc.cwnd_bytes() {
+                rate_mbps: self.flows.cc[id].pacing_rate().map(|bps| bps * 8.0 / 1e6),
+                cwnd_bytes: match self.flows.cc[id].cwnd_bytes() {
                     u64::MAX => None,
                     w => Some(w),
                 },
-                inflight_bytes: f.inflight_bytes,
-                srtt_ms: f.rtt.srtt().map(|d| d.as_secs_f64() * 1e3),
-                rttvar_ms: f.rtt.srtt().map(|_| f.rtt.rttvar().as_secs_f64() * 1e3),
+                inflight_bytes: self.flows.inflight_bytes[id],
+                srtt_ms: self.flows.rtt[id].srtt().map(|d| d.as_secs_f64() * 1e3),
+                rttvar_ms: self.flows.rtt[id]
+                    .srtt()
+                    .map(|_| self.flows.rtt[id].rttvar().as_secs_f64() * 1e3),
                 utility: snap.as_ref().and_then(|s| s.utility),
                 mode: snap.as_ref().and_then(|s| s.mode),
                 mode_switches: snap.map_or(0, |s| s.mode_switches),
             });
         }
+        self.id_scratch = ids;
     }
 
     fn on_flow_start(&mut self, id: FlowId) {
-        {
-            let f = &mut self.flows[id];
-            if f.active {
-                return;
-            }
-            f.active = true;
-            f.cc.on_flow_start(self.now);
+        if self.flows.active[id] {
+            return;
         }
+        self.flows.activate(id);
+        self.flows.cc[id].on_flow_start(self.now);
         self.metrics[id].started_at = Some(self.now);
         self.sync_cc_timer(id);
         self.try_send(id);
     }
 
     fn on_flow_stop(&mut self, id: FlowId) {
-        let f = &mut self.flows[id];
-        if !f.active {
+        if !self.flows.active[id] {
             return;
         }
-        f.active = false;
+        self.flows.deactivate(id);
         if self.metrics[id].finished_at.is_none() {
             self.metrics[id].finished_at = Some(self.now);
         }
+        self.maybe_retire(id);
     }
 
     fn on_delivery(&mut self, flow: FlowId, seq: SeqNr, bytes: u64, sent_at: Time) {
@@ -547,13 +543,10 @@ impl Sim {
             release = f.ack_release(release);
         }
         let mut arrival = release + self.rev_prop;
-        {
-            let f = &mut self.flows[flow];
-            if arrival < f.last_ack_arrival_at {
-                arrival = f.last_ack_arrival_at;
-            }
-            f.last_ack_arrival_at = arrival;
+        if arrival < self.flows.last_ack_arrival_at[flow] {
+            arrival = self.flows.last_ack_arrival_at[flow];
         }
+        self.flows.last_ack_arrival_at[flow] = arrival;
         self.push(
             arrival,
             Event::AckArrival {
@@ -580,23 +573,20 @@ impl Sim {
 
         let mut lost = std::mem::take(&mut self.loss_scratch);
         lost.clear();
-        let acked;
-        {
-            let f = &mut self.flows[flow];
-            acked = f.inflight.remove(seq).is_some();
-            if acked {
-                f.inflight_bytes = f.inflight_bytes.saturating_sub(bytes);
-                f.rtt.update(rtt);
-                // Dup-ACK analog: earlier packets are lost once this ACK is
-                // REORDER_THRESHOLD ahead of them.
-                while let Some((oldest, pkt)) = f.inflight.front() {
-                    if oldest + REORDER_THRESHOLD <= seq {
-                        f.inflight.pop_front();
-                        f.inflight_bytes = f.inflight_bytes.saturating_sub(pkt.bytes);
-                        lost.push((oldest, pkt.sent_at, pkt.bytes));
-                    } else {
-                        break;
-                    }
+        let acked = self.flows.inflight[flow].remove(seq).is_some();
+        if acked {
+            self.flows.inflight_bytes[flow] = self.flows.inflight_bytes[flow].saturating_sub(bytes);
+            self.flows.rtt[flow].update(rtt);
+            // Dup-ACK analog: earlier packets are lost once this ACK is
+            // REORDER_THRESHOLD ahead of them.
+            while let Some((oldest, pkt)) = self.flows.inflight[flow].front() {
+                if oldest + REORDER_THRESHOLD <= seq {
+                    self.flows.inflight[flow].pop_front();
+                    self.flows.inflight_bytes[flow] =
+                        self.flows.inflight_bytes[flow].saturating_sub(pkt.bytes);
+                    lost.push((oldest, pkt.sent_at, pkt.bytes));
+                } else {
+                    break;
                 }
             }
         }
@@ -616,7 +606,7 @@ impl Sim {
             rtt,
             one_way_delay: owd,
         };
-        self.flows[flow].cc.on_ack(now, &ack);
+        self.flows.cc[flow].on_ack(now, &ack);
 
         for &(l_seq, l_sent, l_bytes) in &lost {
             self.declare_loss(flow, l_seq, l_sent, l_bytes, false);
@@ -624,13 +614,10 @@ impl Sim {
         self.loss_scratch = lost;
 
         // Deliver progress to the application and check for completion.
-        let finished = {
-            let f = &mut self.flows[flow];
-            f.app.on_delivered(now, bytes);
-            f.active && f.app.finished(now)
-        };
+        self.flows.app[flow].on_delivered(now, bytes);
+        let finished = self.flows.active[flow] && self.flows.app[flow].finished(now);
         if finished {
-            self.flows[flow].active = false;
+            self.flows.deactivate(flow);
             self.metrics[flow].finished_at = Some(now);
         }
 
@@ -638,6 +625,7 @@ impl Sim {
         self.sync_cc_timer(flow);
         self.sync_app_wake(flow);
         self.try_send(flow);
+        self.maybe_retire(flow);
     }
 
     fn declare_loss(
@@ -656,96 +644,90 @@ impl Sim {
             detected_at: self.now,
             by_timeout,
         };
-        let f = &mut self.flows[flow];
-        f.cc.on_loss(self.now, &loss);
-        if f.reliable {
-            f.retx_bytes += bytes;
+        self.flows.cc[flow].on_loss(self.now, &loss);
+        if self.flows.reliable[flow] {
+            self.flows.retx_bytes[flow] += bytes;
         }
     }
 
     fn on_rto(&mut self, flow: FlowId) {
         // At most one RTO event is ever outstanding (pushes are guarded by
         // `rto_event_at`), so a pop at any other time is impossible.
-        debug_assert_eq!(self.flows[flow].rto_event_at, Some(self.now));
+        debug_assert_eq!(self.flows.rto_event_at[flow], Some(self.now));
         let now = self.now;
-        self.flows[flow].rto_event_at = None;
-        let Some(deadline) = self.flows[flow].rto_deadline else {
+        self.flows.rto_event_at[flow] = None;
+        let Some(deadline) = self.flows.rto_deadline[flow] else {
             return;
         };
         if now < deadline {
             // The deadline moved later since this event was scheduled
             // (progress was made); re-arm at the true deadline.
-            let f = &mut self.flows[flow];
-            f.rto_event_at = Some(deadline);
+            self.flows.rto_event_at[flow] = Some(deadline);
             self.push(deadline, Event::Rto { flow: flow as u32 });
             return;
         }
-        let rto = self.flows[flow].rtt.rto(MIN_RTO);
+        let rto = self.flows.rtt[flow].rto(MIN_RTO);
         // Declare every packet older than one RTO lost. Packets are sent in
         // seq order at non-decreasing times, so the stale set is exactly a
         // prefix of the outstanding queue.
         let mut stale = std::mem::take(&mut self.loss_scratch);
         stale.clear();
-        {
-            let f = &mut self.flows[flow];
-            let cutoff = now - rto;
-            while let Some((s, pkt)) = f.inflight.front() {
-                if pkt.sent_at > cutoff {
-                    break;
-                }
-                f.inflight.pop_front();
-                f.inflight_bytes = f.inflight_bytes.saturating_sub(pkt.bytes);
-                stale.push((s, pkt.sent_at, pkt.bytes));
+        let cutoff = now - rto;
+        while let Some((s, pkt)) = self.flows.inflight[flow].front() {
+            if pkt.sent_at > cutoff {
+                break;
             }
+            self.flows.inflight[flow].pop_front();
+            self.flows.inflight_bytes[flow] =
+                self.flows.inflight_bytes[flow].saturating_sub(pkt.bytes);
+            stale.push((s, pkt.sent_at, pkt.bytes));
         }
         for &(s, sent, b) in &stale {
             self.declare_loss(flow, s, sent, b, true);
         }
         self.loss_scratch = stale;
-        self.flows[flow].rto_deadline = None;
+        self.flows.rto_deadline[flow] = None;
         self.rearm_rto(flow);
         self.sync_cc_timer(flow);
         self.try_send(flow);
+        self.maybe_retire(flow);
     }
 
     fn rearm_rto(&mut self, flow: FlowId) {
-        let f = &mut self.flows[flow];
-        if f.inflight.is_empty() {
-            f.rto_deadline = None;
+        if self.flows.inflight[flow].is_empty() {
+            self.flows.rto_deadline[flow] = None;
             return;
         }
-        let rto = f.rtt.rto(MIN_RTO);
+        let rto = self.flows.rtt[flow].rto(MIN_RTO);
         let deadline = self.now + rto;
-        f.rto_deadline = Some(deadline);
-        if f.rto_event_at.is_none() {
-            f.rto_event_at = Some(deadline);
+        self.flows.rto_deadline[flow] = Some(deadline);
+        if self.flows.rto_event_at[flow].is_none() {
+            self.flows.rto_event_at[flow] = Some(deadline);
             self.push(deadline, Event::Rto { flow: flow as u32 });
         }
     }
 
     fn on_cc_timer(&mut self, flow: FlowId, epoch: u64) {
-        if self.flows[flow].cc_epoch != epoch {
+        if self.flows.cc_epoch[flow] != epoch {
             return;
         }
-        self.flows[flow].cc_timer_at = None;
+        self.flows.cc_timer_at[flow] = None;
         let now = self.now;
-        self.flows[flow].cc.on_timer(now);
+        self.flows.cc[flow].on_timer(now);
         self.sync_cc_timer(flow);
         self.try_send(flow);
     }
 
     fn sync_cc_timer(&mut self, flow: FlowId) {
-        let want = self.flows[flow].cc.next_timer();
-        let have = self.flows[flow].cc_timer_at;
-        if want == have {
+        let want = self.flows.cc[flow].next_timer();
+        if want == self.flows.cc_timer_at[flow] {
             return;
         }
-        let f = &mut self.flows[flow];
-        f.cc_epoch += 1;
-        f.cc_timer_at = want;
+        self.flows.cc_epoch[flow] += 1;
+        self.flows.cc_timer_at[flow] = want;
         if let Some(t) = want {
             let at = if t < self.now { self.now } else { t };
-            let epoch = f.cc_epoch;
+            let epoch = self.flows.cc_epoch[flow];
             self.push(
                 at,
                 Event::CcTimer {
@@ -757,30 +739,31 @@ impl Sim {
     }
 
     fn on_app_wake(&mut self, flow: FlowId, epoch: u64) {
-        if self.flows[flow].app_epoch != epoch {
+        if self.flows.app_epoch[flow] != epoch {
             return;
         }
         let now = self.now;
-        self.flows[flow].app_wake_at = None;
-        self.flows[flow].app.on_wakeup(now);
+        self.flows.app_wake_at[flow] = None;
+        self.flows.app[flow].on_wakeup(now);
         self.sync_app_wake(flow);
         self.try_send(flow);
     }
 
     fn sync_app_wake(&mut self, flow: FlowId) {
         let now = self.now;
-        let f = &mut self.flows[flow];
-        if !f.active {
+        if !self.flows.active[flow] {
             return;
         }
-        let want = f.app.next_event(now).map(|t| if t < now { now } else { t });
-        if want == f.app_wake_at {
+        let want = self.flows.app[flow]
+            .next_event(now)
+            .map(|t| if t < now { now } else { t });
+        if want == self.flows.app_wake_at[flow] {
             return;
         }
-        f.app_epoch += 1;
-        f.app_wake_at = want;
+        self.flows.app_epoch[flow] += 1;
+        self.flows.app_wake_at[flow] = want;
         if let Some(at) = want {
-            let epoch = f.app_epoch;
+            let epoch = self.flows.app_epoch[flow];
             self.push(
                 at,
                 Event::AppWake {
@@ -807,9 +790,8 @@ impl Sim {
 
         let id = self.flows.len();
         let cc = (self.cross.as_ref().expect("cross exists").cc)(id);
-        let mut state = FlowState::new(cc, Box::new(proteus_transport::SizedApp::new(size)), true);
-        state.active = false;
-        self.flows.push(state);
+        self.flows
+            .push_flow(cc, Box::new(proteus_transport::SizedApp::new(size)), true);
         self.metrics.push(FlowMetrics::new(
             id,
             format!("cross-{n}"),
@@ -820,32 +802,113 @@ impl Sim {
         self.push(now + Dur::from_secs_f64(gap), Event::SpawnCross);
     }
 
+    /// Draws (class, lifetime) for one churn arrival from the churn stream.
+    fn draw_churn(&mut self) -> (usize, Dur) {
+        let ch = self.churn.as_mut().expect("churn exists");
+        let u: f64 = ch.rng.random();
+        let class_idx = ch
+            .cum_weights
+            .iter()
+            .position(|&w| u < w)
+            .unwrap_or(ch.cum_weights.len() - 1);
+        let lifetime = dist::exponential(&mut ch.rng, ch.mean_lifetime_secs);
+        (class_idx, Dur::from_secs_f64(lifetime))
+    }
+
+    /// Creates one churn flow (bulk, unreliable) that starts at `start`
+    /// and stops `lifetime` later.
+    fn spawn_churn_flow(&mut self, class_idx: usize, start: Time, lifetime: Dur) {
+        let n = {
+            let ch = self.churn.as_mut().expect("churn exists");
+            ch.spawned += 1;
+            ch.spawned
+        };
+        let id = self.flows.len();
+        let ch = self.churn.as_ref().expect("churn exists");
+        let cc = (ch.classes[class_idx].cc)(id);
+        let name = format!("{}~{n}", ch.classes[class_idx].name);
+        self.flows.push_flow(cc, Box::new(BulkApp), false);
+        let stop = start + lifetime;
+        self.flows.stop_at[id] = Some(stop);
+        self.metrics.push(FlowMetrics::new(
+            id,
+            name,
+            self.throughput_bin,
+            self.rtt_stride,
+        ));
+        self.push(start, Event::FlowStart(id as u32));
+        self.push(stop, Event::FlowStop(id as u32));
+    }
+
+    /// One Poisson churn arrival: spawn a flow now, schedule the next.
+    fn on_churn_spawn(&mut self) {
+        let now = self.now;
+        let Some(ch) = &self.churn else {
+            return;
+        };
+        if now >= ch.stop {
+            return;
+        }
+        let mean_gap = 1.0 / ch.arrivals_per_sec;
+        let (class_idx, lifetime) = self.draw_churn();
+        let gap = {
+            let ch = self.churn.as_mut().expect("churn exists");
+            dist::exponential(&mut ch.rng, mean_gap)
+        };
+        self.spawn_churn_flow(class_idx, now, lifetime);
+        self.push(now + Dur::from_secs_f64(gap), Event::ChurnSpawn);
+    }
+
+    /// Churn scenarios only: once a stopped flow's last in-flight packet is
+    /// accounted for, drain its remaining decisions and retire it —
+    /// cancelling its timers and releasing its controller memory — so a
+    /// run that churns through 100k flows doesn't accumulate 100k live
+    /// controllers and their timer events. Without churn this is a no-op:
+    /// legacy scenarios keep the exact event stream they always had.
+    fn maybe_retire(&mut self, flow: FlowId) {
+        if self.churn.is_none()
+            || self.flows.retired[flow]
+            || self.flows.active[flow]
+            || !self.flows.inflight[flow].is_empty()
+        {
+            return;
+        }
+        self.decision_scratch.clear();
+        self.flows.cc[flow].drain_decisions(&mut self.decision_scratch);
+        for &event in &self.decision_scratch {
+            self.decisions.push(proteus_trace::FlowEvent {
+                flow: flow as u32,
+                event,
+            });
+        }
+        self.flows.retire(flow);
+    }
+
     /// Transmits as much as the window, pacing gate and application allow.
     fn try_send(&mut self, flow: FlowId) {
         let now = self.now;
         for _ in 0..MAX_BURST {
-            let f = &mut self.flows[flow];
-            if !f.active {
+            if !self.flows.active[flow] {
                 return;
             }
-            if let Some(stop) = f.stop_at {
+            if let Some(stop) = self.flows.stop_at[flow] {
                 if now >= stop {
                     return;
                 }
             }
-            let cwnd = f.cc.cwnd_bytes();
-            let pacing = f.cc.pacing_rate();
+            let cwnd = self.flows.cc[flow].cwnd_bytes();
+            let pacing = self.flows.cc[flow].pacing_rate();
             assert!(
                 pacing.is_some() || cwnd != u64::MAX,
                 "controller {} must be paced or windowed",
-                f.cc.name()
+                self.flows.cc[flow].name()
             );
             // Determine the next packet size from retransmission backlog or
             // fresh application data.
-            let avail = if f.retx_bytes > 0 {
-                f.retx_bytes
+            let avail = if self.flows.retx_bytes[flow] > 0 {
+                self.flows.retx_bytes[flow]
             } else {
-                f.app.bytes_to_send(now)
+                self.flows.app[flow].bytes_to_send(now)
             };
             if avail == 0 {
                 // Application-limited; wake up when it has more to do.
@@ -853,16 +916,16 @@ impl Sim {
                 return;
             }
             let bytes = avail.min(DEFAULT_PACKET_BYTES);
-            if f.inflight_bytes + bytes > cwnd {
+            if self.flows.inflight_bytes[flow] + bytes > cwnd {
                 return; // window-limited; ACKs will reopen.
             }
             if let Some(rate) = pacing {
                 debug_assert!(rate > 0.0);
-                if now < f.next_pace_at {
+                if now < self.flows.next_pace_at[flow] {
                     // Pacing-limited: schedule the next opportunity.
-                    f.pace_epoch += 1;
-                    let at = f.next_pace_at;
-                    let epoch = f.pace_epoch;
+                    self.flows.pace_epoch[flow] += 1;
+                    let at = self.flows.next_pace_at[flow];
+                    let epoch = self.flows.pace_epoch[flow];
                     self.push(
                         at,
                         Event::Pace {
@@ -873,26 +936,26 @@ impl Sim {
                     return;
                 }
                 let interval = Dur::from_secs_f64(bytes as f64 / rate);
-                f.next_pace_at = now + interval;
+                self.flows.next_pace_at[flow] = now + interval;
             }
 
             // Commit the transmission.
-            let seq = f.next_seq;
-            f.next_seq += 1;
-            if f.retx_bytes > 0 {
-                f.retx_bytes -= bytes;
+            let seq = self.flows.next_seq[flow];
+            self.flows.next_seq[flow] += 1;
+            if self.flows.retx_bytes[flow] > 0 {
+                self.flows.retx_bytes[flow] -= bytes;
             } else {
-                f.app.consume(bytes);
+                self.flows.app[flow].consume(bytes);
             }
-            f.inflight.insert(seq, now, bytes);
-            f.inflight_bytes += bytes;
+            self.flows.inflight[flow].insert(seq, now, bytes);
+            self.flows.inflight_bytes[flow] += bytes;
             let pkt = SentPacket {
                 seq,
                 bytes,
                 sent_at: now,
             };
-            f.cc.on_packet_sent(now, &pkt);
-            let arm_rto = f.rto_deadline.is_none();
+            self.flows.cc[flow].on_packet_sent(now, &pkt);
+            let arm_rto = self.flows.rto_deadline[flow].is_none();
             self.metrics[flow].on_sent(bytes);
 
             match self.link.offer(now, bytes) {
@@ -940,11 +1003,10 @@ impl Sim {
                         } else {
                             // FIFO clamp: jitter never reorders a flow's
                             // packets.
-                            let f = &mut self.flows[flow];
-                            if delivered_at < f.last_delivery_at {
-                                delivered_at = f.last_delivery_at;
+                            if delivered_at < self.flows.last_delivery_at[flow] {
+                                delivered_at = self.flows.last_delivery_at[flow];
                             }
-                            f.last_delivery_at = delivered_at;
+                            self.flows.last_delivery_at[flow] = delivered_at;
                         }
                         self.push(
                             delivered_at,
@@ -975,7 +1037,9 @@ pub fn run(scenario: Scenario) -> SimResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{CrossTrafficSpec, FlowSpec, LinkSpec};
+    use crate::scenario::{ChurnSpec, CrossTrafficSpec, FlowSpec, LinkSpec};
+    use crate::sched::Scheduler;
+    use proteus_transport::CongestionControl;
 
     /// Fixed congestion window, ACK-clocked. Ignores losses.
     struct TestWindow {
@@ -1237,5 +1301,94 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         // base 40ms + 0.12ms serialization
         assert!((min - 0.04012).abs() < 1e-4, "min rtt = {min}");
+    }
+
+    fn churn_scenario(seed: u64) -> Scenario {
+        let classes = vec![ChurnClass::new(
+            "w",
+            1.0,
+            proteus_transport::factory(|_| TestWindow { cwnd: 30_000 }),
+        )];
+        Scenario::new(
+            LinkSpec::new(100.0, Dur::from_millis(20), 500_000),
+            Dur::from_secs(12),
+        )
+        .with_churn(
+            ChurnSpec::new(4.0, Dur::from_secs(2), classes)
+                .with_initial(5)
+                .with_window(Dur::ZERO, Dur::from_secs(10)),
+        )
+        .with_seed(seed)
+    }
+
+    #[test]
+    fn churn_spawns_and_ages_out_flows() {
+        let res = run(churn_scenario(11));
+        let n = res.flows.len();
+        // 5 initial + ~40 expected arrivals over 10 s.
+        assert!(n > 20 && n < 90, "spawned {n}");
+        // Every flow started; the vast majority also stopped (mean
+        // lifetime 2 s against a 12 s run with arrivals ending at 10 s).
+        assert!(res.flows.iter().all(|f| f.started_at.is_some()));
+        let stopped = res.flows.iter().filter(|f| f.finished_at.is_some()).count();
+        assert!(
+            stopped as f64 > 0.8 * n as f64,
+            "stopped {stopped}/{n} flows"
+        );
+        // The population actually transferred data.
+        assert!(res.flows.iter().map(|f| f.bytes_acked).sum::<u64>() > 10_000_000);
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_scheduler_independent() {
+        let digest = |res: &SimResult| {
+            res.flows
+                .iter()
+                .map(|f| (f.name.clone(), f.bytes_acked, f.pkts_lost))
+                .collect::<Vec<_>>()
+        };
+        let r1 = run(churn_scenario(17));
+        let r2 = run(churn_scenario(17));
+        assert_eq!(digest(&r1), digest(&r2));
+        let r3 = run(churn_scenario(17).with_scheduler(Scheduler::Heap));
+        assert_eq!(digest(&r1), digest(&r3));
+    }
+
+    #[test]
+    fn churn_stream_leaves_main_rng_untouched() {
+        // Same seed, same loss process: attaching churn must not shift the
+        // main RNG's draw sequence for pre-existing flows.
+        let base = |churn: bool| {
+            let mut sc =
+                Scenario::new(link_10mbps_20ms().with_random_loss(0.02), Dur::from_secs(5))
+                    .flow(FlowSpec::bulk("w", Dur::ZERO, || {
+                        Box::new(TestWindow { cwnd: 30_000 })
+                    }))
+                    .with_seed(5);
+            if churn {
+                // Arrivals start after the run ends: zero churn flows ever
+                // start, but the churn stream is live.
+                sc = sc.with_churn(
+                    ChurnSpec::new(
+                        1.0,
+                        Dur::from_secs(1),
+                        vec![ChurnClass::new(
+                            "c",
+                            1.0,
+                            proteus_transport::factory(|_| TestWindow { cwnd: 30_000 }),
+                        )],
+                    )
+                    .with_window(Dur::from_secs(100), Dur::from_secs(200)),
+                );
+            }
+            sc
+        };
+        let without = run(base(false));
+        let with = run(base(true));
+        assert_eq!(
+            without.flows[0].pkts_lost, with.flows[0].pkts_lost,
+            "churn must draw from its own RNG stream"
+        );
+        assert_eq!(without.flows[0].bytes_acked, with.flows[0].bytes_acked);
     }
 }

@@ -46,11 +46,13 @@
 pub mod dist;
 pub mod engine;
 pub mod fault;
+mod flows;
 pub mod inflight;
 pub mod link;
 pub mod metrics;
 pub mod noise;
 pub mod scenario;
+pub mod sched;
 
 pub use engine::{run, Sim};
 pub use fault::{
@@ -60,4 +62,7 @@ pub use inflight::{InflightPkt, InflightTracker};
 pub use link::{BottleneckLink, Offer};
 pub use metrics::{FlowMetrics, SimResult, TraceEvent};
 pub use noise::{NoiseConfig, WifiNoiseConfig};
-pub use scenario::{CcBuilder, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario};
+pub use scenario::{
+    CcBuilder, ChurnClass, ChurnSpec, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario,
+};
+pub use sched::Scheduler;

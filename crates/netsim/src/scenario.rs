@@ -8,6 +8,7 @@ use proteus_transport::{Application, BulkApp, CcFactory, CongestionControl, Dur,
 
 use crate::fault::FaultSchedule;
 use crate::noise::NoiseConfig;
+use crate::sched::Scheduler;
 
 /// Bottleneck link parameters.
 #[derive(Debug, Clone, Copy)]
@@ -196,6 +197,104 @@ impl std::fmt::Debug for CrossTrafficSpec {
     }
 }
 
+/// One traffic class in a churned population: a share of arrivals handled
+/// by a given congestion controller.
+pub struct ChurnClass {
+    /// Label prefix used in reports (flows are named `{name}~{n}`).
+    pub name: String,
+    /// Relative arrival share; shares are normalized across classes, so
+    /// `[2.0, 1.0]` means two-thirds / one-third of arrivals.
+    pub weight: f64,
+    /// Controller factory for flows of this class.
+    pub cc: CcFactory,
+}
+
+impl ChurnClass {
+    /// Creates a class with the given label, arrival share and controller.
+    pub fn new(name: impl Into<String>, weight: f64, cc: CcFactory) -> Self {
+        Self {
+            name: name.into(),
+            weight,
+            cc,
+        }
+    }
+}
+
+impl std::fmt::Debug for ChurnClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChurnClass")
+            .field("name", &self.name)
+            .field("weight", &self.weight)
+            .finish()
+    }
+}
+
+/// Poisson flow churn: long-lived bulk flows arrive at rate
+/// `arrivals_per_sec` and each lives for an exponentially distributed
+/// lifetime with mean `mean_lifetime`, giving a steady-state population of
+/// `arrivals_per_sec x mean_lifetime` (plus `initial`) flows drawn from
+/// `classes`.
+///
+/// Churn draws come from a dedicated RNG stream
+/// (`seed ^ CHURN_SEED_SALT`, mirroring the fault layer's salt discipline)
+/// so attaching churn to a scenario leaves every other random draw — loss,
+/// noise, cross-traffic — untouched.
+pub struct ChurnSpec {
+    /// Mean flow arrivals per second (Poisson process).
+    pub arrivals_per_sec: f64,
+    /// Mean flow lifetime (exponential).
+    pub mean_lifetime: Dur,
+    /// Flows already running when arrivals begin (steady-state warm start).
+    pub initial: usize,
+    /// Traffic classes arrivals are drawn from (weights normalized).
+    pub classes: Vec<ChurnClass>,
+    /// When arrivals begin.
+    pub start: Dur,
+    /// When arrivals end (running flows still age out naturally).
+    pub stop: Dur,
+}
+
+impl ChurnSpec {
+    /// Creates a churn spec starting at t=0 and running for the whole
+    /// scenario (`stop` = [`Dur::MAX`] is clamped to the run's duration).
+    pub fn new(arrivals_per_sec: f64, mean_lifetime: Dur, classes: Vec<ChurnClass>) -> Self {
+        Self {
+            arrivals_per_sec,
+            mean_lifetime,
+            initial: 0,
+            classes,
+            start: Dur::ZERO,
+            stop: Dur::MAX,
+        }
+    }
+
+    /// Returns this spec with an initial warm-start population.
+    pub fn with_initial(mut self, initial: usize) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Returns this spec with an arrival window.
+    pub fn with_window(mut self, start: Dur, stop: Dur) -> Self {
+        self.start = start;
+        self.stop = stop;
+        self
+    }
+}
+
+impl std::fmt::Debug for ChurnSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChurnSpec")
+            .field("arrivals_per_sec", &self.arrivals_per_sec)
+            .field("mean_lifetime", &self.mean_lifetime)
+            .field("initial", &self.initial)
+            .field("classes", &self.classes)
+            .field("start", &self.start)
+            .field("stop", &self.stop)
+            .finish()
+    }
+}
+
 /// A complete simulation scenario.
 pub struct Scenario {
     /// The bottleneck link.
@@ -221,6 +320,13 @@ pub struct Scenario {
     /// compression), if any. `None` keeps the static-link fast path:
     /// existing results stay byte-identical.
     pub faults: Option<FaultSchedule>,
+    /// Poisson flow churn (population scenarios), if any. `None` keeps the
+    /// static-flow path: existing results stay byte-identical.
+    pub churn: Option<ChurnSpec>,
+    /// Event-scheduler implementation (timing wheel by default; the binary
+    /// heap remains available as a reference for equivalence tests and
+    /// before/after benchmarks).
+    pub scheduler: Scheduler,
 }
 
 impl Scenario {
@@ -238,6 +344,8 @@ impl Scenario {
             queue_sample_every: None,
             trace_every: None,
             faults: None,
+            churn: None,
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -296,6 +404,24 @@ impl Scenario {
         };
         self
     }
+
+    /// Attaches Poisson flow churn (see [`ChurnSpec`]). A spec with no
+    /// classes is treated as no churn.
+    pub fn with_churn(mut self, churn: ChurnSpec) -> Self {
+        self.churn = if churn.classes.is_empty() {
+            None
+        } else {
+            Some(churn)
+        };
+        self
+    }
+
+    /// Selects the event-scheduler implementation (default:
+    /// [`Scheduler::Wheel`]).
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
 }
 
 impl std::fmt::Debug for Scenario {
@@ -307,6 +433,8 @@ impl std::fmt::Debug for Scenario {
             .field("duration", &self.duration)
             .field("seed", &self.seed)
             .field("faults", &self.faults)
+            .field("churn", &self.churn)
+            .field("scheduler", &self.scheduler)
             .finish()
     }
 }

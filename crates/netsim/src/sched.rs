@@ -1,0 +1,517 @@
+//! Event schedulers: a hierarchical timing wheel and a binary-heap reference.
+//!
+//! The engine orders events by `(time, sequence)` — earliest time first,
+//! ties broken by push order (the monotone sequence number the engine
+//! assigns on every push). PR 2 documented why this total order is
+//! load-bearing: same-timestamp tie order decides which flow acts first,
+//! so any scheduler swap must reproduce it *exactly* or every committed
+//! result changes. Both implementations here pop in that exact order;
+//! [`TimingWheel`] is the default, [`HeapQueue`] is kept as the executable
+//! reference for equivalence tests and before/after benchmarks
+//! (`scale/sched_*`).
+//!
+//! # Timing-wheel layout
+//!
+//! A hierarchical wheel with [`LEVELS`] levels of [`SLOTS`] slots each.
+//! Level-0 slots are [`GRANULARITY_NS`] wide (2^14 ns ≈ 16.4 µs); each
+//! higher level's slots are `SLOTS`× wider, so the levels span ≈ 4.2 ms,
+//! 1.07 s, 4.6 min and 19.5 h of future time. Events beyond the top level
+//! land in an unsorted overflow list that is redistributed when the wheel
+//! reaches it. Pushes append to a slot's `Vec` in O(1); occupancy bitmaps
+//! (one `u64` word per 64 slots) let the wheel skip empty slots without
+//! visiting them.
+//!
+//! Draining preserves the exact `(time, seq)` order: when the wheel
+//! advances, it repeatedly picks the *earliest-starting* occupied slot
+//! across all levels (ties prefer the higher level, which must cascade its
+//! contents down before a lower slot of the same start may drain), cascades
+//! higher-level slots toward level 0, and finally moves one level-0 slot
+//! into the `current` min-heap ordered by `(time, seq)`. Events pushed at
+//! an instant the wheel has already advanced into (common: a dispatched
+//! event scheduling follow-ups "now") land directly in `current`, which
+//! keeps intra-slot ordering exact. Because slots partition time and
+//! `current` is drained fully before the wheel advances past its slot, the
+//! pop sequence is globally sorted by `(time, seq)` — byte-identical to
+//! the binary heap's.
+
+use proteus_transport::Time;
+
+/// log2 of the level-0 slot width in nanoseconds (2^14 ns ≈ 16.4 µs).
+pub const GRANULARITY_BITS: u32 = 14;
+/// Level-0 slot width in nanoseconds.
+pub const GRANULARITY_NS: u64 = 1 << GRANULARITY_BITS;
+/// log2 of the number of slots per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level.
+pub const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; beyond the top level events overflow into an
+/// unsorted list that is redistributed when reached.
+pub const LEVELS: usize = 4;
+/// Bitmap words per level (`SLOTS / 64`).
+const WORDS: usize = SLOTS / 64;
+
+/// One scheduled entry.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+/// Which scheduler implementation a scenario runs on.
+///
+/// [`Scheduler::Wheel`] is the default; [`Scheduler::Heap`] keeps the
+/// original `BinaryHeap` scheduler available as an executable reference so
+/// tests can assert the two produce identical results and benches can
+/// measure the before/after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Hierarchical timing wheel (default).
+    #[default]
+    Wheel,
+    /// Global binary heap (reference implementation).
+    Heap,
+}
+
+/// Event queue facade over the two scheduler implementations; the engine
+/// holds one of these and pays a single predictable branch per operation.
+#[derive(Debug)]
+pub enum EventQueue<T> {
+    /// Timing-wheel backed queue.
+    Wheel(TimingWheel<T>),
+    /// Binary-heap backed queue.
+    Heap(HeapQueue<T>),
+}
+
+impl<T> EventQueue<T> {
+    /// Creates a queue of the given kind, pre-sized for `capacity` events
+    /// (derived by the engine from the scenario's flow count and fault
+    /// schedule — see `Sim::new`). Capacity is an initial reservation only:
+    /// both implementations grow without bound and never drop events.
+    pub fn new(kind: Scheduler, capacity: usize) -> Self {
+        match kind {
+            Scheduler::Wheel => EventQueue::Wheel(TimingWheel::with_capacity(capacity)),
+            Scheduler::Heap => EventQueue::Heap(HeapQueue::with_capacity(capacity)),
+        }
+    }
+
+    /// Schedules `item` at `(at, seq)`.
+    #[inline]
+    pub fn push(&mut self, at: Time, seq: u64, item: T) {
+        match self {
+            EventQueue::Wheel(w) => w.push(at, seq, item),
+            EventQueue::Heap(h) => h.push(at, seq, item),
+        }
+    }
+
+    /// Pops the earliest `(at, seq)` entry.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, u64, T)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Heap(h) => h.pop(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.len(),
+            EventQueue::Heap(h) => h.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Hierarchical timing wheel (see the module docs for the layout and the
+/// ordering argument). Pops entries in exact `(time, seq)` order.
+#[derive(Debug)]
+pub struct TimingWheel<T> {
+    /// `slots[level][slot]` — unsorted entries of one slot.
+    slots: Vec<Vec<Vec<Entry<T>>>>,
+    /// Occupancy bitmaps, one `[u64; WORDS]` per level.
+    occ: Vec<[u64; WORDS]>,
+    /// Min-heap on `(at, seq)` holding the slot currently being drained
+    /// plus any events pushed inside its span.
+    current: Vec<Entry<T>>,
+    /// Exclusive end of the drained region: every pending event with
+    /// `at < cur_end` is in `current`; everything in the wheel slots or the
+    /// overflow list is at `>= cur_end`. Monotone non-decreasing.
+    cur_end: u64,
+    /// Events beyond the top level's span.
+    overflow: Vec<Entry<T>>,
+    len: usize,
+}
+
+impl<T> TimingWheel<T> {
+    /// Creates a wheel pre-sized so that `capacity` same-instant events
+    /// (the worst case: a population's `FlowStart` burst at t=0) fit in the
+    /// drain heap without regrowth.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimingWheel {
+            slots: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            occ: vec![[0u64; WORDS]; LEVELS],
+            current: Vec::with_capacity(capacity),
+            cur_end: 0,
+            overflow: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `item` at `(at, seq)`. O(1): one comparison against the
+    /// drain span, at most [`LEVELS`] window checks, one `Vec` push.
+    pub fn push(&mut self, at: Time, seq: u64, item: T) {
+        self.len += 1;
+        let e = Entry {
+            at: at.as_nanos(),
+            seq,
+            item,
+        };
+        if e.at < self.cur_end {
+            heap_push(&mut self.current, e);
+        } else {
+            self.place(e);
+        }
+    }
+
+    /// Pops the earliest `(at, seq)` entry.
+    pub fn pop(&mut self) -> Option<(Time, u64, T)> {
+        if self.current.is_empty() && !self.advance() {
+            return None;
+        }
+        let e = heap_pop(&mut self.current).expect("advance() filled current");
+        self.len -= 1;
+        Some((Time::from_nanos(e.at), e.seq, e.item))
+    }
+
+    /// Files an entry with `at >= cur_end` into the wheel: the first level
+    /// whose active window covers it, else overflow.
+    fn place(&mut self, e: Entry<T>) {
+        debug_assert!(e.at >= self.cur_end);
+        for level in 0..LEVELS {
+            let shift = GRANULARITY_BITS + SLOT_BITS * level as u32;
+            // Window: absolute slot indices [cur_end >> shift, + SLOTS).
+            if (e.at >> shift) - (self.cur_end >> shift) < SLOTS as u64 {
+                let slot = (e.at >> shift) as usize & (SLOTS - 1);
+                self.slots[level][slot].push(e);
+                self.occ[level][slot >> 6] |= 1 << (slot & 63);
+                return;
+            }
+        }
+        self.overflow.push(e);
+    }
+
+    /// First occupied slot of `level` at absolute index `>= from` within
+    /// the level's `SLOTS`-wide window, as an absolute index.
+    fn next_occupied(&self, level: usize, from: u64) -> Option<u64> {
+        let occ = &self.occ[level];
+        let base = from as usize & (SLOTS - 1);
+        let mut scanned = 0usize; // logical positions examined so far
+        while scanned < SLOTS {
+            let bit = (base + scanned) & (SLOTS - 1);
+            let hits = occ[bit >> 6] & (!0u64 << (bit & 63));
+            if hits != 0 {
+                let slot = (bit & !63) + hits.trailing_zeros() as usize;
+                let off = scanned + (slot - bit);
+                if off < SLOTS {
+                    return Some(from + off as u64);
+                }
+                // The set bit maps past the window's wrap point — i.e. to a
+                // logical position scanned at the start; unreachable for
+                // in-window slots, kept as a defensive guard.
+            }
+            scanned += 64 - (bit & 63);
+        }
+        None
+    }
+
+    /// Advances the wheel until `current` holds the next slot's entries.
+    /// Returns false when the wheel is empty.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        loop {
+            if self.len == 0 {
+                return false;
+            }
+            // Earliest-starting occupied slot across levels; on equal
+            // starts the *higher* level wins so its contents cascade down
+            // before the lower slot of the same start drains.
+            let mut best: Option<(usize, u64, u64)> = None; // (level, abs, start)
+            for level in (0..LEVELS).rev() {
+                let shift = GRANULARITY_BITS + SLOT_BITS * level as u32;
+                if let Some(abs) = self.next_occupied(level, self.cur_end >> shift) {
+                    let start = abs << shift;
+                    if best.is_none_or(|(_, _, s)| start < s) {
+                        best = Some((level, abs, start));
+                    }
+                }
+            }
+            match best {
+                Some((0, abs, start)) => {
+                    // Drain this slot: move its entries into the (empty)
+                    // current heap, reusing both allocations via swap.
+                    let slot = abs as usize & (SLOTS - 1);
+                    std::mem::swap(&mut self.current, &mut self.slots[0][slot]);
+                    self.occ[0][slot >> 6] &= !(1 << (slot & 63));
+                    heapify(&mut self.current);
+                    self.cur_end = start.saturating_add(GRANULARITY_NS);
+                    debug_assert!(!self.current.is_empty());
+                    return true;
+                }
+                Some((level, abs, start)) => {
+                    // Cascade: redistribute the slot one or more levels
+                    // down (never backward: `cur_end` stays monotone).
+                    let slot = abs as usize & (SLOTS - 1);
+                    let entries = std::mem::take(&mut self.slots[level][slot]);
+                    self.occ[level][slot >> 6] &= !(1 << (slot & 63));
+                    self.cur_end = self.cur_end.max(start);
+                    for e in entries {
+                        self.place(e);
+                    }
+                }
+                None => {
+                    // Levels exhausted; jump to the overflow region and
+                    // redistribute it (entries still beyond the top span
+                    // re-overflow and are reached on a later jump).
+                    debug_assert!(!self.overflow.is_empty());
+                    let min_at = self
+                        .overflow
+                        .iter()
+                        .map(|e| e.at)
+                        .min()
+                        .expect("overflow non-empty");
+                    self.cur_end = self.cur_end.max(min_at);
+                    let entries = std::mem::take(&mut self.overflow);
+                    for e in entries {
+                        self.place(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Binary-heap scheduler: the engine's original implementation, kept as
+/// the executable ordering reference. Pops entries in `(time, seq)` order.
+#[derive(Debug)]
+pub struct HeapQueue<T> {
+    heap: Vec<Entry<T>>,
+}
+
+impl<T> HeapQueue<T> {
+    /// Creates a heap with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        HeapQueue {
+            heap: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `item` at `(at, seq)`.
+    pub fn push(&mut self, at: Time, seq: u64, item: T) {
+        heap_push(
+            &mut self.heap,
+            Entry {
+                at: at.as_nanos(),
+                seq,
+                item,
+            },
+        );
+    }
+
+    /// Pops the earliest `(at, seq)` entry.
+    pub fn pop(&mut self) -> Option<(Time, u64, T)> {
+        let e = heap_pop(&mut self.heap)?;
+        Some((Time::from_nanos(e.at), e.seq, e.item))
+    }
+}
+
+// ---- shared array-backed min-heap on (at, seq) ----
+
+#[inline]
+fn before<T>(a: &Entry<T>, b: &Entry<T>) -> bool {
+    (a.at, a.seq) < (b.at, b.seq)
+}
+
+fn heap_push<T>(heap: &mut Vec<Entry<T>>, e: Entry<T>) {
+    heap.push(e);
+    let mut i = heap.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if before(&heap[i], &heap[parent]) {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn heap_pop<T>(heap: &mut Vec<Entry<T>>) -> Option<Entry<T>> {
+    if heap.is_empty() {
+        return None;
+    }
+    let last = heap.len() - 1;
+    heap.swap(0, last);
+    let e = heap.pop();
+    sift_down(heap, 0);
+    e
+}
+
+fn sift_down<T>(heap: &mut [Entry<T>], mut i: usize) {
+    let n = heap.len();
+    loop {
+        let l = 2 * i + 1;
+        let r = l + 1;
+        let mut m = i;
+        if l < n && before(&heap[l], &heap[m]) {
+            m = l;
+        }
+        if r < n && before(&heap[r], &heap[m]) {
+            m = r;
+        }
+        if m == i {
+            return;
+        }
+        heap.swap(i, m);
+        i = m;
+    }
+}
+
+/// Floyd heap construction: O(n) from an unsorted slot.
+fn heapify<T>(heap: &mut [Entry<T>]) {
+    for i in (0..heap.len() / 2).rev() {
+        sift_down(heap, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(q: &mut TimingWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((t, s, v)) = q.pop() {
+            out.push((t.as_nanos(), s, v));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimingWheel::with_capacity(4);
+        w.push(Time::from_nanos(500), 3, 0);
+        w.push(Time::from_nanos(100), 1, 1);
+        w.push(Time::from_nanos(100), 2, 2); // same-instant tie: seq order
+        w.push(Time::from_nanos(100), 0, 3);
+        let got = drain_all(&mut w);
+        assert_eq!(
+            got,
+            vec![(100, 0, 3), (100, 1, 1), (100, 2, 2), (500, 3, 0)]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_and_overflow_entries_pop_in_order() {
+        let mut w = TimingWheel::with_capacity(4);
+        // One entry per level span plus one past the top of the wheel and
+        // one near the end of representable time.
+        let times = [
+            1u64,
+            GRANULARITY_NS * SLOTS as u64 + 1,          // level 1
+            GRANULARITY_NS * (SLOTS as u64).pow(2) + 1, // level 2
+            GRANULARITY_NS * (SLOTS as u64).pow(3) + 1, // level 3
+            GRANULARITY_NS * (SLOTS as u64).pow(4) + 1, // overflow
+            u64::MAX - 7,                               // deep overflow
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(Time::from_nanos(t), i as u64, i as u32);
+        }
+        let got = drain_all(&mut w);
+        let order: Vec<u32> = got.iter().map(|&(_, _, v)| v).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(got[5].0, u64::MAX - 7);
+    }
+
+    #[test]
+    fn pushes_at_current_instant_interleave_correctly() {
+        // Events pushed "now" while draining a slot must honor the seq
+        // tiebreak against entries already in the slot.
+        let mut w = TimingWheel::with_capacity(4);
+        w.push(Time::from_nanos(1000), 1, 10);
+        w.push(Time::from_nanos(1000), 2, 20);
+        let (t, s, v) = w.pop().unwrap();
+        assert_eq!((t.as_nanos(), s, v), (1000, 1, 10));
+        // Dispatch of (1000, 1) schedules follow-ups at the same instant
+        // and shortly after.
+        w.push(Time::from_nanos(1000), 3, 30);
+        w.push(Time::from_nanos(1001), 4, 40);
+        let rest = drain_all(&mut w);
+        assert_eq!(rest, vec![(1000, 2, 20), (1000, 3, 30), (1001, 4, 40)]);
+    }
+
+    #[test]
+    fn no_silent_cap_beyond_initial_capacity() {
+        // The capacity hint is a reservation, not a limit: push far more
+        // events than the initial capacity and verify nothing is dropped.
+        let cap = 8;
+        let mut w = TimingWheel::with_capacity(cap);
+        let n = 10_000u64;
+        for seq in 0..n {
+            // Deterministic scatter across several level spans.
+            let t = (seq * 2_654_435_761) % (GRANULARITY_NS * (SLOTS as u64).pow(2) * 3);
+            w.push(Time::from_nanos(t), seq, seq as u32);
+        }
+        assert_eq!(w.len(), n as usize);
+        let got = drain_all(&mut w);
+        assert_eq!(got.len(), n as usize, "scheduler silently dropped events");
+        assert!(got.windows(2).all(|p| (p[0].0, p[0].1) < (p[1].0, p[1].1)));
+    }
+
+    #[test]
+    fn heap_queue_matches_wheel_on_scattered_times() {
+        let mut w = TimingWheel::with_capacity(16);
+        let mut h = HeapQueue::with_capacity(16);
+        let mut state = 0x9E37_79B9_u64;
+        for seq in 0..5_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let t = state % 3_000_000_000; // within ~3 s
+            w.push(Time::from_nanos(t), seq, seq as u32);
+            h.push(Time::from_nanos(t), seq, seq as u32);
+        }
+        loop {
+            let a = w.pop();
+            let b = h.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
