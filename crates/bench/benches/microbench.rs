@@ -7,7 +7,8 @@ use std::hint::black_box;
 
 use proteus_core::{evaluate, MiObservation, Mode, ProteusSender, SharedThreshold, UtilityParams};
 use proteus_netsim::{
-    run, AckCompression, FaultSchedule, FlowSpec, GilbertElliott, LinkSpec, ReorderConfig, Scenario,
+    run, AckCompression, FaultSchedule, FlowSpec, GilbertElliott, LinkSpec, ReorderConfig,
+    Scenario, WirePath,
 };
 use proteus_transport::{AckInfo, CongestionControl, Dur, MiStats, MiTracker, SentPacket, Time};
 
@@ -319,6 +320,69 @@ fn bench_engine_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// Wire-path benchmarks: the per-packet `QueueDrain` → `Delivery` →
+/// `AckArrival` chain in isolation, fused against the staged reference on
+/// the same scenarios (ACK-clocked and paced — the two shapes every
+/// experiment reduces to), plus a faulted scenario where `Fused` must
+/// transparently fall back to staged, pricing the gate itself. The
+/// fused/staged delta is the tentpole win: three scheduler push/pop pairs
+/// per packet collapsed into one wire-ring slot with three cursors.
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/wire");
+    let link = || LinkSpec::new(50.0, Dur::from_millis(30), 375_000);
+    let win = || FlowSpec::bulk("w", Dur::ZERO, || Box::new(FixedWindow { cwnd: 375_000 }));
+    let paced = || {
+        FlowSpec::bulk("p", Dur::ZERO, || {
+            Box::new(FixedPaced { rate: 5_000_000.0 }) // 40 Mbps
+        })
+    };
+
+    for (name, path) in [
+        ("ack_clocked_fused_2s", WirePath::Fused),
+        ("ack_clocked_staged_2s", WirePath::Staged),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sc = Scenario::new(link(), Dur::from_secs(2))
+                    .flow(win())
+                    .with_seed(7)
+                    .with_wire_path(path);
+                black_box(run(sc).flows[0].bytes_acked)
+            })
+        });
+    }
+    for (name, path) in [
+        ("paced_fused_2s", WirePath::Fused),
+        ("paced_staged_2s", WirePath::Staged),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let sc = Scenario::new(link(), Dur::from_secs(2))
+                    .flow(paced())
+                    .with_seed(7)
+                    .with_wire_path(path);
+                black_box(run(sc).flows[0].bytes_acked)
+            })
+        });
+    }
+    // Fallback price: Fused selected but a fault schedule forces staged
+    // execution — should cost the same as explicit Staged on this scenario.
+    group.bench_function("faulted_fallback_2s", |b| {
+        b.iter(|| {
+            let faults = FaultSchedule::new()
+                .bandwidth_step(Dur::from_millis(500), 25.0)
+                .with_burst_loss(GilbertElliott::default());
+            let sc = Scenario::new(link(), Dur::from_secs(2))
+                .flow(win())
+                .with_seed(7)
+                .with_faults(faults)
+                .with_wire_path(WirePath::Fused);
+            black_box(run(sc).flows[0].bytes_acked)
+        })
+    });
+    group.finish();
+}
+
 /// Fault-injection path benchmarks: the ACK-clocked 2 s scenario of the
 /// `engine` group run (a) with no schedule at all, (b) with an *empty*
 /// `FaultSchedule` (normalized away at scenario build time, so it must cost
@@ -474,6 +538,7 @@ criterion_group!(
     bench_cc_per_ack,
     bench_simulator,
     bench_engine_loop,
+    bench_wire,
     bench_fault_path,
     bench_scale
 );

@@ -169,7 +169,8 @@ fn main() -> ExitCode {
     }
 
     proteus_runner::take_session_stats(); // discard anything pre-run
-    let mut timings: Vec<(&str, f64)> = Vec::new();
+    proteus_netsim::take_session_event_totals(); // same for engine totals
+    let mut timings: Vec<ExperimentTiming> = Vec::new();
     for e in &experiments {
         if run_all || cli.ids.iter().any(|i| i == e.id) {
             eprintln!("=== {} — {} ===", e.id, e.description);
@@ -177,7 +178,15 @@ fn main() -> ExitCode {
             let report = (e.run)(cfg);
             println!("{report}");
             let secs = t0.elapsed().as_secs_f64();
-            timings.push((e.id, secs));
+            // Drained per experiment: everything since the last drain is
+            // this experiment's engine traffic (cached cells run no sims
+            // and naturally report zero events).
+            let events = proteus_netsim::take_session_event_totals();
+            timings.push(ExperimentTiming {
+                id: e.id,
+                secs,
+                events,
+            });
             eprintln!("=== {} done in {:.1}s ===\n", e.id, secs);
         }
     }
@@ -192,15 +201,35 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// End-of-run accounting: per-experiment wall time, then per-campaign cache
-/// hit/miss counts aggregated over the whole invocation.
-fn print_run_summary(timings: &[(&str, f64)], campaigns: &[proteus_runner::CampaignStats]) {
+/// Wall time plus engine event totals for one experiment.
+struct ExperimentTiming {
+    id: &'static str,
+    secs: f64,
+    events: proteus_netsim::SessionEventTotals,
+}
+
+/// End-of-run accounting: per-experiment wall time with engine event
+/// throughput and the fused-path share, then per-campaign cache hit/miss
+/// counts aggregated over the whole invocation.
+fn print_run_summary(timings: &[ExperimentTiming], campaigns: &[proteus_runner::CampaignStats]) {
     if timings.len() > 1 {
         eprintln!("=== wall time by experiment ===");
-        for (id, secs) in timings {
-            eprintln!("  {id:8} {secs:6.1}s");
+        for t in timings {
+            let (evps, fused) = if t.events.dispatched > 0 && t.secs > 0.0 {
+                (
+                    format!("{:9.2}M ev/s", t.events.dispatched as f64 / t.secs / 1e6),
+                    format!(
+                        "{:5.1}% fused",
+                        100.0 * t.events.fused as f64 / t.events.dispatched as f64
+                    ),
+                )
+            } else {
+                // Fully cached (or sim-free) experiment: no engine events.
+                (format!("{:>14}", "—"), format!("{:>11}", "—"))
+            };
+            eprintln!("  {:8} {:6.1}s  {evps}  {fused}", t.id, t.secs);
         }
-        let total: f64 = timings.iter().map(|(_, s)| s).sum();
+        let total: f64 = timings.iter().map(|t| t.secs).sum();
         eprintln!("  {:8} {total:6.1}s", "total");
     }
     if !campaigns.is_empty() {

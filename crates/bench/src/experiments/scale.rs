@@ -262,6 +262,21 @@ fn classes(mix: &'static [(&'static str, f64)], seed: u64) -> Vec<ChurnClass> {
 }
 
 /// Sum of tail goodput over flows selected by `pred`, Mbps.
+/// Per-cell engine accounting on stderr: events dispatched, events/sec of
+/// simulated work, and the share served by the fused wire path (DESIGN.md
+/// §4f). Stderr only — committed reports must stay byte-identical across
+/// wire-path changes — and inside the job closure, so cached cells (which
+/// run no simulation) print nothing.
+fn eprint_cell_events(cell: &str, res: &SimResult) {
+    let ev = &res.events;
+    eprintln!(
+        "    [{cell}] {:.1}M events dispatched, {:.1}% fused, peak queue {}",
+        ev.dispatched() as f64 / 1e6,
+        100.0 * ev.fused_fraction(),
+        ev.peak_queue
+    );
+}
+
 fn aggregate_mbps(res: &SimResult, secs: f64, pred: impl Fn(&str) -> bool) -> f64 {
     let (from, to) = tail(secs);
     res.flows
@@ -301,6 +316,7 @@ fn fair_job(cell: Cell, seed: u64) -> SimJob {
                 seed,
                 classes(&[("Proteus-P", 1.0)], seed),
             ));
+            eprint_cell_events(cell.name, &res);
             let (from, to) = tail(cell.secs);
             let rates: Vec<f64> = res
                 .flows
@@ -356,6 +372,7 @@ fn churn_job(cell: Cell, seed: u64) -> SimJob {
         ),
         move || {
             let res = run(scale_scenario(cell, seed, classes(CHURN_MIX, seed)));
+            eprint_cell_events(cell.name, &res);
             let (from, to) = tail(cell.secs);
             let mut out = vec![
                 res.flows.len() as f64,
@@ -443,6 +460,14 @@ fn harm_job(cell: HarmCell, with_scavengers: bool, seed: u64) -> SimJob {
                 );
             }
             let res = run(scenario);
+            eprint_cell_events(
+                if with_scavengers {
+                    cell.name
+                } else {
+                    "harm-alone"
+                },
+                &res,
+            );
             payload::encode_floats(&[
                 aggregate_mbps(&res, sc.secs, |n| n.starts_with("CUBIC#")),
                 aggregate_mbps(&res, sc.secs, |n| n.starts_with("Proteus-S~")),

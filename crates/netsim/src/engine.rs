@@ -29,6 +29,31 @@
 //! bit for bit (see `crate::fault` for the determinism rules). Poisson flow
 //! churn ([`crate::scenario::ChurnSpec`]) follows the same discipline with
 //! its own salted RNG stream.
+//!
+//! # Fused wire path
+//!
+//! On a clean path (no fault schedule, no latency noise) every stage of a
+//! packet's wire trip is deterministic at admission, and each stage's
+//! timestamps are monotone non-decreasing in admission order: departures
+//! inherit the link's monotone `free_at`, deliveries add a constant forward
+//! propagation, and ACK returns add a constant reverse propagation. The
+//! engine exploits this by routing the per-packet
+//! `QueueDrain` → `Delivery` → `AckArrival` chain through a FIFO wire ring
+//! ([`WirePath::Fused`], the default) instead of the scheduler: three
+//! push/pop pairs per packet become one ring slot with three cursors, and
+//! the main loop merges the scheduler with the three (sorted) wire streams
+//! by `(time, seq)`. Event sequence numbers are still assigned at exactly
+//! the instants the staged path assigns them — two at admission, one at
+//! delivery dispatch — so every dispatched event carries the identical
+//! `(time, seq)` key and the total dispatch order (and with it every
+//! result byte) is unchanged by construction. Scenarios with faults or
+//! noise transparently fall back to the staged path — their draws are
+//! RNG-order- and state-sensitive — which also remains selectable
+//! explicitly ([`WirePath::Staged`]) as the executable ordering reference
+//! for the equivalence suite (`tests/wire_equivalence.rs`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{RngExt as Rng, SeedableRng};
@@ -41,8 +66,8 @@ use crate::dist;
 use crate::fault::{FaultState, LinkChange, WireLoss};
 use crate::flows::FlowTable;
 use crate::link::{BottleneckLink, Offer};
-use crate::metrics::{FlowMetrics, SimResult, TraceEvent};
-use crate::noise::NoiseState;
+use crate::metrics::{EventStats, FlowMetrics, SimResult, TraceEvent};
+use crate::noise::{NoiseConfig, NoiseState};
 use crate::scenario::{ChurnClass, Scenario};
 use crate::sched::EventQueue;
 
@@ -63,6 +88,52 @@ const QUEUE_CAPACITY_MARGIN: usize = 64;
 /// leaves the main RNG's draw sequence — and with it every existing
 /// result — untouched.
 pub const CHURN_SEED_SALT: u64 = 0xC44E_5EED_0000_0002;
+
+/// Which wire-path execution strategy a scenario runs on.
+///
+/// Mirrors [`crate::sched::Scheduler`]: [`WirePath::Fused`] is the default
+/// optimized implementation, [`WirePath::Staged`] keeps the original
+/// three-event scheduler chain available as an executable ordering
+/// reference so tests can assert the two produce identical results and
+/// benches can measure the before/after. Fused execution applies only when
+/// the scenario has no fault schedule and no latency noise; otherwise the
+/// engine transparently runs staged regardless of this setting (fault and
+/// noise draws are RNG-order- and state-sensitive, exactly like the
+/// `with_faults` empty-schedule normalization rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WirePath {
+    /// Per-packet wire chain routed through the fused wire ring (default).
+    #[default]
+    Fused,
+    /// Per-packet wire chain staged through the scheduler (reference).
+    Staged,
+}
+
+/// Process-wide engine event totals accumulated since the last
+/// [`take_session_event_totals`] drain. Mirrors
+/// `proteus_runner::take_session_stats`: driver binaries that run many
+/// campaigns sample the totals around each experiment to report events/sec
+/// and the fused-path share without threading state through every
+/// experiment function. Updated once per completed [`Sim::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionEventTotals {
+    /// Events dispatched (scheduler pops plus fused wire phases).
+    pub dispatched: u64,
+    /// Dispatches served by the fused wire pipeline.
+    pub fused: u64,
+}
+
+static SESSION_DISPATCHED: AtomicU64 = AtomicU64::new(0);
+static SESSION_FUSED: AtomicU64 = AtomicU64::new(0);
+
+/// Drains and returns the process-wide event totals of every simulation
+/// completed since the previous drain (any thread).
+pub fn take_session_event_totals() -> SessionEventTotals {
+    SessionEventTotals {
+        dispatched: SESSION_DISPATCHED.swap(0, Ordering::Relaxed),
+        fused: SESSION_FUSED.swap(0, Ordering::Relaxed),
+    }
+}
 
 /// A scheduled event. Fields are deliberately narrow (`u32` flow ids and
 /// packet sizes) to keep entries small: the scheduler shuffles entries by
@@ -122,6 +193,132 @@ enum Event {
     Fault {
         idx: u32,
     },
+}
+
+/// Index of `Event::QueueDrain` in [`crate::metrics::EVENT_KIND_NAMES`].
+const K_QUEUE_DRAIN: usize = 2;
+/// Index of `Event::Delivery` in [`crate::metrics::EVENT_KIND_NAMES`].
+const K_DELIVERY: usize = 3;
+/// Index of `Event::AckArrival` in [`crate::metrics::EVENT_KIND_NAMES`].
+const K_ACK_ARRIVAL: usize = 4;
+
+impl Event {
+    /// Index into [`crate::metrics::EVENT_KIND_NAMES`] for accounting.
+    fn kind(&self) -> usize {
+        match self {
+            Event::FlowStart(_) => 0,
+            Event::FlowStop(_) => 1,
+            Event::QueueDrain { .. } => K_QUEUE_DRAIN,
+            Event::Delivery { .. } => K_DELIVERY,
+            Event::AckArrival { .. } => K_ACK_ARRIVAL,
+            Event::Pace { .. } => 5,
+            Event::CcTimer { .. } => 6,
+            Event::Rto { .. } => 7,
+            Event::AppWake { .. } => 8,
+            Event::SpawnCross => 9,
+            Event::ChurnSpawn => 10,
+            Event::QueueSample => 11,
+            Event::TraceSample => 12,
+            Event::Fault { .. } => 13,
+        }
+    }
+}
+
+/// One in-flight packet on the fused wire ring: every stage timestamp and
+/// sequence number is fixed at admission (except the ACK pair, assigned at
+/// delivery dispatch — the instant the staged path assigns it).
+#[derive(Debug, Clone, Copy)]
+struct WirePacket {
+    flow: u32,
+    bytes: u32,
+    seq: SeqNr,
+    sent_at: Time,
+    drain_at: Time,
+    deliver_at: Time,
+    ack_at: Time,
+    drain_seq: u64,
+    deliver_seq: u64,
+    ack_seq: u64,
+    /// Lost to `random_loss` at admission: the packet drains the queue but
+    /// never reaches the receiver (drain-only ring entry).
+    lost: bool,
+}
+
+/// The fused wire pipeline: a FIFO ring of admitted packets with one cursor
+/// per stage. Cursors are *absolute* admission indices (`base` counts
+/// entries already popped off the front), so a packet's ring slot is
+/// `abs - base`. Because every stage's timestamps are monotone in admission
+/// order on a clean path, the next event of each stage is always at its
+/// cursor — the three stage streams are sorted queues obtained for free.
+#[derive(Debug, Default)]
+struct WirePipeline {
+    ring: VecDeque<WirePacket>,
+    /// Packets fully retired off the front of the ring.
+    base: u64,
+    /// Next packet to drain the bottleneck queue.
+    drain_next: u64,
+    /// Next non-lost packet to reach the receiver.
+    deliver_next: u64,
+    /// Next delivered packet whose ACK returns (`< deliver_next` always;
+    /// the ACK stream head exists only once its delivery dispatched).
+    ack_next: u64,
+}
+
+impl WirePipeline {
+    fn new() -> Self {
+        WirePipeline {
+            ring: VecDeque::with_capacity(256),
+            ..Default::default()
+        }
+    }
+
+    /// Absolute index one past the newest admitted packet.
+    fn total(&self) -> u64 {
+        self.base + self.ring.len() as u64
+    }
+
+    fn pkt(&self, abs: u64) -> &WirePacket {
+        &self.ring[(abs - self.base) as usize]
+    }
+
+    fn pkt_mut(&mut self, abs: u64) -> &mut WirePacket {
+        &mut self.ring[(abs - self.base) as usize]
+    }
+
+    /// Advances the deliver/ack cursors past packets that never deliver,
+    /// keeping `ack_next <= deliver_next`.
+    fn skip_lost(&mut self) {
+        while self.deliver_next < self.total() && self.pkt(self.deliver_next).lost {
+            self.deliver_next += 1;
+        }
+        while self.ack_next < self.deliver_next && self.pkt(self.ack_next).lost {
+            self.ack_next += 1;
+        }
+    }
+
+    /// Pops fully-processed packets off the front. A packet is done once it
+    /// has drained and either was lost on the wire or its ACK dispatched.
+    fn pop_done(&mut self) {
+        while let Some(front) = self.ring.front() {
+            let done_drain = self.drain_next > self.base;
+            let done_ack = front.lost || self.ack_next > self.base;
+            if done_drain && done_ack {
+                self.ring.pop_front();
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Which stream the fused main loop's 4-way `(time, seq)` merge chose.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FusedSrc {
+    Sched,
+    Drain,
+    Deliver,
+    Ack,
 }
 
 struct CrossState {
@@ -184,6 +381,11 @@ pub struct Sim {
     faults: Option<FaultState>,
     /// The schedule's link changes, indexed by `Event::Fault::idx`.
     fault_changes: Vec<LinkChange>,
+    /// Event-queue traffic accounting (mechanics, not behavior).
+    events: EventStats,
+    /// Fused wire ring; `Some` iff the scenario selected [`WirePath::Fused`]
+    /// and the path is clean (no faults, no noise).
+    wire: Option<WirePipeline>,
 }
 
 impl Sim {
@@ -202,7 +404,16 @@ impl Sim {
             faults,
             churn,
             scheduler,
+            wire_path,
         } = scenario;
+
+        // Fusion gate: fault schedules and latency noise make wire-stage
+        // draws RNG-order- and state-sensitive, so those scenarios run the
+        // staged reference path regardless of the selector (the same
+        // normalization rule as `with_faults` with an empty schedule).
+        let fused = wire_path == WirePath::Fused
+            && !matches!(&faults, Some(s) if !s.is_empty())
+            && link.noise == NoiseConfig::None;
 
         // Initial scheduler capacity is derived from the scenario, not a
         // fixed constant: every static flow contributes a start (and maybe a
@@ -247,6 +458,8 @@ impl Sim {
             loss_scratch: Vec::new(),
             faults: None,
             fault_changes: Vec::new(),
+            events: EventStats::default(),
+            wire: fused.then(WirePipeline::new),
         };
 
         if let Some(sched) = &faults {
@@ -327,23 +540,28 @@ impl Sim {
     fn push(&mut self, at: Time, ev: Event) {
         self.event_seq += 1;
         self.queue.push(at, self.event_seq, ev);
+        self.events.pushes += 1;
+        let depth = self.queue.len() as u64;
+        if depth > self.events.peak_queue {
+            self.events.peak_queue = depth;
+        }
     }
 
     /// Runs the scenario to completion and returns the measurements.
     pub fn run(mut self) -> SimResult {
         let end = Time::ZERO + self.duration;
-        while let Some((at, _seq, ev)) = self.queue.pop() {
-            if at > end {
-                break;
-            }
-            self.now = at;
-            self.dispatch(ev);
+        if self.wire.is_some() {
+            self.run_fused(end);
+        } else {
+            self.run_staged(end);
         }
         // Final decision sweep (stopped flows included), then restore
         // global timestamp order: drains interleave flows per sweep, so a
         // stable sort by time is enough to keep each flow's own order.
         self.drain_decisions();
         self.decisions.sort_by_key(|fe| fe.event.t_ns);
+        SESSION_DISPATCHED.fetch_add(self.events.dispatched(), Ordering::Relaxed);
+        SESSION_FUSED.fetch_add(self.events.fused, Ordering::Relaxed);
         SimResult {
             flows: self.metrics,
             duration: self.duration,
@@ -354,10 +572,138 @@ impl Sim {
             trace: self.trace,
             decisions: self.decisions,
             fault_stats: self.faults.map(|f| f.stats).unwrap_or_default(),
+            events: self.events,
         }
     }
 
+    /// The staged reference loop: every event flows through the scheduler.
+    fn run_staged(&mut self, end: Time) {
+        while let Some((at, _seq, ev)) = self.queue.pop() {
+            if at > end {
+                break;
+            }
+            self.now = at;
+            self.dispatch(ev);
+        }
+    }
+
+    /// The fused main loop: a 4-way merge by `(time, seq)` of the scheduler
+    /// head and the three wire-ring stage heads. Each head's key is exactly
+    /// the `(time, seq)` the staged path would have pushed for that event,
+    /// so the merge reproduces the staged dispatch order verbatim.
+    fn run_fused(&mut self, end: Time) {
+        let end_ns = end.as_nanos();
+        loop {
+            let sched = self.queue.peek();
+            let w = self.wire.as_ref().expect("run_fused requires a wire ring");
+            let mut best: Option<(u64, u64, FusedSrc)> =
+                sched.map(|(at, seq)| (at.as_nanos(), seq, FusedSrc::Sched));
+            let mut consider = |at: Time, seq: u64, src: FusedSrc| {
+                let key = (at.as_nanos(), seq);
+                if best.is_none_or(|(t, s, _)| key < (t, s)) {
+                    best = Some((key.0, key.1, src));
+                }
+            };
+            if w.drain_next < w.total() {
+                let p = w.pkt(w.drain_next);
+                consider(p.drain_at, p.drain_seq, FusedSrc::Drain);
+            }
+            if w.deliver_next < w.total() {
+                let p = w.pkt(w.deliver_next);
+                consider(p.deliver_at, p.deliver_seq, FusedSrc::Deliver);
+            }
+            if w.ack_next < w.deliver_next {
+                let p = w.pkt(w.ack_next);
+                consider(p.ack_at, p.ack_seq, FusedSrc::Ack);
+            }
+            let Some((at_ns, _seq, src)) = best else {
+                break;
+            };
+            if at_ns > end_ns {
+                break;
+            }
+            self.now = Time::from_nanos(at_ns);
+            match src {
+                FusedSrc::Sched => {
+                    let (_at, _seq, ev) = self.queue.pop().expect("peeked head vanished");
+                    self.dispatch(ev);
+                }
+                FusedSrc::Drain => self.wire_drain_phase(),
+                FusedSrc::Deliver => self.wire_deliver_phase(),
+                FusedSrc::Ack => self.wire_ack_phase(),
+            }
+        }
+    }
+
+    /// Fused analog of `Event::QueueDrain` dispatch.
+    fn wire_drain_phase(&mut self) {
+        let bytes = {
+            let w = self.wire.as_mut().expect("wire phase without ring");
+            let bytes = w.pkt(w.drain_next).bytes;
+            w.drain_next += 1;
+            w.pop_done();
+            bytes
+        };
+        self.events.pops[K_QUEUE_DRAIN] += 1;
+        self.events.fused += 1;
+        self.link.on_departure(bytes as u64);
+    }
+
+    /// Fused analog of `Event::Delivery` dispatch: assigns the ACK's
+    /// sequence number here — the instant the staged path pushes
+    /// `AckArrival` — and computes its arrival with the same per-flow FIFO
+    /// clamp. ACK processing itself runs at `ack_at` via the merge.
+    fn wire_deliver_phase(&mut self) {
+        let (flow, idx) = {
+            let w = self.wire.as_ref().expect("wire phase without ring");
+            (w.pkt(w.deliver_next).flow as FlowId, w.deliver_next)
+        };
+        self.event_seq += 1;
+        let ack_seq = self.event_seq;
+        // Clean path: `NoiseState::None::ack_release` is the identity and
+        // the fault layer is absent, so the ACK departs the receiver at
+        // `now` and arrives after the reverse propagation, clamped FIFO.
+        let mut arrival = self.now + self.rev_prop;
+        if arrival < self.flows.last_ack_arrival_at[flow] {
+            arrival = self.flows.last_ack_arrival_at[flow];
+        }
+        self.flows.last_ack_arrival_at[flow] = arrival;
+        let w = self.wire.as_mut().expect("wire phase without ring");
+        {
+            let p = w.pkt_mut(idx);
+            p.ack_at = arrival;
+            p.ack_seq = ack_seq;
+        }
+        w.deliver_next = idx + 1;
+        w.skip_lost();
+        self.events.pops[K_DELIVERY] += 1;
+        self.events.fused += 1;
+    }
+
+    /// Fused analog of `Event::AckArrival` dispatch: retires the ring slot
+    /// and runs the full ACK path (which may re-enter `admit_fused`).
+    fn wire_ack_phase(&mut self) {
+        let pkt = {
+            let w = self.wire.as_mut().expect("wire phase without ring");
+            let pkt = *w.pkt(w.ack_next);
+            w.ack_next += 1;
+            w.skip_lost();
+            w.pop_done();
+            pkt
+        };
+        self.events.pops[K_ACK_ARRIVAL] += 1;
+        self.events.fused += 1;
+        self.on_ack_arrival(
+            pkt.flow as FlowId,
+            pkt.seq,
+            pkt.bytes as u64,
+            pkt.sent_at,
+            pkt.deliver_at,
+        );
+    }
+
     fn dispatch(&mut self, ev: Event) {
+        self.events.pops[ev.kind()] += 1;
         match ev {
             Event::FlowStart(id) => self.on_flow_start(id as FlowId),
             Event::FlowStop(id) => self.on_flow_stop(id as FlowId),
@@ -962,6 +1308,9 @@ impl Sim {
                 Offer::Dropped => {
                     // Tail drop: the sender finds out via dup-ACKs or RTO.
                 }
+                Offer::Departs(at) if self.wire.is_some() => {
+                    self.admit_fused(flow, seq, bytes, at);
+                }
                 Offer::Departs(at) => {
                     self.push(
                         at,
@@ -1026,6 +1375,45 @@ impl Sim {
             self.sync_cc_timer(flow);
         }
         debug_assert!(false, "try_send hit MAX_BURST — runaway controller?");
+    }
+
+    /// Admits one accepted packet to the fused wire ring, consuming the
+    /// same sequence numbers and RNG draws, at the same instants, as the
+    /// staged path's admission: one sequence for the queue drain, then the
+    /// random-loss draw (the fault layer is absent on a fused path), then —
+    /// for surviving packets — one sequence for the delivery plus the
+    /// per-flow FIFO clamp (a no-op on clean paths, replicated anyway so
+    /// flow state stays bit-identical).
+    fn admit_fused(&mut self, flow: FlowId, seq: SeqNr, bytes: u64, drain_at: Time) {
+        self.event_seq += 1;
+        let drain_seq = self.event_seq;
+        let lost = self.random_loss > 0.0 && self.rng.random::<f64>() < self.random_loss;
+        let mut pkt = WirePacket {
+            flow: flow as u32,
+            bytes: bytes as u32,
+            seq,
+            sent_at: self.now,
+            drain_at,
+            deliver_at: Time::ZERO,
+            ack_at: Time::ZERO,
+            drain_seq,
+            deliver_seq: 0,
+            ack_seq: 0,
+            lost,
+        };
+        if !lost {
+            self.event_seq += 1;
+            pkt.deliver_seq = self.event_seq;
+            let mut delivered_at = drain_at + self.fwd_prop;
+            if delivered_at < self.flows.last_delivery_at[flow] {
+                delivered_at = self.flows.last_delivery_at[flow];
+            }
+            self.flows.last_delivery_at[flow] = delivered_at;
+            pkt.deliver_at = delivered_at;
+        }
+        let w = self.wire.as_mut().expect("admit_fused without ring");
+        w.ring.push_back(pkt);
+        w.skip_lost();
     }
 }
 
@@ -1390,5 +1778,41 @@ mod tests {
             "churn must draw from its own RNG stream"
         );
         assert_eq!(without.flows[0].bytes_acked, with.flows[0].bytes_acked);
+    }
+
+    #[test]
+    fn event_accounting_tracks_both_paths() {
+        let mk = || {
+            Scenario::new(link_10mbps_20ms(), Dur::from_secs(3)).flow(FlowSpec::bulk(
+                "win",
+                Dur::ZERO,
+                || Box::new(TestWindow { cwnd: 50_000 }),
+            ))
+        };
+        let fused = run(mk());
+        let staged = run(mk().with_wire_path(WirePath::Staged));
+
+        // Dispatched-by-kind counts are path-independent: the fused wire
+        // phases count under the event kind they replace.
+        assert_eq!(fused.events.pops, staged.events.pops);
+        assert!(fused.events.dispatched() > 0);
+        // The fused path routes the per-packet chain around the scheduler:
+        // strictly fewer pushes, a strictly shallower queue, and every wire
+        // dispatch attributed to the ring.
+        assert!(fused.events.pushes < staged.events.pushes);
+        assert!(fused.events.peak_queue <= staged.events.peak_queue);
+        assert_eq!(
+            fused.events.fused,
+            fused.events.pops[2] + fused.events.pops[3] + fused.events.pops[4],
+            "fused dispatches must equal the three replaced wire kinds"
+        );
+        assert_eq!(staged.events.fused, 0);
+        assert!(fused.events.fused_fraction() > 0.5);
+
+        // Session totals accumulate across runs; lower bounds only, because
+        // other tests in this binary run concurrently and add their own.
+        let totals = take_session_event_totals();
+        assert!(totals.dispatched >= fused.events.dispatched() + staged.events.dispatched());
+        assert!(totals.fused >= fused.events.fused);
     }
 }

@@ -54,13 +54,13 @@ pub mod noise;
 pub mod scenario;
 pub mod sched;
 
-pub use engine::{run, Sim};
+pub use engine::{run, take_session_event_totals, SessionEventTotals, Sim, WirePath};
 pub use fault::{
     AckCompression, FaultSchedule, FaultStats, GilbertElliott, LinkChange, ReorderConfig,
 };
 pub use inflight::{InflightPkt, InflightTracker};
 pub use link::{BottleneckLink, Offer};
-pub use metrics::{FlowMetrics, SimResult, TraceEvent};
+pub use metrics::{EventStats, FlowMetrics, SimResult, TraceEvent, EVENT_KIND_NAMES};
 pub use noise::{NoiseConfig, WifiNoiseConfig};
 pub use scenario::{
     CcBuilder, ChurnClass, ChurnSpec, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario,

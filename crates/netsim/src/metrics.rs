@@ -255,6 +255,70 @@ pub struct TraceEvent {
     pub mode_switches: u64,
 }
 
+/// Display labels for the [`EventStats::pops`] slots, in index order. The
+/// engine assigns each event kind a stable slot (`Event::kind` in
+/// `crate::engine`); this array gives reporting code human-readable names
+/// without exposing the private event enum.
+pub const EVENT_KIND_NAMES: [&str; 14] = [
+    "FlowStart",
+    "FlowStop",
+    "QueueDrain",
+    "Delivery",
+    "AckArrival",
+    "Pace",
+    "CcTimer",
+    "Rto",
+    "AppWake",
+    "SpawnCross",
+    "ChurnSpawn",
+    "QueueSample",
+    "TraceSample",
+    "Fault",
+];
+
+/// Event-loop accounting for one simulation run: how many events of each
+/// kind were dispatched, how many went through the scheduler versus the
+/// fused wire pipeline, and how deep the scheduler got.
+///
+/// These counters describe *execution mechanics*, not observable behavior:
+/// a staged and a fused run of the same scenario dispatch the identical
+/// event sequence (so [`EventStats::pops`] agrees), but the fused run pushes
+/// the per-packet wire chain through the wire ring instead of the scheduler
+/// (so `pushes`, `peak_queue` and `fused` differ). Equivalence tests that
+/// compare full [`SimResult`] digests across execution paths must therefore
+/// zero this field first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Events dispatched, by kind (indices match [`EVENT_KIND_NAMES`]).
+    /// Counts every dispatch regardless of execution path: a fused wire
+    /// phase counts under the kind of the staged event it replaces.
+    pub pops: [u64; EVENT_KIND_NAMES.len()],
+    /// Events pushed into the scheduler.
+    pub pushes: u64,
+    /// Peak number of events pending in the scheduler.
+    pub peak_queue: u64,
+    /// Dispatches served by the fused wire pipeline instead of the
+    /// scheduler (zero on the staged path).
+    pub fused: u64,
+}
+
+impl EventStats {
+    /// Total events dispatched over the run.
+    pub fn dispatched(&self) -> u64 {
+        self.pops.iter().sum()
+    }
+
+    /// Fraction of dispatches served by the fused wire pipeline.
+    pub fn fused_fraction(&self) -> f64 {
+        let total = self.dispatched();
+        if total == 0 {
+            0.0
+        } else {
+            self.fused as f64 / total as f64
+        }
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -280,6 +344,9 @@ pub struct SimResult {
     pub decisions: Vec<proteus_trace::FlowEvent>,
     /// What the fault layer injected (all zero without a schedule).
     pub fault_stats: FaultStats,
+    /// Event-loop accounting (dispatch counts, scheduler pressure, fused
+    /// share). Mechanics, not behavior — see [`EventStats`].
+    pub events: EventStats,
 }
 
 impl SimResult {
@@ -377,6 +444,7 @@ mod tests {
             trace: vec![],
             decisions: vec![],
             fault_stats: FaultStats::default(),
+            events: EventStats::default(),
         };
         let u = r.utilization(Time::ZERO, Time::from_secs_f64(1.0));
         assert!((u - 0.5).abs() < 1e-9);

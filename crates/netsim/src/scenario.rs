@@ -6,6 +6,7 @@
 
 use proteus_transport::{Application, BulkApp, CcFactory, CongestionControl, Dur, SizedApp};
 
+use crate::engine::WirePath;
 use crate::fault::FaultSchedule;
 use crate::noise::NoiseConfig;
 use crate::sched::Scheduler;
@@ -327,6 +328,11 @@ pub struct Scenario {
     /// heap remains available as a reference for equivalence tests and
     /// before/after benchmarks).
     pub scheduler: Scheduler,
+    /// Wire-path execution strategy (fused by default, with automatic
+    /// fallback to staged when faults or noise are attached; the staged
+    /// chain remains selectable as the executable ordering reference — see
+    /// [`WirePath`]).
+    pub wire_path: WirePath,
 }
 
 impl Scenario {
@@ -346,6 +352,7 @@ impl Scenario {
             faults: None,
             churn: None,
             scheduler: Scheduler::default(),
+            wire_path: WirePath::default(),
         }
     }
 
@@ -422,6 +429,17 @@ impl Scenario {
         self.scheduler = scheduler;
         self
     }
+
+    /// Selects the wire-path execution strategy (default:
+    /// [`WirePath::Fused`]). Fused execution collapses the per-packet
+    /// `QueueDrain`/`Delivery`/`AckArrival` scheduler chain into a wire
+    /// ring on clean paths and transparently falls back to staged when the
+    /// scenario attaches faults or noise; results are byte-identical either
+    /// way (`tests/wire_equivalence.rs`).
+    pub fn with_wire_path(mut self, wire_path: WirePath) -> Self {
+        self.wire_path = wire_path;
+        self
+    }
 }
 
 impl std::fmt::Debug for Scenario {
@@ -435,6 +453,7 @@ impl std::fmt::Debug for Scenario {
             .field("faults", &self.faults)
             .field("churn", &self.churn)
             .field("scheduler", &self.scheduler)
+            .field("wire_path", &self.wire_path)
             .finish()
     }
 }

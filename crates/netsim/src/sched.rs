@@ -113,6 +113,19 @@ impl<T> EventQueue<T> {
         }
     }
 
+    /// The `(at, seq)` key of the entry [`EventQueue::pop`] would return,
+    /// without removing it. `&mut` because the wheel may need to advance to
+    /// the next occupied slot to learn its minimum; advancing early is
+    /// order-neutral (later pushes inside the drained span land in the
+    /// `current` heap exactly as they would have on the pop itself).
+    #[inline]
+    pub fn peek(&mut self) -> Option<(Time, u64)> {
+        match self {
+            EventQueue::Wheel(w) => w.peek(),
+            EventQueue::Heap(h) => h.peek(),
+        }
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         match self {
@@ -198,6 +211,18 @@ impl<T> TimingWheel<T> {
         let e = heap_pop(&mut self.current).expect("advance() filled current");
         self.len -= 1;
         Some((Time::from_nanos(e.at), e.seq, e.item))
+    }
+
+    /// The `(at, seq)` key the next [`TimingWheel::pop`] will return, without
+    /// removing the entry. May advance the wheel to the next occupied slot
+    /// (filling `current`), which is exactly the state `pop` would have
+    /// produced anyway.
+    pub fn peek(&mut self) -> Option<(Time, u64)> {
+        if self.current.is_empty() && !self.advance() {
+            return None;
+        }
+        let e = &self.current[0];
+        Some((Time::from_nanos(e.at), e.seq))
     }
 
     /// Files an entry with `at >= cur_end` into the wheel: the first level
@@ -349,6 +374,12 @@ impl<T> HeapQueue<T> {
         let e = heap_pop(&mut self.heap)?;
         Some((Time::from_nanos(e.at), e.seq, e.item))
     }
+
+    /// The `(at, seq)` key the next [`HeapQueue::pop`] will return, without
+    /// removing the entry (`&mut` only to match the wheel's signature).
+    pub fn peek(&mut self) -> Option<(Time, u64)> {
+        self.heap.first().map(|e| (Time::from_nanos(e.at), e.seq))
+    }
 }
 
 // ---- shared array-backed min-heap on (at, seq) ----
@@ -492,6 +523,28 @@ mod tests {
         let got = drain_all(&mut w);
         assert_eq!(got.len(), n as usize, "scheduler silently dropped events");
         assert!(got.windows(2).all(|p| (p[0].0, p[0].1) < (p[1].0, p[1].1)));
+    }
+
+    #[test]
+    fn peek_matches_pop_and_is_non_destructive() {
+        for kind in [Scheduler::Wheel, Scheduler::Heap] {
+            let mut q: EventQueue<u32> = EventQueue::new(kind, 4);
+            assert_eq!(q.peek(), None);
+            q.push(Time::from_nanos(500), 2, 20);
+            q.push(Time::from_nanos(100), 1, 10);
+            // Peek reports the minimum without consuming it; a push of a new
+            // minimum after a peek is still observed.
+            assert_eq!(q.peek(), Some((Time::from_nanos(100), 1)));
+            assert_eq!(q.peek(), Some((Time::from_nanos(100), 1)));
+            q.push(Time::from_nanos(50), 3, 30);
+            assert_eq!(q.peek(), Some((Time::from_nanos(50), 3)));
+            assert_eq!(q.pop(), Some((Time::from_nanos(50), 3, 30)));
+            assert_eq!(q.pop(), Some((Time::from_nanos(100), 1, 10)));
+            assert_eq!(q.peek(), Some((Time::from_nanos(500), 2)));
+            assert_eq!(q.pop(), Some((Time::from_nanos(500), 2, 20)));
+            assert_eq!(q.peek(), None);
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Wire-path equivalence: the fused wire ring and the staged scheduler
+//! chain must produce *identical* `SimResult`s, because fusion preserves
+//! the exact `(time, push-sequence)` key of every replaced event and the
+//! main loop merges the streams in that same total order. Exercised on the
+//! `sched_equivalence.rs` scenario matrix (legacy-shaped, faulted, churn)
+//! plus clean-with-loss and paced scenarios, and on randomized scenarios
+//! via proptest (populations × churn × faults × noise), which doubles as a
+//! fallback-correctness check: faulted/noisy scenarios must run staged
+//! (zero fused dispatches) even when `WirePath::Fused` is selected.
+
+use proptest::prelude::*;
+use proteus_netsim::{
+    run, ChurnClass, ChurnSpec, CrossTrafficSpec, FaultSchedule, FlowSpec, GilbertElliott,
+    LinkSpec, NoiseConfig, Scenario, SimResult, WirePath,
+};
+use proteus_transport::{AckInfo, CongestionControl, Dur, LossInfo, Time};
+
+/// Fixed congestion window, ACK-clocked; ignores losses.
+struct TestWindow {
+    cwnd: u64,
+}
+
+impl CongestionControl for TestWindow {
+    fn name(&self) -> &str {
+        "test-window"
+    }
+    fn on_ack(&mut self, _now: Time, _ack: &AckInfo) {}
+    fn on_loss(&mut self, _now: Time, _loss: &LossInfo) {}
+    fn pacing_rate(&self) -> Option<f64> {
+        None
+    }
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd
+    }
+}
+
+/// Fixed pacing rate, no window.
+struct TestPaced {
+    rate: f64, // bytes/sec
+}
+
+impl CongestionControl for TestPaced {
+    fn name(&self) -> &str {
+        "test-paced"
+    }
+    fn on_ack(&mut self, _now: Time, _ack: &AckInfo) {}
+    fn on_loss(&mut self, _now: Time, _loss: &LossInfo) {}
+    fn pacing_rate(&self) -> Option<f64> {
+        Some(self.rate)
+    }
+}
+
+/// Behavioral digest: the full `SimResult` debug rendering with the event
+/// accounting zeroed out. `EventStats` measures queue *mechanics* — the
+/// fused path deliberately pushes fewer scheduler events — so it is the one
+/// field where staged and fused legitimately differ; everything observable
+/// (metrics, samples, traces, decisions, fault stats) must match exactly.
+fn digest(r: &SimResult) -> String {
+    let mut scrubbed = r.clone();
+    scrubbed.events = Default::default();
+    format!("{scrubbed:?}")
+}
+
+/// Runs the scenario on both wire paths and asserts digest equality.
+/// Returns the fused run's result for gate assertions.
+fn assert_paths_agree(mk: impl Fn() -> Scenario) -> SimResult {
+    let fused = run(mk().with_wire_path(WirePath::Fused));
+    let staged = run(mk().with_wire_path(WirePath::Staged));
+    assert_eq!(
+        digest(&fused),
+        digest(&staged),
+        "fused and staged wire paths diverged on an identical scenario"
+    );
+    assert_eq!(
+        staged.events.fused, 0,
+        "staged path must never dispatch through the wire ring"
+    );
+    fused
+}
+
+#[test]
+fn clean_ack_clocked_scenario_fuses_and_matches() {
+    let fused = assert_paths_agree(|| {
+        Scenario::new(
+            LinkSpec::new(50.0, Dur::from_millis(30), 375_000),
+            Dur::from_secs(5),
+        )
+        .flow(FlowSpec::bulk("win", Dur::ZERO, || {
+            Box::new(TestWindow { cwnd: 150_000 })
+        }))
+        .flow(
+            FlowSpec::bulk("paced", Dur::from_secs(1), || {
+                Box::new(TestPaced { rate: 500_000.0 })
+            })
+            .with_stop(Dur::from_secs(4)),
+        )
+        .with_queue_sampling(Dur::from_millis(50))
+        .with_trace(Dur::from_millis(100))
+        .with_seed(7)
+    });
+    assert!(
+        fused.events.fused > 0,
+        "clean scenario selected Fused but dispatched nothing through the ring"
+    );
+    // Every data packet costs three wire dispatches minus the drain-only
+    // entries; on a loss-free link the three stages account for the bulk of
+    // all dispatches.
+    assert!(fused.events.fused_fraction() > 0.5);
+}
+
+#[test]
+fn clean_scenario_with_random_loss_fuses_and_matches() {
+    // `random_loss` is fusion-compatible: the per-packet draw happens at
+    // admission from the main RNG in both paths, in the same order.
+    let fused = assert_paths_agree(|| {
+        Scenario::new(
+            LinkSpec::new(40.0, Dur::from_millis(30), 300_000).with_random_loss(0.01),
+            Dur::from_secs(6),
+        )
+        .flow(FlowSpec::bulk("win", Dur::ZERO, || {
+            Box::new(TestWindow { cwnd: 150_000 })
+        }))
+        .with_cross_traffic(CrossTrafficSpec {
+            arrivals_per_sec: 3.0,
+            size_range: (20_000, 100_000),
+            cc: proteus_transport::factory(|_| TestWindow { cwnd: 30_000 }),
+            start: Dur::ZERO,
+            stop: Dur::from_secs(5),
+        })
+        .with_trace(Dur::from_millis(100))
+        .with_seed(1234)
+    });
+    assert!(fused.events.fused > 0);
+}
+
+#[test]
+fn churn_population_fuses_and_matches() {
+    let fused = assert_paths_agree(|| {
+        let classes = vec![
+            ChurnClass::new(
+                "win",
+                2.0,
+                proteus_transport::factory(|_| TestWindow { cwnd: 40_000 }),
+            ),
+            ChurnClass::new(
+                "paced",
+                1.0,
+                proteus_transport::factory(|_| TestPaced { rate: 250_000.0 }),
+            ),
+        ];
+        Scenario::new(
+            LinkSpec::new(100.0, Dur::from_millis(20), 500_000),
+            Dur::from_secs(10),
+        )
+        .with_churn(
+            ChurnSpec::new(6.0, Dur::from_secs(2), classes)
+                .with_initial(8)
+                .with_window(Dur::ZERO, Dur::from_secs(8)),
+        )
+        .with_seed(42)
+    });
+    assert!(fused.events.fused > 0);
+}
+
+#[test]
+fn noisy_scenario_falls_back_to_staged() {
+    // Noise draws are RNG-order-sensitive: selecting Fused must be a no-op.
+    let fused = assert_paths_agree(|| {
+        Scenario::new(
+            LinkSpec::new(40.0, Dur::from_millis(30), 300_000)
+                .with_random_loss(0.005)
+                .with_noise(NoiseConfig::Gaussian {
+                    std: Dur::from_micros(300),
+                }),
+            Dur::from_secs(6),
+        )
+        .flow(FlowSpec::bulk("win", Dur::ZERO, || {
+            Box::new(TestWindow { cwnd: 150_000 })
+        }))
+        .with_trace(Dur::from_millis(100))
+        .with_seed(1234)
+    });
+    assert_eq!(fused.events.fused, 0, "noise must force the staged path");
+}
+
+#[test]
+fn faulted_scenario_falls_back_to_staged() {
+    let fused = assert_paths_agree(|| {
+        Scenario::new(
+            LinkSpec::new(20.0, Dur::from_millis(30), 150_000),
+            Dur::from_secs(10),
+        )
+        .flow(FlowSpec::bulk("win", Dur::ZERO, || {
+            Box::new(TestWindow { cwnd: 100_000 })
+        }))
+        .with_faults(
+            FaultSchedule::new()
+                .bandwidth_step(Dur::from_secs(3), 8.0)
+                .rtt_step(Dur::from_secs(5), Dur::from_millis(60))
+                .outage(Dur::from_secs(7), Dur::from_millis(500))
+                .with_burst_loss(GilbertElliott {
+                    p_enter: 0.002,
+                    p_exit: 0.3,
+                    loss_good: 0.0,
+                    loss_bad: 0.4,
+                }),
+        )
+        .with_trace(Dur::from_millis(200))
+        .with_seed(77)
+    });
+    assert_eq!(
+        fused.events.fused, 0,
+        "a fault schedule must force the staged path"
+    );
+}
+
+#[test]
+fn empty_fault_schedule_still_fuses() {
+    // Same normalization rule as `with_faults`: an empty schedule is the
+    // static fast path, so it must not disable fusion either.
+    let fused = assert_paths_agree(|| {
+        Scenario::new(
+            LinkSpec::new(30.0, Dur::from_millis(20), 200_000),
+            Dur::from_secs(4),
+        )
+        .flow(FlowSpec::bulk("win", Dur::ZERO, || {
+            Box::new(TestWindow { cwnd: 80_000 })
+        }))
+        .with_faults(FaultSchedule::new())
+        .with_seed(5)
+    });
+    assert!(fused.events.fused > 0);
+}
+
+/// One randomized scenario: population shape, churn, optional noise and
+/// optional faults all vary; fused-vs-staged digest equality must hold
+/// everywhere, with faulted/noisy draws transparently running staged.
+#[derive(Debug, Clone)]
+struct RandScenario {
+    rate_mbps: f64,
+    rtt_ms: u64,
+    buffer: u64,
+    loss: f64,
+    n_win: usize,
+    n_paced: usize,
+    churn: bool,
+    noisy: bool,
+    faulted: bool,
+    seed: u64,
+}
+
+impl RandScenario {
+    fn build(&self) -> Scenario {
+        let mut s = Scenario::new(
+            LinkSpec::new(self.rate_mbps, Dur::from_millis(self.rtt_ms), self.buffer)
+                .with_random_loss(self.loss)
+                .with_noise(if self.noisy {
+                    NoiseConfig::Gaussian {
+                        std: Dur::from_micros(200),
+                    }
+                } else {
+                    NoiseConfig::None
+                }),
+            Dur::from_secs(2),
+        )
+        .with_seed(self.seed);
+        for i in 0..self.n_win {
+            let cwnd = 40_000 + 20_000 * i as u64;
+            s = s.flow(FlowSpec::bulk(
+                "win",
+                Dur::from_millis(100 * i as u64),
+                move || Box::new(TestWindow { cwnd }),
+            ));
+        }
+        for i in 0..self.n_paced {
+            let rate = 200_000.0 + 150_000.0 * i as f64;
+            s = s.flow(FlowSpec::bulk(
+                "paced",
+                Dur::from_millis(50 * i as u64),
+                move || Box::new(TestPaced { rate }),
+            ));
+        }
+        if self.churn {
+            let classes = vec![ChurnClass::new(
+                "churn-win",
+                1.0,
+                proteus_transport::factory(|_| TestWindow { cwnd: 30_000 }),
+            )];
+            s = s.with_churn(
+                ChurnSpec::new(4.0, Dur::from_millis(500), classes)
+                    .with_initial(3)
+                    .with_window(Dur::ZERO, Dur::from_millis(1500)),
+            );
+        }
+        if self.faulted {
+            s = s.with_faults(
+                FaultSchedule::new()
+                    .bandwidth_step(Dur::from_millis(800), self.rate_mbps * 0.5)
+                    .outage(Dur::from_millis(1200), Dur::from_millis(100)),
+            );
+        }
+        s
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn randomized_scenarios_are_wire_path_independent(
+        rate_mbps in 10.0f64..100.0,
+        rtt_ms in 5u64..60,
+        buffer in 50_000u64..500_000,
+        loss in prop_oneof![Just(0.0), 0.001f64..0.02],
+        n_win in 0usize..3,
+        n_paced in 0usize..3,
+        churn in any::<bool>(),
+        noisy in any::<bool>(),
+        faulted in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let rs = RandScenario {
+            rate_mbps,
+            rtt_ms,
+            buffer,
+            loss,
+            n_win,
+            n_paced,
+            churn,
+            noisy,
+            faulted,
+            seed,
+        };
+        let fused = run(rs.build().with_wire_path(WirePath::Fused));
+        let staged = run(rs.build().with_wire_path(WirePath::Staged));
+        prop_assert_eq!(
+            digest(&fused),
+            digest(&staged),
+            "fused and staged diverged: {:?}", rs
+        );
+        prop_assert_eq!(staged.events.fused, 0);
+        if rs.noisy || rs.faulted {
+            prop_assert_eq!(
+                fused.events.fused, 0,
+                "noisy/faulted scenario must fall back to staged: {:?}", rs
+            );
+        }
+    }
+}
