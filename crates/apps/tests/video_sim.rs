@@ -37,6 +37,7 @@ fn video_flow(
                 as Box<dyn proteus_transport::Application>
         }),
         reliable: true,
+        path: None,
     };
     sc.flows.push(flow);
     stats

@@ -6,6 +6,10 @@
 //!
 //!   --bw <Mbps>        bottleneck bandwidth      (default 50)
 //!   --rtt <ms>         base RTT                  (default 30)
+//!   --links <N>        chain of N identical bottlenecks (default 1); the
+//!                      base RTT is split evenly so the end-to-end path RTT
+//!                      stays at --rtt, and every flow crosses all N links.
+//!                      Fault flags keep targeting the first link.
 //!   --buffer <KB|xBDP> bottleneck buffer         (default 2xBDP; "375" = KB)
 //!   --loss <rate>      random loss, e.g. 0.01    (default 0)
 //!   --wifi             WiFi-style latency noise
@@ -49,13 +53,14 @@ use std::process::ExitCode;
 use proteus_bench::{cc, cc_traced, mi_trace, trace_jsonl, MiTraceSink, TraceFormat, TRACE_EVERY};
 use proteus_netsim::{
     run, AckCompression, ChurnClass, ChurnSpec, FaultSchedule, FlowSpec, GilbertElliott, LinkSpec,
-    NoiseConfig, ReorderConfig, Scenario,
+    NoiseConfig, ReorderConfig, Scenario, Topology,
 };
 use proteus_transport::{Dur, Time};
 
 struct Args {
     bw: f64,
     rtt_ms: u64,
+    links: usize,
     buffer: String,
     loss: f64,
     wifi: bool,
@@ -87,6 +92,7 @@ fn parse() -> Result<Args, String> {
     let mut a = Args {
         bw: 50.0,
         rtt_ms: 30,
+        links: 1,
         buffer: "2xBDP".into(),
         loss: 0.0,
         wifi: false,
@@ -112,6 +118,14 @@ fn parse() -> Result<Args, String> {
                 a.rtt_ms = need(&mut it, "--rtt")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
+            }
+            "--links" => {
+                a.links = need(&mut it, "--links")?
+                    .parse()
+                    .map_err(|e| format!("bad --links: {e}"))?;
+                if a.links == 0 {
+                    return Err("--links needs at least 1".into());
+                }
             }
             "--buffer" => a.buffer = need(&mut it, "--buffer")?,
             "--loss" => {
@@ -245,7 +259,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: proteus-sim [--bw Mbps] [--rtt ms] [--buffer KB|xBDP] [--loss p] \
+                "usage: proteus-sim [--bw Mbps] [--rtt ms] [--links N] [--buffer KB|xBDP] [--loss p] \
                  [--wifi] [--secs s] [--seed n] [--timeline] [--trace FILE] \
                  [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR] \
                  [--churn ARRIVALS,LIFETIME] [--population N] \
@@ -270,7 +284,18 @@ fn main() -> ExitCode {
         link = link.with_noise(NoiseConfig::wifi_default());
     }
 
-    let mut sc = Scenario::new(link, Dur::from_secs_f64(args.secs))
+    // --links N: a chain of N identical bottlenecks. The base RTT is split
+    // evenly across the hops so the end-to-end path RTT (and the BDP the
+    // buffer was sized against) is unchanged; fault flags keep targeting
+    // the first link, matching the single-link default.
+    let topology = if args.links == 1 {
+        Topology::single(link)
+    } else {
+        let mut hop = link;
+        hop.rtt = Dur::from_secs_f64(link.rtt.as_secs_f64() / args.links as f64);
+        Topology::chain(std::iter::repeat_n(hop, args.links))
+    };
+    let mut sc = Scenario::over(topology, Dur::from_secs_f64(args.secs))
         .with_seed(args.seed)
         .with_faults(args.faults.clone());
     if args.trace.is_some() || args.trace_mi {
@@ -327,9 +352,10 @@ fn main() -> ExitCode {
     }
 
     eprintln!(
-        "link: {} Mbps, {} ms RTT, {} KB buffer, loss {}, noise {}",
+        "link: {} Mbps, {} ms RTT over {} hop(s), {} KB buffer/hop, loss {}, noise {}",
         args.bw,
         args.rtt_ms,
+        args.links,
         link.buffer_bytes / 1000,
         args.loss,
         if args.wifi { "wifi" } else { "none" }

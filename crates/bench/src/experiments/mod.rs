@@ -16,6 +16,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod scale;
 pub mod stress;
+pub mod topology;
 pub mod tune;
 pub mod video_util;
 pub mod wifi;
@@ -123,6 +124,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "ISP-scale populations: 1k/10k/100k churning flows with equilibrium-fairness and scavenger-harm invariants",
             run: scale::run_experiment,
+        },
+        Experiment {
+            id: "topology",
+            description:
+                "Multi-bottleneck topologies: parking-lot fairness, RTT-unfairness chain, scavenger harm behind two bottlenecks",
+            run: topology::run_experiment,
         },
         Experiment {
             id: "tune",

@@ -1,0 +1,452 @@
+//! `topology`: multi-bottleneck campaigns on netsim's link DAGs — the
+//! parking lot, an RTT-unfairness chain, and scavenger harm behind two
+//! bottlenecks — with an invariant checker and a generated
+//! `results/topology/` report.
+//!
+//! The paper's dumbbell experiments share one bottleneck by construction.
+//! Real paths cross several, and the classic multi-bottleneck effects the
+//! congestion-control literature predicts are exactly the ones a
+//! reproduction should be able to demonstrate (see `SCENARIOS.md` for the
+//! topology schema and `EXPERIMENTS.md` for the campaign contract):
+//!
+//! * **parking lot** — N+1 flows over an N-link chain: one "long" flow
+//!   crosses every link, N "short" flows each cross one. Loss-based
+//!   control is biased against the long flow (it sees N drop points and
+//!   N links' worth of RTT), so `long ≤ avg(short)`; the shorts, being
+//!   symmetric, stay fair among themselves; every link stays utilized;
+//! * **rtt-unfairness** — two flows share one bottleneck but the far flow
+//!   first crosses an overprovisioned high-latency hop. CUBIC's RTT bias
+//!   hands the near flow a super-proportional share (`near/far ≥ 1.3`)
+//!   while the bottleneck itself stays saturated;
+//! * **scavenger-harm** — a CUBIC primary per link of a two-link chain and
+//!   one Proteus-S scavenger crossing both, arriving late: each primary
+//!   keeps ≥ 70% of what it gets alone on the same topology — the §3
+//!   yielding contract must survive a scavenger that is policed by *two*
+//!   bottlenecks' deviation signals at once.
+//!
+//! Reports land in `results/topology/report.txt` (+ CSVs); the campaign is
+//! deterministic, so two runs produce byte-identical reports.
+
+use std::fs;
+
+use proteus_netsim::{run, FlowSpec, LinkId, LinkSpec, Scenario, Topology};
+use proteus_stats::jain_index;
+use proteus_transport::Dur;
+
+use proteus_runner::{payload, SimJob};
+
+use crate::protocols::cc;
+use crate::report::{f2, results_dir, Table};
+use crate::runner::{campaign, tail_mbps};
+use crate::RunCfg;
+
+/// Parking-lot chain lengths exercised by the campaign.
+pub const PARKING_SIZES: &[usize] = &[2, 3];
+
+/// Protocols driven through the parking lot (every flow uses the same one).
+pub const PARKING_PROTOCOLS: &[&str] = &["CUBIC", "Proteus-P"];
+
+/// One parking-lot link: the paper-default rate with a short per-hop RTT so
+/// a three-hop path still has a moderate base RTT.
+fn parking_link() -> LinkSpec {
+    LinkSpec::new(50.0, Dur::from_millis(10), 375_000)
+}
+
+/// The RTT-unfairness chain: an overprovisioned, high-latency access hop in
+/// front of the shared bottleneck. `links[1]` is the bottleneck.
+fn rtt_chain() -> Topology {
+    Topology::chain(vec![
+        LinkSpec::new(500.0, Dur::from_millis(60), 2_500_000),
+        LinkSpec::new(50.0, Dur::from_millis(20), 375_000),
+    ])
+}
+
+/// The scavenger-harm chain: two equal bottlenecks, one primary each.
+fn harm_chain() -> Topology {
+    Topology::chain(vec![
+        LinkSpec::new(50.0, Dur::from_millis(15), 375_000),
+        LinkSpec::new(50.0, Dur::from_millis(15), 375_000),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// N+1 flows over an N-link parking lot, all running `proto`. Payload:
+/// `[long_mbps, short_mbps × n, link_utilization × n]`.
+fn parking_job(n: usize, proto: &'static str, secs: f64, seed: u64) -> SimJob {
+    let descriptor = format!("topology-parking/n={n}/proto={proto}/secs={secs:?}/seed={seed}/v1");
+    SimJob::new(
+        descriptor,
+        format!("{proto} parking lot, {n} links"),
+        move || {
+            let mut sc = Scenario::over(
+                Topology::parking_lot(n, parking_link()),
+                Dur::from_secs_f64(secs),
+            )
+            .with_seed(seed)
+            .with_rtt_stride(2)
+            .flow(FlowSpec::bulk("long", Dur::ZERO, move || {
+                cc(proto, seed ^ 0xB0)
+            }));
+            for i in 0..n {
+                let salt = 0xB1 + i as u64;
+                sc = sc.flow(
+                    FlowSpec::bulk("short", Dur::ZERO, move || cc(proto, seed ^ salt))
+                        .with_path([i as LinkId]),
+                );
+            }
+            let res = run(sc);
+            let mut v = vec![tail_mbps(&res, 0, secs)];
+            for i in 0..n {
+                v.push(tail_mbps(&res, 1 + i, secs));
+            }
+            for l in &res.links {
+                v.push(l.utilization(Dur::from_secs_f64(secs)));
+            }
+            payload::encode_floats(&v)
+        },
+    )
+}
+
+/// Near (bottleneck only) vs far (access hop + bottleneck) flow, both
+/// running `proto`. Payload: `[near_mbps, far_mbps, bottleneck_util]`.
+fn rtt_job(proto: &'static str, secs: f64, seed: u64) -> SimJob {
+    let descriptor = format!("topology-rtt/proto={proto}/secs={secs:?}/seed={seed}/v1");
+    SimJob::new(
+        descriptor,
+        format!("{proto} RTT-unfairness chain"),
+        move || {
+            let res = run(Scenario::over(rtt_chain(), Dur::from_secs_f64(secs))
+                .with_seed(seed)
+                .with_rtt_stride(2)
+                .flow(
+                    FlowSpec::bulk("near", Dur::ZERO, move || cc(proto, seed ^ 0xC0))
+                        .with_path([1]),
+                )
+                .flow(
+                    FlowSpec::bulk("far", Dur::ZERO, move || cc(proto, seed ^ 0xC1))
+                        .with_path([0, 1]),
+                ));
+            payload::encode_floats(&[
+                tail_mbps(&res, 0, secs),
+                tail_mbps(&res, 1, secs),
+                res.links[1].utilization(Dur::from_secs_f64(secs)),
+            ])
+        },
+    )
+}
+
+/// One CUBIC primary per link of the two-link chain; `scav` adds a late
+/// Proteus-S flow crossing both. Payload:
+/// `[primary0_mbps, primary1_mbps, scav_mbps (0 when absent)]`.
+fn harm_job(scav: bool, secs: f64, seed: u64) -> SimJob {
+    let descriptor = format!("topology-harm/scav={scav}/secs={secs:?}/seed={seed}/v1");
+    let what = if scav {
+        "CUBIC per link vs late Proteus-S across both"
+    } else {
+        "CUBIC per link, no scavenger (baseline)"
+    };
+    SimJob::new(descriptor, what, move || {
+        let mut sc = Scenario::over(harm_chain(), Dur::from_secs_f64(secs))
+            .with_seed(seed)
+            .with_rtt_stride(2)
+            .flow(
+                FlowSpec::bulk("primary-0", Dur::ZERO, move || cc("CUBIC", seed ^ 0xD0))
+                    .with_path([0]),
+            )
+            .flow(
+                FlowSpec::bulk("primary-1", Dur::ZERO, move || cc("CUBIC", seed ^ 0xD1))
+                    .with_path([1]),
+            );
+        if scav {
+            sc = sc.flow(FlowSpec::bulk(
+                "scavenger",
+                Dur::from_secs_f64(secs * 0.2),
+                move || cc("Proteus-S", seed ^ 0xD2),
+            ));
+        }
+        let res = run(sc);
+        payload::encode_floats(&[
+            tail_mbps(&res, 0, secs),
+            tail_mbps(&res, 1, secs),
+            if scav { tail_mbps(&res, 2, secs) } else { 0.0 },
+        ])
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checker
+// ---------------------------------------------------------------------------
+
+/// One invariant verdict: a named check on one campaign cell.
+#[derive(Debug, Clone)]
+pub struct TopologyCheck {
+    /// Campaign cell the check applies to (e.g. `parking-2/CUBIC`).
+    pub cell: String,
+    /// Check name (`progress`, `links-utilized`, `long-flow-disadvantage`,
+    /// `short-flow-fairness`, `rtt-bias`, `bottleneck-saturated`,
+    /// `harm-bounded`).
+    pub check: &'static str,
+    /// The measured value the verdict was taken on.
+    pub value: f64,
+    /// Whether the invariant held.
+    pub pass: bool,
+}
+
+/// The machine-checkable result of a topology campaign.
+#[derive(Debug, Clone)]
+pub struct TopologyOutcome {
+    /// Every invariant verdict, in matrix order.
+    pub checks: Vec<TopologyCheck>,
+    /// The rendered report text.
+    pub report: String,
+}
+
+impl TopologyOutcome {
+    /// Whether every invariant held.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The checks that failed.
+    pub fn failures(&self) -> Vec<&TopologyCheck> {
+        self.checks.iter().filter(|c| !c.pass).collect()
+    }
+}
+
+fn verdict(pass: bool) -> String {
+    if pass { "PASS" } else { "FAIL" }.into()
+}
+
+// ---------------------------------------------------------------------------
+// The experiment
+// ---------------------------------------------------------------------------
+
+/// Runs the multi-bottleneck campaign and returns both the rendered report
+/// and the machine-checkable invariant verdicts.
+pub fn run_with_outcome(cfg: RunCfg) -> TopologyOutcome {
+    let secs = if cfg.quick { 24.0 } else { 60.0 };
+
+    let mut camp = campaign("topology", cfg);
+    let mut parking_slots: Vec<(usize, &'static str, usize)> = Vec::new();
+    for &n in PARKING_SIZES {
+        for &proto in PARKING_PROTOCOLS {
+            let slot = camp.push_dedup(parking_job(n, proto, secs, cfg.seed));
+            parking_slots.push((n, proto, slot));
+        }
+    }
+    let rtt_slots: Vec<(&'static str, usize)> = PARKING_PROTOCOLS
+        .iter()
+        .map(|&proto| (proto, camp.push_dedup(rtt_job(proto, secs, cfg.seed))))
+        .collect();
+    let harm_alone = camp.push_dedup(harm_job(false, secs, cfg.seed));
+    let harm_pair = camp.push_dedup(harm_job(true, secs, cfg.seed));
+    let result = camp.run();
+
+    let mut checks: Vec<TopologyCheck> = Vec::new();
+
+    // ---- Parking lot. ----
+    let mut parking = Table::new(
+        "Parking lot: tail goodput (Mbps) and per-link utilization",
+        &["cell", "long", "shorts", "jain(shorts)", "min-util"],
+    );
+    for &(n, proto, slot) in &parking_slots {
+        let v = payload::decode_floats(&result.outputs[slot]);
+        let long = v[0];
+        let shorts = &v[1..1 + n];
+        let utils = &v[1 + n..1 + 2 * n];
+        let jain = jain_index(shorts).unwrap_or(0.0);
+        let min_util = utils.iter().cloned().fold(f64::INFINITY, f64::min);
+        let cell = format!("parking-{n}/{proto}");
+        parking.row(vec![
+            cell.clone(),
+            f2(long),
+            shorts.iter().map(|&s| f2(s)).collect::<Vec<_>>().join("|"),
+            format!("{jain:.3}"),
+            format!("{min_util:.3}"),
+        ]);
+
+        let min_flow = shorts.iter().cloned().fold(long, f64::min);
+        checks.push(TopologyCheck {
+            cell: cell.clone(),
+            check: "progress",
+            value: min_flow,
+            pass: min_flow > 0.5,
+        });
+        checks.push(TopologyCheck {
+            cell: cell.clone(),
+            check: "links-utilized",
+            value: min_util,
+            pass: min_util >= 0.8,
+        });
+        // The long flow crosses every bottleneck; loss-based and
+        // deviation-based control both bias against it. A small tolerance
+        // keeps the check about the *direction* of the bias.
+        let avg_short = shorts.iter().sum::<f64>() / n as f64;
+        let ratio = long / avg_short.max(1e-9);
+        checks.push(TopologyCheck {
+            cell: cell.clone(),
+            check: "long-flow-disadvantage",
+            value: ratio,
+            pass: ratio <= 1.05,
+        });
+        checks.push(TopologyCheck {
+            cell,
+            check: "short-flow-fairness",
+            value: jain,
+            pass: jain >= 0.8,
+        });
+    }
+
+    // ---- RTT unfairness. ----
+    let mut rtt = Table::new(
+        "RTT unfairness: near (20 ms) vs far (80 ms) across one bottleneck",
+        &["cell", "near", "far", "near/far", "bneck-util"],
+    );
+    for &(proto, slot) in &rtt_slots {
+        let v = payload::decode_floats(&result.outputs[slot]);
+        let (near, far, util) = (v[0], v[1], v[2]);
+        let ratio = near / far.max(1e-9);
+        let cell = format!("rtt/{proto}");
+        rtt.row(vec![
+            cell.clone(),
+            f2(near),
+            f2(far),
+            f2(ratio),
+            format!("{util:.3}"),
+        ]);
+        checks.push(TopologyCheck {
+            cell: cell.clone(),
+            check: "progress",
+            value: near.min(far),
+            pass: near.min(far) > 0.5,
+        });
+        checks.push(TopologyCheck {
+            cell: cell.clone(),
+            check: "bottleneck-saturated",
+            value: util,
+            pass: util >= 0.8,
+        });
+        // Only loss-based control is *expected* to show the classic RTT
+        // bias; for the PCC family the ratio is reported, not pinned.
+        if proto == "CUBIC" {
+            checks.push(TopologyCheck {
+                cell,
+                check: "rtt-bias",
+                value: ratio,
+                pass: ratio >= 1.3,
+            });
+        }
+    }
+
+    // ---- Scavenger harm across two bottlenecks. ----
+    let alone = payload::decode_floats(&result.outputs[harm_alone]);
+    let pair = payload::decode_floats(&result.outputs[harm_pair]);
+    let mut harm = Table::new(
+        "Scavenger harm: CUBIC per link, Proteus-S across both (Mbps)",
+        &["flow", "alone", "with-scav", "ratio"],
+    );
+    for (i, name) in ["primary-0", "primary-1"].iter().enumerate() {
+        let ratio = pair[i] / alone[i].max(1e-9);
+        harm.row(vec![(*name).into(), f2(alone[i]), f2(pair[i]), f2(ratio)]);
+        checks.push(TopologyCheck {
+            cell: format!("harm/{name}"),
+            check: "harm-bounded",
+            value: ratio,
+            pass: ratio >= 0.7,
+        });
+    }
+    harm.row(vec![
+        "scavenger".into(),
+        "-".into(),
+        f2(pair[2]),
+        "-".into(),
+    ]);
+
+    // ---- Invariant table + report. ----
+    let mut inv = Table::new(
+        "Invariants: multi-bottleneck contracts",
+        &["cell", "check", "value", "verdict"],
+    );
+    for c in &checks {
+        inv.row(vec![
+            c.cell.clone(),
+            c.check.into(),
+            format!("{:.4}", c.value),
+            verdict(c.pass),
+        ]);
+    }
+    let failed = checks.iter().filter(|c| !c.pass).count();
+    let summary = format!(
+        "invariants: {}/{} passed{}\n",
+        checks.len() - failed,
+        checks.len(),
+        if failed == 0 {
+            String::new()
+        } else {
+            format!(" — {failed} FAILED")
+        }
+    );
+    let text = format!(
+        "{}\n{}\n{}\n{}\n{summary}",
+        parking.render(),
+        rtt.render(),
+        harm.render(),
+        inv.render()
+    );
+
+    let dir = results_dir().join("topology");
+    let _ = fs::create_dir_all(&dir);
+    let _ = fs::write(dir.join("report.txt"), &text);
+    let _ = fs::write(dir.join("parking.csv"), parking.to_csv());
+    let _ = fs::write(dir.join("rtt.csv"), rtt.to_csv());
+    let _ = fs::write(dir.join("harm.csv"), harm.to_csv());
+    let _ = fs::write(dir.join("invariants.csv"), inv.to_csv());
+
+    TopologyOutcome {
+        checks,
+        report: text,
+    }
+}
+
+/// Registry entry point: runs the campaign and returns the report.
+pub fn run_experiment(cfg: RunCfg) -> String {
+    run_with_outcome(cfg).report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_jobs_have_distinct_identities() {
+        let a = parking_job(2, "CUBIC", 24.0, 1);
+        let b = parking_job(3, "CUBIC", 24.0, 1);
+        let c = parking_job(2, "Proteus-P", 24.0, 1);
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        let r = rtt_job("CUBIC", 24.0, 1);
+        let h0 = harm_job(false, 24.0, 1);
+        let h1 = harm_job(true, 24.0, 1);
+        assert_ne!(r.key(), h0.key());
+        assert_ne!(h0.key(), h1.key());
+    }
+
+    #[test]
+    fn outcome_reports_failures() {
+        let mk = |pass| TopologyOutcome {
+            checks: vec![TopologyCheck {
+                cell: "parking-2/CUBIC".into(),
+                check: "progress",
+                value: 1.0,
+                pass,
+            }],
+            report: String::new(),
+        };
+        assert!(mk(true).all_pass());
+        assert!(!mk(false).all_pass());
+        assert_eq!(mk(false).failures().len(), 1);
+    }
+}

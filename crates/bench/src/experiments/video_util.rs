@@ -48,6 +48,7 @@ pub fn add_video_flow(
             Box::new(session_cell.borrow_mut().take().expect("single use")) as Box<dyn Application>
         }),
         reliable: true,
+        path: None,
     });
     stats
 }

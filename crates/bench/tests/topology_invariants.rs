@@ -1,0 +1,70 @@
+//! The `topology` multi-bottleneck campaign: deterministic,
+//! invariant-clean, and pinned against a committed golden report.
+//!
+//! Everything env-dependent lives in the single `#[test]` below —
+//! `PROTEUS_RESULTS_DIR` is process-global, so a second env-touching test in
+//! this binary would race it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use proteus_bench::experiments::topology;
+use proteus_bench::RunCfg;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Runs the quick campaign twice (single-threaded, then on 4 workers) and
+/// checks: byte-identical reports, all invariants pass, and the report
+/// matches `results/golden/topology_quick.txt`.
+#[test]
+fn topology_campaign_is_deterministic_and_invariants_hold() {
+    let scratch = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("topology_invariants");
+    let _ = fs::remove_dir_all(&scratch);
+    std::env::set_var("PROTEUS_RESULTS_DIR", &scratch);
+
+    // No cache: both runs must actually simulate, or the byte-identity
+    // check would just compare a cache entry with itself.
+    let cfg = RunCfg {
+        cache: false,
+        ..RunCfg::quick()
+    };
+    let serial = topology::run_with_outcome(cfg);
+    let parallel = topology::run_with_outcome(RunCfg { jobs: 4, ..cfg });
+    std::env::remove_var("PROTEUS_RESULTS_DIR");
+
+    assert_eq!(
+        serial.report, parallel.report,
+        "topology report differs between --jobs 1 and --jobs 4 runs"
+    );
+    assert!(
+        serial.all_pass(),
+        "topology invariants failed:\n{:#?}",
+        serial.failures()
+    );
+    // The campaign wrote its report files where the docs promise.
+    assert!(scratch.join("topology/report.txt").is_file());
+    assert!(scratch.join("topology/invariants.csv").is_file());
+
+    // Golden pin: quick-mode topology must reproduce the committed report
+    // byte for byte. Re-bless with
+    // `PROTEUS_BLESS=1 cargo test -p proteus-bench --test topology_invariants`.
+    let golden_path = repo_path("results/golden/topology_quick.txt");
+    if std::env::var_os("PROTEUS_BLESS").is_some_and(|v| !v.is_empty()) {
+        fs::create_dir_all(golden_path.parent().unwrap()).expect("create results/golden");
+        fs::write(&golden_path, &serial.report).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .expect("missing results/golden/topology_quick.txt — bless it with PROTEUS_BLESS=1");
+    assert_eq!(
+        serial.report, golden,
+        "quick-mode topology no longer matches results/golden/topology_quick.txt. \
+         If intentional: PROTEUS_BLESS=1 cargo test -p proteus-bench --test \
+         topology_invariants, regenerate results/topology with `repro --no-cache \
+         topology`, and commit both."
+    );
+}

@@ -1,13 +1,22 @@
 //! The discrete-event simulation engine.
 //!
-//! One [`Sim`] executes one [`Scenario`]: flows hand MTU-sized packets to a
-//! shared [`BottleneckLink`]; accepted packets depart after queueing +
-//! serialization, cross a fixed one-way propagation delay (plus optional
-//! noise), are acknowledged by the receiver, and the ACK returns over a
-//! clean reverse path. Senders are driven purely by events — ACK arrivals,
-//! pacing timers, controller timers, retransmission timeouts and application
-//! wakeups — so the whole run is a deterministic function of the scenario
-//! and its seed.
+//! One [`Sim`] executes one [`Scenario`]: flows hand MTU-sized packets to
+//! the first [`BottleneckLink`] on their path; accepted packets depart
+//! after queueing + serialization, cross that link's one-way propagation
+//! delay (plus optional noise), and either reach the receiver (last hop,
+//! `Delivery`) or are offered to the next link on the path (`HopArrival`).
+//! The ACK returns over a clean reverse path whose propagation is the sum
+//! of the path links' reverse halves. Senders are driven purely by events —
+//! ACK arrivals, pacing timers, controller timers, retransmission timeouts
+//! and application wakeups — so the whole run is a deterministic function
+//! of the scenario and its seed.
+//!
+//! Single-link topologies (every scenario built with [`Scenario::new`])
+//! reduce to the legacy dumbbell engine byte-identically: hop 0 of a
+//! one-link path performs exactly the legacy operation and RNG-draw
+//! sequence, no `HopArrival` events exist, and per-link fault streams use a
+//! zero salt at link 0 (see DESIGN.md §4g and
+//! `tests/topology_equivalence.rs`).
 //!
 //! Events are ordered by `(time, push sequence)` through the scheduler in
 //! [`crate::sched`] (a hierarchical timing wheel by default, with the
@@ -50,10 +59,13 @@
 //! noise transparently fall back to the staged path — their draws are
 //! RNG-order- and state-sensitive — which also remains selectable
 //! explicitly ([`WirePath::Staged`]) as the executable ordering reference
-//! for the equivalence suite (`tests/wire_equivalence.rs`).
+//! for the equivalence suite (`tests/wire_equivalence.rs`). Multi-link
+//! topologies gate fusion off the same way: per-hop admission interleaves
+//! across links in ways the FIFO ring cannot express.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt as Rng, SeedableRng};
@@ -66,10 +78,11 @@ use crate::dist;
 use crate::fault::{FaultState, LinkChange, WireLoss};
 use crate::flows::FlowTable;
 use crate::link::{BottleneckLink, Offer};
-use crate::metrics::{EventStats, FlowMetrics, SimResult, TraceEvent};
+use crate::metrics::{EventStats, FlowMetrics, LinkSummary, SimResult, TraceEvent};
 use crate::noise::{NoiseConfig, NoiseState};
 use crate::scenario::{ChurnClass, Scenario};
 use crate::sched::EventQueue;
+use crate::topology::{LinkId, Topology};
 
 /// Dup-ACK threshold: a packet is lost once a packet sent this many
 /// sequence numbers later has been ACKed.
@@ -88,6 +101,14 @@ const QUEUE_CAPACITY_MARGIN: usize = 64;
 /// leaves the main RNG's draw sequence — and with it every existing
 /// result — untouched.
 pub const CHURN_SEED_SALT: u64 = 0xC44E_5EED_0000_0002;
+
+/// Per-link salt stride for fault RNG streams: link `i`'s fault draws come
+/// from `seed ^ (i · LINK_FAULT_SEED_STRIDE)` (wrapping multiply; the
+/// Weyl/golden-ratio constant). Link 0's salt is zero, so single-link fault
+/// schedules reproduce historical results byte for byte, while every other
+/// link draws from an independent stream — attaching a schedule to link *k*
+/// never perturbs link *j*'s bursts or reordering.
+pub const LINK_FAULT_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Which wire-path execution strategy a scenario runs on.
 ///
@@ -143,9 +164,10 @@ pub fn take_session_event_totals() -> SessionEventTotals {
 enum Event {
     FlowStart(u32),
     FlowStop(u32),
-    /// A packet finished serializing at the bottleneck: release its buffer
+    /// A packet finished serializing at link `link`: release its buffer
     /// space.
     QueueDrain {
+        link: LinkId,
         bytes: u32,
     },
     /// A data packet reaches the receiver (at the queue entry's time).
@@ -189,9 +211,20 @@ enum Event {
     QueueSample,
     /// Periodic per-flow telemetry sampling (see `Scenario::with_trace`).
     TraceSample,
-    /// Apply the `idx`-th scheduled link change of the fault schedule.
+    /// Apply the `idx`-th scheduled link change (see `Sim::fault_changes`).
     Fault {
         idx: u32,
+    },
+    /// A data packet arrives at the entry of hop `hop` of its flow's path
+    /// (multi-link topologies only: hop 0 is admitted inline by `try_send`
+    /// and the last hop delivers via `Delivery`, so single-link runs never
+    /// schedule this).
+    HopArrival {
+        flow: u32,
+        seq: SeqNr,
+        bytes: u32,
+        sent_at: Time,
+        hop: u16,
     },
 }
 
@@ -201,6 +234,8 @@ const K_QUEUE_DRAIN: usize = 2;
 const K_DELIVERY: usize = 3;
 /// Index of `Event::AckArrival` in [`crate::metrics::EVENT_KIND_NAMES`].
 const K_ACK_ARRIVAL: usize = 4;
+/// Index of `Event::HopArrival` in [`crate::metrics::EVENT_KIND_NAMES`].
+const K_HOP_ARRIVAL: usize = 14;
 
 impl Event {
     /// Index into [`crate::metrics::EVENT_KIND_NAMES`] for accounting.
@@ -220,6 +255,7 @@ impl Event {
             Event::QueueSample => 11,
             Event::TraceSample => 12,
             Event::Fault { .. } => 13,
+            Event::HopArrival { .. } => K_HOP_ARRIVAL,
         }
     }
 }
@@ -336,10 +372,34 @@ struct ChurnState {
     classes: Vec<ChurnClass>,
     /// Normalized cumulative class weights for arrival sampling.
     cum_weights: Vec<f64>,
+    /// Resolved per-class paths (validated against the topology at build).
+    class_paths: Vec<Arc<[LinkId]>>,
     stop: Time,
     spawned: usize,
     /// Dedicated churn RNG stream (`seed ^ CHURN_SEED_SALT`).
     rng: SmallRng,
+}
+
+/// Runtime state of one topology link: its queue, propagation split,
+/// per-packet wire processes and fault layer. `Sim::links[0]` of a
+/// single-link topology is exactly the legacy dumbbell state.
+struct LinkState {
+    link: BottleneckLink,
+    /// One-way forward propagation (half the link's two-way `rtt`).
+    fwd_prop: Dur,
+    /// One-way reverse propagation (the other half).
+    rev_prop: Dur,
+    /// Probability of non-congestion loss per data packet at this hop.
+    random_loss: f64,
+    /// Latency-noise model: applied to this hop's data deliveries, and —
+    /// last hop only — to ACK releases at the receiver.
+    noise: NoiseState,
+    /// Fault runtime (`None` without a schedule: zero extra RNG draws).
+    faults: Option<FaultState>,
+    /// Configured rate before any fault-schedule changes, bits/sec.
+    rate_bps: f64,
+    /// Peak buffer occupancy observed at admission, bytes.
+    peak_queued_bytes: u64,
 }
 
 /// The simulation engine. Construct with [`Sim::new`], execute with
@@ -348,11 +408,10 @@ pub struct Sim {
     now: Time,
     queue: EventQueue<Event>,
     event_seq: u64,
-    link: BottleneckLink,
-    fwd_prop: Dur,
-    rev_prop: Dur,
-    random_loss: f64,
-    noise: NoiseState,
+    /// Per-link runtime state, indexed by [`LinkId`].
+    links: Vec<LinkState>,
+    /// The default flow path: every link in id order.
+    default_path: Arc<[LinkId]>,
     flows: FlowTable,
     metrics: Vec<FlowMetrics>,
     rng: SmallRng,
@@ -376,11 +435,10 @@ pub struct Sim {
     /// Reusable scratch for loss sweeps (dup-ACK and RTO), so the per-ACK
     /// and per-RTO paths stay allocation-free after warm-up.
     loss_scratch: Vec<(SeqNr, Time, u64)>,
-    /// Fault-layer runtime (`None` without a schedule: the static fast
-    /// path, with zero extra RNG draws).
-    faults: Option<FaultState>,
-    /// The schedule's link changes, indexed by `Event::Fault::idx`.
-    fault_changes: Vec<LinkChange>,
+    /// Every scheduled link change across all per-link fault schedules,
+    /// indexed by `Event::Fault::idx` (pushed in link order, then schedule
+    /// order — the legacy order for single-link scenarios).
+    fault_changes: Vec<(LinkId, LinkChange)>,
     /// Event-queue traffic accounting (mechanics, not behavior).
     events: EventStats,
     /// Fused wire ring; `Some` iff the scenario selected [`WirePath::Fused`]
@@ -390,9 +448,34 @@ pub struct Sim {
 
 impl Sim {
     /// Builds the engine from a scenario, consuming it.
+    ///
+    /// # Panics
+    /// Panics if a flow or churn class declares a path that is empty, names
+    /// a link outside the topology, or visits a link twice — or if a fault
+    /// schedule is attached to link 0 both via `Scenario::with_faults` and
+    /// `Topology::with_faults`.
     pub fn new(scenario: Scenario) -> Self {
+        // Validate every declared path against the topology before
+        // consuming the scenario (default paths are valid by construction).
+        for spec in &scenario.flows {
+            if let Some(p) = &spec.path {
+                if let Err(e) = scenario.topology.check_path(p) {
+                    panic!("flow {:?}: {e}", spec.name);
+                }
+            }
+        }
+        if let Some(cs) = &scenario.churn {
+            for class in &cs.classes {
+                if let Some(p) = &class.path {
+                    if let Err(e) = scenario.topology.check_path(p) {
+                        panic!("churn class {:?}: {e}", class.name);
+                    }
+                }
+            }
+        }
+
         let Scenario {
-            link,
+            topology,
             flows,
             cross_traffic,
             duration,
@@ -406,14 +489,35 @@ impl Sim {
             scheduler,
             wire_path,
         } = scenario;
+        let Topology {
+            links: link_specs,
+            faults: mut link_faults,
+        } = topology;
+        assert!(!link_specs.is_empty(), "topology needs at least one link");
+        link_faults.resize(link_specs.len(), None);
+        // The legacy `Scenario::with_faults` sugar targets link 0; merge it
+        // with the per-link attachment point, rejecting double attachment.
+        if let Some(sched) = faults {
+            if !sched.is_empty() {
+                assert!(
+                    link_faults[0].is_none(),
+                    "fault schedule attached to link 0 both via Scenario::with_faults \
+                     and Topology::with_faults"
+                );
+                link_faults[0] = Some(sched);
+            }
+        }
 
         // Fusion gate: fault schedules and latency noise make wire-stage
-        // draws RNG-order- and state-sensitive, so those scenarios run the
-        // staged reference path regardless of the selector (the same
-        // normalization rule as `with_faults` with an empty schedule).
+        // draws RNG-order- and state-sensitive, and multi-link paths route
+        // packets through per-hop admissions the FIFO ring cannot express,
+        // so those scenarios run the staged reference path regardless of
+        // the selector (the same normalization rule as `with_faults` with
+        // an empty schedule).
         let fused = wire_path == WirePath::Fused
-            && !matches!(&faults, Some(s) if !s.is_empty())
-            && link.noise == NoiseConfig::None;
+            && link_specs.len() == 1
+            && link_faults.iter().all(|f| f.is_none())
+            && link_specs[0].noise == NoiseConfig::None;
 
         // Initial scheduler capacity is derived from the scenario, not a
         // fixed constant: every static flow contributes a start (and maybe a
@@ -421,24 +525,41 @@ impl Sim {
         // each scheduled fault is one event. The scheduler grows beyond this
         // without dropping events (`sched` tests assert no silent cap);
         // deriving it just avoids regrowth storms at t=0 for 10k-flow runs.
-        let fault_events =
-            faults
-                .as_ref()
-                .map_or(0, |s| if s.is_empty() { 0 } else { s.link_events.len() });
+        let fault_events: usize = link_faults
+            .iter()
+            .flatten()
+            .map(|s| s.link_events.len())
+            .sum();
         let churn_initial = churn.as_ref().map_or(0, |c| c.initial);
         let capacity = (flows.len() + churn_initial) * 2 + fault_events + QUEUE_CAPACITY_MARGIN;
         let flow_capacity = flows.len() + churn_initial;
 
-        let half_rtt = Dur::from_nanos(link.rtt.as_nanos() / 2);
+        let default_path: Arc<[LinkId]> =
+            (0..link_specs.len() as LinkId).collect::<Vec<_>>().into();
+        let link_rate_bps = link_specs[0].rate_bps();
+        let links: Vec<LinkState> = link_specs
+            .iter()
+            .map(|spec| {
+                let half_rtt = Dur::from_nanos(spec.rtt.as_nanos() / 2);
+                LinkState {
+                    link: BottleneckLink::new(spec.rate_bps(), spec.buffer_bytes),
+                    fwd_prop: half_rtt,
+                    rev_prop: spec.rtt - half_rtt,
+                    random_loss: spec.random_loss,
+                    noise: spec.noise.build(),
+                    faults: None,
+                    rate_bps: spec.rate_bps(),
+                    peak_queued_bytes: 0,
+                }
+            })
+            .collect();
+
         let mut sim = Sim {
             now: Time::ZERO,
             queue: EventQueue::new(scheduler, capacity),
             event_seq: 0,
-            link: BottleneckLink::new(link.rate_bps(), link.buffer_bytes),
-            fwd_prop: half_rtt,
-            rev_prop: link.rtt - half_rtt,
-            random_loss: link.random_loss,
-            noise: link.noise.build(),
+            links,
+            default_path,
             flows: FlowTable::with_capacity(flow_capacity),
             metrics: Vec::with_capacity(flow_capacity),
             rng: SmallRng::seed_from_u64(seed),
@@ -454,28 +575,38 @@ impl Sim {
             id_scratch: Vec::new(),
             cross: None,
             churn: None,
-            link_rate_bps: link.rate_bps(),
+            link_rate_bps,
             loss_scratch: Vec::new(),
-            faults: None,
             fault_changes: Vec::new(),
             events: EventStats::default(),
             wire: fused.then(WirePipeline::new),
         };
 
-        if let Some(sched) = &faults {
-            if !sched.is_empty() {
-                sim.faults = Some(FaultState::new(sched, seed));
-                for (idx, &(at, change)) in sched.link_events.iter().enumerate() {
-                    sim.fault_changes.push(change);
-                    sim.push(Time::ZERO + at, Event::Fault { idx: idx as u32 });
-                }
+        // Per-link fault runtimes: link 0 keeps the exact legacy seed (zero
+        // salt — see LINK_FAULT_SEED_STRIDE) and events are pushed in link
+        // order then schedule order, which for one link is the legacy push
+        // order, so single-link schedules stay byte-identical.
+        for (li, sched) in link_faults.iter().enumerate() {
+            let Some(sched) = sched else { continue };
+            sim.links[li].faults = Some(FaultState::new(
+                sched,
+                seed ^ (li as u64).wrapping_mul(LINK_FAULT_SEED_STRIDE),
+            ));
+            for &(at, change) in &sched.link_events {
+                let idx = sim.fault_changes.len() as u32;
+                sim.fault_changes.push((li as LinkId, change));
+                sim.push(Time::ZERO + at, Event::Fault { idx });
             }
         }
 
         for spec in flows {
+            let path: Arc<[LinkId]> = match &spec.path {
+                Some(p) => Arc::from(p.as_slice()),
+                None => Arc::clone(&sim.default_path),
+            };
             let id = sim
                 .flows
-                .push_flow((spec.cc)(), (spec.app)(), spec.reliable);
+                .push_flow((spec.cc)(), (spec.app)(), spec.reliable, path);
             sim.flows.stop_at[id] = spec.stop.map(|d| Time::ZERO + d);
             sim.metrics
                 .push(FlowMetrics::new(id, spec.name, throughput_bin, rtt_stride));
@@ -505,12 +636,21 @@ impl Sim {
                 acc += c.weight / total;
                 cum_weights.push(acc);
             }
+            let class_paths: Vec<Arc<[LinkId]>> = cs
+                .classes
+                .iter()
+                .map(|c| match &c.path {
+                    Some(p) => Arc::from(p.as_slice()),
+                    None => Arc::clone(&sim.default_path),
+                })
+                .collect();
             let start = Time::ZERO + cs.start;
             sim.churn = Some(ChurnState {
                 arrivals_per_sec: cs.arrivals_per_sec,
                 mean_lifetime_secs: cs.mean_lifetime.as_secs_f64(),
                 classes: cs.classes,
                 cum_weights,
+                class_paths,
                 stop: Time::ZERO + cs.stop,
                 spawned: 0,
                 rng: SmallRng::seed_from_u64(seed ^ CHURN_SEED_SALT),
@@ -562,16 +702,29 @@ impl Sim {
         self.decisions.sort_by_key(|fe| fe.event.t_ns);
         SESSION_DISPATCHED.fetch_add(self.events.dispatched(), Ordering::Relaxed);
         SESSION_FUSED.fetch_add(self.events.fused, Ordering::Relaxed);
+        let links: Vec<LinkSummary> = self
+            .links
+            .iter()
+            .map(|l| LinkSummary {
+                rate_bps: l.rate_bps,
+                delivered_bytes: l.link.delivered_bytes(),
+                accepted_pkts: l.link.accepted_pkts(),
+                dropped_pkts: l.link.dropped_pkts(),
+                peak_queued_bytes: l.peak_queued_bytes,
+                fault_stats: l.faults.as_ref().map(|f| f.stats).unwrap_or_default(),
+            })
+            .collect();
         SimResult {
             flows: self.metrics,
             duration: self.duration,
             link_rate_bps: self.link_rate_bps,
-            link_delivered_bytes: self.link.delivered_bytes(),
-            link_dropped_pkts: self.link.dropped_pkts(),
+            link_delivered_bytes: links[0].delivered_bytes,
+            link_dropped_pkts: links[0].dropped_pkts,
+            fault_stats: links[0].fault_stats,
+            links,
             queue_samples: self.queue_samples,
             trace: self.trace,
             decisions: self.decisions,
-            fault_stats: self.faults.map(|f| f.stats).unwrap_or_default(),
             events: self.events,
         }
     }
@@ -646,7 +799,8 @@ impl Sim {
         };
         self.events.pops[K_QUEUE_DRAIN] += 1;
         self.events.fused += 1;
-        self.link.on_departure(bytes as u64);
+        // Fused paths are single-link by the fusion gate.
+        self.links[0].link.on_departure(bytes as u64);
     }
 
     /// Fused analog of `Event::Delivery` dispatch: assigns the ACK's
@@ -662,8 +816,9 @@ impl Sim {
         let ack_seq = self.event_seq;
         // Clean path: `NoiseState::None::ack_release` is the identity and
         // the fault layer is absent, so the ACK departs the receiver at
-        // `now` and arrives after the reverse propagation, clamped FIFO.
-        let mut arrival = self.now + self.rev_prop;
+        // `now` and arrives after the reverse propagation, clamped FIFO
+        // (single link by the fusion gate).
+        let mut arrival = self.now + self.links[0].rev_prop;
         if arrival < self.flows.last_ack_arrival_at[flow] {
             arrival = self.flows.last_ack_arrival_at[flow];
         }
@@ -707,7 +862,9 @@ impl Sim {
         match ev {
             Event::FlowStart(id) => self.on_flow_start(id as FlowId),
             Event::FlowStop(id) => self.on_flow_stop(id as FlowId),
-            Event::QueueDrain { bytes } => self.link.on_departure(bytes as u64),
+            Event::QueueDrain { link, bytes } => {
+                self.links[link as usize].link.on_departure(bytes as u64)
+            }
             Event::Delivery {
                 flow,
                 seq,
@@ -732,8 +889,10 @@ impl Sim {
             Event::SpawnCross => self.on_spawn_cross(),
             Event::ChurnSpawn => self.on_churn_spawn(),
             Event::QueueSample => {
+                // Legacy samples cover link 0; per-link peaks are reported
+                // through `LinkSummary::peak_queued_bytes`.
                 self.queue_samples
-                    .push((self.now.as_secs_f64(), self.link.queued_bytes()));
+                    .push((self.now.as_secs_f64(), self.links[0].link.queued_bytes()));
                 if let Some(every) = self.queue_sample_every {
                     self.push(self.now + every, Event::QueueSample);
                 }
@@ -746,41 +905,49 @@ impl Sim {
                 }
             }
             Event::Fault { idx } => self.on_fault(idx as usize),
+            Event::HopArrival {
+                flow,
+                seq,
+                bytes,
+                sent_at,
+                hop,
+            } => self.on_hop_arrival(flow as FlowId, seq, bytes as u64, sent_at, hop as usize),
         }
     }
 
-    /// Applies one scheduled link change and records it as a link-scoped
-    /// trace event.
+    /// Applies one scheduled link change to its target link and records it
+    /// as a link-scoped trace event.
     fn on_fault(&mut self, idx: usize) {
         use proteus_trace::FaultKind;
-        let change = self.fault_changes[idx];
+        let (li, change) = self.fault_changes[idx];
+        let li = li as usize;
         let (kind, value) = match change {
             LinkChange::Bandwidth(mbps) => {
-                self.link.set_rate(mbps * 1e6);
+                self.links[li].link.set_rate(mbps * 1e6);
                 (FaultKind::Bandwidth, mbps)
             }
             LinkChange::Rtt(rtt) => {
                 // Same half-split as construction; in-flight packets keep
                 // the propagation delay they departed with.
                 let half = Dur::from_nanos(rtt.as_nanos() / 2);
-                self.fwd_prop = half;
-                self.rev_prop = rtt - half;
+                self.links[li].fwd_prop = half;
+                self.links[li].rev_prop = rtt - half;
                 (FaultKind::Rtt, rtt.as_secs_f64())
             }
             LinkChange::Down => {
-                if let Some(f) = &mut self.faults {
+                if let Some(f) = &mut self.links[li].faults {
                     f.down = true;
                 }
                 (FaultKind::OutageStart, 0.0)
             }
             LinkChange::Up => {
-                if let Some(f) = &mut self.faults {
+                if let Some(f) = &mut self.links[li].faults {
                     f.down = false;
                 }
                 (FaultKind::OutageEnd, 0.0)
             }
         };
-        if let Some(f) = &mut self.faults {
+        if let Some(f) = &mut self.links[li].faults {
             f.stats.link_changes += 1;
         }
         self.record_fault(kind, value);
@@ -877,18 +1044,34 @@ impl Sim {
         self.maybe_retire(id);
     }
 
+    /// Total reverse-path propagation for a flow: the sum of its links'
+    /// current `rev_prop`, in path order (for a one-link path, exactly the
+    /// legacy `rev_prop`).
+    fn rev_prop_of(&self, flow: FlowId) -> Dur {
+        let mut rev = Dur::ZERO;
+        for i in 0..self.flows.path[flow].len() {
+            rev += self.links[self.flows.path[flow][i] as usize].rev_prop;
+        }
+        rev
+    }
+
     fn on_delivery(&mut self, flow: FlowId, seq: SeqNr, bytes: u64, sent_at: Time) {
-        // Receiver generates an ACK immediately; the noise model may hold it
-        // (WiFi MAC aggregation) before it crosses the reverse path. The
+        // Receiver generates an ACK immediately; the last hop's noise model
+        // may hold it (WiFi MAC aggregation) before it crosses the reverse
+        // path, whose propagation sums the path links' reverse halves. The
         // return path is FIFO: ACK arrivals are clamped monotone per flow.
         let delivered_at = self.now;
-        let mut release = self.noise.ack_release(self.now, &mut self.rng);
-        if let Some(f) = &mut self.faults {
+        let last = {
+            let p = &self.flows.path[flow];
+            p[p.len() - 1] as usize
+        };
+        let mut release = self.links[last].noise.ack_release(self.now, &mut self.rng);
+        if let Some(f) = &mut self.links[last].faults {
             // ACK compression: episodes hold ACKs past the noise model's
             // release time and let them go in a single batch.
             release = f.ack_release(release);
         }
-        let mut arrival = release + self.rev_prop;
+        let mut arrival = release + self.rev_prop_of(flow);
         if arrival < self.flows.last_ack_arrival_at[flow] {
             arrival = self.flows.last_ack_arrival_at[flow];
         }
@@ -1136,8 +1319,13 @@ impl Sim {
 
         let id = self.flows.len();
         let cc = (self.cross.as_ref().expect("cross exists").cc)(id);
-        self.flows
-            .push_flow(cc, Box::new(proteus_transport::SizedApp::new(size)), true);
+        let path = Arc::clone(&self.default_path);
+        self.flows.push_flow(
+            cc,
+            Box::new(proteus_transport::SizedApp::new(size)),
+            true,
+            path,
+        );
         self.metrics.push(FlowMetrics::new(
             id,
             format!("cross-{n}"),
@@ -1173,7 +1361,8 @@ impl Sim {
         let ch = self.churn.as_ref().expect("churn exists");
         let cc = (ch.classes[class_idx].cc)(id);
         let name = format!("{}~{n}", ch.classes[class_idx].name);
-        self.flows.push_flow(cc, Box::new(BulkApp), false);
+        let path = Arc::clone(&ch.class_paths[class_idx]);
+        self.flows.push_flow(cc, Box::new(BulkApp), false, path);
         let stop = start + lifetime;
         self.flows.stop_at[id] = Some(stop);
         self.metrics.push(FlowMetrics::new(
@@ -1304,69 +1493,18 @@ impl Sim {
             let arm_rto = self.flows.rto_deadline[flow].is_none();
             self.metrics[flow].on_sent(bytes);
 
-            match self.link.offer(now, bytes) {
+            let first = self.flows.path[flow][0] as usize;
+            match self.links[first].link.offer(now, bytes) {
                 Offer::Dropped => {
                     // Tail drop: the sender finds out via dup-ACKs or RTO.
                 }
                 Offer::Departs(at) if self.wire.is_some() => {
+                    self.note_queue_peak(first);
                     self.admit_fused(flow, seq, bytes, at);
                 }
                 Offer::Departs(at) => {
-                    self.push(
-                        at,
-                        Event::QueueDrain {
-                            bytes: bytes as u32,
-                        },
-                    );
-                    // Fault layer first (its own RNG: no draws without a
-                    // schedule), then the pre-existing random-loss draw from
-                    // the main RNG, in the original order.
-                    let fault = match &mut self.faults {
-                        Some(f) => f.wire_loss(),
-                        None => WireLoss::default(),
-                    };
-                    if let Some(p_bad) = fault.burst_started {
-                        self.record_fault(proteus_trace::FaultKind::LossBurstStart, p_bad);
-                    }
-                    if fault.burst_ended {
-                        self.record_fault(proteus_trace::FaultKind::LossBurstEnd, 0.0);
-                    }
-                    if fault.lost {
-                        // Outage or loss burst: departs the queue, never
-                        // reaches the receiver.
-                    } else if self.random_loss > 0.0 && self.rng.random::<f64>() < self.random_loss
-                    {
-                        // Non-congestion loss on the wire after the queue.
-                    } else {
-                        let noise = self.noise.data_delay(&mut self.rng);
-                        let mut delivered_at = at + self.fwd_prop + noise;
-                        let reorder_extra = match &mut self.faults {
-                            Some(f) => f.reorder_extra(),
-                            None => None,
-                        };
-                        if let Some(extra) = reorder_extra {
-                            // Reordered packet: held back by `extra` and
-                            // exempted from the FIFO clamp (and from
-                            // advancing it), so later packets overtake it.
-                            delivered_at += extra;
-                        } else {
-                            // FIFO clamp: jitter never reorders a flow's
-                            // packets.
-                            if delivered_at < self.flows.last_delivery_at[flow] {
-                                delivered_at = self.flows.last_delivery_at[flow];
-                            }
-                            self.flows.last_delivery_at[flow] = delivered_at;
-                        }
-                        self.push(
-                            delivered_at,
-                            Event::Delivery {
-                                flow: flow as u32,
-                                seq,
-                                bytes: bytes as u32,
-                                sent_at: now,
-                            },
-                        );
-                    }
+                    self.note_queue_peak(first);
+                    self.forward_staged(flow, seq, bytes, now, 0, at);
                 }
             }
             if arm_rto {
@@ -1375,6 +1513,130 @@ impl Sim {
             self.sync_cc_timer(flow);
         }
         debug_assert!(false, "try_send hit MAX_BURST — runaway controller?");
+    }
+
+    /// Tracks a link's peak buffer occupancy after a successful admission.
+    fn note_queue_peak(&mut self, li: usize) {
+        let q = self.links[li].link.queued_bytes();
+        if q > self.links[li].peak_queued_bytes {
+            self.links[li].peak_queued_bytes = q;
+        }
+    }
+
+    /// Staged continuation after link `path[hop]` accepted a packet with
+    /// departure time `at`: schedules the queue drain, applies that link's
+    /// loss, noise and reordering processes, and forwards the packet to
+    /// the next hop (`HopArrival`) or the receiver (`Delivery`).
+    ///
+    /// For a one-link path (`hop == 0`, last hop) this is byte-for-byte the
+    /// legacy wire chain: the same events pushed at the same instants, the
+    /// same draws from the same RNGs in the same order. Mid-path hops skip
+    /// the per-flow FIFO delivery clamp — each queue is itself FIFO, and
+    /// the clamp's contract (jitter never reorders a flow) is enforced at
+    /// the final hop exactly as before.
+    fn forward_staged(
+        &mut self,
+        flow: FlowId,
+        seq: SeqNr,
+        bytes: u64,
+        sent_at: Time,
+        hop: usize,
+        at: Time,
+    ) {
+        let (li, last_hop) = {
+            let p = &self.flows.path[flow];
+            (p[hop] as usize, hop + 1 == p.len())
+        };
+        self.push(
+            at,
+            Event::QueueDrain {
+                link: li as LinkId,
+                bytes: bytes as u32,
+            },
+        );
+        // Fault layer first (its own RNG: no draws without a schedule),
+        // then the pre-existing random-loss draw from the main RNG, in the
+        // original order.
+        let fault = match &mut self.links[li].faults {
+            Some(f) => f.wire_loss(),
+            None => WireLoss::default(),
+        };
+        if let Some(p_bad) = fault.burst_started {
+            self.record_fault(proteus_trace::FaultKind::LossBurstStart, p_bad);
+        }
+        if fault.burst_ended {
+            self.record_fault(proteus_trace::FaultKind::LossBurstEnd, 0.0);
+        }
+        if fault.lost {
+            // Outage or loss burst: departs the queue, never reaches the
+            // next hop.
+            return;
+        }
+        if self.links[li].random_loss > 0.0 && self.rng.random::<f64>() < self.links[li].random_loss
+        {
+            // Non-congestion loss on the wire after the queue.
+            return;
+        }
+        let noise = self.links[li].noise.data_delay(&mut self.rng);
+        let mut arrives_at = at + self.links[li].fwd_prop + noise;
+        let reorder_extra = match &mut self.links[li].faults {
+            Some(f) => f.reorder_extra(),
+            None => None,
+        };
+        if !last_hop {
+            // Mid-path hop: reordering extra just delays the next-hop
+            // arrival (the next queue re-serializes arrivals anyway).
+            if let Some(extra) = reorder_extra {
+                arrives_at += extra;
+            }
+            self.push(
+                arrives_at,
+                Event::HopArrival {
+                    flow: flow as u32,
+                    seq,
+                    bytes: bytes as u32,
+                    sent_at,
+                    hop: (hop + 1) as u16,
+                },
+            );
+            return;
+        }
+        if let Some(extra) = reorder_extra {
+            // Reordered packet: held back by `extra` and exempted from the
+            // FIFO clamp (and from advancing it), so later packets overtake
+            // it.
+            arrives_at += extra;
+        } else {
+            // FIFO clamp: jitter never reorders a flow's packets.
+            if arrives_at < self.flows.last_delivery_at[flow] {
+                arrives_at = self.flows.last_delivery_at[flow];
+            }
+            self.flows.last_delivery_at[flow] = arrives_at;
+        }
+        self.push(
+            arrives_at,
+            Event::Delivery {
+                flow: flow as u32,
+                seq,
+                bytes: bytes as u32,
+                sent_at,
+            },
+        );
+    }
+
+    /// A packet reaches the entry of a mid-path or final link: offer it to
+    /// that link's queue. A tail drop here is a silent mid-path loss — the
+    /// sender finds out via dup-ACKs or its RTO, exactly like a drop at the
+    /// first hop.
+    fn on_hop_arrival(&mut self, flow: FlowId, seq: SeqNr, bytes: u64, sent_at: Time, hop: usize) {
+        let li = self.flows.path[flow][hop] as usize;
+        match self.links[li].link.offer(self.now, bytes) {
+            Offer::Dropped => {}
+            Offer::Departs(at) => {
+                self.note_queue_peak(li);
+                self.forward_staged(flow, seq, bytes, sent_at, hop, at);
+            }
+        }
     }
 
     /// Admits one accepted packet to the fused wire ring, consuming the
@@ -1387,7 +1649,8 @@ impl Sim {
     fn admit_fused(&mut self, flow: FlowId, seq: SeqNr, bytes: u64, drain_at: Time) {
         self.event_seq += 1;
         let drain_seq = self.event_seq;
-        let lost = self.random_loss > 0.0 && self.rng.random::<f64>() < self.random_loss;
+        let lost =
+            self.links[0].random_loss > 0.0 && self.rng.random::<f64>() < self.links[0].random_loss;
         let mut pkt = WirePacket {
             flow: flow as u32,
             bytes: bytes as u32,
@@ -1404,7 +1667,7 @@ impl Sim {
         if !lost {
             self.event_seq += 1;
             pkt.deliver_seq = self.event_seq;
-            let mut delivered_at = drain_at + self.fwd_prop;
+            let mut delivered_at = drain_at + self.links[0].fwd_prop;
             if delivered_at < self.flows.last_delivery_at[flow] {
                 delivered_at = self.flows.last_delivery_at[flow];
             }

@@ -19,9 +19,12 @@
 //! good. Legacy scenarios never retire, preserving historical results
 //! byte for byte.
 
+use std::sync::Arc;
+
 use proteus_transport::{Application, CongestionControl, RttEstimator, SeqNr, Time};
 
 use crate::inflight::InflightTracker;
+use crate::topology::LinkId;
 
 /// Sentinel for "not a member" in the position indexes.
 const NOT_MEMBER: u32 = u32::MAX;
@@ -103,6 +106,10 @@ pub(crate) struct FlowTable {
     pub rtt: Vec<RttEstimator>,
     /// Outstanding packets, O(1) per ACK.
     pub inflight: Vec<InflightTracker>,
+    /// Links the flow traverses, in hop order (shared, validated at
+    /// scenario build time; kept after retirement so late wire events
+    /// still route).
+    pub path: Vec<Arc<[LinkId]>>,
     /// Congestion controller (stubbed once retired).
     pub cc: Vec<Box<dyn CongestionControl>>,
     /// Application model (stubbed once retired).
@@ -143,6 +150,7 @@ impl FlowTable {
             last_ack_arrival_at: Vec::with_capacity(capacity),
             rtt: Vec::with_capacity(capacity),
             inflight: Vec::with_capacity(capacity),
+            path: Vec::with_capacity(capacity),
             cc: Vec::with_capacity(capacity),
             app: Vec::with_capacity(capacity),
             active_ids: Vec::new(),
@@ -163,6 +171,7 @@ impl FlowTable {
         cc: Box<dyn CongestionControl>,
         app: Box<dyn Application>,
         reliable: bool,
+        path: Arc<[LinkId]>,
     ) -> usize {
         let id = self.len();
         self.active.push(false);
@@ -184,6 +193,7 @@ impl FlowTable {
         self.last_ack_arrival_at.push(Time::ZERO);
         self.rtt.push(RttEstimator::new());
         self.inflight.push(InflightTracker::new());
+        self.path.push(path);
         self.cc.push(cc);
         self.app.push(app);
         self.active_pos.push(NOT_MEMBER);
@@ -306,7 +316,12 @@ mod tests {
     use proteus_transport::BulkApp;
 
     fn stub_flow(t: &mut FlowTable) -> usize {
-        t.push_flow(Box::new(RetiredCc), Box::new(BulkApp), false)
+        t.push_flow(
+            Box::new(RetiredCc),
+            Box::new(BulkApp),
+            false,
+            Arc::from(vec![0u16]),
+        )
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! * [`NoiseConfig`] — latency-noise models (clean, Gaussian, WiFi-like),
 //! * [`FaultSchedule`] — deterministic fault injection (time-varying
 //!   bandwidth/RTT, outages, bursty loss, reordering, ACK compression),
+//! * [`Topology`] — multi-bottleneck link DAGs with per-flow paths
+//!   (parking lot, RTT-unfairness chains),
 //! * [`Scenario`]/[`FlowSpec`]/[`CrossTrafficSpec`] — declarative experiment
 //!   descriptions,
 //! * [`Sim`]/[`run`] — the event engine driving [`CongestionControl`]
@@ -53,6 +55,7 @@ pub mod metrics;
 pub mod noise;
 pub mod scenario;
 pub mod sched;
+pub mod topology;
 
 pub use engine::{run, take_session_event_totals, SessionEventTotals, Sim, WirePath};
 pub use fault::{
@@ -60,9 +63,10 @@ pub use fault::{
 };
 pub use inflight::{InflightPkt, InflightTracker};
 pub use link::{BottleneckLink, Offer};
-pub use metrics::{EventStats, FlowMetrics, SimResult, TraceEvent, EVENT_KIND_NAMES};
+pub use metrics::{EventStats, FlowMetrics, LinkSummary, SimResult, TraceEvent, EVENT_KIND_NAMES};
 pub use noise::{NoiseConfig, WifiNoiseConfig};
 pub use scenario::{
     CcBuilder, ChurnClass, ChurnSpec, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario,
 };
 pub use sched::Scheduler;
+pub use topology::{LinkId, Topology};

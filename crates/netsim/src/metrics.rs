@@ -259,7 +259,7 @@ pub struct TraceEvent {
 /// engine assigns each event kind a stable slot (`Event::kind` in
 /// `crate::engine`); this array gives reporting code human-readable names
 /// without exposing the private event enum.
-pub const EVENT_KIND_NAMES: [&str; 14] = [
+pub const EVENT_KIND_NAMES: [&str; 15] = [
     "FlowStart",
     "FlowStop",
     "QueueDrain",
@@ -274,6 +274,7 @@ pub const EVENT_KIND_NAMES: [&str; 14] = [
     "QueueSample",
     "TraceSample",
     "Fault",
+    "HopArrival",
 ];
 
 /// Event-loop accounting for one simulation run: how many events of each
@@ -319,6 +320,39 @@ impl EventStats {
     }
 }
 
+/// Per-link accounting for one run: one entry per topology link, in link-id
+/// order. Single-link scenarios have exactly one entry, mirrored by the
+/// legacy top-level `link_*` fields on [`SimResult`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkSummary {
+    /// Configured (initial) link rate, bits/sec — before any fault-schedule
+    /// bandwidth changes.
+    pub rate_bps: f64,
+    /// Bytes that completed service at this link.
+    pub delivered_bytes: u64,
+    /// Packets this link's queue accepted.
+    pub accepted_pkts: u64,
+    /// Packets tail-dropped at this link.
+    pub dropped_pkts: u64,
+    /// Peak buffer occupancy observed when packets were admitted, bytes.
+    pub peak_queued_bytes: u64,
+    /// What this link's fault layer injected (all zero without a schedule).
+    pub fault_stats: FaultStats,
+}
+
+impl LinkSummary {
+    /// Bytes-served utilization over the whole run: delivered bytes as a
+    /// fraction of configured capacity × duration.
+    pub fn utilization(&self, duration: Dur) -> f64 {
+        let capacity_bytes = self.rate_bps / 8.0 * duration.as_secs_f64();
+        if capacity_bytes <= 0.0 {
+            0.0
+        } else {
+            self.delivered_bytes as f64 / capacity_bytes
+        }
+    }
+}
+
 /// The result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
@@ -326,13 +360,19 @@ pub struct SimResult {
     pub flows: Vec<FlowMetrics>,
     /// Total simulated duration.
     pub duration: Dur,
-    /// Bottleneck rate, bits/sec.
+    /// Bottleneck rate, bits/sec (link 0 — see [`SimResult::links`] for
+    /// multi-link topologies).
     pub link_rate_bps: f64,
-    /// Bytes that completed service at the bottleneck.
+    /// Bytes that completed service at the bottleneck (link 0).
     pub link_delivered_bytes: u64,
-    /// Packets tail-dropped at the bottleneck.
+    /// Packets tail-dropped at the bottleneck (link 0).
     pub link_dropped_pkts: u64,
-    /// Periodic `(seconds, queued_bytes)` samples of buffer occupancy.
+    /// Per-link accounting, one entry per topology link in id order.
+    /// `links[0]` always mirrors the legacy top-level `link_*` fields and
+    /// [`SimResult::fault_stats`].
+    pub links: Vec<LinkSummary>,
+    /// Periodic `(seconds, queued_bytes)` samples of buffer occupancy at
+    /// link 0 (per-link peaks are in [`LinkSummary::peak_queued_bytes`]).
     pub queue_samples: Vec<(f64, u64)>,
     /// Per-flow telemetry time series (empty unless the scenario enables
     /// [`crate::scenario::Scenario::with_trace`]).
@@ -342,7 +382,8 @@ pub struct SimResult {
     /// recording `proteus-trace` sink). When a fault schedule is set, also
     /// contains the link-scoped fault records.
     pub decisions: Vec<proteus_trace::FlowEvent>,
-    /// What the fault layer injected (all zero without a schedule).
+    /// What the fault layer injected at link 0 (all zero without a
+    /// schedule; per-link stats are in [`SimResult::links`]).
     pub fault_stats: FaultStats,
     /// Event-loop accounting (dispatch counts, scheduler pressure, fused
     /// share). Mechanics, not behavior — see [`EventStats`].
@@ -440,6 +481,14 @@ mod tests {
             link_rate_bps: 10e6,
             link_delivered_bytes: 625_000,
             link_dropped_pkts: 0,
+            links: vec![LinkSummary {
+                rate_bps: 10e6,
+                delivered_bytes: 625_000,
+                accepted_pkts: 1,
+                dropped_pkts: 0,
+                peak_queued_bytes: 0,
+                fault_stats: FaultStats::default(),
+            }],
             queue_samples: vec![],
             trace: vec![],
             decisions: vec![],
@@ -450,5 +499,13 @@ mod tests {
         assert!((u - 0.5).abs() < 1e-9);
         assert!(r.flow_named("a").is_some());
         assert!(r.flow_named("b").is_none());
+        let lu = r.links[0].utilization(r.duration);
+        assert!((lu - 0.5).abs() < 1e-9, "625 KB over 10 Mbps x 1 s: {lu}");
+    }
+
+    #[test]
+    fn link_summary_utilization_handles_zero_capacity() {
+        let l = LinkSummary::default();
+        assert_eq!(l.utilization(Dur::from_secs(1)), 0.0);
     }
 }

@@ -1,8 +1,10 @@
-//! Scenario description: one dumbbell link plus a set of flows.
+//! Scenario description: a topology of bottleneck links plus a set of flows.
 //!
 //! Experiments in the paper are all "N flows over one emulated bottleneck",
 //! optionally with Poisson cross-traffic (Fig. 2). [`Scenario`] captures
-//! that shape declaratively; `run()` (in [`crate::engine`]) executes it.
+//! that shape declaratively — and generalizes it to multi-bottleneck
+//! [`Topology`]s with per-flow paths (SCENARIOS.md "Topologies") — while
+//! `run()` (in [`crate::engine`]) executes it.
 
 use proteus_transport::{Application, BulkApp, CcFactory, CongestionControl, Dur, SizedApp};
 
@@ -10,6 +12,7 @@ use crate::engine::WirePath;
 use crate::fault::FaultSchedule;
 use crate::noise::NoiseConfig;
 use crate::sched::Scheduler;
+use crate::topology::{LinkId, Topology};
 
 /// Bottleneck link parameters.
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +108,10 @@ pub struct FlowSpec {
     pub app: AppBuilder,
     /// Whether lost bytes are retransmitted (needed by sized transfers).
     pub reliable: bool,
+    /// Links this flow traverses, in hop order (ids into
+    /// [`Topology::links`]). `None` means the default path: every link in
+    /// id order.
+    pub path: Option<Vec<LinkId>>,
 }
 
 impl FlowSpec {
@@ -121,6 +128,7 @@ impl FlowSpec {
             cc: Box::new(cc),
             app: Box::new(|| Box::new(BulkApp)),
             reliable: false,
+            path: None,
         }
     }
 
@@ -138,6 +146,7 @@ impl FlowSpec {
             cc: Box::new(cc),
             app: Box::new(move || Box::new(SizedApp::new(bytes))),
             reliable: true,
+            path: None,
         }
     }
 
@@ -159,6 +168,14 @@ impl FlowSpec {
         self.reliable = reliable;
         self
     }
+
+    /// Returns this spec routed over the given links, in hop order. Paths
+    /// must be non-empty, duplicate-free and name links that exist in the
+    /// scenario's [`Topology`] (validated when the simulation is built).
+    pub fn with_path(mut self, path: impl Into<Vec<LinkId>>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
 }
 
 impl std::fmt::Debug for FlowSpec {
@@ -168,6 +185,7 @@ impl std::fmt::Debug for FlowSpec {
             .field("start", &self.start)
             .field("stop", &self.stop)
             .field("reliable", &self.reliable)
+            .field("path", &self.path)
             .finish()
     }
 }
@@ -208,6 +226,9 @@ pub struct ChurnClass {
     pub weight: f64,
     /// Controller factory for flows of this class.
     pub cc: CcFactory,
+    /// Links flows of this class traverse, in hop order. `None` means the
+    /// default path: every link in id order.
+    pub path: Option<Vec<LinkId>>,
 }
 
 impl ChurnClass {
@@ -217,7 +238,15 @@ impl ChurnClass {
             name: name.into(),
             weight,
             cc,
+            path: None,
         }
+    }
+
+    /// Returns this class routed over the given links, in hop order (same
+    /// validation rules as [`FlowSpec::with_path`]).
+    pub fn with_path(mut self, path: impl Into<Vec<LinkId>>) -> Self {
+        self.path = Some(path.into());
+        self
     }
 }
 
@@ -226,6 +255,7 @@ impl std::fmt::Debug for ChurnClass {
         f.debug_struct("ChurnClass")
             .field("name", &self.name)
             .field("weight", &self.weight)
+            .field("path", &self.path)
             .finish()
     }
 }
@@ -298,8 +328,10 @@ impl std::fmt::Debug for ChurnSpec {
 
 /// A complete simulation scenario.
 pub struct Scenario {
-    /// The bottleneck link.
-    pub link: LinkSpec,
+    /// The bottleneck links (a single dumbbell unless built with
+    /// [`Scenario::over`]). Flows traverse every link in id order unless
+    /// they declare a [`FlowSpec::with_path`].
+    pub topology: Topology,
     /// Static flows.
     pub flows: Vec<FlowSpec>,
     /// Optional Poisson cross-traffic generator.
@@ -318,8 +350,11 @@ pub struct Scenario {
     /// period, if set.
     pub trace_every: Option<Dur>,
     /// Injected path faults (link dynamics, bursty loss, reordering, ACK
-    /// compression), if any. `None` keeps the static-link fast path:
-    /// existing results stay byte-identical.
+    /// compression), if any, applied to link 0. `None` keeps the
+    /// static-link fast path: existing results stay byte-identical.
+    /// Multi-link scenarios attach schedules per link with
+    /// [`Topology::with_faults`] instead; attaching to link 0 both ways is
+    /// rejected when the simulation is built.
     pub faults: Option<FaultSchedule>,
     /// Poisson flow churn (population scenarios), if any. `None` keeps the
     /// static-flow path: existing results stay byte-identical.
@@ -336,11 +371,18 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Creates a scenario with sensible defaults (1 s throughput bins, all
-    /// RTT samples, no queue sampling).
+    /// Creates a single-bottleneck scenario with sensible defaults (1 s
+    /// throughput bins, all RTT samples, no queue sampling). Equivalent to
+    /// `Scenario::over(Topology::single(link), duration)`.
     pub fn new(link: LinkSpec, duration: Dur) -> Self {
+        Self::over(Topology::single(link), duration)
+    }
+
+    /// Creates a scenario over an arbitrary multi-link [`Topology`] with
+    /// the same defaults as [`Scenario::new`].
+    pub fn over(topology: Topology, duration: Dur) -> Self {
         Self {
-            link,
+            topology,
             flows: Vec::new(),
             cross_traffic: None,
             duration,
@@ -401,8 +443,10 @@ impl Scenario {
         self
     }
 
-    /// Attaches a fault schedule (see [`FaultSchedule`]). An empty schedule
-    /// is treated as no schedule.
+    /// Attaches a fault schedule to link 0 (see [`FaultSchedule`]). An
+    /// empty schedule is treated as no schedule. For multi-link scenarios
+    /// prefer the per-link [`Topology::with_faults`]; both forms are
+    /// byte-identical for single-link topologies.
     pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = if faults.is_empty() {
             None
@@ -445,7 +489,7 @@ impl Scenario {
 impl std::fmt::Debug for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scenario")
-            .field("link", &self.link)
+            .field("topology", &self.topology)
             .field("flows", &self.flows)
             .field("cross_traffic", &self.cross_traffic)
             .field("duration", &self.duration)
@@ -469,6 +513,19 @@ mod tests {
         assert_eq!(l.bdp_bytes(), 187_500);
         assert_eq!(l.with_buffer_bdp(2.0).buffer_bytes, 375_000);
         assert_eq!(l.with_buffer_bdp(0.4).buffer_bytes, 75_000);
+    }
+
+    #[test]
+    fn over_and_paths_compose() {
+        let link = LinkSpec::paper_default();
+        let sc = Scenario::over(Topology::parking_lot(3, link), Dur::from_secs(5))
+            .flow(FlowSpec::bulk("long", Dur::ZERO, || unreachable!()).with_path([0u16, 1, 2]));
+        assert_eq!(sc.topology.len(), 3);
+        assert_eq!(sc.flows[0].path.as_deref(), Some(&[0u16, 1, 2][..]));
+        // Scenario::new is sugar for a single-link topology.
+        let sc = Scenario::new(link, Dur::from_secs(5));
+        assert_eq!(sc.topology.len(), 1);
+        assert!(sc.topology.faults[0].is_none());
     }
 
     #[test]

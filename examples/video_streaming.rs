@@ -36,6 +36,7 @@ fn add_video(sc: &mut Scenario, spec: VideoSpec, hybrid: bool, seed: u64) -> Vid
             Box::new(cell.borrow_mut().take().expect("single use")) as Box<dyn Application>
         }),
         reliable: true,
+        path: None,
     });
     stats
 }

@@ -103,6 +103,7 @@ fn video_session_over_hybrid_transport() {
             Box::new(cell.borrow_mut().take().expect("single use")) as Box<dyn Application>
         }),
         reliable: true,
+        path: None,
     });
     run(sc);
     let s = stats.borrow();
