@@ -11,6 +11,9 @@
 //! * [`web`] — Poisson page-load workload with log-normal page weights
 //!   (the "Alexa top-30" substitute).
 //!
+//! Beyond the paper, [`media`] adds a frame-paced RTC source (configurable
+//! fps, bitrate ladder, keyframe bursts) for the latency-SLO experiments.
+//!
 //! [`crosslayer::ThresholdPolicy`] implements the §4.4 threshold rules on
 //! their own, so they can be unit-tested and reused outside video.
 
@@ -18,9 +21,11 @@
 #![deny(missing_docs)]
 
 pub mod crosslayer;
+pub mod media;
 pub mod video;
 pub mod web;
 
 pub use crosslayer::ThresholdPolicy;
+pub use media::{MediaSource, MediaSpec};
 pub use video::{VideoSession, VideoSpec, VideoStats, VideoStatsHandle};
 pub use web::{PageLoad, WebWorkload};

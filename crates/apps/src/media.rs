@@ -1,0 +1,369 @@
+//! Frame-paced real-time media source (RTC workload).
+//!
+//! Models the sender side of an interactive video call in the style of the
+//! simulated RTP evaluations (Zhang, arXiv:1809.00304): an encoder emits one
+//! frame every `1/fps` seconds at the current rung of a bitrate ladder, with
+//! periodic keyframes several times larger than delta frames. The source is
+//! **app-limited** — [`MediaSource::bytes_to_send`] exposes only the bytes of
+//! frames already encoded, so the application (not the congestion window)
+//! caps the long-run send rate. A simple deterministic backlog rule walks
+//! the ladder: sustained queue growth drops a rung, a persistently drained
+//! queue climbs one.
+//!
+//! Determinism: frame *instants* sit on a fixed grid anchored at the flow's
+//! first poll (`anchor + i/fps`), and frame *sizes* draw jitter from a
+//! private [`SmallRng`] stream seeded only by [`MediaSpec::seed`] — the
+//! source never touches the simulator's RNG, so adding a media flow cannot
+//! perturb the event stream of other flows.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt as _, SeedableRng};
+
+use proteus_transport::{Application, Dur, FrameRecord, Time};
+
+/// Queue depth (in nominal frames at the current rung) above which the
+/// source switches one ladder rung down.
+const LADDER_DOWN_BACKLOG_FRAMES: f64 = 4.0;
+
+/// Queue depth (in nominal frames) under which a frame counts toward the
+/// up-switch streak.
+const LADDER_UP_BACKLOG_FRAMES: f64 = 1.0;
+
+/// Seconds of consecutively drained frames required before climbing a rung.
+const LADDER_UP_STREAK_SECS: f64 = 2.0;
+
+/// Salt of the source's private size-jitter RNG stream (`spec.seed ^ salt`),
+/// mirroring the fault/churn salt discipline (SCENARIOS.md).
+const MEDIA_SEED_SALT: u64 = 0x5EED_F7A3;
+
+/// Parameters of a frame-paced media source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaSpec {
+    /// Frames per second (default 30).
+    pub fps: f64,
+    /// Bitrate ladder in Mbit/s, ascending (default `[0.35, 0.75, 1.5,
+    /// 2.5]`, a WebRTC-ish 360p→1080p ladder). Encoding starts on the
+    /// lowest rung.
+    pub ladder_mbps: Vec<f64>,
+    /// Every `keyframe_every`-th frame is a keyframe (default 60, i.e. one
+    /// 2-second GOP at 30 fps).
+    pub keyframe_every: u32,
+    /// Keyframe size multiplier relative to a delta frame (default 3.0).
+    pub keyframe_scale: f64,
+    /// Playout deadline per frame (default 100 ms); frames completing
+    /// later count as freezes in the flow's latency-SLO metrics.
+    pub deadline: Dur,
+    /// Uniform ± fraction of per-frame size jitter (default 0.15).
+    pub size_jitter: f64,
+    /// Seed of the private frame-size jitter stream.
+    pub seed: u64,
+}
+
+impl Default for MediaSpec {
+    fn default() -> Self {
+        Self {
+            fps: 30.0,
+            ladder_mbps: vec![0.35, 0.75, 1.5, 2.5],
+            keyframe_every: 60,
+            keyframe_scale: 3.0,
+            deadline: Dur::from_millis(100),
+            size_jitter: 0.15,
+            seed: 1,
+        }
+    }
+}
+
+impl MediaSpec {
+    /// Nominal delta-frame size in bytes at ladder rung `rung`.
+    fn frame_bytes(&self, rung: usize) -> f64 {
+        self.ladder_mbps[rung] * 1e6 / 8.0 / self.fps
+    }
+}
+
+/// Frame-paced media application; implements [`Application`].
+#[derive(Debug, Clone)]
+pub struct MediaSource {
+    spec: MediaSpec,
+    rng: SmallRng,
+    /// Grid anchor: instant of frame 0, set at the first poll.
+    anchor: Option<Time>,
+    /// Index of the next frame to encode.
+    frame_idx: u64,
+    /// Current ladder rung.
+    rung: usize,
+    /// Consecutive drained-queue frames (ladder up-switch streak).
+    up_streak: u32,
+    /// Encoded-but-unsent bytes.
+    queued: u64,
+    /// Cumulative encoded bytes (monotone; frames end at these offsets).
+    gen_bytes: u64,
+    /// Frames encoded but not yet handed to the driver.
+    pending: Vec<FrameRecord>,
+    /// Total frames encoded.
+    frames_generated: u64,
+    /// Ladder switches (down, up).
+    switches: (u64, u64),
+}
+
+impl MediaSource {
+    /// Creates a source from `spec`. Panics if the ladder is empty, fps is
+    /// non-positive, or the ladder is not ascending.
+    pub fn new(spec: MediaSpec) -> Self {
+        assert!(!spec.ladder_mbps.is_empty(), "empty bitrate ladder");
+        assert!(spec.fps > 0.0, "fps must be positive");
+        assert!(
+            spec.ladder_mbps.windows(2).all(|w| w[0] < w[1]),
+            "ladder must be strictly ascending"
+        );
+        assert!(spec.keyframe_every >= 1, "keyframe_every must be >= 1");
+        let rng = SmallRng::seed_from_u64(spec.seed ^ MEDIA_SEED_SALT);
+        Self {
+            spec,
+            rng,
+            anchor: None,
+            frame_idx: 0,
+            rung: 0,
+            up_streak: 0,
+            queued: 0,
+            gen_bytes: 0,
+            pending: Vec::new(),
+            frames_generated: 0,
+            switches: (0, 0),
+        }
+    }
+
+    /// The source's parameters.
+    pub fn spec(&self) -> &MediaSpec {
+        &self.spec
+    }
+
+    /// Total frames encoded so far.
+    pub fn frames_generated(&self) -> u64 {
+        self.frames_generated
+    }
+
+    /// Current bitrate-ladder rung (0 = lowest).
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// `(down, up)` ladder-switch counts.
+    pub fn ladder_switches(&self) -> (u64, u64) {
+        self.switches
+    }
+
+    /// Encoded bytes not yet handed to the transport.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued
+    }
+
+    /// Instant of frame `idx` on the grid (requires the anchor to be set).
+    fn frame_instant(&self, idx: u64) -> Time {
+        self.anchor.expect("media source not started")
+            + Dur::from_secs_f64(idx as f64 / self.spec.fps)
+    }
+
+    /// Encodes every frame whose grid instant is `<= now`.
+    fn catch_up(&mut self, now: Time) {
+        let anchor = *self.anchor.get_or_insert(now);
+        debug_assert!(anchor <= now);
+        while self.frame_instant(self.frame_idx) <= now {
+            let at = self.frame_instant(self.frame_idx);
+            self.adapt_ladder();
+            let key = self
+                .frame_idx
+                .is_multiple_of(u64::from(self.spec.keyframe_every));
+            let mut bytes = self.spec.frame_bytes(self.rung);
+            if key {
+                bytes *= self.spec.keyframe_scale;
+            }
+            let j = self.spec.size_jitter;
+            if j > 0.0 {
+                bytes *= 1.0 + j * (2.0 * self.rng.random::<f64>() - 1.0);
+            }
+            let bytes = (bytes.round() as u64).max(1);
+            self.queued += bytes;
+            self.gen_bytes += bytes;
+            self.pending.push(FrameRecord {
+                gen_at: at,
+                end_bytes: self.gen_bytes,
+                deadline: self.spec.deadline,
+            });
+            self.frames_generated += 1;
+            self.frame_idx += 1;
+        }
+    }
+
+    /// Backlog-driven ladder walk, evaluated once per encoded frame.
+    fn adapt_ladder(&mut self) {
+        let nominal = self.spec.frame_bytes(self.rung);
+        let backlog = self.queued as f64 / nominal;
+        if backlog > LADDER_DOWN_BACKLOG_FRAMES {
+            if self.rung > 0 {
+                self.rung -= 1;
+                self.switches.0 += 1;
+            }
+            self.up_streak = 0;
+        } else if backlog < LADDER_UP_BACKLOG_FRAMES {
+            self.up_streak += 1;
+            let need = (LADDER_UP_STREAK_SECS * self.spec.fps).ceil() as u32;
+            if self.up_streak >= need {
+                self.up_streak = 0;
+                if self.rung + 1 < self.spec.ladder_mbps.len() {
+                    self.rung += 1;
+                    self.switches.1 += 1;
+                }
+            }
+        } else {
+            self.up_streak = 0;
+        }
+    }
+}
+
+impl Application for MediaSource {
+    fn bytes_to_send(&mut self, now: Time) -> u64 {
+        self.catch_up(now);
+        self.queued
+    }
+
+    fn consume(&mut self, bytes: u64) {
+        self.queued = self.queued.saturating_sub(bytes);
+    }
+
+    fn next_event(&self, _now: Time) -> Option<Time> {
+        self.anchor.map(|_| self.frame_instant(self.frame_idx))
+    }
+
+    fn on_wakeup(&mut self, now: Time) {
+        self.catch_up(now);
+    }
+
+    fn is_media(&self) -> bool {
+        true
+    }
+
+    fn drain_frames(&mut self, sink: &mut Vec<FrameRecord>) {
+        sink.append(&mut self.pending);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drained(src: &mut MediaSource) -> Vec<FrameRecord> {
+        let mut v = Vec::new();
+        src.drain_frames(&mut v);
+        v
+    }
+
+    #[test]
+    fn frame_cadence_and_accounting() {
+        let mut src = MediaSource::new(MediaSpec::default());
+        assert_eq!(src.bytes_to_send(Time::ZERO), src.queued_bytes());
+        // 10 s at 30 fps, polled every 100 ms: 301 frames (grid inclusive).
+        for ms in (0..=10_000).step_by(100) {
+            src.on_wakeup(Time::from_millis(ms));
+        }
+        assert_eq!(src.frames_generated(), 301);
+        let frames = drained(&mut src);
+        assert_eq!(frames.len(), 301);
+        // end_bytes strictly increases and the last equals total generated.
+        assert!(frames.windows(2).all(|w| w[0].end_bytes < w[1].end_bytes));
+        // Frames sit on the 1/30 s grid.
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.gen_at, Time::from_secs_f64(i as f64 / 30.0));
+            assert_eq!(f.deadline, Dur::from_millis(100));
+        }
+        // Second drain is empty.
+        assert!(drained(&mut src).is_empty());
+    }
+
+    #[test]
+    fn keyframes_are_larger() {
+        let spec = MediaSpec {
+            size_jitter: 0.0,
+            ..MediaSpec::default()
+        };
+        let mut src = MediaSource::new(spec);
+        src.on_wakeup(Time::ZERO); // anchor the grid at t=0
+        src.on_wakeup(Time::from_secs_f64(2.0)); // 61 frames: idx 0..=60
+        let frames = drained(&mut src);
+        let sizes: Vec<u64> = frames
+            .iter()
+            .scan(0, |prev, f| {
+                let s = f.end_bytes - *prev;
+                *prev = f.end_bytes;
+                Some(s)
+            })
+            .collect();
+        // Frames 0 and 60 are keyframes, ~3x the delta size on the same rung.
+        let ratio = sizes[0] as f64 / sizes[1] as f64;
+        assert!((2.99..3.01).contains(&ratio), "ratio = {ratio}");
+        assert!(sizes[60] >= sizes[59] * 2, "{} vs {}", sizes[60], sizes[59]);
+    }
+
+    #[test]
+    fn app_limited_queue_drains() {
+        let mut src = MediaSource::new(MediaSpec::default());
+        let avail = src.bytes_to_send(Time::ZERO);
+        assert!(avail < u64::MAX, "media source must be app-limited");
+        src.consume(avail);
+        assert_eq!(src.bytes_to_send(Time::ZERO), 0);
+        // Next frame instant is scheduled.
+        assert_eq!(
+            src.next_event(Time::ZERO),
+            Some(Time::from_secs_f64(1.0 / 30.0))
+        );
+        assert!(!src.finished(Time::ZERO));
+    }
+
+    #[test]
+    fn ladder_climbs_when_drained_and_drops_on_backlog() {
+        let mut src = MediaSource::new(MediaSpec::default());
+        // Drain the queue after every frame for 30 s: should climb off rung 0.
+        for ms in (0..30_000).step_by(10) {
+            let now = Time::from_millis(ms);
+            let b = src.bytes_to_send(now);
+            src.consume(b);
+        }
+        assert!(src.rung() > 0, "rung = {}", src.rung());
+        let rung_before = src.rung();
+        // Now stop draining entirely: backlog builds, rung drops to 0.
+        for ms in 30_000..40_000u64 {
+            src.on_wakeup(Time::from_millis(ms));
+        }
+        assert_eq!(src.rung(), 0);
+        assert!(src.ladder_switches().0 >= rung_before as u64);
+    }
+
+    #[test]
+    fn sizes_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut s = MediaSource::new(MediaSpec {
+                seed,
+                ..MediaSpec::default()
+            });
+            s.on_wakeup(Time::ZERO);
+            s.on_wakeup(Time::from_secs_f64(5.0));
+            drained(&mut s)
+        };
+        assert_eq!(mk(7), mk(7));
+        assert_ne!(mk(7), mk(8));
+    }
+
+    #[test]
+    fn long_run_rate_tracks_lowest_rung_when_undrained() {
+        // Never consuming keeps the source on rung 0; generated bytes over
+        // 60 s should be ~0.35 Mbit/s plus the keyframe surcharge.
+        let mut src = MediaSource::new(MediaSpec {
+            size_jitter: 0.0,
+            ..MediaSpec::default()
+        });
+        src.on_wakeup(Time::ZERO);
+        src.on_wakeup(Time::from_secs_f64(60.0));
+        let mbps = src.gen_bytes as f64 * 8.0 / 60.0 / 1e6;
+        // 1800 delta frames, 31 of them keyframes at 3x => ~3.4% uplift.
+        assert!((0.3..0.5).contains(&mbps), "mbps = {mbps}");
+    }
+}

@@ -13,12 +13,17 @@
 //! * [`Ledbat`] — RFC 6817 with 100 ms target, plus [`Ledbat::draft25`]
 //!   for the Appendix-B 25 ms variant,
 //! * [`FixedRateProbe`] — the constant-rate UDP measurement flow of Fig. 2.
+//!
+//! Beyond the paper, [`Cross`] implements a Cross-style delay-gradient
+//! controller (arXiv:2409.10042) — the interactive-media baseline for the
+//! RTC experiments.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod bbr;
 pub mod copa;
+pub mod cross;
 pub mod cubic;
 pub mod ledbat;
 pub mod probe;
@@ -27,6 +32,7 @@ pub mod vegas;
 
 pub use bbr::{Bbr, Mode as BbrMode, ScavengerMod};
 pub use copa::Copa;
+pub use cross::{Cross, CrossState};
 pub use cubic::Cubic;
 pub use ledbat::Ledbat;
 pub use probe::FixedRateProbe;

@@ -4,8 +4,8 @@
 //! buffers, BBR saturates shallow buffers, LEDBAT holds ~target extra
 //! delay, COPA keeps queues short).
 
-use proteus_baselines::{Bbr, Copa, Cubic, FixedRateProbe, Ledbat, Reno};
-use proteus_netsim::{run, FlowSpec, LinkSpec, Scenario};
+use proteus_baselines::{Bbr, Copa, Cross, Cubic, FixedRateProbe, Ledbat, Reno};
+use proteus_netsim::{run, FaultSchedule, FlowSpec, LinkSpec, Scenario};
 use proteus_transport::{Dur, Time};
 
 /// The paper's standard bottleneck: 50 Mbps, 30 ms RTT.
@@ -205,6 +205,74 @@ fn two_cubic_flows_share_fairly() {
     let jain = proteus_stats::jain_index(&[a, b]).unwrap();
     assert!(jain > 0.9, "CUBIC fairness = {jain} ({a} vs {b})");
     assert!(a + b > 44.0, "joint utilization low: {}", a + b);
+}
+
+#[test]
+fn cross_fills_link_with_low_delay() {
+    // Alone on a clean link the delay-gradient machine probes up to
+    // capacity but backs off before the queue inflates past TARGET_HIGH.
+    let res = single_flow(paper_link(375_000), 30, Cross::new());
+    let thpt = steady_throughput_mbps(&res, 30);
+    assert!(thpt > 35.0, "Cross throughput = {thpt}");
+    let p95 = res.flows[0].rtt_percentile(95.0).unwrap();
+    // base 30 ms + ≤25 ms backoff threshold + probing overshoot.
+    assert!(p95 < 0.080, "Cross p95 RTT = {p95}");
+}
+
+#[test]
+fn cross_starves_against_cubic_buffer_filler() {
+    // The classic delay-based weakness (shared with Vegas/LEDBAT): a
+    // loss-based buffer-filler inflates delay, so Cross backs off hard.
+    // This is by design for an interactive controller — it is the reason
+    // the RTC campaign measures *who* harms the call, not whether Cross
+    // defends throughput.
+    let sc = Scenario::new(paper_link(375_000), Dur::from_secs(60))
+        .flow(FlowSpec::bulk(
+            "cubic",
+            Dur::ZERO,
+            || Box::new(Cubic::new()),
+        ))
+        .flow(FlowSpec::bulk("cross", Dur::from_secs(5), || {
+            Box::new(Cross::new())
+        }))
+        .with_seed(5);
+    let res = run(sc);
+    let cubic = res.flows[0].throughput_mbps(Time::from_secs_f64(20.0), Time::from_secs_f64(60.0));
+    let cross = res.flows[1].throughput_mbps(Time::from_secs_f64(20.0), Time::from_secs_f64(60.0));
+    assert!(
+        cubic > 3.0 * cross,
+        "Cross should cede to CUBIC: cubic {cubic}, cross {cross}"
+    );
+}
+
+#[test]
+fn cross_safety_window_bounds_outage_losses() {
+    // 5 s blackout mid-run. A purely paced sender with no window would
+    // keep streaming into the dead link for the whole outage; Cross's
+    // rate-derived safety window caps in-flight data, so its loss count
+    // stays a small fraction of the fixed-rate probe's.
+    let run_with = |cc: Box<dyn proteus_transport::CongestionControl>| {
+        let cell = std::cell::RefCell::new(Some(cc));
+        let sc = Scenario::new(paper_link(375_000), Dur::from_secs(20))
+            .with_seed(11)
+            .with_faults(FaultSchedule::new().outage(Dur::from_secs(10), Dur::from_secs(5)))
+            .flow(FlowSpec::bulk("flow", Dur::ZERO, move || {
+                cell.borrow_mut().take().expect("single use")
+            }));
+        run(sc)
+    };
+    let cross = run_with(Box::new(Cross::new()));
+    let probe = run_with(Box::new(FixedRateProbe::mbps(20.0)));
+    let cross_lost = cross.flows[0].pkts_lost;
+    let probe_lost = probe.flows[0].pkts_lost;
+    assert!(
+        probe_lost > 4 * cross_lost,
+        "windowless probe lost {probe_lost}, Cross lost {cross_lost}"
+    );
+    assert!(cross_lost < 2_000, "Cross outage losses = {cross_lost}");
+    // And it recovers after the link returns.
+    let tail = cross.flows[0].throughput_mbps(Time::from_secs_f64(17.0), Time::from_secs_f64(20.0));
+    assert!(tail > 1.0, "post-outage goodput = {tail}");
 }
 
 #[test]

@@ -21,6 +21,13 @@
 //!   --population <N>   N long-lived background flows of the same class
 //!                      mix, started at t=0 (with --churn: the warm-start
 //!                      population)
+//!   --media <FPS,L1:L2:...>
+//!                      make the FIRST --flow a frame-paced media source:
+//!                      FPS frames/sec on the ascending bitrate ladder
+//!                      L1:L2:... (Mbps). The flow turns reliable and
+//!                      app-limited; per-frame latency stats are printed
+//!                      after the flow table (see SCENARIOS.md "Media
+//!                      sources")
 //!   --timeline         print 5-second per-flow throughput bins
 //!   --trace <file>     write per-flow telemetry JSONL (100 ms samples)
 //!   --trace-mi         record structured decision traces (see OBSERVABILITY.md)
@@ -45,11 +52,18 @@
 //! ```text
 //! proteus-sim --bw 50 --rtt 30 --flow BBR --flow Proteus-S@5 --timeline
 //! ```
+//!
+//! Example — a 30 fps call (Cross) with a Proteus-S scavenger underneath:
+//!
+//! ```text
+//! proteus-sim --media 30,0.35:0.75:1.5:2.5 --flow Cross --flow Proteus-S@5
+//! ```
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
 
+use proteus_apps::{MediaSource, MediaSpec};
 use proteus_bench::{cc, cc_traced, mi_trace, trace_jsonl, MiTraceSink, TraceFormat, TRACE_EVERY};
 use proteus_netsim::{
     run, AckCompression, ChurnClass, ChurnSpec, FaultSchedule, FlowSpec, GilbertElliott, LinkSpec,
@@ -71,6 +85,8 @@ struct Args {
     trace_mi: bool,
     trace_format: TraceFormat,
     flows: Vec<(String, f64)>,
+    /// `(fps, bitrate ladder in Mbps)` for the first flow, from `--media`.
+    media: Option<(f64, Vec<f64>)>,
     faults: FaultSchedule,
     /// `(arrivals_per_sec, mean_lifetime_secs)`.
     churn: Option<(f64, f64)>,
@@ -103,6 +119,7 @@ fn parse() -> Result<Args, String> {
         trace_mi: false,
         trace_format: TraceFormat::Both,
         flows: Vec::new(),
+        media: None,
         faults: FaultSchedule::new(),
         churn: None,
         population: 0,
@@ -170,6 +187,30 @@ fn parse() -> Result<Args, String> {
                 a.population = need(&mut it, "--population")?
                     .parse()
                     .map_err(|e| format!("bad --population: {e}"))?
+            }
+            "--media" => {
+                let v = need(&mut it, "--media")?;
+                let (fps, ladder) = v.split_once(',').ok_or(format!(
+                    "--media expects FPS,L1:L2:... (e.g. 30,0.35:0.75:1.5:2.5), got {v:?}"
+                ))?;
+                let fps: f64 = fps.parse().map_err(|e| format!("bad --media fps: {e}"))?;
+                let ladder: Vec<f64> = ladder
+                    .split(':')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("bad --media ladder: {e}"))?;
+                if !fps.is_finite() || fps <= 0.0 {
+                    return Err(format!("--media needs fps > 0, got {fps}"));
+                }
+                if ladder.is_empty()
+                    || ladder.iter().any(|r| !r.is_finite() || *r <= 0.0)
+                    || ladder.windows(2).any(|w| w[1] <= w[0])
+                {
+                    return Err(format!(
+                        "--media ladder must be strictly ascending positive Mbps, got {v:?}"
+                    ));
+                }
+                a.media = Some((fps, ladder));
             }
             "--timeline" => a.timeline = true,
             "--trace" => a.trace = Some(need(&mut it, "--trace")?),
@@ -262,7 +303,7 @@ fn main() -> ExitCode {
                 "usage: proteus-sim [--bw Mbps] [--rtt ms] [--links N] [--buffer KB|xBDP] [--loss p] \
                  [--wifi] [--secs s] [--seed n] [--timeline] [--trace FILE] \
                  [--trace-mi] [--trace-format jsonl|chrome|both] [--trace-out DIR] \
-                 [--churn ARRIVALS,LIFETIME] [--population N] \
+                 [--churn ARRIVALS,LIFETIME] [--population N] [--media FPS,L1:L2:...] \
                  [--bw-step T:MBPS] [--rtt-step T:MS] [--outage T:LEN] \
                  [--burst-loss PE:PX:PB] [--reorder PROB:MS] [--ack-comp EVERY:HOLD] \
                  --flow PROTO[@START] ..."
@@ -306,17 +347,27 @@ fn main() -> ExitCode {
         let proto = proto.clone();
         let seed = args.seed + i as u64;
         let decisions = args.trace_mi;
-        sc = sc.flow(FlowSpec::bulk(
-            name,
-            Dur::from_secs_f64(*start),
-            move || {
-                if decisions {
-                    cc_traced(&proto, seed)
-                } else {
-                    cc(&proto, seed)
-                }
-            },
-        ));
+        let mut spec = FlowSpec::bulk(name, Dur::from_secs_f64(*start), move || {
+            if decisions {
+                cc_traced(&proto, seed)
+            } else {
+                cc(&proto, seed)
+            }
+        });
+        if i == 0 {
+            if let Some((fps, ladder)) = &args.media {
+                let media = MediaSpec {
+                    fps: *fps,
+                    ladder_mbps: ladder.clone(),
+                    seed: args.seed ^ 0x4EC,
+                    ..MediaSpec::default()
+                };
+                spec = spec
+                    .with_app(move || Box::new(MediaSource::new(media)))
+                    .with_reliability(true);
+            }
+        }
+        sc = sc.flow(spec);
     }
     if args.churn.is_some() || args.population > 0 {
         // One churn class per --flow protocol, equal weight; listing a
@@ -406,6 +457,21 @@ fn main() -> ExitCode {
     }
     let util = res.utilization(from, to);
     println!("joint utilization: {:.1}%", util * 100.0);
+    if args.media.is_some() {
+        if let Some(m) = res.flows[0].media() {
+            println!(
+                "media: {}/{} frames ({} pending), p95 {:.1} ms, p99 {:.1} ms, \
+                 {} freeze(s) ({:.2} s frozen)",
+                m.frames_completed(),
+                m.frames_generated(),
+                m.frames_pending(),
+                m.frame_delay_percentile(95.0).unwrap_or(0.0) * 1e3,
+                m.frame_delay_percentile(99.0).unwrap_or(0.0) * 1e3,
+                m.freeze_count(),
+                m.time_in_freeze(),
+            );
+        }
+    }
     if !args.faults.is_empty() {
         let s = res.fault_stats;
         println!(

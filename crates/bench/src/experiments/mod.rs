@@ -14,6 +14,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod rtc;
 pub mod scale;
 pub mod stress;
 pub mod topology;
@@ -130,6 +131,12 @@ pub fn registry() -> Vec<Experiment> {
             description:
                 "Multi-bottleneck topologies: parking-lot fairness, RTT-unfairness chain, scavenger harm behind two bottlenecks",
             run: topology::run_experiment,
+        },
+        Experiment {
+            id: "rtc",
+            description:
+                "Real-time media: frame-paced call (Cross) alone and vs Proteus-S/LEDBAT/CUBIC with latency-SLO invariants",
+            run: rtc::run_experiment,
         },
         Experiment {
             id: "tune",

@@ -1,7 +1,7 @@
 //! The protocol registry: every congestion controller the paper evaluates,
 //! constructible by name.
 
-use proteus_baselines::{Bbr, Copa, Cubic, FixedRateProbe, Ledbat, Reno, ScavengerMod};
+use proteus_baselines::{Bbr, Copa, Cross, Cubic, FixedRateProbe, Ledbat, Reno, ScavengerMod};
 use proteus_core::{Mode, ProteusSender, SharedThreshold};
 use proteus_trace::RingSink;
 use proteus_transport::CongestionControl;
@@ -38,6 +38,7 @@ pub fn cc(name: &str, seed: u64) -> Box<dyn CongestionControl> {
         "COPA" => Box::new(Copa::new()),
         "LEDBAT" => Box::new(Ledbat::new()),
         "LEDBAT-25" => Box::new(Ledbat::draft25()),
+        "Cross" => Box::new(Cross::new()),
         "Proteus-P" => Box::new(ProteusSender::primary(seed)),
         "Proteus-S" => Box::new(ProteusSender::scavenger(seed)),
         "PCC-Vivace" => Box::new(ProteusSender::vivace(seed)),
@@ -100,6 +101,9 @@ mod tests {
         }
         let p = cc("probe:20", 1);
         assert_eq!(p.pacing_rate(), Some(2_500_000.0));
+        let x = cc("Cross", 1);
+        assert_eq!(x.name(), "Cross");
+        assert!(x.pacing_rate().is_some());
         let h = hybrid(1, SharedThreshold::new(10.0));
         assert_eq!(h.name(), "Proteus-H");
     }

@@ -1,0 +1,71 @@
+//! The `rtc` real-time-media campaign: deterministic, invariant-clean, and
+//! pinned against a committed golden report.
+//!
+//! Everything env-dependent lives in the single `#[test]` below —
+//! `PROTEUS_RESULTS_DIR` is process-global, so a second env-touching test in
+//! this binary would race it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use proteus_bench::experiments::rtc;
+use proteus_bench::RunCfg;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Runs the quick campaign twice (single-threaded, then on 4 workers) and
+/// checks: byte-identical reports, all invariants pass, and the report
+/// matches `results/golden/rtc_quick.txt`.
+#[test]
+fn rtc_campaign_is_deterministic_and_invariants_hold() {
+    let scratch = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("rtc_invariants");
+    let _ = fs::remove_dir_all(&scratch);
+    std::env::set_var("PROTEUS_RESULTS_DIR", &scratch);
+
+    // No cache: both runs must actually simulate, or the byte-identity
+    // check would just compare a cache entry with itself.
+    let cfg = RunCfg {
+        cache: false,
+        ..RunCfg::quick()
+    };
+    let serial = rtc::run_with_outcome(cfg);
+    let parallel = rtc::run_with_outcome(RunCfg { jobs: 4, ..cfg });
+    std::env::remove_var("PROTEUS_RESULTS_DIR");
+
+    assert_eq!(
+        serial.report, parallel.report,
+        "rtc report differs between --jobs 1 and --jobs 4 runs"
+    );
+    assert!(
+        serial.all_pass(),
+        "rtc invariants failed:\n{:#?}",
+        serial.failures()
+    );
+    // The campaign wrote its report files where the docs promise.
+    assert!(scratch.join("rtc/report.txt").is_file());
+    assert!(scratch.join("rtc/harm.csv").is_file());
+    assert!(scratch.join("rtc/invariants.csv").is_file());
+
+    // Golden pin: quick-mode rtc must reproduce the committed report byte
+    // for byte. Re-bless with
+    // `PROTEUS_BLESS=1 cargo test -p proteus-bench --test rtc_invariants`.
+    let golden_path = repo_path("results/golden/rtc_quick.txt");
+    if std::env::var_os("PROTEUS_BLESS").is_some_and(|v| !v.is_empty()) {
+        fs::create_dir_all(golden_path.parent().unwrap()).expect("create results/golden");
+        fs::write(&golden_path, &serial.report).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .expect("missing results/golden/rtc_quick.txt — bless it with PROTEUS_BLESS=1");
+    assert_eq!(
+        serial.report, golden,
+        "quick-mode rtc no longer matches results/golden/rtc_quick.txt. \
+         If intentional: PROTEUS_BLESS=1 cargo test -p proteus-bench --test \
+         rtc_invariants, regenerate results/rtc with `repro --no-cache rtc`, \
+         and commit both."
+    );
+}

@@ -71,7 +71,8 @@ use rand::rngs::SmallRng;
 use rand::{RngExt as Rng, SeedableRng};
 
 use proteus_transport::{
-    AckInfo, BulkApp, Dur, FlowId, LossInfo, SentPacket, SeqNr, Time, DEFAULT_PACKET_BYTES,
+    AckInfo, BulkApp, Dur, FlowId, FrameRecord, LossInfo, SentPacket, SeqNr, Time,
+    DEFAULT_PACKET_BYTES,
 };
 
 use crate::dist;
@@ -435,6 +436,8 @@ pub struct Sim {
     /// Reusable scratch for loss sweeps (dup-ACK and RTO), so the per-ACK
     /// and per-RTO paths stay allocation-free after warm-up.
     loss_scratch: Vec<(SeqNr, Time, u64)>,
+    /// Reusable scratch for draining media frame records on the ACK path.
+    frame_scratch: Vec<FrameRecord>,
     /// Every scheduled link change across all per-link fault schedules,
     /// indexed by `Event::Fault::idx` (pushed in link order, then schedule
     /// order — the legacy order for single-link scenarios).
@@ -577,6 +580,7 @@ impl Sim {
             churn: None,
             link_rate_bps,
             loss_scratch: Vec::new(),
+            frame_scratch: Vec::new(),
             fault_changes: Vec::new(),
             events: EventStats::default(),
             wire: fused.then(WirePipeline::new),
@@ -1144,6 +1148,19 @@ impl Sim {
 
         // Deliver progress to the application and check for completion.
         self.flows.app[flow].on_delivered(now, bytes);
+        if self.flows.media[flow] {
+            // Frame-latency bookkeeping, media flows only: pull newly
+            // encoded frames from the source, then complete every frame
+            // the cumulative acked byte count now covers.
+            let mut frames = std::mem::take(&mut self.frame_scratch);
+            frames.clear();
+            self.flows.app[flow].drain_frames(&mut frames);
+            if !frames.is_empty() {
+                self.metrics[flow].media_ingest(&frames);
+            }
+            self.metrics[flow].media_progress(now);
+            self.frame_scratch = frames;
+        }
         let finished = self.flows.active[flow] && self.flows.app[flow].finished(now);
         if finished {
             self.flows.deactivate(flow);

@@ -74,6 +74,9 @@ pub(crate) struct FlowTable {
     pub reliable: Vec<bool>,
     /// Churn-mode only: stopped, quiesced, controller memory released.
     pub retired: Vec<bool>,
+    /// Frame-paced media source (`Application::is_media`); only these
+    /// flows pay the per-ACK frame bookkeeping.
+    pub media: Vec<bool>,
     /// Next fresh sequence number.
     pub next_seq: Vec<SeqNr>,
     /// Outstanding bytes.
@@ -134,6 +137,7 @@ impl FlowTable {
             active: Vec::with_capacity(capacity),
             reliable: Vec::with_capacity(capacity),
             retired: Vec::with_capacity(capacity),
+            media: Vec::with_capacity(capacity),
             next_seq: Vec::with_capacity(capacity),
             inflight_bytes: Vec::with_capacity(capacity),
             retx_bytes: Vec::with_capacity(capacity),
@@ -177,6 +181,7 @@ impl FlowTable {
         self.active.push(false);
         self.reliable.push(reliable);
         self.retired.push(false);
+        self.media.push(app.is_media());
         self.next_seq.push(0);
         self.inflight_bytes.push(0);
         self.retx_bytes.push(0);

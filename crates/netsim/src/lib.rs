@@ -63,7 +63,9 @@ pub use fault::{
 };
 pub use inflight::{InflightPkt, InflightTracker};
 pub use link::{BottleneckLink, Offer};
-pub use metrics::{EventStats, FlowMetrics, LinkSummary, SimResult, TraceEvent, EVENT_KIND_NAMES};
+pub use metrics::{
+    EventStats, FlowMetrics, LinkSummary, MediaMetrics, SimResult, TraceEvent, EVENT_KIND_NAMES,
+};
 pub use noise::{NoiseConfig, WifiNoiseConfig};
 pub use scenario::{
     CcBuilder, ChurnClass, ChurnSpec, CrossTrafficSpec, FlowSpec, LinkSpec, Scenario,

@@ -7,11 +7,95 @@
 //! accessors.
 
 use std::cell::OnceCell;
+use std::collections::VecDeque;
 
 use proteus_stats::percentile_sorted;
-use proteus_transport::{Dur, FlowId, Time};
+use proteus_transport::{Dur, FlowId, FrameRecord, Time};
 
 use crate::fault::FaultStats;
+
+/// Latency-SLO accounting for one frame-paced media flow.
+///
+/// The engine forwards [`FrameRecord`]s drained from a media application;
+/// a frame *completes* at the first ACK whose cumulative acknowledged byte
+/// count reaches the frame's `end_bytes` (spurious ACKs of packets already
+/// declared lost never increment that counter, so the rule is exact even
+/// for reliable flows that retransmit). A completed frame whose delay
+/// exceeds its playout deadline counts as a *freeze*, contributing
+/// `delay - deadline` seconds to [`MediaMetrics::time_in_freeze`].
+///
+/// Frames still pending when the run ends are excluded from the delay
+/// percentiles and reported via [`MediaMetrics::frames_pending`].
+#[derive(Debug, Clone, Default)]
+pub struct MediaMetrics {
+    /// Frames generated but not yet fully acknowledged, in encode order.
+    pending: VecDeque<FrameRecord>,
+    frames_generated: u64,
+    frames_completed: u64,
+    freeze_count: u64,
+    time_in_freeze: f64,
+    /// Completion delay of each completed frame, seconds, in encode order.
+    delays: Vec<f64>,
+    /// Sorted delays, built lazily on the first percentile query.
+    delays_sorted: OnceCell<Vec<f64>>,
+}
+
+impl MediaMetrics {
+    /// Frames the source has encoded so far.
+    pub fn frames_generated(&self) -> u64 {
+        self.frames_generated
+    }
+
+    /// Frames fully acknowledged.
+    pub fn frames_completed(&self) -> u64 {
+        self.frames_completed
+    }
+
+    /// Frames generated but not yet fully acknowledged.
+    pub fn frames_pending(&self) -> u64 {
+        self.pending.len() as u64
+    }
+
+    /// Completed frames that missed their playout deadline.
+    pub fn freeze_count(&self) -> u64 {
+        self.freeze_count
+    }
+
+    /// Total seconds completed frames spent beyond their deadlines.
+    pub fn time_in_freeze(&self) -> f64 {
+        self.time_in_freeze
+    }
+
+    /// Per-frame completion delays in seconds, encode order.
+    pub fn frame_delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// The `p`-th percentile frame completion delay in seconds, if any
+    /// frame completed. Cached after the first query like RTT percentiles.
+    pub fn frame_delay_percentile(&self, p: f64) -> Option<f64> {
+        let sorted = self.delays_sorted.get_or_init(|| {
+            let mut v: Vec<f64> = self
+                .delays
+                .iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .collect();
+            v.sort_unstable_by(f64::total_cmp);
+            v
+        });
+        percentile_sorted(sorted, p)
+    }
+
+    /// Mean frame completion delay in seconds.
+    pub fn frame_delay_mean(&self) -> Option<f64> {
+        if self.delays.is_empty() {
+            None
+        } else {
+            Some(self.delays.iter().sum::<f64>() / self.delays.len() as f64)
+        }
+    }
+}
 
 /// Measurements recorded for one flow over a simulation run.
 #[derive(Debug, Clone)]
@@ -47,6 +131,10 @@ pub struct FlowMetrics {
     rtt_sorted: OnceCell<Vec<f64>>,
     rtt_stride: usize,
     rtt_counter: usize,
+    /// Frame-latency accounting; `None` for every non-media flow (boxed so
+    /// the common case costs one pointer, keeping media-free scenarios'
+    /// layout and results untouched).
+    media: Option<Box<MediaMetrics>>,
 }
 
 impl FlowMetrics {
@@ -68,6 +156,46 @@ impl FlowMetrics {
             rtt_sorted: OnceCell::new(),
             rtt_stride: rtt_stride.max(1),
             rtt_counter: 0,
+            media: None,
+        }
+    }
+
+    /// Frame-latency metrics, present only on frame-paced media flows.
+    pub fn media(&self) -> Option<&MediaMetrics> {
+        self.media.as_deref()
+    }
+
+    /// Records newly encoded frames drained from a media application.
+    pub(crate) fn media_ingest(&mut self, frames: &[FrameRecord]) {
+        let m = self.media.get_or_insert_default();
+        m.frames_generated += frames.len() as u64;
+        m.pending.extend(frames.iter().copied());
+    }
+
+    /// Completes every pending frame covered by the cumulative acked byte
+    /// count, stamping `now` (the ACK arrival instant) as completion time.
+    pub(crate) fn media_progress(&mut self, now: Time) {
+        let Some(m) = self.media.as_deref_mut() else {
+            return;
+        };
+        let mut changed = false;
+        while let Some(f) = m.pending.front() {
+            if f.end_bytes > self.bytes_acked {
+                break;
+            }
+            let f = m.pending.pop_front().expect("front exists");
+            let delay = now.since(f.gen_at).as_secs_f64();
+            m.frames_completed += 1;
+            m.delays.push(delay);
+            let budget = f.deadline.as_secs_f64();
+            if delay > budget {
+                m.freeze_count += 1;
+                m.time_in_freeze += delay - budget;
+            }
+            changed = true;
+        }
+        if changed {
+            m.delays_sorted.take();
         }
     }
 
@@ -501,6 +629,52 @@ mod tests {
         assert!(r.flow_named("b").is_none());
         let lu = r.links[0].utilization(r.duration);
         assert!((lu - 0.5).abs() < 1e-9, "625 KB over 10 Mbps x 1 s: {lu}");
+    }
+
+    #[test]
+    fn media_frame_completion_freezes_and_percentiles() {
+        let mut m = FlowMetrics::new(0, "rtc".into(), Dur::from_secs(1), 1);
+        assert!(m.media().is_none());
+        let deadline = Dur::from_millis(100);
+        let frames: Vec<FrameRecord> = (0..4)
+            .map(|i| FrameRecord {
+                gen_at: Time::from_millis(i * 100),
+                end_bytes: (i + 1) * 1000,
+                deadline,
+            })
+            .collect();
+        m.media_ingest(&frames);
+        assert_eq!(m.media().unwrap().frames_generated(), 4);
+        assert_eq!(m.media().unwrap().frames_pending(), 4);
+        // Ack 2500 bytes at t=150ms: frames 0 and 1 complete (delays 150ms
+        // and 50ms), frame 2 still short by 500 bytes.
+        m.on_ack(Time::from_millis(150), 2500, Dur::from_millis(30));
+        m.media_progress(Time::from_millis(150));
+        let mm = m.media().unwrap();
+        assert_eq!(mm.frames_completed(), 2);
+        assert_eq!(mm.frames_pending(), 2);
+        assert_eq!(mm.freeze_count(), 1, "frame 0 missed its 100ms deadline");
+        assert!((mm.time_in_freeze() - 0.050).abs() < 1e-9);
+        assert_eq!(mm.frame_delays(), &[0.150, 0.050]);
+        // Ack the rest at t=600ms: frame 2 (gen 200ms) delay 400ms, frame 3
+        // (gen 300ms) delay 300ms — both freezes.
+        m.on_ack(Time::from_millis(600), 1500, Dur::from_millis(30));
+        m.media_progress(Time::from_millis(600));
+        let mm = m.media().unwrap();
+        assert_eq!(mm.frames_completed(), 4);
+        assert_eq!(mm.frames_pending(), 0);
+        assert_eq!(mm.freeze_count(), 3);
+        let p99 = mm.frame_delay_percentile(99.0).unwrap();
+        assert!(p99 >= 0.39, "p99 = {p99}");
+        assert!(mm.frame_delay_mean().unwrap() > 0.2);
+    }
+
+    #[test]
+    fn media_progress_noop_without_media() {
+        let mut m = FlowMetrics::new(0, "bulk".into(), Dur::from_secs(1), 1);
+        m.on_ack(Time::from_millis(10), 1500, Dur::from_millis(30));
+        m.media_progress(Time::from_millis(10));
+        assert!(m.media().is_none());
     }
 
     #[test]

@@ -5,7 +5,23 @@
 //! 12, 13) need a chunk-driven application that can pause the sender when
 //! the playback buffer fills. All of them implement [`Application`].
 
-use crate::time::Time;
+use crate::time::{Dur, Time};
+
+/// One encoded media frame, reported by a frame-paced source via
+/// [`Application::drain_frames`]. The driver forwards these records to the
+/// per-flow metrics, which mark the frame complete once the flow's
+/// cumulative acknowledged bytes reach `end_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRecord {
+    /// When the encoder produced the frame.
+    pub gen_at: Time,
+    /// Cumulative application bytes through the end of this frame (frame
+    /// `i`'s bytes span `(prev.end_bytes, end_bytes]`).
+    pub end_bytes: u64,
+    /// Playout budget: the frame freezes playback if its completion delay
+    /// (`completed_at - gen_at`) exceeds this.
+    pub deadline: Dur,
+}
 
 /// Sender-side application model: decides how much data is available to
 /// transmit and observes delivery progress.
@@ -35,6 +51,18 @@ pub trait Application {
     fn finished(&self, _now: Time) -> bool {
         false
     }
+
+    /// Whether this application is a frame-paced media source. The driver
+    /// only polls [`Application::drain_frames`] (and keeps per-frame
+    /// latency metrics) for flows whose application reports `true`, so
+    /// media-free scenarios stay byte-identical.
+    fn is_media(&self) -> bool {
+        false
+    }
+
+    /// Moves any newly generated [`FrameRecord`]s into `sink`. Only called
+    /// on applications whose [`Application::is_media`] returns `true`.
+    fn drain_frames(&mut self, _sink: &mut Vec<FrameRecord>) {}
 }
 
 /// Unlimited bulk transfer — the workhorse of §6.1/§6.2.

@@ -24,7 +24,7 @@ pub mod packet;
 pub mod rtt;
 pub mod time;
 
-pub use app::{Application, BulkApp, SizedApp};
+pub use app::{Application, BulkApp, FrameRecord, SizedApp};
 pub use cc::{factory, CcFactory, CcSnapshot, CongestionControl};
 pub use mi::{MiId, MiStats, MiTracker};
 pub use packet::{AckInfo, FlowId, LossInfo, SentPacket, SeqNr, DEFAULT_PACKET_BYTES};
